@@ -1,0 +1,38 @@
+"""Table 1: the cost units, as recovered by calibration.
+
+Times the calibration procedure (the paper's offline step) and checks
+it lands near the simulated hardware truth on both machines.
+"""
+
+import pytest
+
+from repro.calibration import Calibrator
+from repro.experiments.reporting import render_table
+from repro.hardware import PROFILES, HardwareSimulator
+from repro.optimizer.cost_model import COST_UNIT_NAMES
+
+
+def _calibrate(machine):
+    simulator = HardwareSimulator(PROFILES[machine], rng=0)
+    return Calibrator(simulator, repetitions=10).calibrate()
+
+
+@pytest.mark.parametrize("machine", ["PC1", "PC2"])
+def test_calibration_recovers_units(machine, benchmark):
+    units = benchmark(_calibrate, machine)
+    profile = PROFILES[machine]
+    rows = []
+    for name in COST_UNIT_NAMES:
+        truth = profile.units[name].mean
+        estimate = units.mean(name)
+        rows.append(
+            [name, f"{truth:.3e}", f"{estimate:.3e}",
+             f"{units.distribution(name).std:.2e}",
+             f"{abs(estimate - truth) / truth:.2%}"]
+        )
+    print(f"\n## Table 1 — calibrated cost units on {machine}")
+    print(render_table(["unit", "true mean", "calibrated", "std", "rel err"], rows))
+    for name in COST_UNIT_NAMES:
+        assert units.mean(name) == pytest.approx(
+            profile.units[name].mean, rel=0.3
+        )

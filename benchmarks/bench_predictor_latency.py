@@ -1,0 +1,52 @@
+"""The low-overhead claim: prediction latency per pipeline stage.
+
+The paper argues distributions come "almost at the cost" of the point
+predictor [48]. Here pytest-benchmark times the real wall-clock of the
+three prediction stages (sampling pass, cost-function fitting,
+distribution assembly) on a SELJOIN query.
+"""
+
+import pytest
+
+from repro.core import UncertaintyPredictor
+from repro.costfuncs import CostFunctionFitter
+from repro.core.variance import assemble_distribution_parameters
+from repro.sampling import SelectivityEstimator
+
+
+@pytest.fixture(scope="module")
+def setup(small_lab):
+    executed = small_lab.executed_queries("uniform-small", "SELJOIN")[1]
+    samples = small_lab.sample_db("uniform-small", 0.05)
+    units = small_lab.units("PC1")
+    estimate = SelectivityEstimator(samples, executed.planned).estimate()
+    fitted = CostFunctionFitter(executed.planned, estimate).fit_all()
+    return executed, samples, units, estimate, fitted
+
+
+def test_latency_sampling_pass(setup, benchmark):
+    executed, samples, _, _, _ = setup
+    benchmark(
+        lambda: SelectivityEstimator(samples, executed.planned).estimate()
+    )
+
+
+def test_latency_cost_function_fitting(setup, benchmark):
+    executed, _, _, estimate, _ = setup
+    benchmark(lambda: CostFunctionFitter(executed.planned, estimate).fit_all())
+
+
+def test_latency_distribution_assembly(setup, benchmark):
+    executed, _, units, estimate, fitted = setup
+    benchmark(
+        lambda: assemble_distribution_parameters(
+            executed.planned, estimate, fitted, units
+        )
+    )
+
+
+def test_latency_end_to_end_prediction(setup, small_lab, benchmark):
+    executed, samples, units, _, _ = setup
+    predictor = UncertaintyPredictor(units)
+    result = benchmark(lambda: predictor.predict(executed.planned, samples))
+    assert result.mean > 0

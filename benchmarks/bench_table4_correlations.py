@@ -1,0 +1,44 @@
+"""Table 4 / Figure 2: rs (rp) of the benchmark queries over the grid.
+
+Regenerates the paper's correlation grid: for every database flavour,
+benchmark, machine, and sampling ratio, the Spearman (Pearson)
+correlation between predicted standard deviations and actual
+prediction errors. The paper reports rs mostly above 0.7; the bench
+asserts that shape.
+"""
+
+import numpy as np
+
+from repro.experiments.reporting import render_table
+from repro.experiments.settings import BENCHMARKS, MACHINES, SAMPLING_RATIOS
+
+
+def _table4_rows(lab):
+    all_rs = []
+    sections = {}
+    for db_label in lab.databases:
+        rows = []
+        for sr in SAMPLING_RATIOS:
+            row = [sr]
+            for benchmark in BENCHMARKS:
+                for machine in MACHINES:
+                    cell = lab.run_cell(db_label, benchmark, machine, sr)
+                    row.append(f"{cell.rs:.4f} ({cell.rp:.4f})")
+                    all_rs.append(cell.rs)
+            rows.append(row)
+        sections[db_label] = rows
+    return sections, np.asarray(all_rs)
+
+
+def test_table4_correlation_grid(lab, benchmark):
+    sections, all_rs = benchmark.pedantic(
+        _table4_rows, args=(lab,), rounds=1, iterations=1
+    )
+    headers = ["SR"] + [f"{b} {m}" for b in BENCHMARKS for m in MACHINES]
+    print("\n## Table 4 / Figure 2 — rs (rp)")
+    for db_label, rows in sections.items():
+        print(f"\n### {db_label}")
+        print(render_table(headers, rows))
+    # Paper shape: strong positive correlation for most cells.
+    assert np.median(all_rs) > 0.7
+    assert (all_rs > 0.5).mean() > 0.8

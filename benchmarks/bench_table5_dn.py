@@ -1,0 +1,41 @@
+"""Table 5 / Figure 4: the distributional distance Dn over the grid.
+
+The paper reports Dn mostly below 0.3 (majority below 0.2): the
+predicted error likelihoods Pr(alpha) track the observed Prn(alpha).
+"""
+
+import numpy as np
+
+from repro.experiments.reporting import render_table
+from repro.experiments.settings import BENCHMARKS, MACHINES, SAMPLING_RATIOS
+
+
+def _table5_rows(lab):
+    sections = {}
+    all_dn = []
+    for db_label in lab.databases:
+        rows = []
+        for sr in SAMPLING_RATIOS:
+            row = [sr]
+            for benchmark in BENCHMARKS:
+                for machine in MACHINES:
+                    cell = lab.run_cell(db_label, benchmark, machine, sr)
+                    row.append(cell.dn)
+                    all_dn.append(cell.dn)
+            rows.append(row)
+        sections[db_label] = rows
+    return sections, np.asarray(all_dn)
+
+
+def test_table5_dn_grid(lab, benchmark):
+    sections, all_dn = benchmark.pedantic(
+        _table5_rows, args=(lab,), rounds=1, iterations=1
+    )
+    headers = ["SR"] + [f"{b} {m}" for b in BENCHMARKS for m in MACHINES]
+    print("\n## Table 5 / Figure 4 — Dn")
+    for db_label, rows in sections.items():
+        print(f"\n### {db_label}")
+        print(render_table(headers, rows))
+    # Paper shape: Dn mostly below 0.3.
+    assert np.median(all_dn) < 0.3
+    assert (all_dn < 0.4).mean() > 0.75

@@ -1,0 +1,41 @@
+"""Table 6: correlation between estimated and actual selectivity errors.
+
+Per selective operator: the estimated standard deviation of the
+selectivity estimate vs the actual estimation error. The paper finds
+weaker correlations than Table 4 (errors are often tiny), which
+motivates Table 9's restriction to large-error operators.
+"""
+
+import numpy as np
+
+from repro.experiments.reporting import render_table
+from repro.experiments.settings import BENCHMARKS
+from repro.mathstats import pearson, spearman
+
+RATIOS = (0.01, 0.05, 0.1, 0.2)
+
+
+def _table6(lab):
+    sections = {}
+    for db_label in lab.databases:
+        rows = []
+        for sr in RATIOS:
+            row = [sr]
+            for benchmark_name in BENCHMARKS:
+                records = lab.selectivity_records(db_label, benchmark_name, sr)
+                stds = [r.estimated_std for r in records]
+                errs = [r.error for r in records]
+                row.append(f"{spearman(stds, errs):.4f} ({pearson(stds, errs):.4f})")
+            rows.append(row)
+        sections[db_label] = rows
+    return sections
+
+
+def test_table6_selectivity_error_correlations(small_lab, benchmark):
+    sections = benchmark.pedantic(_table6, args=(small_lab,), rounds=1, iterations=1)
+    headers = ["SR"] + list(BENCHMARKS)
+    print("\n## Table 6 — rs (rp) of estimated vs actual selectivity errors")
+    for db_label, rows in sections.items():
+        print(f"\n### {db_label}")
+        print(render_table(headers, rows))
+    assert sections  # grid produced

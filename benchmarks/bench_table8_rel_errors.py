@@ -1,0 +1,44 @@
+"""Table 8: mean relative errors of the selectivity estimates.
+
+The paper reports relative errors usually below 20% at SR >= 0.05,
+shrinking as the sampling ratio grows (strong consistency).
+"""
+
+import numpy as np
+
+from repro.experiments.reporting import render_table
+from repro.experiments.settings import BENCHMARKS
+
+RATIOS = (0.01, 0.05, 0.1, 0.2)
+
+
+def _table8(lab):
+    sections = {}
+    for db_label in lab.databases:
+        rows = []
+        for sr in RATIOS:
+            row = [sr]
+            for benchmark_name in BENCHMARKS:
+                records = lab.selectivity_records(db_label, benchmark_name, sr)
+                rels = [
+                    r.relative_error
+                    for r in records
+                    if r.actual > 0 and not np.isnan(r.relative_error)
+                ]
+                row.append(float(np.mean(rels)) if rels else float("nan"))
+            rows.append(row)
+        sections[db_label] = rows
+    return sections
+
+
+def test_table8_relative_errors(small_lab, benchmark):
+    sections = benchmark.pedantic(_table8, args=(small_lab,), rounds=1, iterations=1)
+    headers = ["SR"] + list(BENCHMARKS)
+    print("\n## Table 8 — mean relative selectivity errors")
+    for db_label, rows in sections.items():
+        print(f"\n### {db_label}")
+        print(render_table(headers, rows))
+    # Strong consistency: MICRO errors shrink as SR grows.
+    for rows in sections.values():
+        micro = [row[1] for row in rows]
+        assert micro[-1] < micro[0]

@@ -1,0 +1,41 @@
+"""Shared benchmark fixtures.
+
+One :class:`~repro.experiments.ExperimentLab` over the full database
+grid (uniform/skewed x small/large) is built once per session and
+shared by every bench. Query counts are reduced relative to the full
+`run_all` driver so the whole suite finishes in minutes; the paper
+shape (who wins, by what magnitude) is preserved.
+"""
+
+import pytest
+
+from repro.datagen import generate_tpch
+from repro.experiments import DATABASE_CONFIGS, ExperimentLab
+
+BENCH_QUERY_COUNTS = {"MICRO": 16, "SELJOIN": 10, "TPCH": 10}
+
+
+@pytest.fixture(scope="session")
+def lab():
+    databases = {
+        label: generate_tpch(config) for label, config in DATABASE_CONFIGS.items()
+    }
+    return ExperimentLab(
+        databases=databases,
+        seed=0,
+        query_counts=BENCH_QUERY_COUNTS,
+        calibration_repetitions=8,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_lab():
+    """Small-database-only lab for benches that sweep many settings."""
+    labels = ["uniform-small", "skewed-small"]
+    databases = {label: generate_tpch(DATABASE_CONFIGS[label]) for label in labels}
+    return ExperimentLab(
+        databases=databases,
+        seed=0,
+        query_counts=BENCH_QUERY_COUNTS,
+        calibration_repetitions=8,
+    )

@@ -1,0 +1,62 @@
+"""Least-expected-cost plan choice (Section 6.5.1, after Chu et al.).
+
+Classic optimizers rank candidate plans by cost at their own point
+cardinality estimates. With sampled selectivity *distributions*, plans
+can be ranked by expected running time instead — and plans that look
+cheap on paper but blow up when the estimates are uncertain (a
+nested-loop join over a "tiny" inner, say) get exposed.
+
+Run:  python examples/lec_optimizer.py
+"""
+
+from repro import (
+    Calibrator,
+    HardwareSimulator,
+    PC1,
+    SampleDatabase,
+    TpchConfig,
+    generate_tpch,
+)
+from repro.core import LeastExpectedCostChooser
+from repro.workloads import seljoin_workload
+
+
+def main() -> None:
+    # Skewed data (Zipf z=1): exactly where histogram-based cardinality
+    # estimates mislead the classic optimizer and sampling pays off.
+    db = generate_tpch(TpchConfig(scale_factor=0.02, skew_z=1.0, seed=10))
+    simulator = HardwareSimulator(PC1, rng=4)
+    units = Calibrator(simulator).calibrate()
+    samples = SampleDatabase(db, sampling_ratio=0.05, seed=11)
+    chooser = LeastExpectedCostChooser(db, units)
+
+    disagreements = 0
+    queries = seljoin_workload(num_queries=10, seed=13)
+    for i, sql in enumerate(queries):
+        candidates = chooser.candidates(sql, samples)
+        lec = min(candidates, key=lambda c: c.expected_cost)
+        point = min(candidates, key=lambda c: c.point_cost)
+        marker = ""
+        if lec.label != point.label:
+            disagreements += 1
+            marker = "   <-- LEC disagrees with the classic choice"
+        print(f"Q{i}: {len(candidates)} distinct candidate plans{marker}")
+        for candidate in sorted(candidates, key=lambda c: c.expected_cost):
+            chosen = []
+            if candidate is lec:
+                chosen.append("LEC")
+            if candidate is point:
+                chosen.append("classic")
+            tag = f"  [{', '.join(chosen)}]" if chosen else ""
+            print(f"    {candidate}{tag}")
+
+    print(f"\n{disagreements} of {len(queries)} queries rank differently under LEC.")
+    print(
+        "LEC hedges toward plans whose cost degrades gracefully when the "
+        "optimizer's estimates turn out optimistic; a risk-averse variant "
+        "(mean + lambda*sigma) is available via choose_risk_averse()."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""Distribution-based query scheduling (Section 6.5.3, after Chi et al.).
+
+A batch of queries with deadlines must be ordered on one worker. With
+point estimates a scheduler can only apply ordering heuristics (EDF,
+slack). With predicted *distributions* it can score any candidate
+schedule — completion times are sums of independent normals, so the
+expected number of deadlines met has a closed form — and then search
+for a better one. The demo scores classic heuristics, runs a local
+search on the expected-deadlines-met objective, and validates all of
+them against repeated simulated executions.
+
+Run:  python examples/query_scheduling.py
+"""
+
+import numpy as np
+
+from repro import (
+    Calibrator,
+    Executor,
+    HardwareSimulator,
+    Optimizer,
+    PC2,
+    SampleDatabase,
+    TpchConfig,
+    UncertaintyPredictor,
+    generate_tpch,
+)
+from repro.mathstats import NormalDistribution
+from repro.workloads import micro_join_queries
+
+
+def expected_met(order, jobs, deadlines):
+    """E[#deadlines met] when jobs run in ``order`` (normal convolution)."""
+    mean = 0.0
+    variance = 0.0
+    total = 0.0
+    for index in order:
+        mean += jobs[index]["mean"]
+        variance += jobs[index]["var"]
+        completion = NormalDistribution(mean, variance)
+        total += completion.cdf(deadlines[index])
+    return total
+
+
+def local_search(order, jobs, deadlines):
+    """Pairwise-swap hill climbing on the expected-met objective."""
+    best = list(order)
+    best_score = expected_met(best, jobs, deadlines)
+    improved = True
+    while improved:
+        improved = False
+        for i in range(len(best) - 1):
+            candidate = best.copy()
+            candidate[i], candidate[i + 1] = candidate[i + 1], candidate[i]
+            score = expected_met(candidate, jobs, deadlines)
+            if score > best_score + 1e-12:
+                best, best_score = candidate, score
+                improved = True
+    return best, best_score
+
+
+def main() -> None:
+    db = generate_tpch(TpchConfig(scale_factor=0.02, seed=6))
+    optimizer = Optimizer(db)
+    executor = Executor(db)
+    simulator = HardwareSimulator(PC2, rng=2)
+    units = Calibrator(simulator).calibrate()
+    samples = SampleDatabase(db, sampling_ratio=0.02, seed=7)
+    predictor = UncertaintyPredictor(units)
+
+    jobs = []
+    for sql in micro_join_queries(db, grid=2)[:12]:
+        planned = optimizer.plan_sql(sql)
+        prediction = predictor.predict(planned, samples)
+        jobs.append(
+            {
+                "mean": prediction.mean,
+                "var": prediction.distribution.variance,
+                "counts": executor.execute(planned).counts,
+            }
+        )
+    n = len(jobs)
+
+    # Tight deadlines spread over the predicted makespan.
+    rng = np.random.default_rng(20)
+    horizon = sum(job["mean"] for job in jobs)
+    deadlines = [
+        job["mean"] + float(rng.uniform(0.05, 0.7)) * horizon for job in jobs
+    ]
+
+    orders = {
+        "EDF (deadline)": sorted(range(n), key=lambda i: deadlines[i]),
+        "SPT (mean)": sorted(range(n), key=lambda i: jobs[i]["mean"]),
+        "mean slack": sorted(range(n), key=lambda i: deadlines[i] - jobs[i]["mean"]),
+    }
+    start = orders["mean slack"]
+    searched, _ = local_search(start, jobs, deadlines)
+    orders["distribution search"] = searched
+
+    print(f"{'policy':>20} {'E[met] (predicted)':>20} {'met (simulated)':>17}")
+    trials = 300
+    for label, order in orders.items():
+        predicted = expected_met(order, jobs, deadlines)
+        met_total = 0
+        for _ in range(trials):
+            clock = 0.0
+            for index in order:
+                clock += simulator.run_once(jobs[index]["counts"])
+                met_total += clock <= deadlines[index]
+        print(f"{label:>20} {predicted:20.2f} {met_total / trials:17.2f}")
+
+    print(
+        f"\nOut of {n} queries: the distribution-based scheduler optimizes "
+        "the closed-form expected-deadlines-met objective — something no "
+        "point estimate can even evaluate — and its predicted score tracks "
+        "the simulated outcome."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""repro — Uncertainty Aware Query Execution Time Prediction.
+
+A full reproduction of Wu, Wu, Hacıgümüş, Naughton (VLDB/arXiv 2014):
+predicting a *distribution* of likely query running times instead of a
+point estimate, by treating cost units and selectivities as random
+variables.
+
+Quick start::
+
+    from repro import (
+        TpchConfig, generate_tpch, Optimizer, Executor, SampleDatabase,
+        HardwareSimulator, PC2, Calibrator, UncertaintyPredictor,
+    )
+
+    db = generate_tpch(TpchConfig(scale_factor=0.01))
+    planned = Optimizer(db).plan_sql(
+        "SELECT COUNT(*) FROM orders, lineitem "
+        "WHERE o_orderkey = l_orderkey AND o_totalprice > 100000"
+    )
+    simulator = HardwareSimulator(PC2, rng=0)
+    units = Calibrator(simulator).calibrate()
+    samples = SampleDatabase(db, sampling_ratio=0.05)
+    prediction = UncertaintyPredictor(units).predict(planned, samples)
+    print(prediction.mean, prediction.std, prediction.confidence_interval())
+"""
+
+from .calibration import CalibratedUnits, Calibrator
+from .core import (
+    PredictionResult,
+    ProgressIndicator,
+    UncertaintyPredictor,
+    Variant,
+)
+from .datagen import TpchConfig, generate_tpch
+from .executor import ExecutionResult, Executor
+from .hardware import PC1, PC2, PROFILES, HardwareProfile, HardwareSimulator
+from .mathstats import NormalDistribution, pearson, spearman
+from .optimizer import Optimizer, OptimizerConfig, PlannedQuery
+from .sampling import SampleDatabase
+from .sql import parse_query
+from .storage import Database, Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "TpchConfig",
+    "generate_tpch",
+    "Database",
+    "Table",
+    "parse_query",
+    "Optimizer",
+    "OptimizerConfig",
+    "PlannedQuery",
+    "Executor",
+    "ExecutionResult",
+    "HardwareProfile",
+    "HardwareSimulator",
+    "PC1",
+    "PC2",
+    "PROFILES",
+    "Calibrator",
+    "CalibratedUnits",
+    "SampleDatabase",
+    "UncertaintyPredictor",
+    "PredictionResult",
+    "Variant",
+    "ProgressIndicator",
+    "NormalDistribution",
+    "pearson",
+    "spearman",
+]

@@ -1,0 +1,12 @@
+"""Cost-unit calibration (Section 3.1)."""
+
+from .calibrator import CalibratedUnits, Calibrator, DEFAULT_CALIBRATION_SIZES
+from .workload import CalibrationQuery, calibration_suite
+
+__all__ = [
+    "CalibratedUnits",
+    "Calibrator",
+    "CalibrationQuery",
+    "calibration_suite",
+    "DEFAULT_CALIBRATION_SIZES",
+]

@@ -1,0 +1,109 @@
+"""Cost-unit calibration: observed runtimes -> N(mu, sigma^2) per unit.
+
+The paper's extension over [48]: instead of keeping only the sample
+mean of each solved cost unit, keep the sample variance too and treat
+the unit as a Gaussian random variable (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CalibrationError
+from ..hardware.simulator import HardwareSimulator
+from ..mathstats.normal import NormalDistribution
+from ..optimizer.cost_model import COST_UNIT_NAMES
+from .workload import calibration_suite
+
+__all__ = ["CalibratedUnits", "Calibrator", "DEFAULT_CALIBRATION_SIZES"]
+
+DEFAULT_CALIBRATION_SIZES = (20_000, 50_000, 100_000, 200_000)
+#: Units are solved in dependency order (see workload docstring).
+_SOLVE_ORDER = ("ct", "co", "ci", "cs", "cr")
+
+
+@dataclass
+class CalibratedUnits:
+    """The calibrated distributions of the five cost units."""
+
+    distributions: dict[str, NormalDistribution]
+    samples: dict[str, list[float]]
+
+    def distribution(self, name: str) -> NormalDistribution:
+        return self.distributions[name]
+
+    def mean(self, name: str) -> float:
+        return self.distributions[name].mean
+
+    def variance(self, name: str) -> float:
+        return self.distributions[name].variance
+
+    def means(self) -> dict[str, float]:
+        return {name: dist.mean for name, dist in self.distributions.items()}
+
+    def without_variance(self) -> "CalibratedUnits":
+        """The NoVar[c] ablation: keep means, zero the variances."""
+        return CalibratedUnits(
+            distributions={
+                name: NormalDistribution(dist.mean, 0.0)
+                for name, dist in self.distributions.items()
+            },
+            samples=dict(self.samples),
+        )
+
+
+class Calibrator:
+    """Runs calibration queries on a (simulated) machine and solves units."""
+
+    def __init__(
+        self,
+        simulator: HardwareSimulator,
+        table_sizes: tuple[int, ...] = DEFAULT_CALIBRATION_SIZES,
+        repetitions: int = 10,
+    ):
+        if repetitions < 2:
+            raise CalibrationError("need at least 2 repetitions for a variance")
+        self._simulator = simulator
+        self._table_sizes = table_sizes
+        self._repetitions = repetitions
+
+    def calibrate(self) -> CalibratedUnits:
+        """Observe runtimes, solve units sequentially, estimate N(mu, s^2)."""
+        queries_by_unit: dict[str, list] = {name: [] for name in COST_UNIT_NAMES}
+        for size in self._table_sizes:
+            for query in calibration_suite(size):
+                queries_by_unit[query.solves_for].append(query)
+
+        solved_means: dict[str, float] = {}
+        samples: dict[str, list[float]] = {}
+        for unit in _SOLVE_ORDER:
+            unit_samples: list[float] = []
+            for query in queries_by_unit[unit]:
+                coefficient = query.counts.as_dict()[unit]
+                if coefficient <= 0:
+                    raise CalibrationError(
+                        f"query {query.name} does not exercise unit {unit}"
+                    )
+                for _ in range(self._repetitions):
+                    observed = self._simulator.run_counts_once(query.counts)
+                    known = sum(
+                        query.counts.as_dict()[other] * solved_means[other]
+                        for other in solved_means
+                    )
+                    unit_samples.append((observed - known) / coefficient)
+            solved_means[unit] = float(np.mean(unit_samples))
+            samples[unit] = unit_samples
+
+        distributions = {}
+        for unit in COST_UNIT_NAMES:
+            values = np.asarray(samples[unit])
+            mean = float(values.mean())
+            variance = float(values.var(ddof=1))
+            if mean <= 0:
+                raise CalibrationError(
+                    f"calibrated mean of {unit} is nonpositive: {mean}"
+                )
+            distributions[unit] = NormalDistribution(mean, variance)
+        return CalibratedUnits(distributions=distributions, samples=samples)

@@ -1,0 +1,85 @@
+"""Calibration query families (Example 3 / Wu et al. ICDE'13).
+
+Each family isolates one cost unit given the units solved before it:
+
+* ``ct``: in-memory ``SELECT * FROM R``             -> t = |R| ct
+* ``co``: in-memory ``SELECT COUNT(*) FROM R``      -> t = |R| ct + 2|R| co
+* ``ci``: in-memory index scan of half of R         -> t = M (ct + ci)
+* ``cs``: cold sequential scan                      -> t = P cs + |R| ct
+* ``cr``: cold unclustered index scan of 10% of R   -> t = (M+3) cr + M ct + M ci
+
+The counts below are the ground-truth resource counts of those queries
+run against synthetic tables of known size (the paper likewise uses
+relations whose cardinalities are known exactly).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..optimizer.cost_model import INDEX_DESCENT_PAGES, ResourceCounts
+
+__all__ = ["CalibrationQuery", "calibration_suite", "CALIBRATION_ROW_WIDTH"]
+
+#: Assumed row width of calibration tables (bytes).
+CALIBRATION_ROW_WIDTH = 120
+_PAGE_BYTES = 8192
+
+
+def _pages(rows: int) -> float:
+    return max(1.0, math.ceil(rows * CALIBRATION_ROW_WIDTH / _PAGE_BYTES))
+
+
+@dataclass(frozen=True)
+class CalibrationQuery:
+    """One calibration execution: known counts + the unit it solves for."""
+
+    name: str
+    solves_for: str
+    counts: ResourceCounts
+    #: linear coefficients: time = sum_u coeff[u] * c_u; the solver divides
+    #: out previously-known units and isolates ``solves_for``.
+    table_rows: int
+
+
+def calibration_suite(table_rows: int) -> list[CalibrationQuery]:
+    """The five calibration queries for a table with ``table_rows`` rows."""
+    rows = float(table_rows)
+    pages = _pages(table_rows)
+    half = rows / 2.0
+    tenth = max(rows / 10.0, 1.0)
+    return [
+        CalibrationQuery(
+            name=f"ct_scan_{table_rows}",
+            solves_for="ct",
+            counts=ResourceCounts(nt=rows),
+            table_rows=table_rows,
+        ),
+        CalibrationQuery(
+            name=f"co_count_{table_rows}",
+            solves_for="co",
+            counts=ResourceCounts(nt=rows, no=2.0 * rows),
+            table_rows=table_rows,
+        ),
+        CalibrationQuery(
+            name=f"ci_indexscan_{table_rows}",
+            solves_for="ci",
+            counts=ResourceCounts(nt=half, ni=half),
+            table_rows=table_rows,
+        ),
+        CalibrationQuery(
+            name=f"cs_coldscan_{table_rows}",
+            solves_for="cs",
+            counts=ResourceCounts(ns=pages, nt=rows),
+            table_rows=table_rows,
+        ),
+        CalibrationQuery(
+            name=f"cr_coldindex_{table_rows}",
+            solves_for="cr",
+            counts=ResourceCounts(
+                nr=tenth + INDEX_DESCENT_PAGES, nt=tenth, ni=tenth
+            ),
+            table_rows=table_rows,
+        ),
+    ]

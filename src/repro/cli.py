@@ -1,0 +1,141 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro generate  --scale 0.02 --skew 0            # describe a DB
+    python -m repro explain   --sql "SELECT ..."               # show the plan
+    python -m repro predict   --sql "SELECT ..." [--sr 0.05]   # distribution
+    python -m repro bench     [--quick]                        # the full grid
+
+The CLI regenerates the database from its config on every invocation
+(generation is deterministic and fast at these scales), so it needs no
+on-disk state.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .calibration import Calibrator
+from .core import UncertaintyPredictor
+from .datagen import TpchConfig, generate_tpch
+from .executor import Executor
+from .hardware import PROFILES, HardwareSimulator
+from .optimizer import Optimizer
+from .sampling import SampleDatabase
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Uncertainty-aware query execution time prediction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_db_args(p):
+        p.add_argument("--scale", type=float, default=0.02, help="TPC-H scale factor")
+        p.add_argument("--skew", type=float, default=0.0, help="Zipf z (0 = uniform)")
+        p.add_argument("--seed", type=int, default=0)
+
+    gen = sub.add_parser("generate", help="generate a TPC-H database and describe it")
+    add_db_args(gen)
+
+    explain = sub.add_parser("explain", help="show the optimized plan for a query")
+    add_db_args(explain)
+    explain.add_argument("--sql", required=True)
+
+    predict = sub.add_parser("predict", help="predict a running-time distribution")
+    add_db_args(predict)
+    predict.add_argument("--sql", required=True)
+    predict.add_argument("--sr", type=float, default=0.05, help="sampling ratio")
+    predict.add_argument(
+        "--machine", choices=sorted(PROFILES), default="PC2", help="hardware profile"
+    )
+    predict.add_argument(
+        "--execute", action="store_true",
+        help="also execute and report the simulated actual time",
+    )
+
+    bench = sub.add_parser("bench", help="run the full evaluation grid")
+    bench.add_argument("--quick", action="store_true")
+    bench.add_argument("--output", default=None)
+    bench.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _database(args):
+    config = TpchConfig(scale_factor=args.scale, skew_z=args.skew, seed=args.seed)
+    return generate_tpch(config), config
+
+
+def _cmd_generate(args, out) -> int:
+    db, config = _database(args)
+    print(f"generated {config.describe()}", file=out)
+    for name in db.table_names:
+        table = db.table(name)
+        print(f"  {name:>10}: {table.num_rows:>9} rows, {table.num_pages:>6} pages", file=out)
+    return 0
+
+
+def _cmd_explain(args, out) -> int:
+    db, _ = _database(args)
+    planned = Optimizer(db).plan_sql(args.sql)
+    print(planned.explain(), file=out)
+    return 0
+
+
+def _cmd_predict(args, out) -> int:
+    db, _ = _database(args)
+    planned = Optimizer(db).plan_sql(args.sql)
+    simulator = HardwareSimulator(PROFILES[args.machine], rng=args.seed)
+    units = Calibrator(simulator).calibrate()
+    samples = SampleDatabase(db, sampling_ratio=args.sr, seed=args.seed + 1)
+    prediction = UncertaintyPredictor(units).predict(planned, samples)
+
+    print(planned.explain(), file=out)
+    print(f"\npredicted mean : {prediction.mean:.4f} s", file=out)
+    print(f"predicted std  : {prediction.std:.4f} s", file=out)
+    for confidence in (0.5, 0.9, 0.99):
+        low, high = prediction.confidence_interval(confidence)
+        print(f"{confidence:>6.0%} interval : [{low:.4f} s, {high:.4f} s]", file=out)
+    if args.execute:
+        result = Executor(db).execute(planned)
+        actual = simulator.run_repeated(result.counts)
+        print(f"actual (sim)   : {actual:.4f} s", file=out)
+    return 0
+
+
+def _cmd_bench(args, out) -> int:
+    from .experiments.run_all import build_lab, report_sections
+
+    lab = build_lab(quick=args.quick, seed=args.seed)
+    if args.output:
+        with open(args.output, "w") as handle:
+            report_sections(lab, handle)
+        print(f"report written to {args.output}", file=out)
+    else:
+        report_sections(lab, out)
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "explain": _cmd_explain,
+    "predict": _cmd_predict,
+    "bench": _cmd_bench,
+}
+
+
+def main(argv=None, out=None) -> int:
+    """Parse arguments and dispatch to the chosen subcommand."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out or sys.stdout)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

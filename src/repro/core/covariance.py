@@ -1,0 +1,168 @@
+"""Covariance bounds between selectivity estimates (Section 5.3, App. A).
+
+Two selectivity estimators are correlated exactly when one operator is a
+descendant of the other (Lemma 3). Their covariance cannot be computed
+directly, but the paper derives three upper bounds for linear terms:
+
+* B1 = sqrt(S^2_rho(m, n) * S^2_rho'(m, n))   (Theorem 7, tightest)
+* B2 = sqrt(Var[rho_n] * Var[rho'_n])         (Cauchy-Schwarz)
+* B3 = f(n, m) g(rho) g(rho')                 (Theorem 8)
+
+plus analogues for squared terms (Theorems 9 and 10). We evaluate every
+applicable bound and take the minimum.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..mathstats.normal import noncentral_moment
+from ..plan.physical import PlanNode
+from ..sampling.estimator import NodeSelectivity
+
+__all__ = [
+    "PlanAncestry",
+    "g_factor",
+    "h_factor",
+    "bound_linear_linear",
+    "bound_square_linear",
+    "bound_square_square",
+    "power_variance",
+    "cov_power_bound",
+]
+
+
+@dataclass
+class PlanAncestry:
+    """Ancestor/descendant relation over plan op ids (= variable ids)."""
+
+    descendants: dict[int, frozenset[int]]
+
+    @classmethod
+    def from_plan(cls, root: PlanNode) -> "PlanAncestry":
+        descendants: dict[int, frozenset[int]] = {}
+
+        def collect(node: PlanNode) -> frozenset[int]:
+            below: set[int] = set()
+            for child in node.children:
+                below |= collect(child)
+                below.add(child.op_id)
+            result = frozenset(below)
+            descendants[node.op_id] = result
+            return result
+
+        collect(root)
+        return cls(descendants=descendants)
+
+    def related(self, u: int, v: int) -> bool:
+        """True when u is an ancestor or descendant of v (u != v)."""
+        if u == v:
+            return False
+        return v in self.descendants.get(u, frozenset()) or u in self.descendants.get(
+            v, frozenset()
+        )
+
+
+def g_factor(rho: float) -> float:
+    """g(rho) = sqrt(rho (1 - rho)) — Theorem 8."""
+    rho = min(max(rho, 0.0), 1.0)
+    return math.sqrt(rho * (1.0 - rho))
+
+
+def h_factor(rho: float) -> float:
+    """h(rho) = sqrt(rho (1 - rho) (rho - rho^2 + 1)) — Theorem 9."""
+    rho = min(max(rho, 0.0), 1.0)
+    return math.sqrt(rho * (1.0 - rho) * (rho - rho * rho + 1.0))
+
+
+def power_variance(selectivity: NodeSelectivity, exponent: int) -> float:
+    """Var[X^p] treating X ~ N(mean, variance) (exact normal moments)."""
+    mean, variance = selectivity.mean, selectivity.variance
+    second = noncentral_moment(mean, variance, 2 * exponent)
+    first = noncentral_moment(mean, variance, exponent)
+    return max(second - first * first, 0.0)
+
+
+def _shared_info(u: NodeSelectivity, v: NodeSelectivity):
+    """(shared aliases, m, n) for a correlated pair (one contains the other)."""
+    shared = set(u.leaf_aliases) & set(v.leaf_aliases)
+    m = len(shared)
+    sizes = [u.sample_sizes[a] for a in shared if a in u.sample_sizes]
+    sizes += [v.sample_sizes[a] for a in shared if a in v.sample_sizes]
+    n = min(sizes) if sizes else 2
+    return shared, m, max(n, 2)
+
+
+def bound_linear_linear(u: NodeSelectivity, v: NodeSelectivity) -> float:
+    """min(B1, B2, B3) for |Cov(rho_n, rho'_n)|."""
+    if u.variance == 0.0 or v.variance == 0.0:
+        return 0.0
+    shared, m, n = _shared_info(u, v)
+    if m == 0:
+        return 0.0
+    b1 = math.sqrt(
+        max(u.restricted_variance(shared), 0.0)
+        * max(v.restricted_variance(shared), 0.0)
+    )
+    b2 = math.sqrt(u.variance * v.variance)
+    f = 1.0 - (1.0 - 1.0 / n) ** m
+    b3 = f * g_factor(u.mean) * g_factor(v.mean)
+    return min(b1, b2, b3)
+
+
+def bound_square_linear(squared: NodeSelectivity, linear: NodeSelectivity) -> float:
+    """Theorem 10 bound on |Cov(rho_n^2, rho'_n)| (min with Cauchy-Schwarz)."""
+    if squared.variance == 0.0 or linear.variance == 0.0:
+        return 0.0
+    shared, m, n = _shared_info(squared, linear)
+    if m == 0:
+        return 0.0
+    k = max(squared.num_relations, 1)
+    k_prime = max(linear.num_relations, 1)
+    f = (1.0 - (1.0 - 1.0 / n) ** k * (1.0 - 2.0 / n) ** m) * math.sqrt(
+        1.0 - (1.0 - 1.0 / n) ** k
+    ) * math.sqrt(1.0 - (1.0 - 1.0 / n) ** k_prime)
+    theorem = f * h_factor(squared.mean) * g_factor(linear.mean)
+    cauchy = math.sqrt(power_variance(squared, 2) * power_variance(linear, 1))
+    return min(theorem, cauchy)
+
+
+def bound_square_square(u: NodeSelectivity, v: NodeSelectivity) -> float:
+    """Theorem 9 bound on |Cov(rho_n^2, rho'^2_n)| (min with Cauchy-Schwarz)."""
+    if u.variance == 0.0 or v.variance == 0.0:
+        return 0.0
+    shared, m, n = _shared_info(u, v)
+    if m == 0:
+        return 0.0
+    k = max(u.num_relations, 1)
+    k_prime = max(v.num_relations, 1)
+    exponent = max(k + k_prime - m, 0)
+    f = (
+        1.0
+        - (1.0 - 1.0 / n) ** exponent
+        * max(1.0 - 2.0 / n, 0.0) ** m
+        * max(1.0 - 3.0 / n, 0.0) ** m
+    ) * math.sqrt(1.0 - (1.0 - 1.0 / n) ** k) * math.sqrt(
+        1.0 - (1.0 - 1.0 / n) ** k_prime
+    )
+    theorem = f * h_factor(u.mean) * h_factor(v.mean)
+    cauchy = math.sqrt(power_variance(u, 2) * power_variance(v, 2))
+    return min(theorem, cauchy)
+
+
+def cov_power_bound(
+    u: NodeSelectivity, p: int, v: NodeSelectivity, q: int
+) -> float:
+    """|Cov(X_u^p, X_v^q)| bound for correlated u, v with p, q in {1, 2}."""
+    if p == 1 and q == 1:
+        return bound_linear_linear(u, v)
+    if p == 2 and q == 1:
+        return bound_square_linear(u, v)
+    if p == 1 and q == 2:
+        return bound_square_linear(v, u)
+    if p == 2 and q == 2:
+        return bound_square_square(u, v)
+    # Exponents beyond 2 do not occur in the C1..C6 families; fall back to
+    # the generic Cauchy-Schwarz bound on the powered variables.
+    return math.sqrt(power_variance(u, p) * power_variance(v, q))

@@ -1,0 +1,70 @@
+"""Uncertainty-aware query progress indication (Section 6.5.2).
+
+The paper proposes using the predicted distribution of running times as
+a building block for progress indicators that report uncertainty. This
+module implements that application: given t_q ~ N(mu, sigma^2) and the
+elapsed time, report the distribution of the completed fraction and of
+the remaining time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mathstats.normal import NormalDistribution
+
+__all__ = ["ProgressEstimate", "ProgressIndicator"]
+
+
+@dataclass(frozen=True)
+class ProgressEstimate:
+    """Progress at one instant: point estimate plus a confidence band."""
+
+    elapsed: float
+    fraction: float
+    fraction_low: float
+    fraction_high: float
+    remaining_mean: float
+    remaining_low: float
+    remaining_high: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.fraction:6.1%} done "
+            f"(between {self.fraction_low:.1%} and {self.fraction_high:.1%}); "
+            f"~{self.remaining_mean:.2f}s left "
+            f"[{self.remaining_low:.2f}s, {self.remaining_high:.2f}s]"
+        )
+
+
+class ProgressIndicator:
+    """Progress from a predicted running-time distribution."""
+
+    def __init__(self, prediction: NormalDistribution, confidence: float = 0.9):
+        if prediction.mean <= 0:
+            raise ValueError("predicted running time must be positive")
+        self._prediction = prediction
+        self._confidence = confidence
+
+    def at(self, elapsed: float) -> ProgressEstimate:
+        """Progress estimate after ``elapsed`` seconds."""
+        if elapsed < 0:
+            raise ValueError("elapsed time cannot be negative")
+        low_t, high_t = self._prediction.interval(self._confidence)
+        low_t = max(low_t, 1e-12)
+        high_t = max(high_t, low_t)
+        mean_t = self._prediction.mean
+        # fraction = elapsed / T: monotone decreasing in T, so the band maps
+        # through the interval endpoints in reverse order.
+        fraction = min(elapsed / mean_t, 1.0)
+        fraction_low = min(elapsed / high_t, 1.0)
+        fraction_high = min(elapsed / low_t, 1.0)
+        return ProgressEstimate(
+            elapsed=elapsed,
+            fraction=fraction,
+            fraction_low=fraction_low,
+            fraction_high=fraction_high,
+            remaining_mean=max(mean_t - elapsed, 0.0),
+            remaining_low=max(low_t - elapsed, 0.0),
+            remaining_high=max(high_t - elapsed, 0.0),
+        )

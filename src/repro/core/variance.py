@@ -1,0 +1,233 @@
+"""Algorithm 3: assembling E[t_q] and Var[t_q].
+
+With fitted cost functions f_kc (polynomials in the selectivity
+variables) and calibrated unit distributions c ~ N(mu_c, sigma_c^2),
+
+    t_q = sum_c c * g_c,   g_c = sum_k f_kc.
+
+Since the units are independent of each other and of the selectivities:
+
+    E[t_q]   = sum_c mu_c E[g_c]
+    Var[t_q] = sum_c [ (mu_c^2 + sigma_c^2) Var[g_c] + sigma_c^2 E[g_c]^2 ]
+             + sum_{c != c'} mu_c mu_c' Cov(g_c, g_c')
+
+Var[g_c] and Cov(g_c, g_c') expand over pairs of polynomial terms:
+exact normal-moment computation when the variables involved are
+independent or identical, covariance upper bounds (Section 5.3.2)
+when they belong to nested operators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..calibration.calibrator import CalibratedUnits
+from ..mathstats.moments import monomial_cov, monomial_mean, monomial_var
+from ..optimizer.cost_model import COST_UNIT_NAMES
+from ..sampling.estimator import NodeSelectivity, SamplingEstimate
+from .covariance import PlanAncestry, cov_power_bound
+
+__all__ = ["VarianceBreakdown", "VarianceOptions", "assemble_distribution_parameters"]
+
+
+@dataclass(frozen=True)
+class VarianceOptions:
+    """Which uncertainty sources to include (the Section 6.3.3 ablations)."""
+
+    include_cost_unit_variance: bool = True
+    include_selectivity_variance: bool = True
+    include_cross_covariances: bool = True
+
+
+@dataclass
+class VarianceBreakdown:
+    """Where the predicted variance came from (diagnostics)."""
+
+    mean: float = 0.0
+    variance: float = 0.0
+    exact_selectivity_term: float = 0.0
+    bounded_covariance_term: float = 0.0
+    cost_unit_term: float = 0.0
+    per_unit_mean: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class _Term:
+    unit: str
+    coefficient: float
+    monomial: tuple  # sorted tuple of (var_id, exponent)
+
+
+def _canonical(monomial: dict[int, int]) -> tuple:
+    return tuple(sorted(monomial.items()))
+
+
+def assemble_distribution_parameters(
+    planned,
+    estimate: SamplingEstimate,
+    fitted: dict,
+    units: CalibratedUnits,
+    options: VarianceOptions = VarianceOptions(),
+) -> VarianceBreakdown:
+    """Compute (E[t_q], Var[t_q]) per the scheme above."""
+    ancestry = PlanAncestry.from_plan(planned.root)
+
+    distributions: dict[int, tuple[float, float]] = {}
+    selectivities: dict[int, NodeSelectivity] = {}
+    for op_id, node_sel in estimate.per_node.items():
+        if node_sel.source == "alias":
+            continue
+        variance = node_sel.variance if options.include_selectivity_variance else 0.0
+        distributions[op_id] = (node_sel.mean, variance)
+        selectivities[op_id] = node_sel
+
+    terms: list[_Term] = []
+    for op_functions in fitted.values():
+        for unit, function in op_functions.functions.items():
+            for coefficient, monomial in function.monomials():
+                if coefficient == 0.0:
+                    continue
+                terms.append(_Term(unit, coefficient, _canonical(monomial)))
+
+    # E[g_c] per unit.
+    g_mean = {unit: 0.0 for unit in COST_UNIT_NAMES}
+    for term in terms:
+        g_mean[term.unit] += term.coefficient * monomial_mean(
+            dict(term.monomial), distributions
+        )
+
+    # Cov(g_c, g_c') over term pairs, split into exact and bounded parts.
+    exact_cov = {
+        (a, b): 0.0 for a in COST_UNIT_NAMES for b in COST_UNIT_NAMES
+    }
+    bound_cov = {
+        (a, b): 0.0 for a in COST_UNIT_NAMES for b in COST_UNIT_NAMES
+    }
+    cache: dict[tuple, tuple[float, float]] = {}
+    for i, t1 in enumerate(terms):
+        for t2 in terms[i:]:
+            key = (t1.monomial, t2.monomial) if t1.monomial <= t2.monomial else (
+                t2.monomial,
+                t1.monomial,
+            )
+            if key not in cache:
+                cache[key] = _term_covariance(
+                    dict(key[0]),
+                    dict(key[1]),
+                    distributions,
+                    selectivities,
+                    ancestry,
+                    options,
+                )
+            exact, bounded = cache[key]
+            weight = t1.coefficient * t2.coefficient
+            if t1 is not t2:
+                weight *= 2.0  # symmetric pair counted once
+            pair = (t1.unit, t2.unit)
+            exact_cov[pair] = exact_cov.get(pair, 0.0) + weight * exact
+            bound_cov[pair] = bound_cov.get(pair, 0.0) + weight * bounded
+
+    mu = {name: units.mean(name) for name in COST_UNIT_NAMES}
+    sigma2 = {
+        name: (units.variance(name) if options.include_cost_unit_variance else 0.0)
+        for name in COST_UNIT_NAMES
+    }
+
+    mean = sum(mu[c] * g_mean[c] for c in COST_UNIT_NAMES)
+
+    exact_part = 0.0
+    bounded_part = 0.0
+    unit_part = 0.0
+    for c in COST_UNIT_NAMES:
+        for c_prime in COST_UNIT_NAMES:
+            if c == c_prime:
+                exact_part += (mu[c] ** 2 + sigma2[c]) * exact_cov.get((c, c), 0.0)
+                bounded_part += (mu[c] ** 2 + sigma2[c]) * bound_cov.get((c, c), 0.0)
+                unit_part += sigma2[c] * g_mean[c] ** 2
+            else:
+                # The term-pair accumulation already stored the symmetric sum
+                # over both term orders; summing over both ordered unit pairs
+                # therefore needs a factor 1/2.
+                exact_g = exact_cov.get((c, c_prime), 0.0) + exact_cov.get(
+                    (c_prime, c), 0.0
+                )
+                bound_g = bound_cov.get((c, c_prime), 0.0) + bound_cov.get(
+                    (c_prime, c), 0.0
+                )
+                exact_part += mu[c] * mu[c_prime] * exact_g / 2.0
+                bounded_part += mu[c] * mu[c_prime] * bound_g / 2.0
+
+    variance = max(exact_part + bounded_part + unit_part, 0.0)
+    return VarianceBreakdown(
+        mean=mean,
+        variance=variance,
+        exact_selectivity_term=exact_part,
+        bounded_covariance_term=bounded_part,
+        cost_unit_term=unit_part,
+        per_unit_mean={c: mu[c] * g_mean[c] for c in COST_UNIT_NAMES},
+    )
+
+
+def _term_covariance(
+    m1: dict[int, int],
+    m2: dict[int, int],
+    distributions: dict[int, tuple[float, float]],
+    selectivities: dict[int, NodeSelectivity],
+    ancestry: PlanAncestry,
+    options: VarianceOptions,
+) -> tuple[float, float]:
+    """(exact part, bounded part) of Cov(M1, M2).
+
+    Exact when all distinct variables across the monomials are
+    independent (shared identical variables are fine). Correlated
+    distinct variables — nested operators — are routed to the
+    Section 5.3.2 bounds; with ``include_cross_covariances`` off they
+    are treated as independent (the NoCov ablation).
+    """
+    if not m1 or not m2:
+        return 0.0, 0.0
+
+    correlated_pairs = [
+        (u, v)
+        for u in m1
+        for v in m2
+        if u != v
+        and ancestry.related(u, v)
+        and distributions[u][1] > 0.0
+        and distributions[v][1] > 0.0
+    ]
+    if not correlated_pairs or not options.include_cross_covariances:
+        return monomial_cov(m1, m2, distributions), 0.0
+
+    shared_vars = set(m1) & set(m2)
+    if len(correlated_pairs) == 1 and not shared_vars:
+        (u, v) = correlated_pairs[0]
+        # Cov(A * U^p, B * V^q) = E[A] E[B] Cov(U^p, V^q) when the residual
+        # factors A, B are independent of U, V, and each other.
+        rest1 = {var: exp for var, exp in m1.items() if var != u}
+        rest2 = {var: exp for var, exp in m2.items() if var != v}
+        rest_vars = set(rest1) | set(rest2)
+        clean = all(
+            not ancestry.related(a, b) or distributions[a][1] == 0.0
+            or distributions[b][1] == 0.0
+            for a in rest_vars
+            for b in (set(m1) | set(m2))
+            if a != b
+        )
+        if clean:
+            factor = monomial_mean(rest1, distributions) * monomial_mean(
+                rest2, distributions
+            )
+            bound = cov_power_bound(
+                selectivities[u], m1[u], selectivities[v], m2[v]
+            )
+            return 0.0, factor * bound
+
+    # Generic fallback: Cauchy-Schwarz over the full monomials. Variances
+    # of single monomials are exact (within-monomial variables are
+    # independent by the structure of the C1..C6 families).
+    bound = math.sqrt(
+        monomial_var(m1, distributions) * monomial_var(m2, distributions)
+    )
+    return 0.0, bound

@@ -1,0 +1,20 @@
+"""Logical cost functions: families, NNLS solver, grid fitting."""
+
+from .families import C1, C2, C3, C4, C5, C6, CostFunctionFamily, family_for
+from .fitting import CostFunctionFitter, FittedCostFunction, OperatorCostFunctions
+from .nnls import nnls
+
+__all__ = [
+    "CostFunctionFamily",
+    "C1",
+    "C2",
+    "C3",
+    "C4",
+    "C5",
+    "C6",
+    "family_for",
+    "nnls",
+    "CostFunctionFitter",
+    "FittedCostFunction",
+    "OperatorCostFunctions",
+]

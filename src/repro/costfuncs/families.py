@@ -1,0 +1,85 @@
+"""The logical cost-function families C1..C6 (Section 4.1).
+
+Expressed in selectivity terms (the primed forms C1'..C6'): each family
+is a polynomial basis over up to three variables — the operator's own
+selectivity ``x``, and its left/right input selectivities ``xl``/``xr``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..plan.physical import OpKind
+
+__all__ = [
+    "CostFunctionFamily",
+    "C1",
+    "C2",
+    "C3",
+    "C4",
+    "C5",
+    "C6",
+    "FAMILY_BY_KIND",
+    "family_for",
+]
+
+#: A term is a mapping from family variable name to exponent.
+Term = dict[str, int]
+
+
+@dataclass(frozen=True)
+class CostFunctionFamily:
+    """A polynomial basis: f = sum_i b_i * term_i."""
+
+    name: str
+    terms: tuple  # tuple[Term, ...] — the constant term is the empty dict
+    variables: tuple[str, ...]
+
+    @property
+    def num_coefficients(self) -> int:
+        return len(self.terms)
+
+    def design_row(self, values: dict[str, float]) -> np.ndarray:
+        """Evaluate each basis term at ``values`` (one regression row)."""
+        row = np.empty(len(self.terms))
+        for i, term in enumerate(self.terms):
+            product = 1.0
+            for var, exponent in term.items():
+                product *= values[var] ** exponent
+            row[i] = product
+        return row
+
+    def evaluate(self, coefficients: np.ndarray, values: dict[str, float]) -> float:
+        return float(np.dot(coefficients, self.design_row(values)))
+
+
+C1 = CostFunctionFamily("C1", ({},), ())
+C2 = CostFunctionFamily("C2", ({"x": 1}, {}), ("x",))
+C3 = CostFunctionFamily("C3", ({"xl": 1}, {}), ("xl",))
+C4 = CostFunctionFamily("C4", ({"xl": 2}, {"xl": 1}, {}), ("xl",))
+C5 = CostFunctionFamily("C5", ({"xl": 1}, {"xr": 1}, {}), ("xl", "xr"))
+C6 = CostFunctionFamily(
+    "C6", ({"xl": 1, "xr": 1}, {"xl": 1}, {"xr": 1}, {}), ("xl", "xr")
+)
+
+#: Which family models each (operator kind, cost unit) pair, mirroring the
+#: engine cost model's structure (units absent from the map are zero).
+FAMILY_BY_KIND: dict[OpKind, dict[str, CostFunctionFamily]] = {
+    OpKind.SEQ_SCAN: {"cs": C1, "ct": C1, "co": C1},
+    OpKind.INDEX_SCAN: {"cr": C2, "ct": C2, "ci": C2, "co": C2},
+    OpKind.FILTER: {"ct": C3, "co": C3},
+    OpKind.HASH_JOIN: {"ct": C5, "co": C5},
+    OpKind.MERGE_JOIN: {"ct": C5, "co": C5},
+    OpKind.NESTLOOP_JOIN: {"ct": C6, "co": C6},
+    OpKind.SORT: {"ct": C3, "co": C4},
+    OpKind.AGGREGATE: {"ct": C3, "co": C3},
+    OpKind.MATERIALIZE: {"ct": C3, "co": C3},
+    OpKind.LIMIT: {},
+}
+
+
+def family_for(kind: OpKind, unit: str) -> CostFunctionFamily | None:
+    """The family modeling ``unit`` for operator ``kind`` (None = zero)."""
+    return FAMILY_BY_KIND.get(kind, {}).get(unit)

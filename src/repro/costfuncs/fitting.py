@@ -1,0 +1,197 @@
+"""Cost-function fitting (Section 4.2).
+
+For every (operator, cost unit) pair the fitter invokes the engine's
+cost model on a grid of candidate selectivities drawn from
+``[mu - 3 sigma, mu + 3 sigma]`` (clipped to [0, 1]) and solves the
+nonnegative least-squares problem for the family's coefficients. The
+result is a polynomial in the plan's selectivity *variables* —
+identified by the op_id of the operator whose selectivity they are —
+ready for the moment computations of Section 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import FittingError
+from ..optimizer.cost_model import COST_UNIT_NAMES, CostModel
+from ..optimizer.optimizer import PlannedQuery
+from ..plan.physical import PlanNode
+from ..sampling.estimator import SamplingEstimate
+from .families import CostFunctionFamily, family_for
+from .nnls import nnls
+
+__all__ = ["FittedCostFunction", "OperatorCostFunctions", "CostFunctionFitter"]
+
+#: Number of subintervals W: the grid has W+1 points per variable.
+DEFAULT_GRID_W = 6
+#: Minimum half-width of the grid interval, relative to the mean, used when
+#: the estimated sigma is (near) zero so the regression stays conditioned.
+MIN_RELATIVE_SPREAD = 0.05
+
+
+@dataclass(frozen=True)
+class FittedCostFunction:
+    """One fitted polynomial: unit, family, coefficients, var bindings."""
+
+    unit: str
+    family: CostFunctionFamily
+    coefficients: np.ndarray
+    #: family variable name ("x"/"xl"/"xr") -> selectivity variable id
+    var_bindings: dict[str, int]
+    fit_residual: float = 0.0
+
+    def monomials(self) -> list[tuple[float, dict[int, int]]]:
+        """(coefficient, {var_id: exponent}) terms, in family order."""
+        result = []
+        for coefficient, term in zip(self.coefficients, self.family.terms):
+            monomial = {
+                self.var_bindings[var]: exponent for var, exponent in term.items()
+            }
+            result.append((float(coefficient), monomial))
+        return result
+
+    def evaluate(self, var_values: dict[int, float]) -> float:
+        """f at concrete selectivity values (keyed by variable id)."""
+        total = 0.0
+        for coefficient, monomial in self.monomials():
+            product = coefficient
+            for var_id, exponent in monomial.items():
+                product *= var_values[var_id] ** exponent
+            total += product
+        return total
+
+
+@dataclass
+class OperatorCostFunctions:
+    """All fitted per-unit cost functions of one operator."""
+
+    op_id: int
+    functions: dict[str, FittedCostFunction]
+
+    def units(self) -> list[str]:
+        return list(self.functions)
+
+
+class CostFunctionFitter:
+    """Fits C1..C6 coefficients for every operator of a plan."""
+
+    def __init__(
+        self,
+        planned: PlannedQuery,
+        estimate: SamplingEstimate,
+        grid_w: int = DEFAULT_GRID_W,
+    ):
+        self._planned = planned
+        self._estimate = estimate
+        self._cost_model = CostModel(planned.database)
+        self._grid_w = grid_w
+
+    # ------------------------------------------------------------------
+    def fit_all(self) -> dict[int, OperatorCostFunctions]:
+        result: dict[int, OperatorCostFunctions] = {}
+        for node in self._planned.root.walk():
+            functions: dict[str, FittedCostFunction] = {}
+            for unit in COST_UNIT_NAMES:
+                fitted = self._fit_one(node, unit)
+                if fitted is not None:
+                    functions[unit] = fitted
+            result[node.op_id] = OperatorCostFunctions(node.op_id, functions)
+        return result
+
+    # ------------------------------------------------------------------
+    def _fit_one(self, node: PlanNode, unit: str) -> FittedCostFunction | None:
+        family = family_for(node.kind, unit)
+        if family is None:
+            return None
+        bindings = self._bind_variables(node, family)
+        grids = {
+            var: self._grid_points(bindings[var]) for var in family.variables
+        }
+        points = self._grid_product(family.variables, grids)
+
+        rows = []
+        targets = []
+        for values in points:
+            rows.append(family.design_row(values))
+            targets.append(self._invoke_cost_model(node, unit, values))
+        design = np.asarray(rows)
+        y = np.asarray(targets)
+        if np.allclose(y, 0.0):
+            return None
+        coefficients, residual = nnls(design, y)
+        return FittedCostFunction(
+            unit=unit,
+            family=family,
+            coefficients=coefficients,
+            var_bindings=bindings,
+            fit_residual=residual,
+        )
+
+    def _bind_variables(self, node: PlanNode, family) -> dict[str, int]:
+        bindings: dict[str, int] = {}
+        for var in family.variables:
+            if var == "x":
+                bindings[var] = self._estimate.resolve(node.op_id).op_id
+            elif var == "xl":
+                bindings[var] = self._estimate.resolve(node.children[0].op_id).op_id
+            elif var == "xr":
+                bindings[var] = self._estimate.resolve(node.children[1].op_id).op_id
+            else:
+                raise FittingError(f"unknown family variable: {var}")
+        return bindings
+
+    def _grid_points(self, var_id: int) -> np.ndarray:
+        """W+1 grid points over [mu - 3 sigma, mu + 3 sigma] ∩ [0, 1]."""
+        selectivity = self._estimate.per_node[var_id]
+        mean = selectivity.mean
+        spread = max(3.0 * selectivity.std, MIN_RELATIVE_SPREAD * max(mean, 1e-9))
+        low = max(mean - spread, 0.0)
+        high = min(mean + spread, 1.0)
+        if high <= low:
+            high = min(low + 1e-9, 1.0)
+        return np.linspace(low, high, self._grid_w + 1)
+
+    @staticmethod
+    def _grid_product(variables, grids) -> list[dict[str, float]]:
+        if not variables:
+            return [{}]
+        if len(variables) == 1:
+            var = variables[0]
+            return [{var: float(v)} for v in grids[var]]
+        first, second = variables
+        return [
+            {first: float(a), second: float(b)}
+            for a in grids[first]
+            for b in grids[second]
+        ]
+
+    def _invoke_cost_model(
+        self, node: PlanNode, unit: str, values: dict[str, float]
+    ) -> float:
+        """Ask the engine for the unit's count at candidate selectivities."""
+        n_left = 0.0
+        n_right = 0.0
+        m_out = self._planned.est_cards[node.op_id]
+        if node.children:
+            left = node.children[0]
+            xl = values.get("xl")
+            n_left = (
+                self._planned.leaf_row_product(left) * xl
+                if xl is not None
+                else self._planned.est_cards[left.op_id]
+            )
+        if len(node.children) > 1:
+            right = node.children[1]
+            xr = values.get("xr")
+            n_right = (
+                self._planned.leaf_row_product(right) * xr
+                if xr is not None
+                else self._planned.est_cards[right.op_id]
+            )
+        if "x" in values:
+            m_out = self._planned.leaf_row_product(node) * values["x"]
+        counts = self._cost_model.operator_counts(node, n_left, n_right, m_out)
+        return counts.as_dict()[unit]

@@ -1,0 +1,74 @@
+"""Nonnegative least squares, written from scratch.
+
+The paper fits cost-function coefficients with Scilab's ``qpsolve``
+under ``b >= 0`` constraints; this is the classic Lawson-Hanson
+active-set algorithm solving the identical problem
+``min ||A b - y||, b >= 0``. Tests cross-check it against
+``scipy.optimize.nnls``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FittingError
+
+__all__ = ["nnls"]
+
+
+def nnls(A: np.ndarray, y: np.ndarray, max_iterations: int | None = None):
+    """Solve ``min ||A b - y||_2`` subject to ``b >= 0``.
+
+    Returns ``(b, residual_norm)``.
+    """
+    A = np.asarray(A, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if A.ndim != 2 or y.ndim != 1 or A.shape[0] != y.shape[0]:
+        raise FittingError(f"nnls: bad shapes A{A.shape}, y{y.shape}")
+    m, n = A.shape
+    if max_iterations is None:
+        max_iterations = 3 * n + 30
+
+    x = np.zeros(n)
+    passive = np.zeros(n, dtype=bool)  # the active set P of Lawson-Hanson
+    residual = y - A @ x
+    gradient = A.T @ residual
+    tolerance = 1e-12 * max(1.0, float(np.abs(A).max()) * float(np.abs(y).max() + 1.0))
+
+    for _ in range(max_iterations):
+        # Select the most promising zero variable to free.
+        candidates = np.where(~passive, gradient, -np.inf)
+        best = int(np.argmax(candidates))
+        if candidates[best] <= tolerance:
+            break  # KKT satisfied
+        passive[best] = True
+
+        # Inner loop: solve the unconstrained problem on the passive set,
+        # stepping back whenever a passive variable would go negative.
+        while True:
+            columns = np.flatnonzero(passive)
+            solution, *_ = np.linalg.lstsq(A[:, columns], y, rcond=None)
+            if np.all(solution > tolerance):
+                x = np.zeros(n)
+                x[columns] = solution
+                break
+            negative = solution <= tolerance
+            with np.errstate(divide="ignore", invalid="ignore"):
+                ratios = np.where(
+                    negative,
+                    x[columns] / (x[columns] - solution),
+                    np.inf,
+                )
+            alpha = float(np.min(ratios))
+            x[columns] = x[columns] + alpha * (solution - x[columns])
+            newly_zero = columns[x[columns] <= tolerance]
+            passive[newly_zero] = False
+            x[newly_zero] = 0.0
+            if not passive.any():
+                break
+
+        residual = y - A @ x
+        gradient = A.T @ residual
+
+    x = np.where(x < 0, 0.0, x)
+    return x, float(np.linalg.norm(y - A @ x))

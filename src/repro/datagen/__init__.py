@@ -1,0 +1,14 @@
+"""Synthetic data generation: TPC-H (uniform and Zipf-skewed)."""
+
+from .distributions import ZipfSampler, uniform_floats, uniform_ints
+from .tpch import DATE_EPOCH_DAYS, TpchConfig, date_to_days, generate_tpch
+
+__all__ = [
+    "ZipfSampler",
+    "uniform_ints",
+    "uniform_floats",
+    "TpchConfig",
+    "generate_tpch",
+    "date_to_days",
+    "DATE_EPOCH_DAYS",
+]

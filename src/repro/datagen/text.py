@@ -1,0 +1,80 @@
+"""Categorical text pools mirroring the TPC-H specification."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..util import ensure_rng
+from .distributions import ZipfSampler
+
+__all__ = [
+    "REGIONS",
+    "NATIONS",
+    "NATION_REGION",
+    "SEGMENTS",
+    "PRIORITIES",
+    "SHIP_MODES",
+    "SHIP_INSTRUCTS",
+    "RETURN_FLAGS",
+    "LINE_STATUSES",
+    "ORDER_STATUSES",
+    "BRANDS",
+    "TYPES",
+    "CONTAINERS",
+    "PART_NAME_WORDS",
+    "pick",
+]
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+NATIONS = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT",
+    "ETHIOPIA", "FRANCE", "GERMANY", "INDIA", "INDONESIA",
+    "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+    "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+]
+
+#: nation key -> region key, per the TPC-H spec.
+NATION_REGION = [0, 1, 1, 1, 4, 0, 3, 3, 2, 2,
+                 4, 4, 2, 4, 0, 0, 0, 1, 2, 3,
+                 4, 2, 3, 3, 1]
+
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+SHIP_INSTRUCTS = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+RETURN_FLAGS = ["R", "A", "N"]
+LINE_STATUSES = ["O", "F"]
+ORDER_STATUSES = ["O", "F", "P"]
+
+BRANDS = [f"Brand#{m}{n}" for m in range(1, 6) for n in range(1, 6)]
+
+_TYPE_SYLL1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+_TYPE_SYLL2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+_TYPE_SYLL3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+TYPES = [f"{a} {b} {c}" for a in _TYPE_SYLL1 for b in _TYPE_SYLL2 for c in _TYPE_SYLL3]
+
+_CONTAINER_SYLL1 = ["SM", "LG", "MED", "JUMBO", "WRAP"]
+_CONTAINER_SYLL2 = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"]
+CONTAINERS = [f"{a} {b}" for a in _CONTAINER_SYLL1 for b in _CONTAINER_SYLL2]
+
+PART_NAME_WORDS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+    "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+    "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+]
+
+
+def pick(pool: list[str], size: int, rng, z: float = 0.0) -> np.ndarray:
+    """Draw ``size`` strings from ``pool`` (Zipf-skewed when z > 0)."""
+    rng = ensure_rng(rng)
+    ranks = ZipfSampler(len(pool), z).sample(size, rng) - 1
+    # Shuffle rank->value assignment deterministically so the most frequent
+    # value is not always the lexicographically first one.
+    order = np.arange(len(pool))
+    ensure_rng(12345).shuffle(order)
+    pool_array = np.asarray(pool, dtype="U32")
+    return pool_array[order[ranks]]

@@ -1,0 +1,335 @@
+"""A from-scratch TPC-H database generator with a Zipf skew knob.
+
+Row counts follow the TPC-H specification scaled by ``scale_factor``:
+supplier 10k·SF, customer 150k·SF, part 200k·SF, partsupp 4 per part,
+orders 10 per customer, lineitem 1-7 per order (≈4 on average). With
+``skew_z > 0`` foreign keys and several attributes are drawn from a
+Zipf(z) distribution, reproducing the Microsoft TPCD-Skew generator the
+paper uses (z = 1 in their experiments).
+
+Dates are integer day numbers with day 0 = 1992-01-01; the order-date
+domain spans 1992-01-01 .. 1998-08-02 as in the spec.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..storage import Column, ColumnType, Database, Schema, Table
+from ..util import ensure_rng
+from . import text
+from .distributions import ZipfSampler, uniform_floats, uniform_ints
+
+__all__ = ["TpchConfig", "generate_tpch", "DATE_EPOCH_DAYS", "date_to_days"]
+
+#: Day number of 1992-01-01 (our epoch).
+DATE_EPOCH_DAYS = 0
+#: Total days in the TPC-H order date domain (1992-01-01 .. 1998-08-02).
+ORDERDATE_SPAN_DAYS = 2405
+#: Days from 1992-01-01 to a given (year, month, day) — 1992..1998 only.
+_DAYS_BEFORE_YEAR = {
+    1992: 0, 1993: 366, 1994: 731, 1995: 1096,
+    1996: 1461, 1997: 1827, 1998: 2192,
+}
+_DAYS_IN_MONTH = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31]
+
+
+def date_to_days(year: int, month: int, day: int) -> int:
+    """Convert a calendar date in 1992..1998 to our integer day number."""
+    if year not in _DAYS_BEFORE_YEAR:
+        raise ValueError(f"year out of TPC-H domain: {year}")
+    days = _DAYS_BEFORE_YEAR[year]
+    leap = year in (1992, 1996)
+    for m in range(month - 1):
+        days += _DAYS_IN_MONTH[m]
+        if m == 1 and leap:
+            days += 1
+    return days + (day - 1)
+
+
+class TpchConfig:
+    """Generation parameters: scale factor, skew, and RNG seed."""
+
+    def __init__(self, scale_factor: float = 0.01, skew_z: float = 0.0, seed: int = 0):
+        if scale_factor <= 0:
+            raise ValueError("scale_factor must be positive")
+        self.scale_factor = scale_factor
+        self.skew_z = skew_z
+        self.seed = seed
+
+    @property
+    def num_suppliers(self) -> int:
+        return max(10, int(10_000 * self.scale_factor))
+
+    @property
+    def num_customers(self) -> int:
+        return max(30, int(150_000 * self.scale_factor))
+
+    @property
+    def num_parts(self) -> int:
+        return max(40, int(200_000 * self.scale_factor))
+
+    @property
+    def num_orders(self) -> int:
+        return self.num_customers * 10
+
+    def describe(self) -> str:
+        skew = "uniform" if self.skew_z == 0 else f"zipf(z={self.skew_z})"
+        return f"tpch sf={self.scale_factor} {skew}"
+
+
+def _schema(*columns: tuple[str, ColumnType]) -> Schema:
+    return Schema([Column(name, ctype) for name, ctype in columns])
+
+
+REGION_SCHEMA = _schema(("r_regionkey", ColumnType.INT), ("r_name", ColumnType.STR))
+NATION_SCHEMA = _schema(
+    ("n_nationkey", ColumnType.INT),
+    ("n_name", ColumnType.STR),
+    ("n_regionkey", ColumnType.INT),
+)
+SUPPLIER_SCHEMA = _schema(
+    ("s_suppkey", ColumnType.INT),
+    ("s_name", ColumnType.STR),
+    ("s_nationkey", ColumnType.INT),
+    ("s_acctbal", ColumnType.FLOAT),
+)
+CUSTOMER_SCHEMA = _schema(
+    ("c_custkey", ColumnType.INT),
+    ("c_name", ColumnType.STR),
+    ("c_nationkey", ColumnType.INT),
+    ("c_acctbal", ColumnType.FLOAT),
+    ("c_mktsegment", ColumnType.STR),
+)
+PART_SCHEMA = _schema(
+    ("p_partkey", ColumnType.INT),
+    ("p_name", ColumnType.STR),
+    ("p_brand", ColumnType.STR),
+    ("p_type", ColumnType.STR),
+    ("p_size", ColumnType.INT),
+    ("p_container", ColumnType.STR),
+    ("p_retailprice", ColumnType.FLOAT),
+)
+PARTSUPP_SCHEMA = _schema(
+    ("ps_partkey", ColumnType.INT),
+    ("ps_suppkey", ColumnType.INT),
+    ("ps_availqty", ColumnType.INT),
+    ("ps_supplycost", ColumnType.FLOAT),
+)
+ORDERS_SCHEMA = _schema(
+    ("o_orderkey", ColumnType.INT),
+    ("o_custkey", ColumnType.INT),
+    ("o_orderstatus", ColumnType.STR),
+    ("o_totalprice", ColumnType.FLOAT),
+    ("o_orderdate", ColumnType.DATE),
+    ("o_orderpriority", ColumnType.STR),
+    ("o_shippriority", ColumnType.INT),
+)
+LINEITEM_SCHEMA = _schema(
+    ("l_orderkey", ColumnType.INT),
+    ("l_partkey", ColumnType.INT),
+    ("l_suppkey", ColumnType.INT),
+    ("l_linenumber", ColumnType.INT),
+    ("l_quantity", ColumnType.FLOAT),
+    ("l_extendedprice", ColumnType.FLOAT),
+    ("l_discount", ColumnType.FLOAT),
+    ("l_tax", ColumnType.FLOAT),
+    ("l_returnflag", ColumnType.STR),
+    ("l_linestatus", ColumnType.STR),
+    ("l_shipdate", ColumnType.DATE),
+    ("l_commitdate", ColumnType.DATE),
+    ("l_receiptdate", ColumnType.DATE),
+    ("l_shipinstruct", ColumnType.STR),
+    ("l_shipmode", ColumnType.STR),
+)
+
+#: (table, column) pairs indexed by default — primary keys and the join /
+#: selection columns TPC-H plans routinely index-scan.
+DEFAULT_INDEXES = {
+    "region": ("r_regionkey",),
+    "nation": ("n_nationkey",),
+    "supplier": ("s_suppkey",),
+    "customer": ("c_custkey",),
+    "part": ("p_partkey",),
+    "partsupp": ("ps_partkey",),
+    "orders": ("o_orderkey", "o_custkey", "o_orderdate"),
+    "lineitem": ("l_orderkey", "l_partkey", "l_shipdate"),
+}
+
+
+def generate_tpch(config: TpchConfig) -> Database:
+    """Generate a complete TPC-H database per ``config``."""
+    rng = ensure_rng(config.seed)
+    z = config.skew_z
+    db = Database(name=config.describe())
+
+    db.add_table(_gen_region(), DEFAULT_INDEXES["region"])
+    db.add_table(_gen_nation(), DEFAULT_INDEXES["nation"])
+    db.add_table(_gen_supplier(config, rng, z), DEFAULT_INDEXES["supplier"])
+    db.add_table(_gen_customer(config, rng, z), DEFAULT_INDEXES["customer"])
+    db.add_table(_gen_part(config, rng, z), DEFAULT_INDEXES["part"])
+    db.add_table(_gen_partsupp(config, rng, z), DEFAULT_INDEXES["partsupp"])
+    orders = _gen_orders(config, rng, z)
+    db.add_table(orders, DEFAULT_INDEXES["orders"])
+    db.add_table(_gen_lineitem(config, rng, z, orders), DEFAULT_INDEXES["lineitem"])
+    return db
+
+
+def _gen_region() -> Table:
+    keys = np.arange(len(text.REGIONS), dtype=np.int64)
+    names = np.asarray(text.REGIONS, dtype="U32")
+    return Table("region", REGION_SCHEMA, {"r_regionkey": keys, "r_name": names})
+
+
+def _gen_nation() -> Table:
+    keys = np.arange(len(text.NATIONS), dtype=np.int64)
+    return Table(
+        "nation",
+        NATION_SCHEMA,
+        {
+            "n_nationkey": keys,
+            "n_name": np.asarray(text.NATIONS, dtype="U32"),
+            "n_regionkey": np.asarray(text.NATION_REGION, dtype=np.int64),
+        },
+    )
+
+
+def _fk(rng, n_keys: int, size: int, z: float) -> np.ndarray:
+    """Foreign keys into a domain of ``n_keys`` keys, skewed when z > 0."""
+    return ZipfSampler(n_keys, z).sample(size, rng) - 1
+
+
+def _gen_supplier(config: TpchConfig, rng, z: float) -> Table:
+    n = config.num_suppliers
+    keys = np.arange(n, dtype=np.int64)
+    return Table(
+        "supplier",
+        SUPPLIER_SCHEMA,
+        {
+            "s_suppkey": keys,
+            "s_name": np.asarray([f"Supplier#{k:09d}" for k in keys], dtype="U32"),
+            "s_nationkey": _fk(rng, len(text.NATIONS), n, z),
+            "s_acctbal": uniform_floats(rng, -999.99, 9999.99, n),
+        },
+    )
+
+
+def _gen_customer(config: TpchConfig, rng, z: float) -> Table:
+    n = config.num_customers
+    keys = np.arange(n, dtype=np.int64)
+    return Table(
+        "customer",
+        CUSTOMER_SCHEMA,
+        {
+            "c_custkey": keys,
+            "c_name": np.asarray([f"Customer#{k:09d}" for k in keys], dtype="U32"),
+            "c_nationkey": _fk(rng, len(text.NATIONS), n, z),
+            "c_acctbal": uniform_floats(rng, -999.99, 9999.99, n),
+            "c_mktsegment": text.pick(text.SEGMENTS, n, rng, z),
+        },
+    )
+
+
+def _gen_part(config: TpchConfig, rng, z: float) -> Table:
+    n = config.num_parts
+    keys = np.arange(n, dtype=np.int64)
+    word1 = text.pick(text.PART_NAME_WORDS, n, rng, 0.0)
+    word2 = text.pick(text.PART_NAME_WORDS, n, rng, 0.0)
+    names = np.char.add(np.char.add(word1, " "), word2)
+    sizes = ZipfSampler(50, z).sample(n, rng)
+    return Table(
+        "part",
+        PART_SCHEMA,
+        {
+            "p_partkey": keys,
+            "p_name": names.astype("U32"),
+            "p_brand": text.pick(text.BRANDS, n, rng, z),
+            "p_type": text.pick(text.TYPES, n, rng, z),
+            "p_size": sizes,
+            "p_container": text.pick(text.CONTAINERS, n, rng, z),
+            "p_retailprice": np.round(900.0 + (keys % 1000) / 10.0 + 100.0, 2),
+        },
+    )
+
+
+def _gen_partsupp(config: TpchConfig, rng, z: float) -> Table:
+    suppliers_per_part = 4
+    n = config.num_parts * suppliers_per_part
+    partkeys = np.repeat(np.arange(config.num_parts, dtype=np.int64), suppliers_per_part)
+    offsets = np.tile(np.arange(suppliers_per_part, dtype=np.int64), config.num_parts)
+    suppkeys = (partkeys + offsets * (config.num_suppliers // suppliers_per_part + 1)) % (
+        config.num_suppliers
+    )
+    return Table(
+        "partsupp",
+        PARTSUPP_SCHEMA,
+        {
+            "ps_partkey": partkeys,
+            "ps_suppkey": suppkeys,
+            "ps_availqty": uniform_ints(rng, 1, 9999, n),
+            "ps_supplycost": uniform_floats(rng, 1.0, 1000.0, n),
+        },
+    )
+
+
+def _gen_orders(config: TpchConfig, rng, z: float) -> Table:
+    n = config.num_orders
+    keys = np.arange(n, dtype=np.int64)
+    orderdates = _order_dates(rng, n, z)
+    return Table(
+        "orders",
+        ORDERS_SCHEMA,
+        {
+            "o_orderkey": keys,
+            "o_custkey": _fk(rng, config.num_customers, n, z),
+            "o_orderstatus": text.pick(text.ORDER_STATUSES, n, rng, z),
+            "o_totalprice": uniform_floats(rng, 1000.0, 450000.0, n),
+            "o_orderdate": orderdates,
+            "o_orderpriority": text.pick(text.PRIORITIES, n, rng, z),
+            "o_shippriority": np.zeros(n, dtype=np.int64),
+        },
+    )
+
+
+def _order_dates(rng, n: int, z: float) -> np.ndarray:
+    """Order dates over the 1992..1998 domain (Zipf over days when skewed)."""
+    if z == 0.0:
+        return uniform_ints(rng, 0, ORDERDATE_SPAN_DAYS - 151, n)
+    # Skewed dates cluster toward the start of the domain, the TPCD-Skew way.
+    days = ZipfSampler(ORDERDATE_SPAN_DAYS - 151, z).sample(n, rng) - 1
+    return days.astype(np.int64)
+
+
+def _gen_lineitem(config: TpchConfig, rng, z: float, orders: Table) -> Table:
+    lines_per_order = ZipfSampler(7, z * 0.5).sample(orders.num_rows, rng)
+    n = int(lines_per_order.sum())
+    orderkeys = np.repeat(orders.column("o_orderkey"), lines_per_order)
+    orderdates = np.repeat(orders.column("o_orderdate"), lines_per_order)
+    linenumbers = np.concatenate(
+        [np.arange(1, k + 1, dtype=np.int64) for k in lines_per_order]
+    )
+    shipdelay = uniform_ints(rng, 1, 121, n)
+    shipdates = orderdates + shipdelay
+    quantity = ZipfSampler(50, z).sample(n, rng).astype(np.float64)
+    extendedprice = np.round(quantity * uniform_floats(rng, 900.0, 2000.0, n), 2)
+    return Table(
+        "lineitem",
+        LINEITEM_SCHEMA,
+        {
+            "l_orderkey": orderkeys,
+            "l_partkey": _fk(rng, config.num_parts, n, z),
+            "l_suppkey": _fk(rng, config.num_suppliers, n, z),
+            "l_linenumber": linenumbers,
+            "l_quantity": quantity,
+            "l_extendedprice": extendedprice,
+            "l_discount": np.round(uniform_ints(rng, 0, 10, n) / 100.0, 2),
+            "l_tax": np.round(uniform_ints(rng, 0, 8, n) / 100.0, 2),
+            "l_returnflag": text.pick(text.RETURN_FLAGS, n, rng, z),
+            "l_linestatus": text.pick(text.LINE_STATUSES, n, rng, z),
+            "l_shipdate": shipdates,
+            "l_commitdate": shipdates + uniform_ints(rng, -30, 30, n),
+            "l_receiptdate": shipdates + uniform_ints(rng, 1, 30, n),
+            "l_shipinstruct": text.pick(text.SHIP_INSTRUCTS, n, rng, z),
+            "l_shipmode": text.pick(text.SHIP_MODES, n, rng, z),
+        },
+    )

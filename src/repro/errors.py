@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. Subsystems raise the most specific subclass available.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A table / column definition or lookup is invalid."""
+
+
+class CatalogError(ReproError):
+    """A catalog lookup failed (unknown table, missing statistics)."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class SqlLexError(SqlError):
+    """The SQL text contains an unrecognized token."""
+
+
+class SqlParseError(SqlError):
+    """The SQL token stream does not match the supported grammar."""
+
+
+class PlanError(ReproError):
+    """A logical or physical plan is malformed or unsupported."""
+
+
+class OptimizerError(ReproError):
+    """The optimizer could not produce a plan for a query."""
+
+
+class ExecutionError(ReproError):
+    """The executor failed while evaluating a plan."""
+
+
+class SamplingError(ReproError):
+    """The sampling subsystem was misused or hit an invalid state."""
+
+
+class CalibrationError(ReproError):
+    """Cost-unit calibration failed or produced unusable values."""
+
+
+class FittingError(ReproError):
+    """Cost-function fitting failed (bad family, singular system)."""
+
+
+class PredictionError(ReproError):
+    """The uncertainty-aware predictor hit an invalid state."""

@@ -1,0 +1,21 @@
+"""Vectorized plan execution."""
+
+from .executor import ExecutionResult, Executor, Intermediate
+from .kernels import (
+    cross_join_pairs,
+    encode_keys,
+    equijoin_pairs,
+    grouped_aggregate,
+    sort_order,
+)
+
+__all__ = [
+    "Executor",
+    "ExecutionResult",
+    "Intermediate",
+    "encode_keys",
+    "equijoin_pairs",
+    "cross_join_pairs",
+    "sort_order",
+    "grouped_aggregate",
+]

@@ -1,0 +1,131 @@
+"""Vectorized execution kernels shared by the executor and the sampler."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..util import group_ids, join_indices
+
+__all__ = [
+    "encode_keys",
+    "equijoin_pairs",
+    "cross_join_pairs",
+    "sort_order",
+    "grouped_aggregate",
+]
+
+#: Refuse to materialize cross products larger than this many rows.
+MAX_CROSS_ROWS = 50_000_000
+
+
+def encode_keys(
+    left_columns: list[np.ndarray], right_columns: list[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Encode multi-column keys of both join sides into shared int codes.
+
+    Values that are equal across sides receive equal codes, so a single
+    integer equijoin afterwards is equivalent to the multi-key join.
+    """
+    if len(left_columns) != len(right_columns):
+        raise ExecutionError("mismatched join key arity")
+    n_left = len(left_columns[0]) if left_columns else 0
+    if len(left_columns) == 1:
+        # Single-column fast path: factorize the concatenated column.
+        combined = np.concatenate([left_columns[0], right_columns[0]])
+        ids, _ = group_ids(combined)
+        return ids[:n_left], ids[n_left:]
+    combined_columns = [
+        np.concatenate([lcol, rcol])
+        for lcol, rcol in zip(left_columns, right_columns)
+    ]
+    ids, _ = group_ids(*combined_columns)
+    return ids[:n_left], ids[n_left:]
+
+
+def equijoin_pairs(
+    left_columns: list[np.ndarray], right_columns: list[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Matching row-index pairs ``(li, ri)`` of a multi-key equijoin."""
+    left_codes, right_codes = encode_keys(left_columns, right_columns)
+    return join_indices(left_codes, right_codes)
+
+
+def cross_join_pairs(n_left: int, n_right: int) -> tuple[np.ndarray, np.ndarray]:
+    """Row-index pairs of a full cross product."""
+    total = n_left * n_right
+    if total > MAX_CROSS_ROWS:
+        raise ExecutionError(
+            f"cross product of {n_left} x {n_right} rows exceeds the limit"
+        )
+    li = np.repeat(np.arange(n_left, dtype=np.int64), n_right)
+    ri = np.tile(np.arange(n_right, dtype=np.int64), n_left)
+    return li, ri
+
+
+def sort_order(columns: list[np.ndarray], descending: list[bool]) -> np.ndarray:
+    """Stable multi-key sort order with per-key direction."""
+    if not columns:
+        raise ExecutionError("sort requires at least one key")
+    keys = []
+    for column, desc in zip(columns, descending):
+        if desc:
+            if column.dtype.kind in ("U", "S", "O"):
+                codes, _ = group_ids(column)
+                keys.append(-codes)
+            else:
+                keys.append(-column)
+        else:
+            keys.append(column)
+    # np.lexsort sorts by the last key first.
+    return np.lexsort(tuple(reversed(keys)))
+
+
+def grouped_aggregate(
+    ids: np.ndarray,
+    num_groups: int,
+    func: str,
+    values: np.ndarray | None,
+    distinct: bool = False,
+) -> np.ndarray:
+    """Aggregate ``values`` per group id.
+
+    ``func`` is one of COUNT/SUM/AVG/MIN/MAX; ``values`` is None only for
+    COUNT(*). Every group id in ``[0, num_groups)`` is assumed populated
+    (ids come from factorizing the present rows).
+    """
+    if func == "COUNT" and values is None:
+        return np.bincount(ids, minlength=num_groups).astype(np.float64)
+    if values is None:
+        raise ExecutionError(f"{func} requires an argument")
+    if distinct:
+        if func != "COUNT":
+            raise ExecutionError(f"DISTINCT is only supported for COUNT, not {func}")
+        # One representative row per distinct (group, value) pair; counting
+        # representatives per group counts distinct values per group.
+        _, representatives = group_ids(ids, values)
+        return np.bincount(ids[representatives], minlength=num_groups).astype(
+            np.float64
+        )
+
+    if func == "COUNT":
+        return np.bincount(ids, minlength=num_groups).astype(np.float64)
+    if func == "SUM":
+        return np.bincount(ids, weights=values.astype(np.float64), minlength=num_groups)
+    if func == "AVG":
+        sums = np.bincount(ids, weights=values.astype(np.float64), minlength=num_groups)
+        counts = np.bincount(ids, minlength=num_groups)
+        return np.divide(sums, counts, out=np.zeros_like(sums), where=counts > 0)
+    if func in ("MIN", "MAX"):
+        order = np.argsort(ids, kind="stable")
+        sorted_ids = ids[order]
+        sorted_values = values[order]
+        boundaries = np.flatnonzero(
+            np.concatenate(([True], sorted_ids[1:] != sorted_ids[:-1]))
+        )
+        reducer = np.minimum if func == "MIN" else np.maximum
+        reduced = reducer.reduceat(sorted_values, boundaries)
+        out = np.zeros(num_groups, dtype=sorted_values.dtype)
+        out[sorted_ids[boundaries]] = reduced
+        return out
+    raise ExecutionError(f"unknown aggregate function: {func}")

@@ -1,0 +1,82 @@
+"""Evaluation metrics (Section 6.3).
+
+* ``rs`` / ``rp``: Spearman / Pearson correlation between the predicted
+  standard deviations and the actual prediction errors.
+* ``Dn``: mean over alpha of |Prn(alpha) - Pr(alpha)| where
+  Pr(alpha) = 2 Phi(alpha) - 1 is the predicted likelihood that the
+  normalized error E' = |T - mu| / sigma stays below alpha, and
+  Prn(alpha) is its empirical counterpart.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..mathstats.correlation import pearson, spearman
+
+__all__ = [
+    "correlation_metrics",
+    "predicted_probability",
+    "empirical_probability",
+    "distribution_distance",
+    "pr_curves",
+    "PAPER_ALPHAS",
+]
+
+#: The alpha values plotted in Figure 5.
+PAPER_ALPHAS = (
+    0.1, 0.3, 0.5, 0.7, 0.9, 1.0, 1.2, 1.5, 1.8, 2.0, 2.2, 2.5, 2.8, 3.0, 3.5, 4.0,
+)
+
+
+def correlation_metrics(sigmas, errors) -> tuple[float, float]:
+    """(rs, rp) between predicted standard deviations and actual errors."""
+    return spearman(sigmas, errors), pearson(sigmas, errors)
+
+
+def predicted_probability(alpha: float) -> float:
+    """Pr(E' <= alpha) = 2 Phi(alpha) - 1 for the standard normal."""
+    return math.erf(alpha / math.sqrt(2.0))
+
+
+def normalized_errors(mus, sigmas, actuals) -> np.ndarray:
+    """e'_i = |t_i - mu_i| / sigma_i, skipping zero-sigma predictions."""
+    mus = np.asarray(mus, dtype=np.float64)
+    sigmas = np.asarray(sigmas, dtype=np.float64)
+    actuals = np.asarray(actuals, dtype=np.float64)
+    valid = sigmas > 0
+    return np.abs(actuals[valid] - mus[valid]) / sigmas[valid]
+
+
+def empirical_probability(normalized, alpha: float) -> float:
+    """Prn(alpha) = fraction of queries with e' <= alpha."""
+    normalized = np.asarray(normalized)
+    if len(normalized) == 0:
+        return float("nan")
+    return float((normalized <= alpha).mean())
+
+
+def distribution_distance(
+    mus, sigmas, actuals, alpha_low: float = 0.0, alpha_high: float = 6.0,
+    num_alphas: int = 120,
+) -> float:
+    """Dn: the mean of Dn(alpha) over alphas drawn from (0, 6)."""
+    normalized = normalized_errors(mus, sigmas, actuals)
+    if len(normalized) == 0:
+        return float("nan")
+    alphas = np.linspace(alpha_low, alpha_high, num_alphas + 2)[1:-1]
+    distances = [
+        abs(empirical_probability(normalized, a) - predicted_probability(a))
+        for a in alphas
+    ]
+    return float(np.mean(distances))
+
+
+def pr_curves(mus, sigmas, actuals, alphas=PAPER_ALPHAS):
+    """(alphas, Prn(alpha), Pr(alpha)) — the Figure 5 series."""
+    normalized = normalized_errors(mus, sigmas, actuals)
+    empirical = [empirical_probability(normalized, a) for a in alphas]
+    predicted = [predicted_probability(a) for a in alphas]
+    return list(alphas), empirical, predicted

@@ -1,0 +1,89 @@
+"""Terminal plotting: ASCII scatter plots and line charts.
+
+The paper's figures are gnuplot artifacts; in a text-only environment we
+render the same data as fixed-width character plots so the bench output
+is visually inspectable (Figure 3/6/12 scatters, Figure 5 curves).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["ascii_scatter", "ascii_lines"]
+
+
+def _scale(values, length):
+    values = np.asarray(values, dtype=np.float64)
+    low = float(values.min())
+    high = float(values.max())
+    if not math.isfinite(low) or not math.isfinite(high):
+        raise ValueError("plot values must be finite")
+    span = high - low
+    if span <= 0:
+        return np.zeros(len(values), dtype=int), low, high
+    positions = ((values - low) / span * (length - 1)).round().astype(int)
+    return positions, low, high
+
+
+def ascii_scatter(
+    x,
+    y,
+    width: int = 56,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+    marker: str = "*",
+) -> str:
+    """Render points as an ASCII scatter plot."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if len(x) != len(y):
+        raise ValueError("ascii_scatter: mismatched lengths")
+    if len(x) == 0:
+        return "(no data)"
+    columns, x_low, x_high = _scale(x, width)
+    rows, y_low, y_high = _scale(y, height)
+    grid = [[" "] * width for _ in range(height)]
+    for column, row in zip(columns, rows):
+        grid[height - 1 - row][column] = marker
+    lines = [f"{y_label}  [{y_low:.3g} .. {y_high:.3g}]"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}  [{x_low:.3g} .. {x_high:.3g}]")
+    return "\n".join(lines)
+
+
+def ascii_lines(
+    x,
+    series: dict[str, list],
+    width: int = 56,
+    height: int = 16,
+    x_label: str = "x",
+) -> str:
+    """Render one or more y-series over shared x values.
+
+    Each series gets the first character of its name as marker;
+    collisions show the later series' marker.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if not series:
+        return "(no data)"
+    all_y = np.concatenate([np.asarray(v, dtype=np.float64) for v in series.values()])
+    columns, x_low, x_high = _scale(x, width)
+    _, y_low, y_high = _scale(all_y, height)
+    span = max(y_high - y_low, 1e-300)
+    grid = [[" "] * width for _ in range(height)]
+    for name, values in series.items():
+        marker = name[0]
+        values = np.asarray(values, dtype=np.float64)
+        rows = ((values - y_low) / span * (height - 1)).round().astype(int)
+        for column, row in zip(columns, rows):
+            grid[height - 1 - row][column] = marker
+    legend = "  ".join(f"{name[0]} = {name}" for name in series)
+    lines = [f"[{y_low:.3g} .. {y_high:.3g}]   {legend}"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}  [{x_low:.3g} .. {x_high:.3g}]")
+    return "\n".join(lines)

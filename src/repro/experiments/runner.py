@@ -1,0 +1,275 @@
+"""The experiment laboratory: runs evaluation cells with heavy caching.
+
+One "cell" of the paper's grid is (database, benchmark, machine,
+sampling ratio). The expensive artifacts are shared across cells:
+
+* query planning + full execution: independent of machine and SR;
+* sample databases: per (database, SR);
+* sampling + cost-function fitting: per (query, SR), machine-free;
+* calibration: per machine;
+* actual running times: per (query, machine).
+
+This mirrors how the paper's numbers interrelate and makes the full
+grid tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..calibration import CalibratedUnits, Calibrator
+from ..core import PreparedPrediction, UncertaintyPredictor, Variant
+from ..executor import Executor
+from ..hardware import PROFILES, HardwareSimulator
+from ..optimizer import Optimizer, PlannedQuery
+from ..optimizer.cost_model import ResourceCounts
+from ..sampling import SampleDatabase
+from ..storage import Database
+from ..workloads import workload_by_name
+from . import metrics
+
+__all__ = ["ExecutedQuery", "CellResult", "SelectivityRecord", "ExperimentLab"]
+
+
+@dataclass
+class ExecutedQuery:
+    """A planned query with its ground-truth execution artifacts."""
+
+    sql: str
+    planned: PlannedQuery
+    counts: dict[int, ResourceCounts]
+    cardinalities: dict[int, float]
+
+    def true_selectivity(self, op_id: int) -> float:
+        node = next(n for n in self.planned.root.walk() if n.op_id == op_id)
+        return self.cardinalities[op_id] / max(self.planned.leaf_row_product(node), 1.0)
+
+
+@dataclass
+class CellResult:
+    """Per-query predictions and the cell-level metrics."""
+
+    database: str
+    benchmark: str
+    machine: str
+    sampling_ratio: float
+    variant: Variant
+    mus: np.ndarray
+    sigmas: np.ndarray
+    actuals: np.ndarray
+
+    @property
+    def errors(self) -> np.ndarray:
+        return np.abs(self.actuals - self.mus)
+
+    @property
+    def rs(self) -> float:
+        return metrics.correlation_metrics(self.sigmas, self.errors)[0]
+
+    @property
+    def rp(self) -> float:
+        return metrics.correlation_metrics(self.sigmas, self.errors)[1]
+
+    @property
+    def dn(self) -> float:
+        return metrics.distribution_distance(self.mus, self.sigmas, self.actuals)
+
+    def without_largest_sigma(self) -> "CellResult":
+        """Drop the largest-sigma query (the Figure 3 outlier study)."""
+        keep = np.ones(len(self.sigmas), dtype=bool)
+        keep[int(np.argmax(self.sigmas))] = False
+        return CellResult(
+            self.database, self.benchmark, self.machine, self.sampling_ratio,
+            self.variant, self.mus[keep], self.sigmas[keep], self.actuals[keep],
+        )
+
+
+@dataclass
+class SelectivityRecord:
+    """One selective operator's estimate vs truth (Tables 6-9, Fig 12)."""
+
+    estimated: float
+    estimated_std: float
+    actual: float
+
+    @property
+    def error(self) -> float:
+        return abs(self.estimated - self.actual)
+
+    @property
+    def relative_error(self) -> float:
+        if self.actual == 0.0:
+            return float("nan")
+        return self.error / self.actual
+
+
+@dataclass
+class ExperimentLab:
+    """Caching experiment runner over one or more databases."""
+
+    databases: dict[str, Database]
+    seed: int = 0
+    query_counts: dict[str, int] = field(default_factory=dict)
+    calibration_repetitions: int = 10
+    _executed: dict = field(default_factory=dict, repr=False)
+    _samples: dict = field(default_factory=dict, repr=False)
+    _prepared: dict = field(default_factory=dict, repr=False)
+    _units: dict = field(default_factory=dict, repr=False)
+    _actuals: dict = field(default_factory=dict, repr=False)
+    _predictors: dict = field(default_factory=dict, repr=False)
+
+    # -- shared artifacts -------------------------------------------------
+    def executed_queries(self, db_label: str, benchmark: str) -> list[ExecutedQuery]:
+        key = (db_label, benchmark)
+        if key not in self._executed:
+            database = self.databases[db_label]
+            count = self.query_counts.get(benchmark, 24)
+            sqls = workload_by_name(benchmark, database, count, seed=self.seed)
+            optimizer = Optimizer(database)
+            executor = Executor(database)
+            executed = []
+            for sql in sqls:
+                planned = optimizer.plan_sql(sql)
+                result = executor.execute(planned)
+                executed.append(
+                    ExecutedQuery(
+                        sql=sql,
+                        planned=planned,
+                        counts=result.counts,
+                        cardinalities=result.cardinalities,
+                    )
+                )
+            self._executed[key] = executed
+        return self._executed[key]
+
+    def sample_db(self, db_label: str, sampling_ratio: float) -> SampleDatabase:
+        key = (db_label, sampling_ratio)
+        if key not in self._samples:
+            self._samples[key] = SampleDatabase(
+                self.databases[db_label],
+                sampling_ratio=sampling_ratio,
+                seed=self.seed + 1,
+            )
+        return self._samples[key]
+
+    def units(self, machine: str) -> CalibratedUnits:
+        if machine not in self._units:
+            simulator = HardwareSimulator(PROFILES[machine], rng=self.seed + 100)
+            self._units[machine] = Calibrator(
+                simulator, repetitions=self.calibration_repetitions
+            ).calibrate()
+        return self._units[machine]
+
+    def predictor(self, machine: str) -> UncertaintyPredictor:
+        if machine not in self._predictors:
+            self._predictors[machine] = UncertaintyPredictor(self.units(machine))
+        return self._predictors[machine]
+
+    def prepared(
+        self,
+        db_label: str,
+        benchmark: str,
+        index: int,
+        sampling_ratio: float,
+        use_gee: bool = False,
+    ) -> PreparedPrediction:
+        key = (db_label, benchmark, index, sampling_ratio, use_gee)
+        if key not in self._prepared:
+            executed = self.executed_queries(db_label, benchmark)[index]
+            samples = self.sample_db(db_label, sampling_ratio)
+            # The predictor's prepare step is machine-free; use any machine.
+            predictor = self.predictor("PC1")
+            self._prepared[key] = predictor.prepare(
+                executed.planned, samples, use_gee=use_gee
+            )
+        return self._prepared[key]
+
+    def actual_time(self, db_label: str, benchmark: str, index: int, machine: str) -> float:
+        key = (db_label, benchmark, index, machine)
+        if key not in self._actuals:
+            executed = self.executed_queries(db_label, benchmark)[index]
+            simulator = HardwareSimulator(
+                PROFILES[machine],
+                rng=hash((self.seed, db_label, benchmark, index, machine)) % (2**32),
+            )
+            self._actuals[key] = simulator.run_repeated(executed.counts, repetitions=5)
+        return self._actuals[key]
+
+    # -- cells ------------------------------------------------------------
+    def run_cell(
+        self,
+        db_label: str,
+        benchmark: str,
+        machine: str,
+        sampling_ratio: float,
+        variant: Variant = Variant.ALL,
+        use_gee: bool = False,
+    ) -> CellResult:
+        """One grid cell: predictions + actual times for every query."""
+        executed = self.executed_queries(db_label, benchmark)
+        predictor = self.predictor(machine)
+        mus, sigmas, actuals = [], [], []
+        for index, _ in enumerate(executed):
+            prepared = self.prepared(
+                db_label, benchmark, index, sampling_ratio, use_gee
+            )
+            prediction = predictor.predict_prepared(
+                executed[index].planned, prepared, variant
+            )
+            mus.append(prediction.mean)
+            sigmas.append(prediction.std)
+            actuals.append(self.actual_time(db_label, benchmark, index, machine))
+        return CellResult(
+            database=db_label,
+            benchmark=benchmark,
+            machine=machine,
+            sampling_ratio=sampling_ratio,
+            variant=variant,
+            mus=np.asarray(mus),
+            sigmas=np.asarray(sigmas),
+            actuals=np.asarray(actuals),
+        )
+
+    # -- Figure 9/11: relative sampling overhead ---------------------------
+    def relative_overhead(
+        self, db_label: str, benchmark: str, machine: str, sampling_ratio: float
+    ) -> float:
+        """Mean of (sample-run cost) / (full-run cost) under unit means."""
+        executed = self.executed_queries(db_label, benchmark)
+        unit_means = self.units(machine).means()
+        ratios = []
+        for index, query in enumerate(executed):
+            prepared = self.prepared(db_label, benchmark, index, sampling_ratio)
+            sample_cost = sum(
+                counts.total_cost(unit_means)
+                for counts in prepared.estimate.sample_run_counts.values()
+            )
+            full_cost = sum(
+                counts.total_cost(unit_means) for counts in query.counts.values()
+            )
+            if full_cost > 0:
+                ratios.append(sample_cost / full_cost)
+        return float(np.mean(ratios)) if ratios else float("nan")
+
+    # -- Tables 6-9 / Figure 12: selectivity study --------------------------
+    def selectivity_records(
+        self, db_label: str, benchmark: str, sampling_ratio: float
+    ) -> list[SelectivityRecord]:
+        """Estimate-vs-truth for every sampled selective operator."""
+        records = []
+        executed = self.executed_queries(db_label, benchmark)
+        for index, query in enumerate(executed):
+            prepared = self.prepared(db_label, benchmark, index, sampling_ratio)
+            for op_id, node_sel in prepared.estimate.per_node.items():
+                if node_sel.source != "sample":
+                    continue
+                records.append(
+                    SelectivityRecord(
+                        estimated=node_sel.mean,
+                        estimated_std=node_sel.std,
+                        actual=query.true_selectivity(op_id),
+                    )
+                )
+        return records

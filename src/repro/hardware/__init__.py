@@ -1,0 +1,13 @@
+"""Simulated hardware: machine profiles and the stochastic clock."""
+
+from .profile import PC1, PC2, PROFILES, CostUnitTruth, HardwareProfile
+from .simulator import HardwareSimulator
+
+__all__ = [
+    "CostUnitTruth",
+    "HardwareProfile",
+    "HardwareSimulator",
+    "PC1",
+    "PC2",
+    "PROFILES",
+]

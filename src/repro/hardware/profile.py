@@ -1,0 +1,94 @@
+"""Simulated hardware profiles.
+
+The paper runs on two physical machines (PC1: dual 1.86 GHz, 4 GB; PC2:
+8-core 2.4 GHz, 16 GB) with cold caches. We substitute simulated
+profiles: each cost unit of Table 1 has a true mean (seconds per page /
+tuple / operation) and a true standard deviation capturing the inherent
+hardware randomness the paper models (Section 3.1). A lognormal
+model-error factor stands in for the structural error of the cost
+function ``g`` (Section 1, error source three).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..optimizer.cost_model import COST_UNIT_NAMES
+
+__all__ = ["CostUnitTruth", "HardwareProfile", "PC1", "PC2", "PROFILES"]
+
+
+@dataclass(frozen=True)
+class CostUnitTruth:
+    """True distribution of one cost unit: N(mean, std^2), truncated > 0."""
+
+    mean: float
+    std: float
+
+    def __post_init__(self):
+        if self.mean <= 0 or self.std < 0:
+            raise ValueError(f"invalid cost unit truth: {self}")
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """A machine: five cost-unit distributions plus model-error magnitude."""
+
+    name: str
+    units: dict[str, CostUnitTruth] = field(default_factory=dict)
+    #: sigma of the lognormal model-error factor applied per execution
+    model_error_sigma: float = 0.1
+
+    def __post_init__(self):
+        missing = set(COST_UNIT_NAMES) - set(self.units)
+        if missing:
+            raise ValueError(f"profile {self.name}: missing units {sorted(missing)}")
+
+    def unit_means(self) -> dict[str, float]:
+        return {name: truth.mean for name, truth in self.units.items()}
+
+
+def _profile(name, cs, cr, ct, ci, co, cv_io, cv_cpu, model_error_sigma):
+    """Build a profile from unit means and per-class coefficients of
+    variation (I/O units are noisier than CPU units, and random I/O is the
+    noisiest of all — the paper's motivating example)."""
+    return HardwareProfile(
+        name=name,
+        units={
+            "cs": CostUnitTruth(cs, cs * cv_io),
+            "cr": CostUnitTruth(cr, cr * cv_io * 2.0),
+            "ct": CostUnitTruth(ct, ct * cv_cpu),
+            "ci": CostUnitTruth(ci, ci * cv_cpu),
+            "co": CostUnitTruth(co, co * cv_cpu),
+        },
+        model_error_sigma=model_error_sigma,
+    )
+
+
+#: Older dual-core machine: slow spinning disk, noisy I/O.
+PC1 = _profile(
+    "PC1",
+    cs=1.6e-4,   # ~50 MB/s sequential
+    cr=6.0e-3,   # ~6 ms random seek
+    ct=1.2e-6,
+    ci=6.0e-7,
+    co=3.0e-7,
+    cv_io=0.18,
+    cv_cpu=0.06,
+    model_error_sigma=0.13,
+)
+
+#: Newer 8-core machine: faster disk and CPU, tighter variances.
+PC2 = _profile(
+    "PC2",
+    cs=5.0e-5,   # ~160 MB/s sequential
+    cr=2.5e-3,
+    ct=4.0e-7,
+    ci=2.0e-7,
+    co=1.0e-7,
+    cv_io=0.12,
+    cv_cpu=0.04,
+    model_error_sigma=0.09,
+)
+
+PROFILES = {"PC1": PC1, "PC2": PC2}

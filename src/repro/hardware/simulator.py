@@ -1,0 +1,57 @@
+"""Converts resource counts into simulated wall-clock seconds.
+
+One simulated execution draws a fresh realization of every cost unit
+*per operator* (the cost of a random I/O "may differ substantially from
+operator to operator and from query to query" — Section 1) and applies
+one lognormal model-error factor per run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..optimizer.cost_model import COST_UNIT_NAMES, ResourceCounts
+from ..util import ensure_rng
+from .profile import HardwareProfile
+
+__all__ = ["HardwareSimulator"]
+
+
+class HardwareSimulator:
+    """Stochastic clock: counts -> seconds under a hardware profile."""
+
+    def __init__(self, profile: HardwareProfile, rng=None):
+        self.profile = profile
+        self._rng = ensure_rng(rng)
+
+    def _draw_unit(self, name: str, size: int) -> np.ndarray:
+        truth = self.profile.units[name]
+        draws = self._rng.normal(truth.mean, truth.std, size=size)
+        # Cost units are physically positive; truncate far-left tail draws.
+        return np.maximum(draws, truth.mean * 0.05)
+
+    def _model_error(self) -> float:
+        sigma = self.profile.model_error_sigma
+        # Mean-one lognormal so the model error does not bias the clock.
+        return float(np.exp(self._rng.normal(-0.5 * sigma * sigma, sigma)))
+
+    def run_once(self, counts: dict[int, ResourceCounts]) -> float:
+        """One simulated execution of a plan (per-operator unit draws)."""
+        operators = list(counts.values())
+        if not operators:
+            return 0.0
+        total = 0.0
+        for name in COST_UNIT_NAMES:
+            draws = self._draw_unit(name, len(operators))
+            for value, op_counts in zip(draws, operators):
+                total += value * op_counts.as_dict()[name]
+        return total * self._model_error()
+
+    def run_repeated(self, counts: dict[int, ResourceCounts], repetitions: int = 5) -> float:
+        """Mean of ``repetitions`` executions (the paper's measurement)."""
+        times = [self.run_once(counts) for _ in range(repetitions)]
+        return float(np.mean(times))
+
+    def run_counts_once(self, counts: ResourceCounts) -> float:
+        """One simulated execution of a single-operator workload."""
+        return self.run_once({0: counts})

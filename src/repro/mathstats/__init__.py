@@ -1,0 +1,24 @@
+"""Probability and statistics utilities."""
+
+from .correlation import pearson, ranks, spearman
+from .moments import (
+    Monomial,
+    monomial_cov,
+    monomial_mean,
+    monomial_product,
+    monomial_var,
+)
+from .normal import NormalDistribution, noncentral_moment
+
+__all__ = [
+    "NormalDistribution",
+    "noncentral_moment",
+    "Monomial",
+    "monomial_mean",
+    "monomial_product",
+    "monomial_cov",
+    "monomial_var",
+    "pearson",
+    "spearman",
+    "ranks",
+]

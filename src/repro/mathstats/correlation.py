@@ -1,0 +1,57 @@
+"""Correlation coefficients used by the evaluation (Section 6.3).
+
+Implemented from scratch (the substrate rule); tests cross-check them
+against scipy.stats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pearson", "ranks", "spearman"]
+
+
+def pearson(x, y) -> float:
+    """Pearson correlation coefficient r_p (Eq. 7)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError("pearson: mismatched shapes")
+    if len(x) < 2:
+        return float("nan")
+    dx = x - x.mean()
+    dy = y - y.mean()
+    denominator = np.sqrt((dx * dx).sum() * (dy * dy).sum())
+    if denominator == 0:
+        return float("nan")
+    return float((dx * dy).sum() / denominator)
+
+
+def ranks(values) -> np.ndarray:
+    """Ascending ranks with ties assigned their average rank."""
+    values = np.asarray(values, dtype=np.float64)
+    order = np.argsort(values, kind="stable")
+    sorted_values = values[order]
+    n = len(values)
+    result = np.empty(n, dtype=np.float64)
+    i = 0
+    while i < n:
+        j = i
+        while j + 1 < n and sorted_values[j + 1] == sorted_values[i]:
+            j += 1
+        # ranks are 1-based; ties share the average of their positions
+        average = (i + j) / 2.0 + 1.0
+        result[order[i : j + 1]] = average
+        i = j + 1
+    return result
+
+
+def spearman(x, y) -> float:
+    """Spearman's rank correlation coefficient r_s (Section 6.3)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError("spearman: mismatched shapes")
+    if len(x) < 2:
+        return float("nan")
+    return pearson(ranks(x), ranks(y))

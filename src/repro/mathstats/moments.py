@@ -1,0 +1,57 @@
+"""Monomial moment algebra over independent-or-identical normal variables.
+
+The predictor's cost functions are polynomials in selectivity variables
+(Section 4.1). Their means, variances, and pairwise covariances reduce
+to expectations of monomials. This module computes those exactly when
+all *distinct* variables involved are independent — the caller is
+responsible for routing correlated pairs to the covariance bounds
+instead (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from .normal import noncentral_moment
+
+__all__ = ["Monomial", "monomial_mean", "monomial_product", "monomial_cov", "monomial_var"]
+
+#: A monomial is a mapping var_id -> exponent (exponents >= 1).
+Monomial = dict[int, int]
+
+
+def monomial_mean(monomial: Monomial, distributions: dict[int, tuple[float, float]]) -> float:
+    """E[prod X_i^{e_i}] for independent normal X_i."""
+    product = 1.0
+    for var_id, exponent in monomial.items():
+        mean, variance = distributions[var_id]
+        product *= noncentral_moment(mean, variance, exponent)
+    return product
+
+
+def monomial_product(first: Monomial, second: Monomial) -> Monomial:
+    """Merge exponents: (prod X^a) * (prod X^b)."""
+    merged = dict(first)
+    for var_id, exponent in second.items():
+        merged[var_id] = merged.get(var_id, 0) + exponent
+    return merged
+
+
+def monomial_cov(
+    first: Monomial,
+    second: Monomial,
+    distributions: dict[int, tuple[float, float]],
+) -> float:
+    """Cov(M1, M2) when all distinct variables are mutually independent.
+
+    Exact via Cov = E[M1*M2] - E[M1]E[M2]; shared variables contribute
+    higher non-central moments (up to order 4 for the C1..C6 families).
+    """
+    joint = monomial_mean(monomial_product(first, second), distributions)
+    return joint - monomial_mean(first, distributions) * monomial_mean(
+        second, distributions
+    )
+
+
+def monomial_var(monomial: Monomial, distributions: dict[int, tuple[float, float]]) -> float:
+    """Var[M], exact for independent normal variables."""
+    variance = monomial_cov(monomial, monomial, distributions)
+    return max(variance, 0.0)

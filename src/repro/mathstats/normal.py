@@ -1,0 +1,86 @@
+"""Normal distributions and their non-central moments (Table 3)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from scipy.special import erfinv
+
+__all__ = ["NormalDistribution", "noncentral_moment"]
+
+
+def noncentral_moment(mean: float, variance: float, k: int) -> float:
+    """E[X^k] for X ~ N(mean, variance).
+
+    Uses the recursion m_k = mean * m_{k-1} + (k-1) * variance * m_{k-2},
+    which reproduces Table 3 of the paper for k <= 4 and extends to any k.
+    """
+    if k < 0:
+        raise ValueError(f"moment order must be nonnegative, got {k}")
+    previous, current = 1.0, mean  # m_0, m_1
+    if k == 0:
+        return previous
+    for order in range(2, k + 1):
+        previous, current = current, mean * current + (order - 1) * variance * previous
+    return current
+
+
+@dataclass(frozen=True)
+class NormalDistribution:
+    """N(mean, variance) with the operations the predictor needs."""
+
+    mean: float
+    variance: float
+
+    def __post_init__(self):
+        if self.variance < 0:
+            raise ValueError(f"negative variance: {self.variance}")
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def pdf(self, x: float) -> float:
+        if self.variance == 0:
+            return math.inf if x == self.mean else 0.0
+        z = (x - self.mean) / self.std
+        return math.exp(-0.5 * z * z) / (self.std * math.sqrt(2 * math.pi))
+
+    def cdf(self, x: float) -> float:
+        if self.variance == 0:
+            return 1.0 if x >= self.mean else 0.0
+        z = (x - self.mean) / (self.std * math.sqrt(2))
+        return 0.5 * (1.0 + math.erf(z))
+
+    def quantile(self, p: float) -> float:
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"quantile level must be in (0, 1), got {p}")
+        if self.variance == 0:
+            return self.mean
+        return self.mean + self.std * math.sqrt(2) * float(erfinv(2 * p - 1))
+
+    def interval(self, confidence: float) -> tuple[float, float]:
+        """Central interval containing ``confidence`` probability mass."""
+        if not 0.0 < confidence < 1.0:
+            raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+        tail = (1.0 - confidence) / 2.0
+        return self.quantile(tail), self.quantile(1.0 - tail)
+
+    def prob_within(self, low: float, high: float) -> float:
+        return max(self.cdf(high) - self.cdf(low), 0.0)
+
+    def moment(self, k: int) -> float:
+        return noncentral_moment(self.mean, self.variance, k)
+
+    def scale(self, factor: float) -> "NormalDistribution":
+        return NormalDistribution(self.mean * factor, self.variance * factor * factor)
+
+    def shift(self, offset: float) -> "NormalDistribution":
+        return NormalDistribution(self.mean + offset, self.variance)
+
+    def __add__(self, other: "NormalDistribution") -> "NormalDistribution":
+        """Sum of independent normals."""
+        return NormalDistribution(
+            self.mean + other.mean, self.variance + other.variance
+        )

@@ -1,0 +1,19 @@
+"""Cost-based optimizer: cardinality estimation, cost model, join order."""
+
+from .cardinality import CardinalityEstimator
+from .cost_model import COST_UNIT_NAMES, PLANNER_UNITS, CostModel, ResourceCounts
+from .join_order import JoinTree, best_join_order
+from .optimizer import Optimizer, OptimizerConfig, PlannedQuery
+
+__all__ = [
+    "CardinalityEstimator",
+    "COST_UNIT_NAMES",
+    "PLANNER_UNITS",
+    "CostModel",
+    "ResourceCounts",
+    "JoinTree",
+    "best_join_order",
+    "Optimizer",
+    "OptimizerConfig",
+    "PlannedQuery",
+]

@@ -1,0 +1,155 @@
+"""Join-order enumeration: dynamic programming over connected subsets.
+
+Classic DPsize with the C_out cost metric (sum of intermediate result
+cardinalities). Cross products are only considered when the join graph
+is disconnected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import OptimizerError
+from ..plan.logical import JoinEdge
+
+__all__ = ["JoinTree", "best_join_order"]
+
+
+@dataclass(frozen=True)
+class JoinTree:
+    """A binary join tree over aliases.
+
+    Leaves have ``alias`` set; internal nodes have ``left``/``right`` and
+    the edges connecting the two sides.
+    """
+
+    alias: str | None = None
+    left: "JoinTree | None" = None
+    right: "JoinTree | None" = None
+    edges: tuple[JoinEdge, ...] = ()
+    rows: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.alias is not None
+
+    def aliases(self) -> tuple[str, ...]:
+        if self.is_leaf:
+            return (self.alias,)
+        return self.left.aliases() + self.right.aliases()
+
+
+def best_join_order(
+    base_rows: dict[str, float],
+    edges: list[JoinEdge],
+    edge_selectivity,
+) -> JoinTree:
+    """Find the cheapest (C_out) bushy join order.
+
+    ``base_rows`` maps alias -> estimated scan output rows;
+    ``edge_selectivity`` maps a :class:`JoinEdge` to its selectivity.
+    """
+    aliases = sorted(base_rows)
+    if not aliases:
+        raise OptimizerError("no relations to join")
+    index_of = {alias: i for i, alias in enumerate(aliases)}
+
+    def edge_mask(edge: JoinEdge) -> int:
+        return (1 << index_of[edge.left_alias]) | (1 << index_of[edge.right_alias])
+
+    # best[mask] = (cost, rows, tree)
+    best: dict[int, tuple[float, float, JoinTree]] = {}
+    for alias in aliases:
+        mask = 1 << index_of[alias]
+        rows = base_rows[alias]
+        best[mask] = (0.0, rows, JoinTree(alias=alias, rows=rows))
+
+    full_mask = (1 << len(aliases)) - 1
+    if full_mask == 1:
+        return best[1][2]
+
+    edge_masks = [(edge, edge_mask(edge)) for edge in edges]
+
+    for size in range(2, len(aliases) + 1):
+        for mask in _subsets_of_size(full_mask, size):
+            candidate: tuple[float, float, JoinTree] | None = None
+            submask = (mask - 1) & mask
+            while submask > 0:
+                other = mask ^ submask
+                # Enumerate each unordered split once.
+                if submask < other:
+                    submask = (submask - 1) & mask
+                    continue
+                if submask in best and other in best:
+                    connecting = [
+                        edge
+                        for edge, em in edge_masks
+                        if (em & submask) and (em & other) and (em & ~mask) == 0
+                    ]
+                    if connecting:
+                        candidate = _consider(
+                            candidate, best[submask], best[other], connecting,
+                            edge_selectivity,
+                        )
+                submask = (submask - 1) & mask
+            if candidate is not None:
+                best[mask] = candidate
+
+    if full_mask in best:
+        return best[full_mask][2]
+    return _connect_components(best, full_mask, aliases)
+
+
+def _consider(current, left_entry, right_entry, connecting, edge_selectivity):
+    left_cost, left_rows, left_tree = left_entry
+    right_cost, right_rows, right_tree = right_entry
+    selectivity = 1.0
+    for edge in connecting:
+        selectivity *= edge_selectivity(edge)
+    rows = max(left_rows * right_rows * selectivity, 1.0)
+    cost = left_cost + right_cost + rows
+    if current is not None and current[0] <= cost:
+        return current
+    # Put the smaller side on the right (build side convention).
+    if right_rows > left_rows:
+        left_tree, right_tree = right_tree, left_tree
+    tree = JoinTree(left=left_tree, right=right_tree, edges=tuple(connecting), rows=rows)
+    return (cost, rows, tree)
+
+
+def _subsets_of_size(full_mask: int, size: int):
+    """All submasks of ``full_mask`` with ``size`` bits set."""
+    n = full_mask.bit_length()
+    # Gosper's hack over n-bit integers, filtered to submasks of full_mask.
+    subset = (1 << size) - 1
+    limit = 1 << n
+    while subset < limit:
+        if (subset & full_mask) == subset:
+            yield subset
+        # next subset with same popcount
+        c = subset & -subset
+        r = subset + c
+        subset = (((r ^ subset) >> 2) // c) | r
+
+
+def _connect_components(best, full_mask, aliases):
+    """Cross-join the best trees of disconnected components."""
+    remaining = full_mask
+    parts: list[tuple[float, float, JoinTree]] = []
+    # Greedily extract the largest solved masks.
+    solved = sorted(best, key=lambda m: -bin(m).count("1"))
+    for mask in solved:
+        if mask & remaining == mask:
+            parts.append(best[mask])
+            remaining &= ~mask
+        if remaining == 0:
+            break
+    if remaining != 0:
+        raise OptimizerError(f"could not cover aliases {aliases} with join trees")
+    parts.sort(key=lambda entry: entry[1], reverse=True)
+    cost, rows, tree = parts[0]
+    for part_cost, part_rows, part_tree in parts[1:]:
+        rows = max(rows * part_rows, 1.0)
+        cost += part_cost + rows
+        tree = JoinTree(left=tree, right=part_tree, edges=(), rows=rows)
+    return tree

@@ -1,0 +1,265 @@
+"""Physical plan construction: the cost-based optimizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import OptimizerError
+from ..plan.logical import BoundQuery, bind_query
+from ..plan.physical import (
+    AggregateNode,
+    FilterNode,
+    HashJoinNode,
+    IndexScanNode,
+    LimitNode,
+    NestLoopJoinNode,
+    PlanNode,
+    SeqScanNode,
+    SortNode,
+    assign_op_ids,
+)
+from ..sql.parser import parse_query
+from ..storage import Database
+from .cardinality import CardinalityEstimator
+from .cost_model import CostModel
+from .join_order import JoinTree, best_join_order
+
+__all__ = ["OptimizerConfig", "PlannedQuery", "Optimizer"]
+
+#: Selectivity applied per non-equi cross-table comparison.
+CROSS_FILTER_SELECTIVITY = 1.0 / 3.0
+
+
+@dataclass
+class OptimizerConfig:
+    """Tunables for physical plan selection."""
+
+    #: use an index scan when the indexed predicate selects less than this
+    index_scan_threshold: float = 0.15
+    #: use a nested-loop join when the inner (build) side is at most this big
+    nestloop_max_inner_rows: float = 64.0
+    enable_index_scans: bool = True
+
+
+@dataclass
+class PlannedQuery:
+    """The optimizer's output: a physical plan plus planning metadata."""
+
+    root: PlanNode
+    bound: BoundQuery
+    database: Database
+    alias_tables: dict[str, str]
+    alias_rows: dict[str, int]
+    est_cards: dict[int, float] = field(default_factory=dict)
+
+    def leaf_row_product(self, node: PlanNode) -> float:
+        """``prod |R|`` over the leaf tables of ``node`` (Eq. 3 denominator)."""
+        product = 1.0
+        for alias in node.leaf_aliases():
+            product *= self.alias_rows[alias]
+        return product
+
+    def est_selectivity(self, node: PlanNode) -> float:
+        """The optimizer's selectivity estimate X = M / prod|R| for a node."""
+        return self.est_cards[node.op_id] / max(self.leaf_row_product(node), 1.0)
+
+    def explain(self) -> str:
+        return self.root.pretty()
+
+
+class Optimizer:
+    """Builds physical plans: scans -> DP join order -> joins -> agg/sort."""
+
+    def __init__(self, database: Database, config: OptimizerConfig | None = None):
+        self._db = database
+        self._config = config or OptimizerConfig()
+        self._cardinality = CardinalityEstimator(database)
+        self._cost_model = CostModel(database)
+
+    @property
+    def cardinality(self) -> CardinalityEstimator:
+        return self._cardinality
+
+    @property
+    def cost_model(self) -> CostModel:
+        return self._cost_model
+
+    # ------------------------------------------------------------------
+    def plan_sql(self, sql: str) -> PlannedQuery:
+        """Parse, bind, and optimize a SQL string."""
+        return self.plan(bind_query(parse_query(sql), self._db))
+
+    def plan(self, bound: BoundQuery) -> PlannedQuery:
+        """Build the physical plan for a bound query."""
+        est_cards: dict[PlanNode, float] = {}
+
+        scans: dict[str, PlanNode] = {}
+        for alias, table_name in bound.tables.items():
+            node, rows = self._build_scan(alias, table_name, bound)
+            scans[alias] = node
+            est_cards[node] = rows
+
+        root = self._build_join_tree(bound, scans, est_cards)
+
+        if bound.cross_filters:
+            selectivity = CROSS_FILTER_SELECTIVITY ** len(bound.cross_filters)
+            filtered = FilterNode(
+                compare_predicates=list(bound.cross_filters), children=[root]
+            )
+            est_cards[filtered] = max(est_cards[root] * selectivity, 1.0)
+            root = filtered
+
+        if bound.has_aggregates:
+            root = self._build_aggregate(bound, root, est_cards)
+
+        if bound.order_by:
+            sort = SortNode(keys=list(bound.order_by), children=[root])
+            est_cards[sort] = est_cards[root]
+            root = sort
+
+        if bound.limit is not None:
+            limit = LimitNode(count=bound.limit, children=[root])
+            est_cards[limit] = min(est_cards[root], bound.limit)
+            root = limit
+
+        assign_op_ids(root)
+        by_id = {node.op_id: est_cards[node] for node in root.walk()}
+        for node in root.walk():
+            node.est_rows = by_id[node.op_id]
+
+        alias_rows = {
+            alias: self._db.table_stats(table).num_rows
+            for alias, table in bound.tables.items()
+        }
+        return PlannedQuery(
+            root=root,
+            bound=bound,
+            database=self._db,
+            alias_tables=dict(bound.tables),
+            alias_rows=alias_rows,
+            est_cards=by_id,
+        )
+
+    # -- scans ------------------------------------------------------------
+    def _build_scan(
+        self, alias: str, table_name: str, bound: BoundQuery
+    ) -> tuple[PlanNode, float]:
+        predicates = bound.scan_predicates.get(alias, [])
+        total_rows = self._db.table_stats(table_name).num_rows
+        out_rows = self._cardinality.scan_rows(table_name, predicates)
+
+        index_choice = None
+        if self._config.enable_index_scans:
+            index_choice = self._pick_index_predicate(table_name, predicates)
+        if index_choice is not None:
+            index_predicate, index_selectivity = index_choice
+            remaining = [p for p in predicates if p is not index_predicate]
+            node = IndexScanNode(
+                table=table_name,
+                alias=alias,
+                index_column=index_predicate.column,
+                index_predicate=index_predicate,
+                predicates=remaining,
+            )
+            fetched_est = max(index_selectivity * total_rows, 1.0)
+            node.index_fetch_factor = max(fetched_est / out_rows, 1.0)
+            return node, out_rows
+        return (
+            SeqScanNode(table=table_name, alias=alias, predicates=predicates),
+            out_rows,
+        )
+
+    def _pick_index_predicate(self, table_name: str, predicates):
+        """The most selective indexed range predicate under the threshold."""
+        best = None
+        for predicate in predicates:
+            if not predicate.is_range:
+                continue
+            if not self._db.has_index(table_name, predicate.column):
+                continue
+            selectivity = self._cardinality.predicate_selectivity(
+                table_name, predicate
+            )
+            if selectivity > self._config.index_scan_threshold:
+                continue
+            if best is None or selectivity < best[1]:
+                best = (predicate, selectivity)
+        return best
+
+    # -- joins ---------------------------------------------------------
+    def _build_join_tree(
+        self,
+        bound: BoundQuery,
+        scans: dict[str, PlanNode],
+        est_cards: dict[PlanNode, float],
+    ) -> PlanNode:
+        if len(scans) == 1:
+            return next(iter(scans.values()))
+
+        base_rows = {alias: est_cards[node] for alias, node in scans.items()}
+        tree = best_join_order(
+            base_rows,
+            bound.join_edges,
+            lambda edge: self._cardinality.join_edge_selectivity(
+                edge, bound.tables
+            ),
+        )
+        return self._materialize_join_tree(tree, scans, est_cards)
+
+    def _materialize_join_tree(
+        self,
+        tree: JoinTree,
+        scans: dict[str, PlanNode],
+        est_cards: dict[PlanNode, float],
+    ) -> PlanNode:
+        if tree.is_leaf:
+            return scans[tree.alias]
+        left = self._materialize_join_tree(tree.left, scans, est_cards)
+        right = self._materialize_join_tree(tree.right, scans, est_cards)
+        left_aliases = set(tree.left.aliases())
+
+        keys: list[tuple[str, str]] = []
+        for edge in tree.edges:
+            if edge.left_alias in left_aliases:
+                keys.append(
+                    (
+                        f"{edge.left_alias}.{edge.left_column}",
+                        f"{edge.right_alias}.{edge.right_column}",
+                    )
+                )
+            else:
+                keys.append(
+                    (
+                        f"{edge.right_alias}.{edge.right_column}",
+                        f"{edge.left_alias}.{edge.left_column}",
+                    )
+                )
+
+        inner_rows = est_cards[right]
+        if not keys or inner_rows <= self._config.nestloop_max_inner_rows:
+            node: PlanNode = NestLoopJoinNode(keys=keys, children=[left, right])
+        else:
+            node = HashJoinNode(keys=keys, children=[left, right])
+        est_cards[node] = tree.rows
+        return node
+
+    # -- aggregates -----------------------------------------------------
+    def _build_aggregate(
+        self,
+        bound: BoundQuery,
+        child: PlanNode,
+        est_cards: dict[PlanNode, float],
+    ) -> PlanNode:
+        node = AggregateNode(
+            group_keys=list(bound.group_keys),
+            aggregates=list(bound.aggregates),
+            children=[child],
+        )
+        ndvs = []
+        for key in bound.group_keys:
+            alias, column = key.split(".", 1)
+            if alias not in bound.tables:
+                raise OptimizerError(f"group key {key!r} references unknown alias")
+            ndvs.append(self._cardinality.column_ndv(bound.tables[alias], column))
+        est_cards[node] = self._cardinality.group_count(ndvs, est_cards[child])
+        return node

@@ -1,0 +1,53 @@
+"""Logical binding and physical plan representation."""
+
+from .expressions import AggSpec, ScalarExpr, compile_scalar
+from .logical import BoundQuery, JoinEdge, bind_query
+from .physical import (
+    AggregateNode,
+    FilterNode,
+    HashJoinNode,
+    IndexScanNode,
+    LimitNode,
+    MaterializeNode,
+    MergeJoinNode,
+    NestLoopJoinNode,
+    OpKind,
+    PlanNode,
+    SeqScanNode,
+    SortNode,
+    assign_op_ids,
+    plan_nodes,
+)
+from .predicates import (
+    ColumnComparePredicate,
+    ColumnPairScanPredicate,
+    PredicateKind,
+    ScanPredicate,
+)
+
+__all__ = [
+    "BoundQuery",
+    "JoinEdge",
+    "bind_query",
+    "AggSpec",
+    "ScalarExpr",
+    "compile_scalar",
+    "PredicateKind",
+    "ScanPredicate",
+    "ColumnComparePredicate",
+    "ColumnPairScanPredicate",
+    "OpKind",
+    "PlanNode",
+    "SeqScanNode",
+    "IndexScanNode",
+    "FilterNode",
+    "HashJoinNode",
+    "MergeJoinNode",
+    "NestLoopJoinNode",
+    "SortNode",
+    "AggregateNode",
+    "MaterializeNode",
+    "LimitNode",
+    "assign_op_ids",
+    "plan_nodes",
+]

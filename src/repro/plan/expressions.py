@@ -1,0 +1,119 @@
+"""Compiled scalar expressions evaluated over qualified column arrays."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import PlanError
+from ..sql.ast import Arith, ColumnRef, Literal
+
+__all__ = ["ScalarExpr", "compile_scalar", "AggSpec"]
+
+
+@dataclass(frozen=True)
+class ScalarExpr:
+    """An executable scalar expression tree.
+
+    ``node`` is one of:
+      * ``("col", qualified_name)``
+      * ``("lit", value)``
+      * ``("arith", op, left_node, right_node)``
+    """
+
+    node: tuple
+
+    def evaluate(self, env: dict[str, np.ndarray], num_rows: int) -> np.ndarray:
+        return _eval(self.node, env, num_rows)
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        """All qualified column names referenced by the expression."""
+        found: list[str] = []
+        _collect_columns(self.node, found)
+        return tuple(found)
+
+    @property
+    def num_ops(self) -> int:
+        """Arithmetic operations per row (drives the ``co`` cost unit)."""
+        return _count_ops(self.node)
+
+
+def _eval(node: tuple, env: dict[str, np.ndarray], num_rows: int) -> np.ndarray:
+    tag = node[0]
+    if tag == "col":
+        try:
+            return env[node[1]]
+        except KeyError:
+            raise PlanError(f"column not in scope: {node[1]}") from None
+    if tag == "lit":
+        return np.full(num_rows, node[1])
+    if tag == "arith":
+        _, op, left, right = node
+        a = _eval(left, env, num_rows)
+        b = _eval(right, env, num_rows)
+        if op == "+":
+            return a + b
+        if op == "-":
+            return a - b
+        if op == "*":
+            return a * b
+        if op == "/":
+            return a / b
+    raise PlanError(f"bad expression node: {node!r}")
+
+
+def _collect_columns(node: tuple, out: list[str]) -> None:
+    if node[0] == "col":
+        out.append(node[1])
+    elif node[0] == "arith":
+        _collect_columns(node[2], out)
+        _collect_columns(node[3], out)
+
+
+def _count_ops(node: tuple) -> int:
+    if node[0] == "arith":
+        return 1 + _count_ops(node[2]) + _count_ops(node[3])
+    return 0
+
+
+def compile_scalar(expression, resolver) -> ScalarExpr:
+    """Compile a SQL scalar AST into a :class:`ScalarExpr`.
+
+    ``resolver`` maps a :class:`~repro.sql.ast.ColumnRef` to its qualified
+    name ``"alias.column"``.
+    """
+    return ScalarExpr(node=_compile(expression, resolver))
+
+
+def _compile(expression, resolver) -> tuple:
+    if isinstance(expression, ColumnRef):
+        return ("col", resolver(expression))
+    if isinstance(expression, Literal):
+        return ("lit", expression.value)
+    if isinstance(expression, Arith):
+        return (
+            "arith",
+            expression.op,
+            _compile(expression.left, resolver),
+            _compile(expression.right, resolver),
+        )
+    raise PlanError(f"unsupported scalar expression: {expression!r}")
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregate output: FUNC(expression) AS output_name."""
+
+    func: str  # COUNT | SUM | AVG | MIN | MAX
+    argument: ScalarExpr | None  # None = COUNT(*)
+    output_name: str
+    distinct: bool = False
+
+    @property
+    def num_ops(self) -> int:
+        ops = 1  # the accumulation itself
+        if self.argument is not None:
+            ops += self.argument.num_ops
+        return ops

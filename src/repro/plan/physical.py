@@ -1,0 +1,221 @@
+"""Physical plan trees.
+
+Every node carries an ``op_id`` (postorder-assigned), its children, and
+the optimizer's row estimate. The uncertainty-aware predictor keys its
+per-operator selectivity variables by ``op_id``; the paper's
+``Desc(O)`` relation is the tree's ancestor/descendant relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..errors import PlanError
+from .expressions import AggSpec
+from .predicates import ColumnComparePredicate, ScanPredicate
+
+__all__ = [
+    "OpKind",
+    "PlanNode",
+    "SeqScanNode",
+    "IndexScanNode",
+    "FilterNode",
+    "HashJoinNode",
+    "MergeJoinNode",
+    "NestLoopJoinNode",
+    "SortNode",
+    "AggregateNode",
+    "MaterializeNode",
+    "LimitNode",
+    "assign_op_ids",
+    "plan_nodes",
+]
+
+
+class OpKind(Enum):
+    SEQ_SCAN = "SeqScan"
+    INDEX_SCAN = "IndexScan"
+    FILTER = "Filter"
+    HASH_JOIN = "HashJoin"
+    MERGE_JOIN = "MergeJoin"
+    NESTLOOP_JOIN = "NestLoopJoin"
+    SORT = "Sort"
+    AGGREGATE = "Aggregate"
+    MATERIALIZE = "Materialize"
+    LIMIT = "Limit"
+
+
+@dataclass(eq=False)
+class PlanNode:
+    """Base class for physical operators."""
+
+    children: list["PlanNode"] = field(default_factory=list, kw_only=True)
+    op_id: int = field(default=-1, kw_only=True)
+    est_rows: float = field(default=0.0, kw_only=True)
+
+    kind: OpKind = field(init=False, repr=False, default=None)  # type: ignore
+
+    # -- tree structure ------------------------------------------------
+    @property
+    def left(self) -> "PlanNode":
+        return self.children[0]
+
+    @property
+    def right(self) -> "PlanNode":
+        if len(self.children) < 2:
+            raise PlanError(f"{self.kind} has no right child")
+        return self.children[1]
+
+    @property
+    def is_join(self) -> bool:
+        return self.kind in (
+            OpKind.HASH_JOIN,
+            OpKind.MERGE_JOIN,
+            OpKind.NESTLOOP_JOIN,
+        )
+
+    @property
+    def is_scan(self) -> bool:
+        return self.kind in (OpKind.SEQ_SCAN, OpKind.INDEX_SCAN)
+
+    def leaf_aliases(self) -> tuple[str, ...]:
+        """Aliases of all base tables in this subtree, in leaf order."""
+        if self.is_scan:
+            return (self.alias,)  # type: ignore[attr-defined]
+        result: list[str] = []
+        for child in self.children:
+            result.extend(child.leaf_aliases())
+        return tuple(result)
+
+    def walk(self):
+        """Postorder traversal of the subtree."""
+        for child in self.children:
+            yield from child.walk()
+        yield self
+
+    # -- presentation ----------------------------------------------------
+    def label(self) -> str:
+        return self.kind.value
+
+    def pretty(self, indent: int = 0) -> str:
+        lines = [" " * indent + f"{self.label()}  [op {self.op_id}, ~{self.est_rows:.0f} rows]"]
+        for child in self.children:
+            lines.append(child.pretty(indent + 2))
+        return "\n".join(lines)
+
+
+@dataclass(eq=False)
+class SeqScanNode(PlanNode):
+    table: str = ""
+    alias: str = ""
+    predicates: list[ScanPredicate] = field(default_factory=list)
+
+    def __post_init__(self):
+        self.kind = OpKind.SEQ_SCAN
+
+    def label(self) -> str:
+        return f"SeqScan({self.alias}:{self.table})"
+
+
+@dataclass(eq=False)
+class IndexScanNode(PlanNode):
+    table: str = ""
+    alias: str = ""
+    index_column: str = ""
+    #: predicate served by the index
+    index_predicate: ScanPredicate | None = None
+    #: remaining predicates applied while scanning
+    predicates: list[ScanPredicate] = field(default_factory=list)
+
+    def __post_init__(self):
+        self.kind = OpKind.INDEX_SCAN
+
+    def label(self) -> str:
+        return f"IndexScan({self.alias}:{self.table} on {self.index_column})"
+
+
+@dataclass(eq=False)
+class FilterNode(PlanNode):
+    scan_predicates: list[ScanPredicate] = field(default_factory=list)
+    compare_predicates: list[ColumnComparePredicate] = field(default_factory=list)
+
+    def __post_init__(self):
+        self.kind = OpKind.FILTER
+
+
+@dataclass(eq=False)
+class _JoinBase(PlanNode):
+    #: equijoin key pairs as qualified names: (left, right)
+    keys: list[tuple[str, str]] = field(default_factory=list)
+
+    def label(self) -> str:
+        conds = ", ".join(f"{l} = {r}" for l, r in self.keys)
+        return f"{self.kind.value}({conds})"
+
+
+@dataclass(eq=False)
+class HashJoinNode(_JoinBase):
+    def __post_init__(self):
+        self.kind = OpKind.HASH_JOIN
+
+
+@dataclass(eq=False)
+class MergeJoinNode(_JoinBase):
+    def __post_init__(self):
+        self.kind = OpKind.MERGE_JOIN
+
+
+@dataclass(eq=False)
+class NestLoopJoinNode(_JoinBase):
+    def __post_init__(self):
+        self.kind = OpKind.NESTLOOP_JOIN
+
+
+@dataclass(eq=False)
+class SortNode(PlanNode):
+    #: (qualified column, descending) pairs
+    keys: list[tuple[str, bool]] = field(default_factory=list)
+
+    def __post_init__(self):
+        self.kind = OpKind.SORT
+
+
+@dataclass(eq=False)
+class AggregateNode(PlanNode):
+    group_keys: list[str] = field(default_factory=list)
+    aggregates: list[AggSpec] = field(default_factory=list)
+
+    def __post_init__(self):
+        self.kind = OpKind.AGGREGATE
+
+    def label(self) -> str:
+        funcs = ", ".join(spec.output_name for spec in self.aggregates)
+        keys = ", ".join(self.group_keys)
+        return f"Aggregate([{keys}] -> {funcs})"
+
+
+@dataclass(eq=False)
+class MaterializeNode(PlanNode):
+    def __post_init__(self):
+        self.kind = OpKind.MATERIALIZE
+
+
+@dataclass(eq=False)
+class LimitNode(PlanNode):
+    count: int = 0
+
+    def __post_init__(self):
+        self.kind = OpKind.LIMIT
+
+
+def assign_op_ids(root: PlanNode) -> PlanNode:
+    """Assign postorder op ids (0..n-1) to every node; return ``root``."""
+    for position, node in enumerate(root.walk()):
+        node.op_id = position
+    return root
+
+
+def plan_nodes(root: PlanNode) -> list[PlanNode]:
+    """All nodes in postorder (index == op_id once ids are assigned)."""
+    return list(root.walk())

@@ -1,0 +1,150 @@
+"""Compiled predicates: executable filters with cost-model metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from ..errors import PlanError
+
+__all__ = [
+    "PredicateKind",
+    "ScanPredicate",
+    "ColumnPairScanPredicate",
+    "ColumnComparePredicate",
+]
+
+
+class PredicateKind(Enum):
+    EQ = "="
+    NE = "<>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    BETWEEN = "between"
+    IN = "in"
+    PREFIX = "prefix"
+
+
+_COMPARE = {
+    PredicateKind.EQ: lambda a, v: a == v,
+    PredicateKind.NE: lambda a, v: a != v,
+    PredicateKind.LT: lambda a, v: a < v,
+    PredicateKind.LE: lambda a, v: a <= v,
+    PredicateKind.GT: lambda a, v: a > v,
+    PredicateKind.GE: lambda a, v: a >= v,
+}
+
+
+@dataclass(frozen=True)
+class ScanPredicate:
+    """A single-column predicate, evaluable over a numpy column."""
+
+    alias: str
+    column: str
+    kind: PredicateKind
+    values: tuple
+
+    def mask(self, array: np.ndarray) -> np.ndarray:
+        """Boolean mask of rows satisfying the predicate."""
+        if self.kind in _COMPARE:
+            return _COMPARE[self.kind](array, self.values[0])
+        if self.kind is PredicateKind.BETWEEN:
+            low, high = self.values
+            return (array >= low) & (array <= high)
+        if self.kind is PredicateKind.IN:
+            mask = np.zeros(len(array), dtype=bool)
+            for value in self.values:
+                mask |= array == value
+            return mask
+        if self.kind is PredicateKind.PREFIX:
+            return np.char.startswith(array.astype(str), self.values[0])
+        raise PlanError(f"unknown predicate kind: {self.kind}")
+
+    @property
+    def num_ops(self) -> int:
+        """Primitive comparisons per tuple (drives the ``co`` cost unit)."""
+        if self.kind is PredicateKind.BETWEEN:
+            return 2
+        if self.kind is PredicateKind.IN:
+            return len(self.values)
+        return 1
+
+    @property
+    def is_range(self) -> bool:
+        """True when a sorted index can serve this predicate."""
+        return self.kind in (
+            PredicateKind.EQ,
+            PredicateKind.LT,
+            PredicateKind.LE,
+            PredicateKind.GT,
+            PredicateKind.GE,
+            PredicateKind.BETWEEN,
+        )
+
+    def range_bounds(self) -> tuple:
+        """``(low, high)`` bounds for index lookups (None = unbounded)."""
+        if self.kind is PredicateKind.EQ:
+            return self.values[0], self.values[0]
+        if self.kind is PredicateKind.BETWEEN:
+            return self.values
+        if self.kind in (PredicateKind.LT, PredicateKind.LE):
+            return None, self.values[0]
+        if self.kind in (PredicateKind.GT, PredicateKind.GE):
+            return self.values[0], None
+        raise PlanError(f"predicate {self.kind} has no range bounds")
+
+    def __str__(self) -> str:
+        return f"{self.alias}.{self.column} {self.kind.value} {self.values}"
+
+
+@dataclass(frozen=True)
+class ColumnPairScanPredicate:
+    """A same-table column comparison, e.g. ``l_commitdate < l_receiptdate``."""
+
+    alias: str
+    left_column: str
+    op: PredicateKind
+    right_column: str
+
+    def mask(self, left_array: np.ndarray, right_array: np.ndarray) -> np.ndarray:
+        if self.op not in _COMPARE:
+            raise PlanError(f"unsupported column-pair comparison: {self.op}")
+        return _COMPARE[self.op](left_array, right_array)
+
+    @property
+    def num_ops(self) -> int:
+        return 1
+
+    @property
+    def is_range(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return (
+            f"{self.alias}.{self.left_column} {self.op.value} "
+            f"{self.alias}.{self.right_column}"
+        )
+
+
+@dataclass(frozen=True)
+class ColumnComparePredicate:
+    """A non-equijoin comparison between columns of two inputs."""
+
+    left_alias: str
+    left_column: str
+    op: PredicateKind
+    right_alias: str
+    right_column: str
+
+    def mask(self, left_array: np.ndarray, right_array: np.ndarray) -> np.ndarray:
+        if self.op not in _COMPARE:
+            raise PlanError(f"unsupported column comparison: {self.op}")
+        return _COMPARE[self.op](left_array, right_array)
+
+    @property
+    def num_ops(self) -> int:
+        return 1

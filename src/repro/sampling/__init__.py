@@ -1,0 +1,14 @@
+"""Sampling-based selectivity estimation (Section 3.2, Algorithm 1)."""
+
+from .estimator import NodeSelectivity, SamplingEstimate, SelectivityEstimator
+from .gee import gee_distinct_estimate, gee_selectivity
+from .sample_db import SampleDatabase
+
+__all__ = [
+    "SampleDatabase",
+    "SelectivityEstimator",
+    "SamplingEstimate",
+    "NodeSelectivity",
+    "gee_distinct_estimate",
+    "gee_selectivity",
+]

@@ -1,0 +1,397 @@
+"""Algorithm 1: selectivity estimates rho_n and variances S_n^2 per operator.
+
+The plan is run once over the sample tables, bottom-up. Every sample
+tuple carries provenance (its position in each source sample table), so
+the per-relation counts Q_{k,j,n} of Eq. 6 are obtained by scanning the
+sample join result once and incrementing per-position counters — the
+paper's data-provenance trick. From those:
+
+    v_k  = (1/(n_k - 1)) * sum_j (Q_{k,j} / prod_{k' != k} n_{k'} - rho_n)^2
+    S_n^2 = sum_k v_k          (Eq. 5, generalized to unequal sample sizes)
+    Var[rho_n] ~= sum_k v_k / n_k
+
+The per-relation components ``v_k / n_k`` are retained: restricted sums
+over shared relations give the S^2_{n,m} quantities behind the tighter
+covariance bound B1 (Theorem 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SamplingError
+from ..executor import kernels
+from ..optimizer.cost_model import ResourceCounts
+from ..optimizer.optimizer import PlannedQuery
+from ..plan.physical import (
+    AggregateNode,
+    FilterNode,
+    OpKind,
+    PlanNode,
+)
+from ..plan.predicates import ColumnPairScanPredicate
+from .sample_db import SampleDatabase
+
+__all__ = ["NodeSelectivity", "SamplingEstimate", "SelectivityEstimator"]
+
+
+@dataclass
+class NodeSelectivity:
+    """The estimated distribution of one operator's selectivity X."""
+
+    op_id: int
+    mean: float
+    variance: float
+    #: per-leaf-alias contribution to ``variance`` (v_k / n_k)
+    var_components: dict[str, float]
+    leaf_aliases: tuple[str, ...]
+    sample_sizes: dict[str, int]
+    #: "sample" (Algorithm 1), "optimizer" (aggregate fallback), or
+    #: "alias" (pass-through operators sharing the child's variable)
+    source: str
+    #: op_id of the operator whose variable this one aliases (or None)
+    alias_of: int | None = None
+
+    @property
+    def std(self) -> float:
+        return float(np.sqrt(self.variance))
+
+    @property
+    def num_relations(self) -> int:
+        return len(self.leaf_aliases)
+
+    def min_sample_size(self) -> int:
+        if not self.sample_sizes:
+            return 2
+        return min(self.sample_sizes.values())
+
+    def restricted_variance(self, aliases) -> float:
+        """S^2_rho(m, n)/n over the given shared relations (Theorem 7)."""
+        return sum(self.var_components.get(alias, 0.0) for alias in aliases)
+
+
+@dataclass
+class SamplingEstimate:
+    """Output of one sampling pass over a plan."""
+
+    per_node: dict[int, NodeSelectivity]
+    #: resource counts of the sample run itself (overhead accounting)
+    sample_run_counts: dict[int, ResourceCounts] = field(default_factory=dict)
+
+    def resolve(self, op_id: int) -> NodeSelectivity:
+        """Follow alias links to the defining variable of an operator."""
+        node = self.per_node[op_id]
+        while node.alias_of is not None:
+            node = self.per_node[node.alias_of]
+        return node
+
+
+@dataclass
+class _SampleIntermediate:
+    """Sample rows with provenance: alias -> sample-tuple positions."""
+
+    columns: dict[str, np.ndarray]
+    provenance: dict[str, np.ndarray]
+    num_rows: int
+
+    def select(self, mask: np.ndarray) -> "_SampleIntermediate":
+        return _SampleIntermediate(
+            columns={k: v[mask] for k, v in self.columns.items()},
+            provenance={k: v[mask] for k, v in self.provenance.items()},
+            num_rows=int(mask.sum()),
+        )
+
+
+def _sample_predicate_mask(data: _SampleIntermediate, alias: str, predicate) -> np.ndarray:
+    if isinstance(predicate, ColumnPairScanPredicate):
+        return predicate.mask(
+            data.columns[f"{alias}.{predicate.left_column}"],
+            data.columns[f"{alias}.{predicate.right_column}"],
+        )
+    return predicate.mask(data.columns[f"{alias}.{predicate.column}"])
+
+
+class SelectivityEstimator:
+    """Runs Algorithm 1 over a planned query."""
+
+    def __init__(
+        self,
+        sample_db: SampleDatabase,
+        planned: PlannedQuery,
+        use_gee: bool = False,
+    ):
+        self._samples = sample_db
+        self._planned = planned
+        self._copies = sample_db.assign_copies(planned.alias_tables)
+        self._use_gee = use_gee
+
+    # ------------------------------------------------------------------
+    def estimate(self) -> SamplingEstimate:
+        """One bottom-up pass over the sample tables (Algorithm 1)."""
+        per_node: dict[int, NodeSelectivity] = {}
+        run_counts: dict[int, ResourceCounts] = {}
+        self._visit(self._planned.root, per_node, run_counts)
+        return SamplingEstimate(per_node=per_node, sample_run_counts=run_counts)
+
+    # ------------------------------------------------------------------
+    def _visit(
+        self,
+        node: PlanNode,
+        per_node: dict[int, NodeSelectivity],
+        run_counts: dict[int, ResourceCounts],
+    ) -> _SampleIntermediate | None:
+        """Returns the sample intermediate, or None above an aggregate."""
+        kind = node.kind
+        if node.is_scan:
+            result = self._scan(node, run_counts)
+            per_node[node.op_id] = self._scan_selectivity(node, result)
+            return result
+
+        children = [self._visit(c, per_node, run_counts) for c in node.children]
+        aggregate_below = any(c is None for c in children)
+
+        if kind is OpKind.AGGREGATE or aggregate_below:
+            if (
+                kind is OpKind.AGGREGATE
+                and self._use_gee
+                and not aggregate_below
+                and node.group_keys
+            ):
+                per_node[node.op_id] = self._gee_selectivity(node, children[0])
+            else:
+                per_node[node.op_id] = self._optimizer_fallback(node)
+            return None
+
+        if node.is_join:
+            result = self._join(node, children[0], children[1], run_counts)
+            per_node[node.op_id] = self._product_selectivity(node, result)
+            return result
+        if kind is OpKind.FILTER:
+            result = self._filter(node, children[0], run_counts)
+            if len(result.provenance) > 1:
+                per_node[node.op_id] = self._product_selectivity(node, result)
+            else:
+                per_node[node.op_id] = self._scan_selectivity(node, result)
+            return result
+        if kind in (OpKind.SORT, OpKind.MATERIALIZE):
+            per_node[node.op_id] = self._alias_selectivity(node)
+            run_counts[node.op_id] = ResourceCounts(nt=float(children[0].num_rows))
+            return children[0]
+        if kind is OpKind.LIMIT:
+            per_node[node.op_id] = self._optimizer_fallback(node)
+            return children[0]
+        raise SamplingError(f"sampling estimator: unknown operator {kind}")
+
+    # -- operators over samples -------------------------------------------
+    def _scan(self, node, run_counts) -> _SampleIntermediate:
+        table = self._planned.database.table(node.table)
+        alias = node.alias
+        copy = self._copies[alias]
+        positions = self._samples.sample_indices(node.table, copy)
+        n = len(positions)
+        columns = {
+            f"{alias}.{name}": table.column(name)[positions]
+            for name in table.schema.names
+        }
+        result = _SampleIntermediate(
+            columns=columns,
+            provenance={alias: np.arange(n, dtype=np.int64)},
+            num_rows=n,
+        )
+        predicates = list(node.predicates)
+        if node.kind is OpKind.INDEX_SCAN and node.index_predicate is not None:
+            predicates.append(node.index_predicate)
+        ops = 0
+        for predicate in predicates:
+            result = result.select(_sample_predicate_mask(result, alias, predicate))
+            ops += predicate.num_ops
+        run_counts[node.op_id] = ResourceCounts(
+            ns=float(self._samples.sample_pages(node.table)),
+            nt=float(n),
+            no=float(ops * n),
+        )
+        return result
+
+    def _join(self, node, left, right, run_counts) -> _SampleIntermediate:
+        if node.keys:
+            left_cols = [left.columns[lk] for lk, _ in node.keys]
+            right_cols = [right.columns[rk] for _, rk in node.keys]
+            li, ri = kernels.equijoin_pairs(left_cols, right_cols)
+        else:
+            li, ri = kernels.cross_join_pairs(left.num_rows, right.num_rows)
+        columns = {name: arr[li] for name, arr in left.columns.items()}
+        for name, arr in right.columns.items():
+            columns[name] = arr[ri]
+        provenance = {alias: arr[li] for alias, arr in left.provenance.items()}
+        for alias, arr in right.provenance.items():
+            provenance[alias] = arr[ri]
+        run_counts[node.op_id] = ResourceCounts(
+            nt=float(left.num_rows + right.num_rows),
+            no=2.0 * (left.num_rows + right.num_rows),
+        )
+        return _SampleIntermediate(columns, provenance, len(li))
+
+    def _filter(self, node: FilterNode, data, run_counts) -> _SampleIntermediate:
+        mask = np.ones(data.num_rows, dtype=bool)
+        ops = 0
+        for predicate in node.scan_predicates:
+            mask &= _sample_predicate_mask(data, predicate.alias, predicate)
+            ops += predicate.num_ops
+        for predicate in node.compare_predicates:
+            left = data.columns[f"{predicate.left_alias}.{predicate.left_column}"]
+            right = data.columns[f"{predicate.right_alias}.{predicate.right_column}"]
+            mask &= predicate.mask(left, right)
+            ops += predicate.num_ops
+        run_counts[node.op_id] = ResourceCounts(
+            nt=float(data.num_rows), no=float(max(ops, 1) * data.num_rows)
+        )
+        return data.select(mask)
+
+    # -- selectivity distributions -----------------------------------------
+    def _scan_selectivity(self, node, result) -> NodeSelectivity:
+        alias = node.leaf_aliases()[0]
+        n = self._samples.sample_size(self._planned.alias_tables[alias])
+        rho = result.num_rows / n
+        # S_n^2 = rho(1 - rho) for tuple-level scans; Var[rho_n] ~ S_n^2/n.
+        variance = rho * (1.0 - rho) / n
+        if result.num_rows == 0:
+            return self._empty_fallback(node)
+        return NodeSelectivity(
+            op_id=node.op_id,
+            mean=rho,
+            variance=variance,
+            var_components={alias: variance},
+            leaf_aliases=(alias,),
+            sample_sizes={alias: n},
+            source="sample",
+        )
+
+    def _product_selectivity(self, node, result) -> NodeSelectivity:
+        """rho_n and S_n^2 for an operator over a product space (joins)."""
+        aliases = node.leaf_aliases()
+        sizes = {
+            alias: self._samples.sample_size(self._planned.alias_tables[alias])
+            for alias in aliases
+        }
+        total_product = 1.0
+        for size in sizes.values():
+            total_product *= size
+        rho = result.num_rows / total_product
+        if result.num_rows == 0:
+            return self._empty_fallback(node)
+
+        components: dict[str, float] = {}
+        for alias in aliases:
+            n_k = sizes[alias]
+            if n_k < 2:
+                components[alias] = 0.0
+                continue
+            q = np.bincount(result.provenance[alias], minlength=n_k).astype(np.float64)
+            denominator = total_product / n_k  # prod of the other sample sizes
+            deviations = q / denominator - rho
+            v_k = float((deviations * deviations).sum() / (n_k - 1))
+            components[alias] = v_k / n_k
+        return NodeSelectivity(
+            op_id=node.op_id,
+            mean=rho,
+            variance=sum(components.values()),
+            var_components=components,
+            leaf_aliases=aliases,
+            sample_sizes=sizes,
+            source="sample",
+        )
+
+    def _empty_fallback(self, node) -> NodeSelectivity:
+        """Empty sample result: the sampler never observed a qualifying tuple.
+
+        The raw estimator would report rho_n = 0 with S_n^2 = 0, silently
+        claiming certainty about a selectivity it cannot resolve (anything
+        below 1/prod(n_k) looks identical). We instead fall back to the
+        optimizer's estimate for the mean — the same strategy Algorithm 1
+        uses for aggregates — and assign a 100% relative standard
+        deviation. Theorem 4's absolute bound is far too loose here: it
+        scales like sqrt(rho) and, multiplied by the huge leaf-product
+        coefficients of deep plans, would predict absurd time variances.
+        A unit coefficient of variation keeps the uncertainty honest
+        ("we know only the order of magnitude") at the right scale.
+        """
+        aliases = node.leaf_aliases()
+        sizes = {
+            alias: self._samples.sample_size(self._planned.alias_tables[alias])
+            for alias in aliases
+        }
+        rho = min(max(self._planned.est_selectivity(node), 0.0), 1.0)
+        variance = rho * rho
+        share = variance / len(aliases) if aliases else 0.0
+        return NodeSelectivity(
+            op_id=node.op_id,
+            mean=rho,
+            variance=variance,
+            var_components={alias: share for alias in aliases},
+            leaf_aliases=aliases,
+            sample_sizes=sizes,
+            source="sample",
+        )
+
+    def _optimizer_fallback(self, node) -> NodeSelectivity:
+        """Aggregates (and anything above them): optimizer estimate, S^2=0."""
+        aliases = node.leaf_aliases()
+        sizes = {
+            alias: self._samples.sample_size(self._planned.alias_tables[alias])
+            for alias in aliases
+        }
+        return NodeSelectivity(
+            op_id=node.op_id,
+            mean=min(self._planned.est_selectivity(node), 1.0),
+            variance=0.0,
+            var_components={alias: 0.0 for alias in aliases},
+            leaf_aliases=aliases,
+            sample_sizes=sizes,
+            source="optimizer",
+        )
+
+    def _gee_selectivity(self, node: AggregateNode, child) -> NodeSelectivity:
+        """GEE extension: sample-based aggregate output estimate."""
+        from .gee import gee_selectivity
+
+        aliases = node.leaf_aliases()
+        sizes = {
+            alias: self._samples.sample_size(self._planned.alias_tables[alias])
+            for alias in aliases
+        }
+        fraction = 1.0
+        for alias in aliases:
+            full = self._planned.alias_rows[alias]
+            fraction *= sizes[alias] / max(full, 1)
+        keys = [child.columns[key] for key in node.group_keys if key in child.columns]
+        if not keys:
+            return self._optimizer_fallback(node)
+        denominator = self._planned.leaf_row_product(node)
+        mean, variance = gee_selectivity(keys, 1.0 / max(fraction, 1e-12), denominator)
+        if mean <= 0.0:
+            return self._optimizer_fallback(node)
+        share = variance / len(aliases)
+        return NodeSelectivity(
+            op_id=node.op_id,
+            mean=mean,
+            variance=variance,
+            var_components={alias: share for alias in aliases},
+            leaf_aliases=aliases,
+            sample_sizes=sizes,
+            source="gee",
+        )
+
+    def _alias_selectivity(self, node) -> NodeSelectivity:
+        child_id = node.children[0].op_id
+        return NodeSelectivity(
+            op_id=node.op_id,
+            mean=float("nan"),
+            variance=0.0,
+            var_components={},
+            leaf_aliases=node.leaf_aliases(),
+            sample_sizes={},
+            source="alias",
+            alias_of=child_id,
+        )

@@ -1,0 +1,62 @@
+"""GEE distinct-value estimation for aggregate output cardinalities.
+
+Section 3.2.2 notes that the sampling estimator cannot handle
+aggregates and that incorporating a distinct-value estimator such as
+GEE (Charikar et al., PODS'00) is future work. This module implements
+that extension: the Guaranteed-Error Estimator
+
+    D_hat = sqrt(N / n) * f_1 + sum_{j >= 2} f_j
+
+where f_j is the number of distinct values appearing exactly j times in
+a sample of n rows out of N. For aggregates over join results we use
+the effective sampling fraction q = prod_k (n_k / N_k) and scale by
+sqrt(1 / q).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..util import group_ids
+
+__all__ = ["gee_distinct_estimate", "gee_selectivity"]
+
+
+def gee_distinct_estimate(sample_keys: list[np.ndarray], scale_up: float) -> float:
+    """Estimate the number of distinct key combinations in the population.
+
+    ``sample_keys`` are the group-key columns of the sample rows;
+    ``scale_up`` is 1/q where q is the effective sampling fraction.
+    """
+    if not sample_keys or len(sample_keys[0]) == 0:
+        return 0.0
+    ids, representatives = group_ids(*sample_keys)
+    counts = np.bincount(ids, minlength=len(representatives))
+    f1 = int((counts == 1).sum())
+    f_rest = int((counts >= 2).sum())
+    return float(np.sqrt(max(scale_up, 1.0)) * f1 + f_rest)
+
+
+def gee_selectivity(
+    sample_keys: list[np.ndarray],
+    scale_up: float,
+    denominator: float,
+) -> tuple[float, float]:
+    """(mean, variance) of an aggregate's selectivity via GEE.
+
+    The mean is D_hat / denominator (Eq. 3's product of leaf-table
+    sizes). The variance is a heuristic: the singleton mass f_1 is the
+    uncertain part of D_hat, so we attribute a relative variance of
+    f_1 / (n * D_sample) to the estimate.
+    """
+    if not sample_keys or len(sample_keys[0]) == 0:
+        return 0.0, 0.0
+    ids, representatives = group_ids(*sample_keys)
+    counts = np.bincount(ids, minlength=len(representatives))
+    f1 = int((counts == 1).sum())
+    d_sample = len(representatives)
+    n = len(sample_keys[0])
+    d_hat = float(np.sqrt(max(scale_up, 1.0)) * f1 + int((counts >= 2).sum()))
+    mean = min(d_hat / max(denominator, 1.0), 1.0)
+    relative_variance = (f1 / max(d_sample, 1)) / max(n, 1)
+    return mean, (mean * mean) * relative_variance

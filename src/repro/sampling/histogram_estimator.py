@@ -1,0 +1,224 @@
+"""A histogram-based selectivity estimator with uncertainty (Section 3.2).
+
+The paper notes that quantifying selectivity uncertainty "depends on the
+nature of the selectivity estimator used" and leaves non-sampling
+estimators (histograms) as future work. This module implements that
+alternative: selectivity means come from the catalog statistics (the
+same machinery the optimizer uses) and variances from explicit error
+models:
+
+* **range predicates**: within-bucket linear interpolation can be off by
+  at most one bucket's mass per bound; treating the interpolation error
+  as uniform over that bucket gives variance ``(1/B)^2 / 12`` per bound.
+* **equality / IN**: the non-MCV residual is spread over the remaining
+  distinct values; its dispersion contributes a relative variance of
+  roughly one (the estimator only knows the average frequency).
+* **joins**: the ``1/max(ndv)`` rule is exact under containment +
+  uniformity; skew breaks it, so we attach a relative variance that
+  grows with the key-frequency skew observable from the MCV fractions.
+
+Output is :class:`~repro.sampling.estimator.SamplingEstimate`-shaped, so
+the unmodified predictor can consume it; per-relation variance
+components are attributed to the alias whose statistics produced the
+uncertainty (there are no shared samples, hence no covariances — the
+predictor's bounds all evaluate to zero for "histogram" sources because
+the components are attached to single relations and the variance carries
+no cross-operator correlation structure anyway; we conservatively leave
+them in place so the bound machinery still applies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..optimizer.cardinality import CardinalityEstimator
+from ..optimizer.cost_model import ResourceCounts
+from ..optimizer.optimizer import PlannedQuery
+from ..plan.physical import OpKind
+from ..plan.predicates import ColumnPairScanPredicate, PredicateKind
+from ..storage.statistics import DEFAULT_HISTOGRAM_BUCKETS
+from .estimator import NodeSelectivity, SamplingEstimate
+
+__all__ = ["HistogramSelectivityEstimator"]
+
+#: Relative variance attached to predicates histograms cannot resolve.
+UNRESOLVED_RELATIVE_VARIANCE = 1.0 / 3.0
+
+
+class HistogramSelectivityEstimator:
+    """Estimates per-operator selectivity distributions from the catalog."""
+
+    def __init__(self, planned: PlannedQuery):
+        self._planned = planned
+        self._cardinality = CardinalityEstimator(planned.database)
+
+    def estimate(self) -> SamplingEstimate:
+        per_node: dict[int, NodeSelectivity] = {}
+        for node in self._planned.root.walk():
+            per_node[node.op_id] = self._node_selectivity(node, per_node)
+        return SamplingEstimate(per_node=per_node, sample_run_counts={})
+
+    # ------------------------------------------------------------------
+    def _node_selectivity(self, node, per_node) -> NodeSelectivity:
+        kind = node.kind
+        if node.is_scan:
+            return self._scan(node)
+        if kind in (OpKind.SORT, OpKind.MATERIALIZE):
+            return NodeSelectivity(
+                op_id=node.op_id,
+                mean=float("nan"),
+                variance=0.0,
+                var_components={},
+                leaf_aliases=node.leaf_aliases(),
+                sample_sizes={},
+                source="alias",
+                alias_of=node.children[0].op_id,
+            )
+        if node.is_join:
+            return self._join(node, per_node)
+        if kind is OpKind.FILTER:
+            return self._filter(node, per_node)
+        # Aggregates / limits: the optimizer estimate, no variance — the
+        # same fallback Algorithm 1 uses.
+        return self._fallback(node)
+
+    def _fallback(self, node) -> NodeSelectivity:
+        aliases = node.leaf_aliases()
+        return NodeSelectivity(
+            op_id=node.op_id,
+            mean=min(self._planned.est_selectivity(node), 1.0),
+            variance=0.0,
+            var_components={alias: 0.0 for alias in aliases},
+            leaf_aliases=aliases,
+            sample_sizes={},
+            source="optimizer",
+        )
+
+    # -- scans -----------------------------------------------------------
+    def _predicate_distribution(self, table: str, predicate) -> tuple[float, float]:
+        """(mean, variance) of one predicate's selectivity."""
+        mean = self._cardinality.predicate_selectivity(table, predicate)
+        if isinstance(predicate, ColumnPairScanPredicate):
+            return mean, mean * mean * UNRESOLVED_RELATIVE_VARIANCE
+        kind = predicate.kind
+        bucket = 1.0 / DEFAULT_HISTOGRAM_BUCKETS
+        per_bound = bucket * bucket / 12.0
+        if kind is PredicateKind.BETWEEN:
+            return mean, 2.0 * per_bound
+        if kind in (
+            PredicateKind.LT,
+            PredicateKind.LE,
+            PredicateKind.GT,
+            PredicateKind.GE,
+        ):
+            return mean, per_bound
+        if kind in (PredicateKind.EQ, PredicateKind.NE, PredicateKind.IN):
+            # Average-frequency assumption: order-of-magnitude knowledge.
+            return mean, mean * mean * UNRESOLVED_RELATIVE_VARIANCE
+        return mean, mean * mean * UNRESOLVED_RELATIVE_VARIANCE
+
+    def _scan(self, node) -> NodeSelectivity:
+        table = node.table
+        predicates = list(node.predicates)
+        if node.kind is OpKind.INDEX_SCAN and node.index_predicate is not None:
+            predicates.append(node.index_predicate)
+        mean = 1.0
+        relative_variance = 0.0
+        for predicate in predicates:
+            p_mean, p_var = self._predicate_distribution(table, predicate)
+            mean *= p_mean
+            if p_mean > 0:
+                # independent factors: relative variances add (first order)
+                relative_variance += p_var / (p_mean * p_mean)
+        variance = mean * mean * relative_variance
+        alias = node.alias
+        return NodeSelectivity(
+            op_id=node.op_id,
+            mean=min(mean, 1.0),
+            variance=variance,
+            var_components={alias: variance},
+            leaf_aliases=(alias,),
+            sample_sizes={},
+            source="histogram",
+        )
+
+    # -- joins ------------------------------------------------------------
+    def _join_edge_relative_variance(self, table_left, column_left, table_right, column_right) -> float:
+        """Skew-driven relative variance of the 1/max(ndv) rule."""
+        stats = self._planned.database.table_stats(table_left).column(column_left)
+        other = self._planned.database.table_stats(table_right).column(column_right)
+        skew = 0.0
+        for column_stats in (stats, other):
+            if column_stats.mcv_fractions:
+                top = column_stats.mcv_fractions[0]
+                uniform = 1.0 / max(column_stats.num_distinct, 1)
+                # top-frequency inflation over the uniform assumption
+                skew = max(skew, top / uniform - 1.0)
+        return min(skew, 9.0) / 3.0 + 0.05
+
+    def _join(self, node, per_node) -> NodeSelectivity:
+        left = self._resolve(per_node, node.children[0].op_id)
+        right = self._resolve(per_node, node.children[1].op_id)
+        edge_mean = 1.0
+        edge_rel_var = 0.0
+        for left_key, right_key in node.keys:
+            left_alias, left_column = left_key.split(".", 1)
+            right_alias, right_column = right_key.split(".", 1)
+            table_left = self._planned.alias_tables[left_alias]
+            table_right = self._planned.alias_tables[right_alias]
+            ndv_l = self._cardinality.column_ndv(table_left, left_column)
+            ndv_r = self._cardinality.column_ndv(table_right, right_column)
+            edge_mean *= 1.0 / max(ndv_l, ndv_r, 1)
+            edge_rel_var += self._join_edge_relative_variance(
+                table_left, left_column, table_right, right_column
+            )
+        mean = left.mean * right.mean * edge_mean
+        relative_variance = edge_rel_var
+        if left.mean > 0:
+            relative_variance += left.variance / (left.mean * left.mean)
+        if right.mean > 0:
+            relative_variance += right.variance / (right.mean * right.mean)
+        variance = mean * mean * relative_variance
+        aliases = node.leaf_aliases()
+        share = variance / len(aliases)
+        return NodeSelectivity(
+            op_id=node.op_id,
+            mean=min(mean, 1.0),
+            variance=variance,
+            var_components={alias: share for alias in aliases},
+            leaf_aliases=aliases,
+            sample_sizes={},
+            source="histogram",
+        )
+
+    def _filter(self, node, per_node) -> NodeSelectivity:
+        child = self._resolve(per_node, node.children[0].op_id)
+        # Cross-table comparisons: the PostgreSQL-style default with
+        # order-of-magnitude uncertainty.
+        mean = child.mean
+        relative_variance = 0.0
+        if child.mean > 0:
+            relative_variance = child.variance / (child.mean * child.mean)
+        num_predicates = len(node.scan_predicates) + len(node.compare_predicates)
+        for _ in range(num_predicates):
+            mean *= 1.0 / 3.0
+            relative_variance += UNRESOLVED_RELATIVE_VARIANCE
+        variance = mean * mean * relative_variance
+        aliases = node.leaf_aliases()
+        share = variance / len(aliases)
+        return NodeSelectivity(
+            op_id=node.op_id,
+            mean=min(mean, 1.0),
+            variance=variance,
+            var_components={alias: share for alias in aliases},
+            leaf_aliases=aliases,
+            sample_sizes={},
+            source="histogram",
+        )
+
+    @staticmethod
+    def _resolve(per_node, op_id: int) -> NodeSelectivity:
+        node = per_node[op_id]
+        while node.alias_of is not None:
+            node = per_node[node.alias_of]
+        return node

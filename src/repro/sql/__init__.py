@@ -1,0 +1,39 @@
+"""SQL front end: lexer, AST, and parser for the supported subset."""
+
+from .ast import (
+    AggCall,
+    Arith,
+    Between,
+    ColumnRef,
+    Comparison,
+    InList,
+    LikePrefix,
+    Literal,
+    OrderItem,
+    Query,
+    SelectItem,
+    TableRef,
+    date_literal_days,
+)
+from .lexer import Token, TokenType, tokenize
+from .parser import parse_query
+
+__all__ = [
+    "parse_query",
+    "tokenize",
+    "Token",
+    "TokenType",
+    "Query",
+    "SelectItem",
+    "TableRef",
+    "ColumnRef",
+    "Literal",
+    "Arith",
+    "AggCall",
+    "Comparison",
+    "Between",
+    "InList",
+    "LikePrefix",
+    "OrderItem",
+    "date_literal_days",
+]

@@ -1,0 +1,138 @@
+"""Abstract syntax tree for the supported SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date as _date
+
+__all__ = [
+    "ColumnRef",
+    "Literal",
+    "Arith",
+    "AggCall",
+    "Comparison",
+    "Between",
+    "InList",
+    "LikePrefix",
+    "SelectItem",
+    "TableRef",
+    "OrderItem",
+    "Query",
+    "date_literal_days",
+    "TPCH_DATE_EPOCH",
+]
+
+#: Epoch for DATE literals: day 0 = 1992-01-01 (matches the data generator).
+TPCH_DATE_EPOCH = _date(1992, 1, 1)
+
+
+def date_literal_days(text: str) -> int:
+    """Convert 'YYYY-MM-DD' into an integer day number (epoch 1992-01-01)."""
+    year, month, day = (int(part) for part in text.split("-"))
+    return (_date(year, month, day) - TPCH_DATE_EPOCH).days
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A possibly qualified column reference, e.g. ``l.l_quantity``."""
+
+    name: str
+    qualifier: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A numeric, string, or date literal (dates stored as day numbers)."""
+
+    value: object
+    kind: str  # "number" | "string" | "date"
+
+
+@dataclass(frozen=True)
+class Arith:
+    """A binary arithmetic expression over scalars (``+ - * /``)."""
+
+    op: str
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class AggCall:
+    """An aggregate call: COUNT(*) or FUNC(scalar expression)."""
+
+    func: str  # COUNT | SUM | AVG | MIN | MAX
+    argument: object | None  # None means COUNT(*)
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``column OP literal`` or ``column OP column`` (a join predicate)."""
+
+    left: ColumnRef
+    op: str  # = <> < <= > >=
+    right: object  # Literal or ColumnRef
+
+
+@dataclass(frozen=True)
+class Between:
+    column: ColumnRef
+    low: Literal
+    high: Literal
+
+
+@dataclass(frozen=True)
+class InList:
+    column: ColumnRef
+    values: tuple[Literal, ...]
+
+
+@dataclass(frozen=True)
+class LikePrefix:
+    """``column LIKE 'prefix%'`` — the only LIKE shape we support."""
+
+    column: ColumnRef
+    prefix: str
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expression: object  # ColumnRef | AggCall | Arith
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    table: str
+    alias: str | None = None
+
+    @property
+    def effective_name(self) -> str:
+        return self.alias or self.table
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expression: ColumnRef
+    descending: bool = False
+
+
+@dataclass
+class Query:
+    """A parsed SELECT query."""
+
+    select: list[SelectItem]
+    tables: list[TableRef]
+    predicates: list[object] = field(default_factory=list)
+    group_by: list[ColumnRef] = field(default_factory=list)
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+    select_star: bool = False
+
+    @property
+    def has_aggregates(self) -> bool:
+        return any(isinstance(item.expression, AggCall) for item in self.select)

@@ -1,0 +1,125 @@
+"""Tokenizer for the supported SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import SqlLexError
+
+__all__ = ["TokenType", "Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "AND", "OR",
+    "AS", "BETWEEN", "IN", "LIKE", "NOT", "LIMIT", "ASC", "DESC",
+    "DATE", "COUNT", "SUM", "AVG", "MIN", "MAX", "DISTINCT",
+}
+
+
+class TokenType(Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"  # = <> < <= > >= + - * /
+    COMMA = ","
+    DOT = "."
+    LPAREN = "("
+    RPAREN = ")"
+    STAR = "*"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in names
+
+
+_SINGLE = {
+    ",": TokenType.COMMA,
+    ".": TokenType.DOT,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+}
+_OPERATOR_CHARS = set("=<>+-/!")
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Turn ``sql`` into a token list ending with an END token."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        starts_number = ch == "." and i + 1 < n and sql[i + 1].isdigit()
+        if ch in _SINGLE and not starts_number:
+            tokens.append(Token(_SINGLE[ch], ch, i))
+            i += 1
+            continue
+        if ch == "*":
+            tokens.append(Token(TokenType.STAR, "*", i))
+            i += 1
+            continue
+        if ch == "'":
+            end = sql.find("'", i + 1)
+            if end < 0:
+                raise SqlLexError(f"unterminated string literal at {i}")
+            tokens.append(Token(TokenType.STRING, sql[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (sql[j].isdigit() or (sql[j] == "." and not seen_dot)):
+                if sql[j] == ".":
+                    # A dot not followed by a digit ends the number (e.g. "1.").
+                    if j + 1 >= n or not sql[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            # Scientific notation: 1e5, 2.5e-3, 1E+6.
+            if j < n and sql[j] in "eE":
+                k = j + 1
+                if k < n and sql[k] in "+-":
+                    k += 1
+                if k < n and sql[k].isdigit():
+                    while k < n and sql[k].isdigit():
+                        k += 1
+                    j = k
+            tokens.append(Token(TokenType.NUMBER, sql[i:j], i))
+            i = j
+            continue
+        if ch in _OPERATOR_CHARS:
+            two = sql[i : i + 2]
+            if two in ("<=", ">=", "<>", "!="):
+                tokens.append(Token(TokenType.OPERATOR, "<>" if two == "!=" else two, i))
+                i += 2
+            elif ch == "!":
+                raise SqlLexError(f"unexpected character {ch!r} at position {i}")
+            else:
+                tokens.append(Token(TokenType.OPERATOR, ch, i))
+                i += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, i))
+            else:
+                tokens.append(Token(TokenType.IDENT, word.lower(), i))
+            i = j
+            continue
+        raise SqlLexError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token(TokenType.END, "", n))
+    return tokens

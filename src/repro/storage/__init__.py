@@ -1,0 +1,21 @@
+"""Columnar storage substrate: schemas, tables, statistics, catalog."""
+
+from .catalog import Database
+from .index import SortedIndex
+from .schema import PAGE_SIZE_BYTES, Column, ColumnType, Schema
+from .statistics import ColumnStats, TableStats, build_column_stats, build_table_stats
+from .table import Table
+
+__all__ = [
+    "PAGE_SIZE_BYTES",
+    "Column",
+    "ColumnType",
+    "Schema",
+    "Table",
+    "Database",
+    "SortedIndex",
+    "ColumnStats",
+    "TableStats",
+    "build_column_stats",
+    "build_table_stats",
+]

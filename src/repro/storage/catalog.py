@@ -1,0 +1,72 @@
+"""The database catalog: tables, statistics, and indexes in one place."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CatalogError
+from .index import SortedIndex
+from .statistics import TableStats, build_table_stats
+from .table import Table
+
+__all__ = ["Database"]
+
+
+@dataclass
+class Database:
+    """A collection of named tables plus their statistics and indexes.
+
+    This is the substrate the optimizer, executor, and sampling subsystem
+    all operate against — the stand-in for the PostgreSQL instance used by
+    the paper.
+    """
+
+    name: str
+    tables: dict[str, Table] = field(default_factory=dict)
+    stats: dict[str, TableStats] = field(default_factory=dict)
+    indexes: dict[tuple[str, str], SortedIndex] = field(default_factory=dict)
+
+    def add_table(self, table: Table, indexed_columns: tuple[str, ...] = ()) -> None:
+        """Register ``table``, computing statistics and building indexes."""
+        if table.name in self.tables:
+            raise CatalogError(f"table already exists: {table.name!r}")
+        self.tables[table.name] = table
+        self.stats[table.name] = build_table_stats(table)
+        for column_name in indexed_columns:
+            self.create_index(table.name, column_name)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table: {name!r}") from None
+
+    def table_stats(self, name: str) -> TableStats:
+        try:
+            return self.stats[name]
+        except KeyError:
+            raise CatalogError(f"no statistics for table: {name!r}") from None
+
+    def create_index(self, table_name: str, column_name: str) -> SortedIndex:
+        table = self.table(table_name)
+        if column_name not in table.schema:
+            raise CatalogError(
+                f"cannot index {table_name}.{column_name}: no such column"
+            )
+        index = SortedIndex.build(table, column_name)
+        self.indexes[(table_name, column_name)] = index
+        return index
+
+    def index_for(self, table_name: str, column_name: str) -> SortedIndex | None:
+        return self.indexes.get((table_name, column_name))
+
+    def has_index(self, table_name: str, column_name: str) -> bool:
+        return (table_name, column_name) in self.indexes
+
+    @property
+    def table_names(self) -> list[str]:
+        return sorted(self.tables)
+
+    @property
+    def total_rows(self) -> int:
+        return sum(table.num_rows for table in self.tables.values())

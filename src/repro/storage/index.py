@@ -1,0 +1,67 @@
+"""Secondary indexes: sorted-position indexes over single columns.
+
+The executor uses them for index scans; the cost model charges random
+page reads per fetched tuple plus per-tuple index CPU, mirroring
+PostgreSQL's index scan costing (the paper's ``ci``/``cr`` units).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .schema import PAGE_SIZE_BYTES
+
+__all__ = ["SortedIndex"]
+
+#: Approximate bytes per index entry (key + pointer).
+INDEX_ENTRY_BYTES = 16
+
+
+@dataclass
+class SortedIndex:
+    """A sorted mapping from column values to row positions."""
+
+    table_name: str
+    column_name: str
+    sorted_values: np.ndarray
+    sorted_positions: np.ndarray
+
+    @classmethod
+    def build(cls, table, column_name: str) -> "SortedIndex":
+        values = table.column(column_name)
+        order = np.argsort(values, kind="stable")
+        return cls(
+            table_name=table.name,
+            column_name=column_name,
+            sorted_values=values[order],
+            sorted_positions=order.astype(np.int64),
+        )
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.sorted_values)
+
+    @property
+    def num_pages(self) -> int:
+        if self.num_entries == 0:
+            return 1
+        return max(1, math.ceil(self.num_entries * INDEX_ENTRY_BYTES / PAGE_SIZE_BYTES))
+
+    def lookup_range(self, low=None, high=None) -> np.ndarray:
+        """Row positions with ``low <= value <= high`` (either bound optional)."""
+        start = 0
+        stop = self.num_entries
+        if low is not None:
+            start = int(np.searchsorted(self.sorted_values, low, side="left"))
+        if high is not None:
+            stop = int(np.searchsorted(self.sorted_values, high, side="right"))
+        if start >= stop:
+            return np.empty(0, dtype=np.int64)
+        return self.sorted_positions[start:stop]
+
+    def lookup_eq(self, value) -> np.ndarray:
+        """Row positions with ``value == key``."""
+        return self.lookup_range(low=value, high=value)

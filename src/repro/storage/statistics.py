@@ -1,0 +1,164 @@
+"""Column statistics: equi-depth histograms and most-common values.
+
+These statistics power the optimizer's cardinality estimator (the
+"optimizer estimates" the paper falls back to for aggregates) and the
+MICRO benchmark's Picasso-style selectivity-space query placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .schema import ColumnType
+
+__all__ = ["ColumnStats", "build_column_stats", "TableStats", "build_table_stats"]
+
+#: Number of buckets in equi-depth histograms (PostgreSQL default is 100).
+DEFAULT_HISTOGRAM_BUCKETS = 64
+#: Number of most-common values tracked per column.
+DEFAULT_NUM_MCVS = 16
+
+
+@dataclass
+class ColumnStats:
+    """Statistics for one column of one table."""
+
+    name: str
+    ctype: ColumnType
+    num_rows: int
+    num_distinct: int
+    null_fraction: float = 0.0
+    min_value: object | None = None
+    max_value: object | None = None
+    #: equi-depth bucket boundaries (length = buckets + 1), numeric only
+    histogram: np.ndarray | None = None
+    #: most common values and their frequencies (fractions of the table)
+    mcv_values: list = field(default_factory=list)
+    mcv_fractions: list[float] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Selectivity estimation primitives
+    # ------------------------------------------------------------------
+    def eq_selectivity(self, value) -> float:
+        """Estimated fraction of rows with column == value."""
+        for mcv, fraction in zip(self.mcv_values, self.mcv_fractions):
+            if mcv == value:
+                return fraction
+        mcv_mass = sum(self.mcv_fractions)
+        rest = max(self.num_distinct - len(self.mcv_values), 1)
+        return max((1.0 - mcv_mass) / rest, 1.0 / max(self.num_rows, 1))
+
+    def range_selectivity(self, low=None, high=None) -> float:
+        """Estimated fraction of rows with low <= column <= high.
+
+        Uses the equi-depth histogram with linear interpolation within
+        buckets, mirroring PostgreSQL's scalarltsel machinery.
+        """
+        if self.histogram is None or len(self.histogram) < 2:
+            return 0.33  # PostgreSQL-style default for unknown ranges
+        fraction_high = 1.0 if high is None else self._cdf(high)
+        fraction_low = 0.0 if low is None else self._cdf(low)
+        return float(np.clip(fraction_high - fraction_low, 0.0, 1.0))
+
+    def _cdf(self, value) -> float:
+        """Estimated fraction of rows with column <= value."""
+        bounds = self.histogram
+        if value < bounds[0]:
+            return 0.0
+        if value >= bounds[-1]:
+            return 1.0
+        bucket = int(np.searchsorted(bounds, value, side="right")) - 1
+        bucket = min(bucket, len(bounds) - 2)
+        lo, hi = float(bounds[bucket]), float(bounds[bucket + 1])
+        width = hi - lo
+        within = 0.5 if width <= 0 else (float(value) - lo) / width
+        buckets = len(bounds) - 1
+        return (bucket + min(max(within, 0.0), 1.0)) / buckets
+
+    def value_at_quantile(self, q: float):
+        """Approximate the value at cumulative fraction ``q`` (0..1)."""
+        if self.histogram is None or len(self.histogram) < 2:
+            return self.min_value
+        q = min(max(q, 0.0), 1.0)
+        buckets = len(self.histogram) - 1
+        position = q * buckets
+        bucket = min(int(position), buckets - 1)
+        within = position - bucket
+        lo = float(self.histogram[bucket])
+        hi = float(self.histogram[bucket + 1])
+        value = lo + within * (hi - lo)
+        if self.ctype in (ColumnType.INT, ColumnType.DATE):
+            return int(round(value))
+        return value
+
+
+def build_column_stats(
+    name: str,
+    ctype: ColumnType,
+    values: np.ndarray,
+    buckets: int = DEFAULT_HISTOGRAM_BUCKETS,
+    num_mcvs: int = DEFAULT_NUM_MCVS,
+) -> ColumnStats:
+    """Compute :class:`ColumnStats` from a full column scan."""
+    values = np.asarray(values)
+    num_rows = len(values)
+    if num_rows == 0:
+        return ColumnStats(name, ctype, 0, 0)
+
+    uniques, counts = np.unique(values, return_counts=True)
+    num_distinct = len(uniques)
+
+    order = np.argsort(counts)[::-1][:num_mcvs]
+    mcv_values = [uniques[i] for i in order]
+    mcv_fractions = [counts[i] / num_rows for i in order]
+
+    histogram = None
+    min_value: object = uniques[0]
+    max_value: object = uniques[-1]
+    if ctype is not ColumnType.STR:
+        quantiles = np.linspace(0.0, 1.0, buckets + 1)
+        histogram = np.quantile(values.astype(np.float64), quantiles)
+        min_value = values.min()
+        max_value = values.max()
+
+    return ColumnStats(
+        name=name,
+        ctype=ctype,
+        num_rows=num_rows,
+        num_distinct=num_distinct,
+        min_value=min_value,
+        max_value=max_value,
+        histogram=histogram,
+        mcv_values=mcv_values,
+        mcv_fractions=mcv_fractions,
+    )
+
+
+@dataclass
+class TableStats:
+    """Statistics for a table: row count, pages, per-column stats."""
+
+    table_name: str
+    num_rows: int
+    num_pages: int
+    columns: dict[str, ColumnStats]
+
+    def column(self, name: str) -> ColumnStats:
+        return self.columns[name]
+
+
+def build_table_stats(table) -> TableStats:
+    """Compute :class:`TableStats` by scanning every column of ``table``."""
+    columns = {}
+    for column in table.schema:
+        columns[column.name] = build_column_stats(
+            column.name, column.ctype, table.column(column.name)
+        )
+    return TableStats(
+        table_name=table.name,
+        num_rows=table.num_rows,
+        num_pages=table.num_pages,
+        columns=columns,
+    )

@@ -1,0 +1,82 @@
+"""Columnar in-memory tables backed by numpy arrays."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SchemaError
+from .schema import PAGE_SIZE_BYTES, Schema
+
+__all__ = ["Table"]
+
+
+@dataclass
+class Table:
+    """A named columnar table.
+
+    Columns are dense numpy arrays of equal length. Tables are immutable in
+    spirit: construction validates shape/type agreement, and all operations
+    that "modify" data (projection, row selection) return new tables.
+    """
+
+    name: str
+    schema: Schema
+    data: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self):
+        lengths = set()
+        for column in self.schema:
+            if column.name not in self.data:
+                raise SchemaError(
+                    f"table {self.name!r}: missing data for column {column.name!r}"
+                )
+            array = np.asarray(self.data[column.name])
+            self.data[column.name] = array
+            lengths.add(len(array))
+        extras = set(self.data) - {c.name for c in self.schema}
+        if extras:
+            raise SchemaError(f"table {self.name!r}: extra columns {sorted(extras)}")
+        if len(lengths) > 1:
+            raise SchemaError(f"table {self.name!r}: ragged columns {lengths}")
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    @property
+    def num_rows(self) -> int:
+        if not self.schema.columns:
+            return 0
+        return len(self.data[self.schema.columns[0].name])
+
+    @property
+    def num_pages(self) -> int:
+        """Number of physical pages the table occupies (cost-model view)."""
+        if self.num_rows == 0:
+            return 1
+        total_bytes = self.num_rows * self.schema.row_width_bytes
+        return max(1, math.ceil(total_bytes / PAGE_SIZE_BYTES))
+
+    def column(self, name: str) -> np.ndarray:
+        """Return the raw array for column ``name``."""
+        if name not in self.data:
+            raise SchemaError(f"table {self.name!r}: unknown column {name!r}")
+        return self.data[name]
+
+    def take(self, row_indices: np.ndarray, name: str | None = None) -> "Table":
+        """Return a new table containing the given rows (in order)."""
+        row_indices = np.asarray(row_indices)
+        data = {col: array[row_indices] for col, array in self.data.items()}
+        return Table(name or self.name, self.schema, data)
+
+    def head(self, n: int) -> "Table":
+        return self.take(np.arange(min(n, self.num_rows)))
+
+    def rows(self, limit: int | None = None):
+        """Yield rows as dicts — intended for tests and small outputs only."""
+        count = self.num_rows if limit is None else min(limit, self.num_rows)
+        names = self.schema.names
+        for i in range(count):
+            yield {name: self.data[name][i] for name in names}

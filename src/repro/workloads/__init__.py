@@ -1,0 +1,50 @@
+"""The three evaluation benchmarks: MICRO, SELJOIN, TPCH (Section 6.2)."""
+
+from ..util import ensure_rng
+from .micro import micro_join_queries, micro_scan_queries, micro_workload
+from .tpch_templates import TPCH_TEMPLATES, TpchTemplate, template_by_number
+
+__all__ = [
+    "micro_workload",
+    "micro_scan_queries",
+    "micro_join_queries",
+    "TPCH_TEMPLATES",
+    "TpchTemplate",
+    "template_by_number",
+    "seljoin_workload",
+    "tpch_workload",
+    "workload_by_name",
+]
+
+
+def seljoin_workload(num_queries: int = 28, seed: int = 0) -> list[str]:
+    """SELJOIN: aggregate-free instances of the 14 TPC-H templates."""
+    rng = ensure_rng(seed)
+    queries = []
+    templates = list(TPCH_TEMPLATES)
+    for i in range(num_queries):
+        template = templates[i % len(templates)]
+        queries.append(template.seljoin(rng))
+    return queries
+
+
+def tpch_workload(num_queries: int = 28, seed: int = 0) -> list[str]:
+    """TPCH: aggregate instances of the 14 TPC-H templates."""
+    rng = ensure_rng(seed)
+    queries = []
+    templates = list(TPCH_TEMPLATES)
+    for i in range(num_queries):
+        template = templates[i % len(templates)]
+        queries.append(template.instantiate(rng))
+    return queries
+
+
+def workload_by_name(name: str, database, num_queries: int, seed: int = 0) -> list[str]:
+    """Dispatch on benchmark name: MICRO / SELJOIN / TPCH."""
+    if name == "MICRO":
+        return micro_workload(database, num_queries=num_queries, seed=seed)
+    if name == "SELJOIN":
+        return seljoin_workload(num_queries=num_queries, seed=seed)
+    if name == "TPCH":
+        return tpch_workload(num_queries=num_queries, seed=seed)
+    raise ValueError(f"unknown benchmark: {name!r}")

@@ -1,0 +1,84 @@
+"""The MICRO benchmark: Picasso-style selectivity-space coverage.
+
+Pure selection queries and two-way join queries placed evenly across the
+selectivity space using catalog histograms (Section 6.2): for scans the
+space is one-dimensional; for joins, the two per-side selection
+predicates span a 2-D grid.
+"""
+
+from __future__ import annotations
+
+from ..storage import Database
+from ..util import ensure_rng
+
+__all__ = ["micro_scan_queries", "micro_join_queries", "micro_workload"]
+
+#: Numeric columns used to place selection predicates per table.
+_SCAN_COLUMNS = {
+    "lineitem": "l_extendedprice",
+    "orders": "o_totalprice",
+    "customer": "c_acctbal",
+    "part": "p_retailprice",
+}
+
+#: Two-way join pairs: (left table, left column, right table, right
+#: column, join keys).
+_JOIN_PAIRS = (
+    ("orders", "o_totalprice", "lineitem", "l_extendedprice",
+     "o_orderkey = l_orderkey"),
+    ("customer", "c_acctbal", "orders", "o_totalprice",
+     "c_custkey = o_custkey"),
+    ("part", "p_retailprice", "lineitem", "l_extendedprice",
+     "p_partkey = l_partkey"),
+)
+
+
+def _threshold(database: Database, table: str, column: str, fraction: float):
+    """The column value below which ~``fraction`` of the rows fall."""
+    stats = database.table_stats(table).column(column)
+    return stats.value_at_quantile(fraction)
+
+
+def micro_scan_queries(database: Database, per_table: int = 8) -> list[str]:
+    """Selection queries evenly covering (0, 1) selectivity per table."""
+    queries = []
+    for table, column in _SCAN_COLUMNS.items():
+        if table not in database.tables:
+            continue
+        for i in range(per_table):
+            fraction = (i + 0.5) / per_table
+            value = _threshold(database, table, column, fraction)
+            queries.append(f"SELECT * FROM {table} WHERE {column} <= {value}")
+    return queries
+
+
+def micro_join_queries(database: Database, grid: int = 4) -> list[str]:
+    """Two-way join queries over a ``grid x grid`` selectivity grid."""
+    queries = []
+    for left, left_col, right, right_col, join in _JOIN_PAIRS:
+        if left not in database.tables or right not in database.tables:
+            continue
+        for i in range(grid):
+            for j in range(grid):
+                left_value = _threshold(database, left, left_col, (i + 0.5) / grid)
+                right_value = _threshold(database, right, right_col, (j + 0.5) / grid)
+                queries.append(
+                    f"SELECT * FROM {left}, {right} WHERE {join} "
+                    f"AND {left_col} <= {left_value} "
+                    f"AND {right_col} <= {right_value}"
+                )
+    return queries
+
+
+def micro_workload(
+    database: Database,
+    num_queries: int | None = None,
+    seed: int = 0,
+) -> list[str]:
+    """The full MICRO benchmark (optionally subsampled to num_queries)."""
+    queries = micro_scan_queries(database) + micro_join_queries(database)
+    if num_queries is None or num_queries >= len(queries):
+        return queries
+    rng = ensure_rng(seed)
+    chosen = rng.choice(len(queries), size=num_queries, replace=False)
+    return [queries[i] for i in sorted(chosen)]

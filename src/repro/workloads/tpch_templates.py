@@ -1,0 +1,297 @@
+"""The 14 TPC-H templates used by the paper (Section 6.2).
+
+Templates 1, 3, 4, 5, 6, 7, 8, 9, 10, 12, 13, 14, 18, 19 — the ones
+whose plans the paper's framework handles. Constructs outside our SQL
+subset (EXISTS/IN subqueries, OUTER JOIN, CASE, OR blocks) are rewritten
+to the equivalent-shape join/filter form, exactly in the spirit of the
+paper's own restriction to plans without sub-query nodes.
+
+Each template is a :class:`TpchTemplate`; ``instantiate`` draws the
+spec-defined substitution parameters from an RNG. The SELJOIN benchmark
+(the "maximal sub-query without aggregates") reuses the same FROM/WHERE
+with ``SELECT *``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datagen import text
+from ..util import ensure_rng
+
+__all__ = ["TpchTemplate", "TPCH_TEMPLATES", "template_by_number"]
+
+
+def _date(days_from_1992: int) -> str:
+    """Format a day offset as a DATE literal within the 1992..1998 domain."""
+    # Walk calendar years to convert the day number back to y-m-d.
+    days_in_year = {
+        1992: 366, 1993: 365, 1994: 365, 1995: 365,
+        1996: 366, 1997: 365, 1998: 365,
+    }
+    year = 1992
+    remaining = max(0, int(days_from_1992))
+    while remaining >= days_in_year[year] and year < 1998:
+        remaining -= days_in_year[year]
+        year += 1
+    month_lengths = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31]
+    if year in (1992, 1996):
+        month_lengths[1] = 29
+    month = 1
+    for length in month_lengths:
+        if remaining < length:
+            break
+        remaining -= length
+        month += 1
+    return f"DATE '{year:04d}-{month:02d}-{remaining + 1:02d}'"
+
+
+@dataclass(frozen=True)
+class TpchTemplate:
+    """One TPC-H template: number, FROM clause, and clause builders."""
+
+    number: int
+    tables: str
+    select: str
+    group_by: str
+
+    def where(self, rng) -> str:
+        return _WHERE_BUILDERS[self.number](ensure_rng(rng))
+
+    def instantiate(self, rng) -> str:
+        """A full TPCH-benchmark query (with aggregates)."""
+        sql = f"SELECT {self.select} FROM {self.tables} WHERE {self.where(rng)}"
+        if self.group_by:
+            sql += f" GROUP BY {self.group_by}"
+        return sql
+
+    def seljoin(self, rng) -> str:
+        """The maximal aggregate-free subquery (SELJOIN benchmark)."""
+        return f"SELECT * FROM {self.tables} WHERE {self.where(rng)}"
+
+
+def _q1_where(rng) -> str:
+    delta = int(rng.integers(60, 121))
+    return f"l_shipdate <= {_date(2405 - delta)}"
+
+
+def _q3_where(rng) -> str:
+    segment = str(rng.choice(text.SEGMENTS))
+    day = int(rng.integers(1096, 1186))  # a date in March 1995 +- window
+    return (
+        f"c_mktsegment = '{segment}' AND c_custkey = o_custkey "
+        f"AND l_orderkey = o_orderkey AND o_orderdate < {_date(day)} "
+        f"AND l_shipdate > {_date(day)}"
+    )
+
+
+def _q4_where(rng) -> str:
+    start = int(rng.integers(365, 1827))
+    return (
+        f"l_orderkey = o_orderkey AND o_orderdate >= {_date(start)} "
+        f"AND o_orderdate < {_date(start + 90)} "
+        f"AND l_commitdate < l_receiptdate"
+    )
+
+
+def _q5_where(rng) -> str:
+    region = str(rng.choice(text.REGIONS))
+    start = int(rng.integers(0, 1462))
+    return (
+        "c_custkey = o_custkey AND l_orderkey = o_orderkey "
+        "AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey "
+        "AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey "
+        f"AND r_name = '{region}' AND o_orderdate >= {_date(start)} "
+        f"AND o_orderdate < {_date(start + 365)}"
+    )
+
+
+def _q6_where(rng) -> str:
+    start = int(rng.integers(0, 1462))
+    discount = int(rng.integers(2, 10)) / 100.0
+    quantity = int(rng.integers(24, 26))
+    return (
+        f"l_shipdate >= {_date(start)} AND l_shipdate < {_date(start + 365)} "
+        f"AND l_discount BETWEEN {discount - 0.01:.2f} AND {discount + 0.01:.2f} "
+        f"AND l_quantity < {quantity}"
+    )
+
+
+def _q7_where(rng) -> str:
+    nation1, nation2 = rng.choice(text.NATIONS, size=2, replace=False)
+    return (
+        "s_suppkey = l_suppkey AND o_orderkey = l_orderkey "
+        "AND c_custkey = o_custkey AND s_nationkey = n1.n_nationkey "
+        "AND c_nationkey = n2.n_nationkey "
+        f"AND n1.n_name = '{nation1}' AND n2.n_name = '{nation2}' "
+        f"AND l_shipdate BETWEEN {_date(1096)} AND {_date(1826)}"
+    )
+
+
+def _q8_where(rng) -> str:
+    region = str(rng.choice(text.REGIONS))
+    ptype = str(rng.choice(text.TYPES))
+    return (
+        "p_partkey = l_partkey AND s_suppkey = l_suppkey "
+        "AND l_orderkey = o_orderkey AND o_custkey = c_custkey "
+        "AND c_nationkey = n1.n_nationkey AND n1.n_regionkey = r_regionkey "
+        "AND s_nationkey = n2.n_nationkey "
+        f"AND r_name = '{region}' AND p_type = '{ptype}' "
+        f"AND o_orderdate BETWEEN {_date(1096)} AND {_date(1826)}"
+    )
+
+
+def _q9_where(rng) -> str:
+    word = str(rng.choice(text.PART_NAME_WORDS))
+    return (
+        "s_suppkey = l_suppkey AND ps_suppkey = l_suppkey "
+        "AND ps_partkey = l_partkey AND p_partkey = l_partkey "
+        "AND o_orderkey = l_orderkey AND s_nationkey = n_nationkey "
+        f"AND p_name LIKE '{word}%'"
+    )
+
+
+def _q10_where(rng) -> str:
+    start = int(rng.integers(365, 1828))
+    return (
+        "c_custkey = o_custkey AND l_orderkey = o_orderkey "
+        f"AND o_orderdate >= {_date(start)} AND o_orderdate < {_date(start + 90)} "
+        "AND l_returnflag = 'R' AND c_nationkey = n_nationkey"
+    )
+
+
+def _q12_where(rng) -> str:
+    mode1, mode2 = rng.choice(text.SHIP_MODES, size=2, replace=False)
+    start = int(rng.integers(0, 1462))
+    return (
+        f"o_orderkey = l_orderkey AND l_shipmode IN ('{mode1}', '{mode2}') "
+        "AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate "
+        f"AND l_receiptdate >= {_date(start)} "
+        f"AND l_receiptdate < {_date(start + 365)}"
+    )
+
+
+def _q13_where(rng) -> str:
+    priority = str(rng.choice(text.PRIORITIES))
+    return f"c_custkey = o_custkey AND o_orderpriority <> '{priority}'"
+
+
+def _q14_where(rng) -> str:
+    start = int(rng.integers(0, 2374))
+    return (
+        "l_partkey = p_partkey AND p_type LIKE 'PROMO%' "
+        f"AND l_shipdate >= {_date(start)} AND l_shipdate < {_date(start + 30)}"
+    )
+
+
+def _q18_where(rng) -> str:
+    threshold = int(rng.integers(350_000, 430_000))
+    return (
+        "c_custkey = o_custkey AND o_orderkey = l_orderkey "
+        f"AND o_totalprice > {threshold}"
+    )
+
+
+def _q19_where(rng) -> str:
+    brand = str(rng.choice(text.BRANDS))
+    quantity = int(rng.integers(1, 11))
+    containers = ", ".join(f"'{c}'" for c in ["SM CASE", "SM BOX", "SM PACK", "SM PKG"])
+    return (
+        f"p_partkey = l_partkey AND p_brand = '{brand}' "
+        f"AND p_container IN ({containers}) "
+        f"AND l_quantity BETWEEN {quantity} AND {quantity + 10} "
+        "AND p_size BETWEEN 1 AND 5 "
+        "AND l_shipmode IN ('AIR', 'REG AIR')"
+    )
+
+
+_WHERE_BUILDERS = {
+    1: _q1_where,
+    3: _q3_where,
+    4: _q4_where,
+    5: _q5_where,
+    6: _q6_where,
+    7: _q7_where,
+    8: _q8_where,
+    9: _q9_where,
+    10: _q10_where,
+    12: _q12_where,
+    13: _q13_where,
+    14: _q14_where,
+    18: _q18_where,
+    19: _q19_where,
+}
+
+_REVENUE = "SUM(l_extendedprice * (1 - l_discount))"
+
+TPCH_TEMPLATES: tuple[TpchTemplate, ...] = (
+    TpchTemplate(
+        1,
+        "lineitem",
+        "l_returnflag, l_linestatus, SUM(l_quantity), SUM(l_extendedprice), "
+        f"{_REVENUE}, AVG(l_quantity), COUNT(*)",
+        "l_returnflag, l_linestatus",
+    ),
+    TpchTemplate(
+        3,
+        "customer, orders, lineitem",
+        f"l_orderkey, {_REVENUE} AS revenue, o_orderdate, o_shippriority",
+        "l_orderkey, o_orderdate, o_shippriority",
+    ),
+    TpchTemplate(4, "orders, lineitem", "o_orderpriority, COUNT(*)", "o_orderpriority"),
+    TpchTemplate(
+        5,
+        "customer, orders, lineitem, supplier, nation, region",
+        f"n_name, {_REVENUE} AS revenue",
+        "n_name",
+    ),
+    TpchTemplate(6, "lineitem", "SUM(l_extendedprice * l_discount) AS revenue", ""),
+    TpchTemplate(
+        7,
+        "supplier, lineitem, orders, customer, nation n1, nation n2",
+        f"n1.n_name, n2.n_name, {_REVENUE} AS revenue",
+        "n1.n_name, n2.n_name",
+    ),
+    TpchTemplate(
+        8,
+        "part, supplier, lineitem, orders, customer, nation n1, nation n2, region",
+        f"n2.n_name, {_REVENUE} AS volume",
+        "n2.n_name",
+    ),
+    TpchTemplate(
+        9,
+        "part, supplier, lineitem, partsupp, orders, nation",
+        "n_name, SUM(l_extendedprice * (1 - l_discount) - "
+        "ps_supplycost * l_quantity) AS profit",
+        "n_name",
+    ),
+    TpchTemplate(
+        10,
+        "customer, orders, lineitem, nation",
+        f"c_custkey, c_name, {_REVENUE} AS revenue, c_acctbal, n_name",
+        "c_custkey, c_name, c_acctbal, n_name",
+    ),
+    TpchTemplate(12, "orders, lineitem", "l_shipmode, COUNT(*)", "l_shipmode"),
+    TpchTemplate(13, "customer, orders", "c_custkey, COUNT(*)", "c_custkey"),
+    TpchTemplate(
+        14,
+        "lineitem, part",
+        f"{_REVENUE} AS promo_revenue, COUNT(*)",
+        "",
+    ),
+    TpchTemplate(
+        18,
+        "customer, orders, lineitem",
+        "c_name, o_orderkey, SUM(l_quantity)",
+        "c_name, o_orderkey",
+    ),
+    TpchTemplate(19, "lineitem, part", f"{_REVENUE} AS revenue", ""),
+)
+
+
+def template_by_number(number: int) -> TpchTemplate:
+    """Look up a template by its TPC-H query number."""
+    for template in TPCH_TEMPLATES:
+        if template.number == number:
+            return template
+    raise KeyError(f"no TPC-H template {number}")

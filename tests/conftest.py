@@ -1,0 +1,57 @@
+"""Shared fixtures: one small TPC-H database and derived artifacts."""
+
+import pytest
+
+from repro.calibration import Calibrator
+from repro.datagen import TpchConfig, generate_tpch
+from repro.executor import Executor
+from repro.hardware import PC1, PC2, HardwareSimulator
+from repro.optimizer import Optimizer
+from repro.sampling import SampleDatabase
+
+
+@pytest.fixture(scope="session")
+def tpch_db():
+    """A small uniform TPC-H database shared across the test session."""
+    return generate_tpch(TpchConfig(scale_factor=0.01, skew_z=0.0, seed=42))
+
+
+@pytest.fixture(scope="session")
+def skewed_db():
+    """A small skewed (z=1) TPC-H database."""
+    return generate_tpch(TpchConfig(scale_factor=0.01, skew_z=1.0, seed=43))
+
+
+@pytest.fixture(scope="session")
+def optimizer(tpch_db):
+    return Optimizer(tpch_db)
+
+
+@pytest.fixture(scope="session")
+def executor(tpch_db):
+    return Executor(tpch_db)
+
+
+@pytest.fixture(scope="session")
+def pc2_simulator():
+    return HardwareSimulator(PC2, rng=1234)
+
+
+@pytest.fixture(scope="session")
+def pc1_simulator():
+    return HardwareSimulator(PC1, rng=1234)
+
+
+@pytest.fixture(scope="session")
+def calibrated_units(pc2_simulator):
+    return Calibrator(pc2_simulator, repetitions=6).calibrate()
+
+
+@pytest.fixture(scope="session")
+def sample_db(tpch_db):
+    return SampleDatabase(tpch_db, sampling_ratio=0.1, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_sample_db(tpch_db):
+    return SampleDatabase(tpch_db, sampling_ratio=0.02, seed=8)

@@ -1,0 +1,201 @@
+"""Fidelity of Algorithm 1 against brute-force Eq. 5/6 evaluation.
+
+On tiny tables with SR = 1 (the sample IS the relation), the Q_{k,j,n}
+counters and S_n^2 have closed brute-force forms we can compute in pure
+Python directly from the definitions:
+
+    Q_{k,j,n} = |R_1 x ... x {t_kj} x ... x R_K  restricted to the join|
+    S_n^2     = sum_k (1/(n_k - 1)) sum_j (Q_{k,j}/prod_{k' != k} n_{k'}
+                                            - rho_n)^2
+
+The estimator's provenance-scan implementation must match exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.executor import Executor
+from repro.optimizer import Optimizer
+from repro.sampling import SampleDatabase, SelectivityEstimator
+from repro.storage import Column, ColumnType, Database, Schema, Table
+
+
+def tiny_db():
+    schema_a = Schema([Column("k", ColumnType.INT), Column("v", ColumnType.INT)])
+    schema_b = Schema([Column("k", ColumnType.INT), Column("w", ColumnType.INT)])
+    db = Database("tiny")
+    db.add_table(
+        Table(
+            "ta",
+            schema_a,
+            {
+                "k": np.array([1, 1, 2, 3, 4, 4], dtype=np.int64),
+                "v": np.array([0, 1, 0, 1, 0, 1], dtype=np.int64),
+            },
+        )
+    )
+    db.add_table(
+        Table(
+            "tb",
+            schema_b,
+            {
+                "k": np.array([1, 2, 2, 5], dtype=np.int64),
+                "w": np.array([0, 1, 0, 1], dtype=np.int64),
+            },
+        )
+    )
+    return db
+
+
+def full_sample_db(db):
+    """SR = 1: every sample table is the full relation (sorted indices)."""
+    return SampleDatabase(db, sampling_ratio=1.0, seed=0)
+
+
+def brute_force_join_stats(left_keys, right_keys):
+    """(rho_n, S_n^2) for the equijoin, straight from the definitions."""
+    n1, n2 = len(left_keys), len(right_keys)
+    matches = [
+        (i, j)
+        for i in range(n1)
+        for j in range(n2)
+        if left_keys[i] == right_keys[j]
+    ]
+    rho = len(matches) / (n1 * n2)
+    q1 = [sum(1 for (i, j) in matches if i == a) for a in range(n1)]
+    q2 = [sum(1 for (i, j) in matches if j == b) for b in range(n2)]
+    v1 = sum((q / n2 - rho) ** 2 for q in q1) / (n1 - 1)
+    v2 = sum((q / n1 - rho) ** 2 for q in q2) / (n2 - 1)
+    s_n2 = v1 + v2
+    variance = v1 / n1 + v2 / n2
+    return rho, variance, (v1 / n1, v2 / n2)
+
+
+class TestAlgorithmOneFidelity:
+    def test_join_rho_and_variance_match_brute_force(self):
+        db = tiny_db()
+        samples = full_sample_db(db)
+        planned = Optimizer(db).plan_sql(
+            "SELECT * FROM ta, tb WHERE ta.k = tb.k"
+        )
+        estimate = SelectivityEstimator(samples, planned).estimate()
+        node = estimate.resolve(planned.root.op_id)
+
+        left = db.table("ta").column("k").tolist()
+        right = db.table("tb").column("k").tolist()
+        rho, variance, components = brute_force_join_stats(left, right)
+
+        assert node.mean == pytest.approx(rho, rel=1e-12)
+        assert node.variance == pytest.approx(variance, rel=1e-12)
+        got = (node.var_components["ta"], node.var_components["tb"])
+        assert got[0] == pytest.approx(components[0], rel=1e-12)
+        assert got[1] == pytest.approx(components[1], rel=1e-12)
+
+    def test_join_with_selection_matches_brute_force(self):
+        db = tiny_db()
+        samples = full_sample_db(db)
+        planned = Optimizer(db).plan_sql(
+            "SELECT * FROM ta, tb WHERE ta.k = tb.k AND ta.v = 1"
+        )
+        estimate = SelectivityEstimator(samples, planned).estimate()
+        node = estimate.resolve(planned.root.op_id)
+
+        table_a = db.table("ta")
+        left = [
+            (k if v == 1 else None)
+            for k, v in zip(
+                table_a.column("k").tolist(), table_a.column("v").tolist()
+            )
+        ]
+        right = db.table("tb").column("k").tolist()
+        # brute force over the *unfiltered* product space: selection rows
+        # that fail the predicate contribute zero matches.
+        n1, n2 = len(left), len(right)
+        matches = [
+            (i, j)
+            for i in range(n1)
+            for j in range(n2)
+            if left[i] is not None and left[i] == right[j]
+        ]
+        rho = len(matches) / (n1 * n2)
+        assert node.mean == pytest.approx(rho, rel=1e-12)
+
+        # variance: note the estimator filters the sample *before* joining,
+        # which is equivalent to zero Q entries for filtered-out tuples.
+        q1 = [sum(1 for (i, j) in matches if i == a) for a in range(n1)]
+        q2 = [sum(1 for (i, j) in matches if j == b) for b in range(n2)]
+        v1 = sum((q / n2 - rho) ** 2 for q in q1) / (n1 - 1)
+        v2 = sum((q / n1 - rho) ** 2 for q in q2) / (n2 - 1)
+        assert node.variance == pytest.approx(v1 / n1 + v2 / n2, rel=1e-12)
+
+    def test_scan_matches_bernoulli_form(self):
+        db = tiny_db()
+        samples = full_sample_db(db)
+        planned = Optimizer(db).plan_sql("SELECT * FROM ta WHERE v = 1")
+        estimate = SelectivityEstimator(samples, planned).estimate()
+        node = estimate.per_node[planned.root.op_id]
+        rho = 3 / 6
+        assert node.mean == pytest.approx(rho)
+        assert node.variance == pytest.approx(rho * (1 - rho) / 6, rel=1e-12)
+
+    def test_full_sample_estimate_is_exact(self):
+        """SR = 1 means the 'estimate' equals the true selectivity."""
+        db = tiny_db()
+        samples = full_sample_db(db)
+        optimizer = Optimizer(db)
+        executor = Executor(db)
+        for sql in (
+            "SELECT * FROM ta WHERE v = 0",
+            "SELECT * FROM ta, tb WHERE ta.k = tb.k",
+            "SELECT * FROM ta, tb WHERE ta.k = tb.k AND tb.w = 1",
+        ):
+            planned = optimizer.plan_sql(sql)
+            estimate = SelectivityEstimator(samples, planned).estimate()
+            node = estimate.resolve(planned.root.op_id)
+            result = executor.execute(planned)
+            truth = result.cardinalities[planned.root.op_id] / planned.leaf_row_product(
+                planned.root
+            )
+            assert node.mean == pytest.approx(truth, rel=1e-12)
+
+    def test_three_way_join_q_counters(self):
+        """Three-relation chain: per-relation components are all exact."""
+        schema_c = Schema([Column("k", ColumnType.INT)])
+        db = tiny_db()
+        db.add_table(
+            Table("tc", schema_c, {"k": np.array([1, 2, 2], dtype=np.int64)})
+        )
+        samples = full_sample_db(db)
+        planned = Optimizer(db).plan_sql(
+            "SELECT * FROM ta, tb, tc WHERE ta.k = tb.k AND tb.k = tc.k"
+        )
+        estimate = SelectivityEstimator(samples, planned).estimate()
+        node = estimate.resolve(planned.root.op_id)
+
+        a = db.table("ta").column("k").tolist()
+        b = db.table("tb").column("k").tolist()
+        c = db.table("tc").column("k").tolist()
+        matches = [
+            (i, j, l)
+            for i in range(len(a))
+            for j in range(len(b))
+            for l in range(len(c))
+            if a[i] == b[j] == c[l]
+        ]
+        total = len(a) * len(b) * len(c)
+        rho = len(matches) / total
+        assert node.mean == pytest.approx(rho, rel=1e-12)
+
+        sizes = {"ta": len(a), "tb": len(b), "tc": len(c)}
+        index_of = {"ta": 0, "tb": 1, "tc": 2}
+        for alias, n_k in sizes.items():
+            others = total / n_k
+            position = index_of[alias]
+            q = [
+                sum(1 for m in matches if m[position] == row)
+                for row in range(n_k)
+            ]
+            v_k = sum((qj / others - rho) ** 2 for qj in q) / (n_k - 1)
+            assert node.var_components[alias] == pytest.approx(
+                v_k / n_k, rel=1e-12
+            )

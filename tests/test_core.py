@@ -1,0 +1,308 @@
+"""Tests for the uncertainty core: bounds, variance assembly, predictor."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PlanAncestry,
+    ProgressIndicator,
+    UncertaintyPredictor,
+    Variant,
+    bound_linear_linear,
+    bound_square_linear,
+    bound_square_square,
+    g_factor,
+    h_factor,
+)
+from repro.core.covariance import power_variance
+from repro.executor import Executor
+from repro.hardware import PC2, HardwareSimulator
+from repro.mathstats import NormalDistribution
+from repro.sampling import NodeSelectivity, SelectivityEstimator
+
+
+def make_selectivity(op_id, mean, variance, aliases, n=1000, components=None):
+    if components is None:
+        share = variance / max(len(aliases), 1)
+        components = {alias: share for alias in aliases}
+    return NodeSelectivity(
+        op_id=op_id,
+        mean=mean,
+        variance=variance,
+        var_components=components,
+        leaf_aliases=tuple(aliases),
+        sample_sizes={alias: n for alias in aliases},
+        source="sample",
+    )
+
+
+class TestFactors:
+    def test_g_factor_range(self):
+        assert g_factor(0.0) == 0.0
+        assert g_factor(1.0) == 0.0
+        assert g_factor(0.5) == pytest.approx(0.5)
+
+    def test_g_factor_clamps(self):
+        assert g_factor(-0.1) == 0.0
+        assert g_factor(1.3) == 0.0
+
+    def test_h_ge_g(self):
+        for rho in np.linspace(0.01, 0.99, 20):
+            assert h_factor(rho) >= g_factor(rho)
+
+
+class TestBounds:
+    def pair(self):
+        u = make_selectivity(0, 0.3, 1e-4, ["a", "b"])
+        v = make_selectivity(1, 0.1, 4e-5, ["a", "b", "c"])
+        return u, v
+
+    def test_b1_le_b2(self):
+        """Theorem 7: the restricted bound is at most Cauchy-Schwarz."""
+        u, v = self.pair()
+        b1 = bound_linear_linear(u, v)
+        b2 = math.sqrt(u.variance * v.variance)
+        assert b1 <= b2 + 1e-15
+
+    def test_bound_zero_when_disjoint(self):
+        u = make_selectivity(0, 0.3, 1e-4, ["a"])
+        v = make_selectivity(1, 0.1, 4e-5, ["b"])
+        assert bound_linear_linear(u, v) == 0.0
+
+    def test_bound_zero_when_deterministic(self):
+        u = make_selectivity(0, 0.3, 0.0, ["a"])
+        v = make_selectivity(1, 0.1, 4e-5, ["a"])
+        assert bound_linear_linear(u, v) == 0.0
+
+    def test_bound_covers_true_covariance_mc(self):
+        """Monte-Carlo: |Cov| of correlated estimators <= our bound.
+
+        Build two scan-style estimators sharing one sample: rho (selectivity
+        of A) and rho' (selectivity of A and B) computed from the same draws.
+        """
+        rng = np.random.default_rng(0)
+        n = 400
+        p_a, p_b = 0.4, 0.5
+        rhos, rho_primes = [], []
+        for _ in range(400):
+            a = rng.random(n) < p_a
+            b = rng.random(n) < p_b
+            rhos.append(a.mean())
+            rho_primes.append((a & b).mean())
+        true_cov = abs(float(np.cov(rhos, rho_primes)[0, 1]))
+        u = make_selectivity(0, p_a, p_a * (1 - p_a) / n, ["t"], n=n)
+        v = make_selectivity(
+            1, p_a * p_b, (p_a * p_b) * (1 - p_a * p_b) / n, ["t"], n=n
+        )
+        bound = bound_linear_linear(u, v)
+        assert true_cov <= bound * 1.05
+
+    def test_square_bounds_nonnegative(self):
+        u, v = self.pair()
+        assert bound_square_linear(u, v) >= 0
+        assert bound_square_square(u, v) >= 0
+
+    def test_power_variance_matches_normal_moments(self):
+        u = make_selectivity(0, 0.3, 1e-4, ["a"])
+        # Var[X^2] = E[X^4] - E[X^2]^2 for a normal
+        mu, var = 0.3, 1e-4
+        e4 = mu**4 + 6 * mu**2 * var + 3 * var**2
+        e2 = mu**2 + var
+        assert power_variance(u, 2) == pytest.approx(e4 - e2 * e2, rel=1e-9)
+
+
+class TestAncestry:
+    def test_relations(self, optimizer):
+        planned = optimizer.plan_sql(
+            "SELECT * FROM customer, orders, lineitem "
+            "WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey"
+        )
+        ancestry = PlanAncestry.from_plan(planned.root)
+        root_id = planned.root.op_id
+        scans = [node.op_id for node in planned.root.walk() if node.is_scan]
+        for scan_id in scans:
+            assert ancestry.related(scan_id, root_id)
+            assert ancestry.related(root_id, scan_id)
+        # distinct scans are unrelated, and nothing relates to itself
+        assert not ancestry.related(scans[0], scans[1])
+        assert not ancestry.related(root_id, root_id)
+
+
+class TestPredictor:
+    def predict(self, optimizer, sample_db, calibrated_units, sql, variant=Variant.ALL):
+        planned = optimizer.plan_sql(sql)
+        predictor = UncertaintyPredictor(calibrated_units)
+        return planned, predictor.predict(planned, sample_db, variant=variant)
+
+    def test_mean_close_to_actual(
+        self, tpch_db, optimizer, executor, sample_db, calibrated_units
+    ):
+        sql = (
+            "SELECT COUNT(*) FROM orders, lineitem "
+            "WHERE o_orderkey = l_orderkey AND o_totalprice > 100000"
+        )
+        planned, prediction = self.predict(
+            optimizer, sample_db, calibrated_units, sql
+        )
+        result = executor.execute(planned)
+        simulator = HardwareSimulator(PC2, rng=99)
+        actual = simulator.run_repeated(result.counts)
+        assert prediction.mean == pytest.approx(actual, rel=0.5)
+        assert prediction.std > 0
+
+    def test_confidence_interval_contains_mean(
+        self, optimizer, sample_db, calibrated_units
+    ):
+        _, prediction = self.predict(
+            optimizer, sample_db, calibrated_units,
+            "SELECT * FROM orders WHERE o_totalprice > 200000",
+        )
+        low, high = prediction.confidence_interval(0.9)
+        assert low <= prediction.mean <= high
+        assert low >= 0.0
+
+    def test_prob_within_is_probability(
+        self, optimizer, sample_db, calibrated_units
+    ):
+        _, prediction = self.predict(
+            optimizer, sample_db, calibrated_units,
+            "SELECT * FROM orders WHERE o_totalprice > 200000",
+        )
+        p = prediction.prob_within(0.0, prediction.mean)
+        assert 0.0 <= p <= 1.0
+        assert p == pytest.approx(0.5, abs=0.05)
+
+    def test_variance_nonnegative_everywhere(
+        self, optimizer, sample_db, calibrated_units
+    ):
+        sqls = [
+            "SELECT * FROM orders WHERE o_totalprice > 100000",
+            "SELECT COUNT(*) FROM customer, orders, lineitem "
+            "WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey",
+            "SELECT * FROM lineitem WHERE l_shipdate <= DATE '1992-06-01'",
+        ]
+        for sql in sqls:
+            _, prediction = self.predict(optimizer, sample_db, calibrated_units, sql)
+            assert prediction.distribution.variance >= 0
+
+    def test_breakdown_sums_to_variance(
+        self, optimizer, sample_db, calibrated_units
+    ):
+        _, prediction = self.predict(
+            optimizer, sample_db, calibrated_units,
+            "SELECT * FROM orders, lineitem WHERE o_orderkey = l_orderkey",
+        )
+        b = prediction.breakdown
+        assert b.variance == pytest.approx(
+            max(
+                b.exact_selectivity_term
+                + b.bounded_covariance_term
+                + b.cost_unit_term,
+                0.0,
+            ),
+            rel=1e-9,
+        )
+
+    def test_mean_equals_per_unit_sum(self, optimizer, sample_db, calibrated_units):
+        _, prediction = self.predict(
+            optimizer, sample_db, calibrated_units,
+            "SELECT * FROM orders, lineitem WHERE o_orderkey = l_orderkey",
+        )
+        assert prediction.mean == pytest.approx(
+            sum(prediction.breakdown.per_unit_mean.values()), rel=1e-9
+        )
+
+
+class TestVariants:
+    def all_variants(self, optimizer, sample_db, calibrated_units, sql):
+        planned = optimizer.plan_sql(sql)
+        predictor = UncertaintyPredictor(calibrated_units)
+        prepared = predictor.prepare(planned, sample_db)
+        return {
+            variant: predictor.predict_prepared(planned, prepared, variant)
+            for variant in Variant
+        }
+
+    SQL = (
+        "SELECT * FROM customer, orders, lineitem "
+        "WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey "
+        "AND o_totalprice > 150000"
+    )
+
+    def test_variants_share_mean(self, optimizer, sample_db, calibrated_units):
+        predictions = self.all_variants(
+            optimizer, sample_db, calibrated_units, self.SQL
+        )
+        means = {p.mean for p in predictions.values()}
+        assert max(means) - min(means) < 1e-9 * max(means)
+
+    def test_all_has_largest_variance(self, optimizer, sample_db, calibrated_units):
+        predictions = self.all_variants(
+            optimizer, sample_db, calibrated_units, self.SQL
+        )
+        full = predictions[Variant.ALL].distribution.variance
+        for variant in (Variant.NO_VAR_C, Variant.NO_VAR_X, Variant.NO_COV):
+            assert predictions[variant].distribution.variance <= full + 1e-18
+
+    def test_no_var_c_drops_unit_term(self, optimizer, sample_db, calibrated_units):
+        predictions = self.all_variants(
+            optimizer, sample_db, calibrated_units, self.SQL
+        )
+        assert predictions[Variant.NO_VAR_C].breakdown.cost_unit_term == 0.0
+        assert predictions[Variant.ALL].breakdown.cost_unit_term > 0.0
+
+    def test_no_var_x_keeps_unit_term(self, optimizer, sample_db, calibrated_units):
+        predictions = self.all_variants(
+            optimizer, sample_db, calibrated_units, self.SQL
+        )
+        no_x = predictions[Variant.NO_VAR_X].breakdown
+        assert no_x.cost_unit_term > 0.0
+        assert no_x.exact_selectivity_term >= 0.0
+        assert no_x.bounded_covariance_term == 0.0
+
+    def test_no_cov_drops_bounds(self, optimizer, sample_db, calibrated_units):
+        predictions = self.all_variants(
+            optimizer, sample_db, calibrated_units, self.SQL
+        )
+        assert predictions[Variant.NO_COV].breakdown.bounded_covariance_term == 0.0
+        assert predictions[Variant.ALL].breakdown.bounded_covariance_term > 0.0
+
+
+class TestProgress:
+    def test_monotone_progress(self):
+        indicator = ProgressIndicator(NormalDistribution(10.0, 4.0))
+        fractions = [indicator.at(t).fraction for t in (0.0, 2.0, 5.0, 10.0)]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_band_contains_point(self):
+        indicator = ProgressIndicator(NormalDistribution(10.0, 4.0))
+        estimate = indicator.at(4.0)
+        assert estimate.fraction_low <= estimate.fraction <= estimate.fraction_high
+
+    def test_remaining_time(self):
+        indicator = ProgressIndicator(NormalDistribution(10.0, 1.0))
+        estimate = indicator.at(4.0)
+        assert estimate.remaining_mean == pytest.approx(6.0)
+        assert estimate.remaining_low <= estimate.remaining_mean <= estimate.remaining_high
+
+    def test_wider_prediction_wider_band(self):
+        narrow = ProgressIndicator(NormalDistribution(10.0, 0.25)).at(5.0)
+        wide = ProgressIndicator(NormalDistribution(10.0, 9.0)).at(5.0)
+        narrow_width = narrow.fraction_high - narrow.fraction_low
+        wide_width = wide.fraction_high - wide.fraction_low
+        assert wide_width > narrow_width
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            ProgressIndicator(NormalDistribution(0.0, 1.0))
+        indicator = ProgressIndicator(NormalDistribution(5.0, 1.0))
+        with pytest.raises(ValueError):
+            indicator.at(-1.0)
+
+    def test_describe_readable(self):
+        estimate = ProgressIndicator(NormalDistribution(10.0, 4.0)).at(5.0)
+        text = estimate.describe()
+        assert "done" in text and "left" in text

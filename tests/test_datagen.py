@@ -1,0 +1,126 @@
+"""Tests for the Zipf sampler and the TPC-H generator."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import TpchConfig, ZipfSampler, date_to_days, generate_tpch
+from repro.datagen.tpch import ORDERDATE_SPAN_DAYS
+from repro.sql.ast import date_literal_days
+
+
+class TestZipfSampler:
+    def test_uniform_when_z_zero(self):
+        sampler = ZipfSampler(10, 0.0)
+        draws = sampler.sample(20_000, rng=0)
+        counts = np.bincount(draws, minlength=11)[1:]
+        assert counts.min() > 0.8 * counts.max()
+
+    def test_skew_concentrates_mass(self):
+        sampler = ZipfSampler(100, 1.0)
+        draws = sampler.sample(20_000, rng=0)
+        top = (draws == 1).mean()
+        mid = (draws == 50).mean()
+        assert top > 10 * max(mid, 1e-6)
+
+    def test_domain_bounds(self):
+        draws = ZipfSampler(5, 2.0).sample(1000, rng=1)
+        assert draws.min() >= 1 and draws.max() <= 5
+
+    def test_probabilities_sum_to_one(self):
+        for z in (0.0, 0.5, 1.0, 2.0):
+            probs = ZipfSampler(50, z).probabilities()
+            assert probs.sum() == pytest.approx(1.0)
+
+    def test_probabilities_match_empirical(self):
+        sampler = ZipfSampler(10, 1.0)
+        draws = sampler.sample(100_000, rng=2)
+        empirical = np.bincount(draws, minlength=11)[1:] / 100_000
+        assert np.allclose(empirical, sampler.probabilities(), atol=0.01)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, -1.0)
+
+
+class TestDates:
+    def test_epoch(self):
+        assert date_to_days(1992, 1, 1) == 0
+
+    def test_leap_year_1992(self):
+        assert date_to_days(1992, 3, 1) == 60  # 31 + 29
+
+    def test_consistent_with_sql_literals(self):
+        for text in ("1992-01-01", "1994-06-15", "1998-08-02", "1996-02-29"):
+            year, month, day = (int(p) for p in text.split("-"))
+            assert date_to_days(year, month, day) == date_literal_days(text)
+
+    def test_out_of_domain(self):
+        with pytest.raises(ValueError):
+            date_to_days(1980, 1, 1)
+
+
+class TestTpchGenerator:
+    def test_row_counts_scale(self, tpch_db):
+        assert tpch_db.table("region").num_rows == 5
+        assert tpch_db.table("nation").num_rows == 25
+        assert tpch_db.table("orders").num_rows == 10 * tpch_db.table("customer").num_rows
+        lineitem = tpch_db.table("lineitem").num_rows
+        orders = tpch_db.table("orders").num_rows
+        assert 1 * orders <= lineitem <= 7 * orders
+
+    def test_foreign_keys_valid(self, tpch_db):
+        orders = tpch_db.table("orders")
+        customers = tpch_db.table("customer").num_rows
+        custkeys = orders.column("o_custkey")
+        assert custkeys.min() >= 0 and custkeys.max() < customers
+
+        lineitem = tpch_db.table("lineitem")
+        orderkeys = set(orders.column("o_orderkey").tolist())
+        assert set(np.unique(lineitem.column("l_orderkey")).tolist()) <= orderkeys
+
+    def test_ship_after_order(self, tpch_db):
+        lineitem = tpch_db.table("lineitem")
+        orders = tpch_db.table("orders")
+        order_dates = dict(
+            zip(orders.column("o_orderkey").tolist(), orders.column("o_orderdate").tolist())
+        )
+        ship = lineitem.column("l_shipdate")[:500]
+        keys = lineitem.column("l_orderkey")[:500]
+        for key, shipdate in zip(keys.tolist(), ship.tolist()):
+            assert shipdate > order_dates[key]
+
+    def test_orderdate_domain(self, tpch_db):
+        dates = tpch_db.table("orders").column("o_orderdate")
+        assert dates.min() >= 0
+        assert dates.max() < ORDERDATE_SPAN_DAYS
+
+    def test_skew_changes_distribution(self, tpch_db, skewed_db):
+        uniform_keys = tpch_db.table("lineitem").column("l_partkey")
+        skewed_keys = skewed_db.table("lineitem").column("l_partkey")
+        # Top part key frequency is much higher under Zipf z=1.
+        uniform_top = np.bincount(uniform_keys).max() / len(uniform_keys)
+        skewed_top = np.bincount(skewed_keys).max() / len(skewed_keys)
+        assert skewed_top > 5 * uniform_top
+
+    def test_default_indexes_exist(self, tpch_db):
+        assert tpch_db.has_index("orders", "o_orderkey")
+        assert tpch_db.has_index("lineitem", "l_shipdate")
+        assert tpch_db.has_index("customer", "c_custkey")
+
+    def test_deterministic_given_seed(self):
+        a = generate_tpch(TpchConfig(scale_factor=0.002, seed=9))
+        b = generate_tpch(TpchConfig(scale_factor=0.002, seed=9))
+        assert np.array_equal(
+            a.table("orders").column("o_totalprice"),
+            b.table("orders").column("o_totalprice"),
+        )
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            TpchConfig(scale_factor=0.0)
+
+    def test_describe_mentions_skew(self):
+        assert "zipf" in TpchConfig(scale_factor=0.01, skew_z=1.0).describe()
+        assert "uniform" in TpchConfig(scale_factor=0.01).describe()

@@ -1,0 +1,51 @@
+"""Documentation hygiene: every public module, class, and function of the
+library carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(_walk_modules())
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__, f"{module.__name__} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_callables_documented(module):
+    undocumented = []
+    for name in getattr(module, "__all__", []):
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not inspect.getdoc(obj):
+                undocumented.append(name)
+    assert not undocumented, (
+        f"{module.__name__}: public items without docstrings: {undocumented}"
+    )
+
+
+def test_public_classes_document_methods():
+    """Public methods of the core API classes are documented."""
+    from repro.core.predictor import UncertaintyPredictor
+    from repro.executor.executor import Executor
+    from repro.optimizer.optimizer import Optimizer
+    from repro.sampling.estimator import SelectivityEstimator
+
+    for cls in (UncertaintyPredictor, Executor, Optimizer, SelectivityEstimator):
+        for name, member in inspect.getmembers(cls, inspect.isfunction):
+            if name.startswith("_"):
+                continue
+            assert inspect.getdoc(member), f"{cls.__name__}.{name} lacks a docstring"

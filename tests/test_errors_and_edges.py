@@ -1,0 +1,155 @@
+"""Exception hierarchy and engine edge cases."""
+
+import numpy as np
+import pytest
+
+import repro.errors as errors
+from repro.executor import Executor
+from repro.optimizer import Optimizer
+from repro.plan import (
+    MaterializeNode,
+    MergeJoinNode,
+    SeqScanNode,
+    SortNode,
+    assign_op_ids,
+)
+from repro.sampling import SelectivityEstimator
+from repro.storage import Column, ColumnType, Database, Schema, Table
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError) or obj is errors.ReproError
+
+    def test_sql_errors_nested(self):
+        assert issubclass(errors.SqlLexError, errors.SqlError)
+        assert issubclass(errors.SqlParseError, errors.SqlError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.OptimizerError("boom")
+
+
+def _two_table_db():
+    schema = Schema([Column("k", ColumnType.INT), Column("v", ColumnType.FLOAT)])
+    db = Database("edge")
+    db.add_table(
+        Table(
+            "ta",
+            schema,
+            {
+                "k": np.array([1, 2, 3, 4], dtype=np.int64),
+                "v": np.array([1.0, 2.0, 3.0, 4.0]),
+            },
+        )
+    )
+    db.add_table(
+        Table(
+            "tb",
+            schema,
+            {
+                "k": np.array([2, 3, 5], dtype=np.int64),
+                "v": np.array([20.0, 30.0, 50.0]),
+            },
+        )
+    )
+    return db
+
+
+class TestEngineEdgeCases:
+    def test_merge_join_node_executes(self):
+        db = _two_table_db()
+        left = SeqScanNode(table="ta", alias="ta")
+        right = SeqScanNode(table="tb", alias="tb")
+        join = MergeJoinNode(keys=[("ta.k", "tb.k")], children=[left, right])
+        root = assign_op_ids(join)
+        planned = Optimizer(db).plan_sql("SELECT * FROM ta")  # borrow metadata
+        planned.root = root
+        planned.est_cards = {n.op_id: 1.0 for n in root.walk()}
+        planned.alias_tables = {"ta": "ta", "tb": "tb"}
+        planned.alias_rows = {"ta": 4, "tb": 3}
+        planned.bound.select_star = True
+        result = Executor(db).execute(planned)
+        assert result.num_rows == 2  # keys 2 and 3 match
+
+    def test_materialize_and_sort_passthrough(self):
+        db = _two_table_db()
+        scan = SeqScanNode(table="ta", alias="ta")
+        materialize = MaterializeNode(children=[scan])
+        sort = SortNode(keys=[("ta.v", True)], children=[materialize])
+        root = assign_op_ids(sort)
+        planned = Optimizer(db).plan_sql("SELECT * FROM ta")
+        planned.root = root
+        planned.est_cards = {n.op_id: 4.0 for n in root.walk()}
+        planned.bound.select_star = True
+        result = Executor(db).execute(planned)
+        assert result.num_rows == 4
+        values = result.output.columns["ta.v"]
+        assert values.tolist() == sorted(values.tolist(), reverse=True)
+
+    def test_empty_scan_propagates(self):
+        db = _two_table_db()
+        planned = Optimizer(db).plan_sql(
+            "SELECT * FROM ta, tb WHERE ta.k = tb.k AND ta.v > 100"
+        )
+        result = Executor(db).execute(planned)
+        assert result.num_rows == 0
+
+    def test_aggregate_over_empty_input(self):
+        db = _two_table_db()
+        planned = Optimizer(db).plan_sql(
+            "SELECT COUNT(*), SUM(ta.v) AS s FROM ta WHERE ta.v > 100"
+        )
+        result = Executor(db).execute(planned)
+        assert result.num_rows == 1
+        assert result.output.columns["count_0"][0] == 0
+
+    def test_group_by_over_empty_input(self):
+        db = _two_table_db()
+        planned = Optimizer(db).plan_sql(
+            "SELECT k, COUNT(*) FROM ta WHERE v > 100 GROUP BY k"
+        )
+        result = Executor(db).execute(planned)
+        assert result.num_rows == 0
+
+    def test_limit_beyond_rows(self):
+        db = _two_table_db()
+        planned = Optimizer(db).plan_sql("SELECT * FROM ta LIMIT 99")
+        assert Executor(db).execute(planned).num_rows == 4
+
+    def test_cross_filter_execution(self):
+        db = _two_table_db()
+        planned = Optimizer(db).plan_sql(
+            "SELECT * FROM ta, tb WHERE ta.v < tb.v"
+        )
+        result = Executor(db).execute(planned)
+        expected = sum(
+            1
+            for a in [1.0, 2.0, 3.0, 4.0]
+            for b in [20.0, 30.0, 50.0]
+            if a < b
+        )
+        assert result.num_rows == expected
+
+    def test_estimator_on_cross_filter_plan(self, tpch_db, sample_db):
+        planned = Optimizer(tpch_db).plan_sql(
+            "SELECT * FROM orders, lineitem WHERE o_orderkey = l_orderkey "
+            "AND o_orderdate < l_commitdate"
+        )
+        estimate = SelectivityEstimator(sample_db, planned).estimate()
+        root = estimate.resolve(planned.root.op_id)
+        assert 0.0 <= root.mean <= 1.0
+        assert root.variance >= 0
+
+    def test_in_predicate_multiple_hits(self):
+        db = _two_table_db()
+        planned = Optimizer(db).plan_sql("SELECT * FROM ta WHERE k IN (1, 3, 9)")
+        assert Executor(db).execute(planned).num_rows == 2
+
+    def test_ne_predicate(self):
+        db = _two_table_db()
+        planned = Optimizer(db).plan_sql("SELECT * FROM ta WHERE k <> 2")
+        assert Executor(db).execute(planned).num_rows == 3

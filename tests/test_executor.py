@@ -1,0 +1,326 @@
+"""Tests for the execution kernels and the plan executor.
+
+Correctness is checked against brute-force reference computations,
+including a hypothesis-driven comparison on random mini-tables.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExecutionError
+from repro.executor import (
+    Executor,
+    cross_join_pairs,
+    equijoin_pairs,
+    grouped_aggregate,
+    sort_order,
+)
+from repro.optimizer import Optimizer
+from repro.storage import Column, ColumnType, Database, Schema, Table
+from repro.util import group_ids
+
+
+class TestKernels:
+    def test_equijoin_multi_key(self):
+        left = [np.array([1, 1, 2]), np.array([10, 20, 10])]
+        right = [np.array([1, 2]), np.array([20, 10])]
+        li, ri = equijoin_pairs(left, right)
+        pairs = set(zip(li.tolist(), ri.tolist()))
+        assert pairs == {(1, 0), (2, 1)}
+
+    def test_equijoin_arity_mismatch(self):
+        with pytest.raises(ExecutionError):
+            equijoin_pairs([np.array([1])], [np.array([1]), np.array([2])])
+
+    def test_cross_join(self):
+        li, ri = cross_join_pairs(2, 3)
+        assert len(li) == 6
+        assert set(zip(li.tolist(), ri.tolist())) == {
+            (0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)
+        }
+
+    def test_cross_join_limit(self):
+        with pytest.raises(ExecutionError):
+            cross_join_pairs(100_000, 10_000)
+
+    def test_sort_order_asc_desc(self):
+        a = np.array([3, 1, 2])
+        b = np.array([9, 9, 1])
+        order = sort_order([b, a], [False, True])
+        assert a[order].tolist() == [2, 3, 1]
+
+    def test_sort_strings_descending(self):
+        values = np.array(["b", "c", "a"], dtype="U4")
+        order = sort_order([values], [True])
+        assert values[order].tolist() == ["c", "b", "a"]
+
+    def test_grouped_sum(self):
+        ids = np.array([0, 1, 0, 1])
+        out = grouped_aggregate(ids, 2, "SUM", np.array([1.0, 2.0, 3.0, 4.0]))
+        assert out.tolist() == [4.0, 6.0]
+
+    def test_grouped_count_star(self):
+        ids = np.array([0, 0, 1])
+        assert grouped_aggregate(ids, 2, "COUNT", None).tolist() == [2.0, 1.0]
+
+    def test_grouped_avg(self):
+        ids = np.array([0, 0, 1])
+        out = grouped_aggregate(ids, 2, "AVG", np.array([1.0, 3.0, 10.0]))
+        assert out.tolist() == [2.0, 10.0]
+
+    def test_grouped_min_max(self):
+        ids = np.array([0, 1, 0, 1])
+        values = np.array([5.0, 7.0, 3.0, 9.0])
+        assert grouped_aggregate(ids, 2, "MIN", values).tolist() == [3.0, 7.0]
+        assert grouped_aggregate(ids, 2, "MAX", values).tolist() == [5.0, 9.0]
+
+    def test_count_distinct(self):
+        ids = np.array([0, 0, 0, 1])
+        values = np.array([1, 1, 2, 5])
+        out = grouped_aggregate(ids, 2, "COUNT", values, distinct=True)
+        assert out.tolist() == [2.0, 1.0]
+
+    def test_distinct_non_count_rejected(self):
+        with pytest.raises(ExecutionError):
+            grouped_aggregate(np.array([0]), 1, "SUM", np.array([1.0]), distinct=True)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        groups=st.lists(st.integers(0, 4), min_size=1, max_size=50),
+        seed=st.integers(0, 1000),
+    )
+    def test_grouped_aggregates_match_reference(self, groups, seed):
+        """Property: all aggregate kernels agree with plain Python."""
+        rng = np.random.default_rng(seed)
+        raw = np.array(groups)
+        ids, reps = group_ids(raw)
+        values = rng.uniform(-10, 10, len(groups))
+        k = len(reps)
+        by_group = {}
+        for gid, value in zip(ids.tolist(), values.tolist()):
+            by_group.setdefault(gid, []).append(value)
+        assert grouped_aggregate(ids, k, "SUM", values).tolist() == pytest.approx(
+            [sum(by_group[g]) for g in range(k)]
+        )
+        assert grouped_aggregate(ids, k, "MIN", values).tolist() == pytest.approx(
+            [min(by_group[g]) for g in range(k)]
+        )
+        assert grouped_aggregate(ids, k, "MAX", values).tolist() == pytest.approx(
+            [max(by_group[g]) for g in range(k)]
+        )
+        assert grouped_aggregate(ids, k, "COUNT", None).tolist() == pytest.approx(
+            [len(by_group[g]) for g in range(k)]
+        )
+
+
+def _mini_db(left_keys, left_vals, right_keys):
+    schema_a = Schema([Column("k", ColumnType.INT), Column("v", ColumnType.FLOAT)])
+    schema_b = Schema([Column("k", ColumnType.INT), Column("w", ColumnType.INT)])
+    db = Database("mini")
+    db.add_table(
+        Table(
+            "ta",
+            schema_a,
+            {
+                "k": np.array(left_keys, dtype=np.int64),
+                "v": np.array(left_vals, dtype=np.float64),
+            },
+        ),
+        indexed_columns=("k",),
+    )
+    db.add_table(
+        Table(
+            "tb",
+            schema_b,
+            {
+                "k": np.array(right_keys, dtype=np.int64),
+                "w": np.arange(len(right_keys), dtype=np.int64),
+            },
+        ),
+    )
+    return db
+
+
+class TestExecutorAgainstReference:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        left_keys=st.lists(st.integers(0, 5), min_size=1, max_size=25),
+        right_keys=st.lists(st.integers(0, 5), min_size=1, max_size=25),
+        threshold=st.floats(-1, 1),
+        seed=st.integers(0, 99),
+    )
+    def test_filtered_join_count(self, left_keys, right_keys, threshold, seed):
+        """Property: join + filter matches the nested-loop reference."""
+        rng = np.random.default_rng(seed)
+        left_vals = rng.uniform(-1, 1, len(left_keys))
+        db = _mini_db(left_keys, left_vals, right_keys)
+        planned = Optimizer(db).plan_sql(
+            f"SELECT COUNT(*) FROM ta, tb WHERE ta.k = tb.k AND v <= {threshold}"
+        )
+        result = Executor(db).execute(planned)
+        expected = sum(
+            1
+            for lk, lv in zip(left_keys, left_vals)
+            if lv <= threshold
+            for rk in right_keys
+            if lk == rk
+        )
+        assert result.output.columns["count_0"][0] == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        keys=st.lists(st.integers(0, 3), min_size=1, max_size=30),
+        seed=st.integers(0, 99),
+    )
+    def test_group_by_sums(self, keys, seed):
+        rng = np.random.default_rng(seed)
+        vals = rng.uniform(0, 10, len(keys))
+        db = _mini_db(keys, vals, [0])
+        planned = Optimizer(db).plan_sql(
+            "SELECT k, SUM(v) AS total FROM ta GROUP BY k"
+        )
+        result = Executor(db).execute(planned)
+        got = dict(
+            zip(
+                result.output.columns["ta.k"].tolist(),
+                result.output.columns["total"].tolist(),
+            )
+        )
+        expected = {}
+        for key, value in zip(keys, vals):
+            expected[key] = expected.get(key, 0.0) + value
+        assert set(got) == set(expected)
+        for key in expected:
+            assert got[key] == pytest.approx(expected[key])
+
+
+class TestExecutorOnTpch:
+    def test_seq_scan_predicate(self, tpch_db, optimizer, executor):
+        planned = optimizer.plan_sql(
+            "SELECT * FROM orders WHERE o_totalprice <= 100000"
+        )
+        result = executor.execute(planned)
+        truth = (tpch_db.table("orders").column("o_totalprice") <= 100000).sum()
+        assert result.num_rows == truth
+
+    def test_index_scan_equals_seq_scan(self, tpch_db):
+        from repro.optimizer import OptimizerConfig
+
+        sql = "SELECT * FROM lineitem WHERE l_shipdate <= DATE '1992-03-01'"
+        with_index = Optimizer(tpch_db).plan_sql(sql)
+        without = Optimizer(
+            tpch_db, OptimizerConfig(enable_index_scans=False)
+        ).plan_sql(sql)
+        executor = Executor(tpch_db)
+        assert (
+            executor.execute(with_index).num_rows
+            == executor.execute(without).num_rows
+        )
+
+    def test_fk_join_cardinality(self, tpch_db, optimizer, executor):
+        planned = optimizer.plan_sql(
+            "SELECT * FROM orders, lineitem WHERE o_orderkey = l_orderkey"
+        )
+        result = executor.execute(planned)
+        # every lineitem matches exactly one order
+        assert result.num_rows == tpch_db.table("lineitem").num_rows
+
+    def test_three_way_join_with_filters(self, tpch_db, optimizer, executor):
+        planned = optimizer.plan_sql(
+            "SELECT * FROM customer, orders, lineitem "
+            "WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey "
+            "AND c_mktsegment = 'BUILDING'"
+        )
+        result = executor.execute(planned)
+        # reference: filter customers, then count their lineitems
+        customers = tpch_db.table("customer")
+        building = set(
+            customers.column("c_custkey")[
+                customers.column("c_mktsegment") == "BUILDING"
+            ].tolist()
+        )
+        orders = tpch_db.table("orders")
+        keep_orders = set(
+            orders.column("o_orderkey")[
+                np.isin(orders.column("o_custkey"), list(building))
+            ].tolist()
+        )
+        lineitem = tpch_db.table("lineitem")
+        expected = int(np.isin(lineitem.column("l_orderkey"), list(keep_orders)).sum())
+        assert result.num_rows == expected
+
+    def test_cardinalities_recorded_per_node(self, optimizer, executor):
+        planned = optimizer.plan_sql(
+            "SELECT COUNT(*) FROM orders, lineitem WHERE o_orderkey = l_orderkey"
+        )
+        result = executor.execute(planned)
+        node_ids = {node.op_id for node in planned.root.walk()}
+        assert set(result.cardinalities) == node_ids
+        assert all(v >= 0 for v in result.cardinalities.values())
+
+    def test_counts_nonnegative(self, optimizer, executor):
+        planned = optimizer.plan_sql(
+            "SELECT COUNT(*) FROM orders, lineitem WHERE o_orderkey = l_orderkey"
+        )
+        result = executor.execute(planned)
+        for counts in result.counts.values():
+            for value in counts.as_dict().values():
+                assert value >= 0
+
+    def test_order_by_descending(self, optimizer, executor):
+        planned = optimizer.plan_sql(
+            "SELECT * FROM orders WHERE o_totalprice > 400000 "
+            "ORDER BY o_totalprice DESC"
+        )
+        result = executor.execute(planned)
+        prices = result.output.columns["orders.o_totalprice"]
+        assert np.all(np.diff(prices) <= 0)
+
+    def test_limit(self, optimizer, executor):
+        planned = optimizer.plan_sql("SELECT * FROM orders LIMIT 7")
+        assert executor.execute(planned).num_rows == 7
+
+    def test_avg_aggregate(self, tpch_db, optimizer, executor):
+        planned = optimizer.plan_sql("SELECT AVG(o_totalprice) AS a FROM orders")
+        result = executor.execute(planned)
+        truth = float(tpch_db.table("orders").column("o_totalprice").mean())
+        assert result.output.columns["a"][0] == pytest.approx(truth)
+
+    def test_sum_arith_expression(self, tpch_db, optimizer, executor):
+        planned = optimizer.plan_sql(
+            "SELECT SUM(l_extendedprice * (1 - l_discount)) AS rev FROM lineitem"
+        )
+        result = executor.execute(planned)
+        lineitem = tpch_db.table("lineitem")
+        truth = float(
+            (
+                lineitem.column("l_extendedprice")
+                * (1 - lineitem.column("l_discount"))
+            ).sum()
+        )
+        assert result.output.columns["rev"][0] == pytest.approx(truth, rel=1e-9)
+
+    def test_column_pair_predicate(self, tpch_db, optimizer, executor):
+        planned = optimizer.plan_sql(
+            "SELECT COUNT(*) FROM lineitem WHERE l_commitdate < l_receiptdate"
+        )
+        result = executor.execute(planned)
+        lineitem = tpch_db.table("lineitem")
+        truth = int(
+            (lineitem.column("l_commitdate") < lineitem.column("l_receiptdate")).sum()
+        )
+        assert result.output.columns["count_0"][0] == truth
+
+    def test_group_by_two_keys(self, tpch_db, optimizer, executor):
+        planned = optimizer.plan_sql(
+            "SELECT l_returnflag, l_linestatus, COUNT(*) FROM lineitem "
+            "GROUP BY l_returnflag, l_linestatus"
+        )
+        result = executor.execute(planned)
+        lineitem = tpch_db.table("lineitem")
+        flags = lineitem.column("l_returnflag")
+        statuses = lineitem.column("l_linestatus")
+        expected = len({(f, s) for f, s in zip(flags.tolist(), statuses.tolist())})
+        assert result.num_rows == expected

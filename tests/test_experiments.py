@@ -1,0 +1,152 @@
+"""Tests for the evaluation metrics and the experiment lab."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Variant
+from repro.experiments import (
+    ExperimentLab,
+    correlation_metrics,
+    distribution_distance,
+    empirical_probability,
+    pr_curves,
+    predicted_probability,
+)
+from repro.experiments.reporting import format_cell_value, render_table
+
+
+@pytest.fixture(scope="module")
+def lab(tpch_db):
+    return ExperimentLab(
+        databases={"uniform-small": tpch_db},
+        seed=0,
+        query_counts={"MICRO": 10, "SELJOIN": 7, "TPCH": 7},
+        calibration_repetitions=4,
+    )
+
+
+class TestMetrics:
+    def test_predicted_probability_is_two_phi_minus_one(self):
+        assert predicted_probability(0.0) == pytest.approx(0.0)
+        assert predicted_probability(1.96) == pytest.approx(0.95, abs=0.01)
+        assert predicted_probability(6.0) == pytest.approx(1.0, abs=1e-6)
+
+    def test_empirical_probability(self):
+        normalized = np.array([0.5, 1.5, 2.5, 3.5])
+        assert empirical_probability(normalized, 2.0) == 0.5
+        assert empirical_probability(normalized, 10.0) == 1.0
+
+    def test_dn_zero_when_perfectly_calibrated(self):
+        """Errors drawn from the claimed normal give small Dn."""
+        rng = np.random.default_rng(0)
+        n = 4000
+        mus = np.zeros(n)
+        sigmas = np.ones(n)
+        actuals = rng.normal(0.0, 1.0, n)
+        assert distribution_distance(mus, sigmas, actuals) < 0.03
+
+    def test_dn_large_when_overconfident(self):
+        rng = np.random.default_rng(0)
+        n = 2000
+        mus = np.zeros(n)
+        sigmas = np.full(n, 0.1)  # claims 10x more confidence than reality
+        actuals = rng.normal(0.0, 1.0, n)
+        assert distribution_distance(mus, sigmas, actuals) > 0.3
+
+    def test_correlation_metrics_strong_signal(self):
+        rng = np.random.default_rng(1)
+        sigmas = rng.uniform(0.1, 2.0, 100)
+        errors = sigmas * rng.uniform(0.8, 1.2, 100)
+        rs, rp = correlation_metrics(sigmas, errors)
+        assert rs > 0.9 and rp > 0.9
+
+    def test_pr_curves_shapes(self):
+        alphas, empirical, predicted = pr_curves(
+            np.zeros(10), np.ones(10), np.linspace(-2, 2, 10)
+        )
+        assert len(alphas) == len(empirical) == len(predicted)
+        assert all(0 <= p <= 1 for p in predicted)
+
+    def test_dn_nan_for_empty(self):
+        assert math.isnan(distribution_distance([], [], []))
+
+
+class TestReporting:
+    def test_render_table(self):
+        text = render_table(["a", "b"], [[1, 0.5], ["x", float("nan")]])
+        assert "| a" in text and "nan" in text
+        assert text.count("\n") == 3
+
+    def test_format_values(self):
+        assert format_cell_value(None) == "-"
+        assert format_cell_value(0.123456) == "0.1235"
+        assert format_cell_value("text") == "text"
+
+
+class TestLab:
+    def test_executed_queries_cached(self, lab):
+        first = lab.executed_queries("uniform-small", "SELJOIN")
+        second = lab.executed_queries("uniform-small", "SELJOIN")
+        assert first is second
+        assert len(first) == 7
+
+    def test_run_cell_shapes(self, lab):
+        cell = lab.run_cell("uniform-small", "SELJOIN", "PC2", 0.05)
+        assert len(cell.mus) == len(cell.sigmas) == len(cell.actuals) == 7
+        assert np.all(cell.actuals > 0)
+        assert np.all(cell.sigmas >= 0)
+
+    def test_correlation_positive(self, lab):
+        cell = lab.run_cell("uniform-small", "MICRO", "PC2", 0.05)
+        assert cell.rs > 0.3  # small cell; the full run gives > 0.7
+
+    def test_variant_changes_sigmas_not_mus(self, lab):
+        full = lab.run_cell("uniform-small", "SELJOIN", "PC2", 0.05)
+        ablated = lab.run_cell(
+            "uniform-small", "SELJOIN", "PC2", 0.05, variant=Variant.NO_VAR_C
+        )
+        assert np.allclose(full.mus, ablated.mus)
+        assert np.all(ablated.sigmas <= full.sigmas + 1e-15)
+
+    def test_actual_times_deterministic_per_key(self, lab):
+        a = lab.actual_time("uniform-small", "SELJOIN", 0, "PC1")
+        b = lab.actual_time("uniform-small", "SELJOIN", 0, "PC1")
+        assert a == b
+
+    def test_machines_differ(self, lab):
+        pc1 = lab.actual_time("uniform-small", "SELJOIN", 0, "PC1")
+        pc2 = lab.actual_time("uniform-small", "SELJOIN", 0, "PC2")
+        assert pc1 > pc2  # PC1 is the slower machine
+
+    def test_relative_overhead_small(self, lab):
+        overhead = lab.relative_overhead("uniform-small", "SELJOIN", "PC1", 0.05)
+        assert 0.0 < overhead < 0.6
+
+    def test_overhead_grows_with_ratio(self, lab):
+        low = lab.relative_overhead("uniform-small", "SELJOIN", "PC1", 0.01)
+        high = lab.relative_overhead("uniform-small", "SELJOIN", "PC1", 0.1)
+        assert high > low
+
+    def test_selectivity_records(self, lab):
+        records = lab.selectivity_records("uniform-small", "SELJOIN", 0.05)
+        assert records
+        for record in records:
+            assert 0.0 <= record.estimated <= 1.0
+            assert 0.0 <= record.actual <= 1.0
+            assert record.estimated_std >= 0.0
+
+    def test_selectivity_estimates_track_truth(self, lab):
+        from repro.mathstats import pearson
+
+        records = lab.selectivity_records("uniform-small", "MICRO", 0.1)
+        est = [r.estimated for r in records]
+        act = [r.actual for r in records]
+        assert pearson(est, act) > 0.95  # Table 7's headline result
+
+    def test_without_largest_sigma(self, lab):
+        cell = lab.run_cell("uniform-small", "MICRO", "PC2", 0.05)
+        trimmed = cell.without_largest_sigma()
+        assert len(trimmed.sigmas) == len(cell.sigmas) - 1
+        assert trimmed.sigmas.max() <= cell.sigmas.max()

@@ -1,0 +1,227 @@
+"""Tests for the extensions: CLI, concurrency, histogram estimator,
+LEC chooser, ASCII plots."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core import LeastExpectedCostChooser, UncertaintyPredictor
+from repro.core.concurrency import ConcurrentPredictor, InterferenceModel
+from repro.errors import PredictionError
+from repro.experiments.plots import ascii_lines, ascii_scatter
+from repro.optimizer import Optimizer
+from repro.optimizer.cost_model import COST_UNIT_NAMES
+from repro.sampling.histogram_estimator import HistogramSelectivityEstimator
+
+
+class TestCli:
+    def run(self, *argv):
+        out = io.StringIO()
+        code = cli_main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_generate(self):
+        code, text = self.run("generate", "--scale", "0.002")
+        assert code == 0
+        assert "lineitem" in text and "rows" in text
+
+    def test_explain(self):
+        code, text = self.run(
+            "explain", "--scale", "0.002",
+            "--sql", "SELECT * FROM orders, lineitem WHERE o_orderkey = l_orderkey",
+        )
+        assert code == 0
+        assert "Join" in text and "SeqScan" in text
+
+    def test_predict(self):
+        code, text = self.run(
+            "predict", "--scale", "0.002", "--sr", "0.2",
+            "--sql", "SELECT * FROM orders WHERE o_totalprice > 100000",
+        )
+        assert code == 0
+        assert "predicted mean" in text and "90% interval" in text
+
+    def test_predict_with_execute(self):
+        code, text = self.run(
+            "predict", "--scale", "0.002", "--sr", "0.2", "--execute",
+            "--sql", "SELECT * FROM orders WHERE o_totalprice > 100000",
+        )
+        assert code == 0
+        assert "actual (sim)" in text
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            self.run("nope")
+
+
+class TestInterferenceModel:
+    def test_mpl_one_is_identity(self, calibrated_units):
+        loaded = InterferenceModel.default().loaded_units(calibrated_units, 1)
+        for unit in COST_UNIT_NAMES:
+            assert loaded.mean(unit) == calibrated_units.mean(unit)
+            assert loaded.variance(unit) == calibrated_units.variance(unit)
+
+    def test_means_grow_with_mpl(self, calibrated_units):
+        model = InterferenceModel.default()
+        two = model.loaded_units(calibrated_units, 2)
+        four = model.loaded_units(calibrated_units, 4)
+        for unit in COST_UNIT_NAMES:
+            assert calibrated_units.mean(unit) < two.mean(unit) < four.mean(unit)
+
+    def test_variance_grows_with_mpl(self, calibrated_units):
+        model = InterferenceModel.default()
+        two = model.loaded_units(calibrated_units, 2)
+        four = model.loaded_units(calibrated_units, 4)
+        for unit in COST_UNIT_NAMES:
+            assert two.variance(unit) < four.variance(unit)
+
+    def test_io_degrades_faster_than_cpu(self, calibrated_units):
+        loaded = InterferenceModel.default().loaded_units(calibrated_units, 4)
+        io_ratio = loaded.mean("cr") / calibrated_units.mean("cr")
+        cpu_ratio = loaded.mean("co") / calibrated_units.mean("co")
+        assert io_ratio > cpu_ratio
+
+    def test_invalid_mpl(self, calibrated_units):
+        with pytest.raises(ValueError):
+            InterferenceModel.default().loaded_units(calibrated_units, 0)
+
+
+class TestConcurrentPredictor:
+    SQL = "SELECT * FROM orders, lineitem WHERE o_orderkey = l_orderkey"
+
+    def test_sweep_monotone_means(self, optimizer, sample_db, calibrated_units):
+        planned = optimizer.plan_sql(self.SQL)
+        predictor = ConcurrentPredictor(calibrated_units)
+        sweep = predictor.sweep(planned, sample_db, levels=(1, 2, 4))
+        means = [sweep[mpl].mean for mpl in (1, 2, 4)]
+        assert means == sorted(means)
+        assert means[2] > 1.5 * means[0]
+
+    def test_mpl_one_matches_base_predictor(
+        self, optimizer, sample_db, calibrated_units
+    ):
+        planned = optimizer.plan_sql(self.SQL)
+        base = UncertaintyPredictor(calibrated_units)
+        concurrent = ConcurrentPredictor(calibrated_units)
+        prepared = base.prepare(planned, sample_db)
+        a = base.predict_prepared(planned, prepared)
+        b = concurrent.predict_prepared(planned, prepared, mpl=1)
+        assert a.mean == pytest.approx(b.mean)
+        assert a.std == pytest.approx(b.std)
+
+    def test_uncertainty_grows_under_load(self, optimizer, sample_db, calibrated_units):
+        planned = optimizer.plan_sql(self.SQL)
+        predictor = ConcurrentPredictor(calibrated_units)
+        sweep = predictor.sweep(planned, sample_db, levels=(1, 6))
+        assert sweep[6].std > sweep[1].std
+
+
+class TestHistogramEstimator:
+    def test_scan_mean_close_to_truth(self, tpch_db, optimizer):
+        planned = optimizer.plan_sql(
+            "SELECT * FROM orders WHERE o_totalprice <= 225000"
+        )
+        estimate = HistogramSelectivityEstimator(planned).estimate()
+        node = estimate.per_node[planned.root.op_id]
+        truth = float(
+            (tpch_db.table("orders").column("o_totalprice") <= 225000).mean()
+        )
+        assert node.mean == pytest.approx(truth, abs=0.05)
+        assert node.source == "histogram"
+        assert node.variance > 0
+
+    def test_join_estimate_has_uncertainty(self, optimizer):
+        planned = optimizer.plan_sql(
+            "SELECT * FROM orders, lineitem WHERE o_orderkey = l_orderkey"
+        )
+        estimate = HistogramSelectivityEstimator(planned).estimate()
+        node = estimate.resolve(planned.root.op_id)
+        assert node.mean > 0
+        assert node.variance > 0
+
+    def test_aggregate_falls_back(self, optimizer):
+        planned = optimizer.plan_sql(
+            "SELECT COUNT(*) FROM orders, lineitem WHERE o_orderkey = l_orderkey"
+        )
+        estimate = HistogramSelectivityEstimator(planned).estimate()
+        assert estimate.per_node[planned.root.op_id].source == "optimizer"
+
+    def test_predictor_integration(self, optimizer, calibrated_units):
+        planned = optimizer.plan_sql(
+            "SELECT * FROM orders, lineitem WHERE o_orderkey = l_orderkey "
+            "AND o_totalprice > 200000"
+        )
+        predictor = UncertaintyPredictor(calibrated_units)
+        prediction = predictor.predict(planned, None, method="histogram")
+        assert prediction.mean > 0
+        assert prediction.std > 0
+
+    def test_sampling_requires_sample_db(self, optimizer, calibrated_units):
+        planned = optimizer.plan_sql("SELECT * FROM orders")
+        predictor = UncertaintyPredictor(calibrated_units)
+        with pytest.raises(PredictionError):
+            predictor.predict(planned, None, method="sampling")
+
+    def test_unknown_method_rejected(self, optimizer, sample_db, calibrated_units):
+        planned = optimizer.plan_sql("SELECT * FROM orders")
+        predictor = UncertaintyPredictor(calibrated_units)
+        with pytest.raises(PredictionError):
+            predictor.predict(planned, sample_db, method="tarot")
+
+
+class TestLecChooser:
+    def test_choose_minimizes_expected_cost(self, tpch_db, sample_db, calibrated_units):
+        chooser = LeastExpectedCostChooser(tpch_db, calibrated_units)
+        sql = (
+            "SELECT * FROM orders, lineitem WHERE o_orderkey = l_orderkey "
+            "AND o_orderdate <= DATE '1992-03-01'"
+        )
+        candidates = chooser.candidates(sql, sample_db)
+        assert len(candidates) >= 2
+        best = chooser.choose(sql, sample_db)
+        assert best.expected_cost == min(c.expected_cost for c in candidates)
+
+    def test_risk_averse_weighs_std(self, tpch_db, sample_db, calibrated_units):
+        chooser = LeastExpectedCostChooser(tpch_db, calibrated_units)
+        sql = "SELECT * FROM orders WHERE o_totalprice > 300000"
+        candidate = chooser.choose_risk_averse(sql, sample_db, risk_aversion=2.0)
+        assert candidate.risk_adjusted_cost(2.0) == pytest.approx(
+            candidate.expected_cost + 2.0 * candidate.cost_std
+        )
+
+    def test_candidates_deduplicated(self, tpch_db, sample_db, calibrated_units):
+        chooser = LeastExpectedCostChooser(tpch_db, calibrated_units)
+        candidates = chooser.candidates("SELECT * FROM region", sample_db)
+        shapes = [c.planned.root.pretty() for c in candidates]
+        assert len(shapes) == len(set(shapes))
+
+
+class TestAsciiPlots:
+    def test_scatter_renders_all_points(self):
+        text = ascii_scatter([0, 1, 2], [0, 1, 4], width=20, height=10)
+        assert text.count("*") == 3
+        assert "[0 .. 2]" in text
+
+    def test_scatter_constant_values(self):
+        text = ascii_scatter([1, 1, 1], [2, 2, 2])
+        assert "*" in text
+
+    def test_scatter_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([1, 2], [1])
+
+    def test_scatter_empty(self):
+        assert ascii_scatter([], []) == "(no data)"
+
+    def test_lines_multiple_series(self):
+        x = np.linspace(0, 1, 10)
+        text = ascii_lines(
+            x, {"pred": x.tolist(), "obs": (x**2).tolist()}, width=30, height=8
+        )
+        assert "p = pred" in text and "o = obs" in text
+        assert "p" in text and "o" in text
+
+    def test_lines_empty_series(self):
+        assert ascii_lines([1, 2], {}) == "(no data)"

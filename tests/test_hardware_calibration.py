@@ -1,0 +1,122 @@
+"""Tests for hardware profiles, the simulator, and calibration."""
+
+import numpy as np
+import pytest
+
+from repro.calibration import Calibrator, calibration_suite
+from repro.errors import CalibrationError
+from repro.hardware import PC1, PC2, CostUnitTruth, HardwareProfile, HardwareSimulator
+from repro.optimizer.cost_model import COST_UNIT_NAMES, ResourceCounts
+
+
+class TestProfiles:
+    def test_presets_have_all_units(self):
+        for profile in (PC1, PC2):
+            assert set(profile.units) == set(COST_UNIT_NAMES)
+
+    def test_pc2_faster_than_pc1(self):
+        for unit in COST_UNIT_NAMES:
+            assert PC2.units[unit].mean < PC1.units[unit].mean
+
+    def test_random_io_slowest(self):
+        for profile in (PC1, PC2):
+            assert profile.units["cr"].mean > profile.units["cs"].mean
+            assert profile.units["ct"].mean > profile.units["co"].mean
+
+    def test_invalid_unit_rejected(self):
+        with pytest.raises(ValueError):
+            CostUnitTruth(mean=-1.0, std=0.1)
+
+    def test_missing_unit_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareProfile(name="bad", units={"cs": CostUnitTruth(1.0, 0.1)})
+
+
+class TestSimulator:
+    def counts(self):
+        return {0: ResourceCounts(ns=100, nt=10_000, no=5_000)}
+
+    def test_time_positive(self, pc2_simulator):
+        assert pc2_simulator.run_once(self.counts()) > 0
+
+    def test_time_scales_with_work(self):
+        simulator = HardwareSimulator(PC2, rng=0)
+        small = np.mean([simulator.run_once(self.counts()) for _ in range(50)])
+        big_counts = {0: ResourceCounts(ns=1000, nt=100_000, no=50_000)}
+        big = np.mean([simulator.run_once(big_counts) for _ in range(50)])
+        assert big > 5 * small
+
+    def test_mean_close_to_deterministic_cost(self):
+        simulator = HardwareSimulator(PC2, rng=1)
+        counts = self.counts()
+        times = [simulator.run_once(counts) for _ in range(800)]
+        expected = counts[0].total_cost(PC2.unit_means())
+        assert np.mean(times) == pytest.approx(expected, rel=0.05)
+
+    def test_variation_across_runs(self, pc1_simulator):
+        times = [pc1_simulator.run_once(self.counts()) for _ in range(20)]
+        assert np.std(times) > 0
+
+    def test_pc1_noisier_than_pc2(self):
+        counts = self.counts()
+        sim1 = HardwareSimulator(PC1, rng=2)
+        sim2 = HardwareSimulator(PC2, rng=2)
+        times1 = [sim1.run_once(counts) for _ in range(400)]
+        times2 = [sim2.run_once(counts) for _ in range(400)]
+        cv1 = np.std(times1) / np.mean(times1)
+        cv2 = np.std(times2) / np.mean(times2)
+        assert cv1 > cv2
+
+    def test_empty_plan_zero_time(self, pc2_simulator):
+        assert pc2_simulator.run_once({}) == 0.0
+
+    def test_run_repeated_is_mean(self):
+        simulator = HardwareSimulator(PC2, rng=3)
+        value = simulator.run_repeated(self.counts(), repetitions=5)
+        assert value > 0
+
+
+class TestCalibrationSuite:
+    def test_five_queries_per_size(self):
+        suite = calibration_suite(10_000)
+        assert len(suite) == 5
+        assert {q.solves_for for q in suite} == set(COST_UNIT_NAMES)
+
+    def test_ct_query_isolates_ct(self):
+        suite = {q.solves_for: q for q in calibration_suite(10_000)}
+        counts = suite["ct"].counts.as_dict()
+        assert counts["ct"] > 0
+        assert all(counts[u] == 0 for u in COST_UNIT_NAMES if u != "ct")
+
+
+class TestCalibrator:
+    def test_recovers_true_means(self, calibrated_units):
+        """Calibration must land near the simulated truth (Section 3.1)."""
+        for unit in COST_UNIT_NAMES:
+            truth = PC2.units[unit].mean
+            estimate = calibrated_units.mean(unit)
+            assert estimate == pytest.approx(truth, rel=0.25)
+
+    def test_variances_positive(self, calibrated_units):
+        for unit in COST_UNIT_NAMES:
+            assert calibrated_units.variance(unit) > 0
+
+    def test_without_variance_zeroes(self, calibrated_units):
+        stripped = calibrated_units.without_variance()
+        for unit in COST_UNIT_NAMES:
+            assert stripped.variance(unit) == 0.0
+            assert stripped.mean(unit) == calibrated_units.mean(unit)
+
+    def test_means_dict(self, calibrated_units):
+        means = calibrated_units.means()
+        assert set(means) == set(COST_UNIT_NAMES)
+
+    def test_rejects_single_repetition(self, pc2_simulator):
+        with pytest.raises(CalibrationError):
+            Calibrator(pc2_simulator, repetitions=1)
+
+    def test_deterministic_with_seeded_simulator(self):
+        a = Calibrator(HardwareSimulator(PC2, rng=5), repetitions=4).calibrate()
+        b = Calibrator(HardwareSimulator(PC2, rng=5), repetitions=4).calibrate()
+        for unit in COST_UNIT_NAMES:
+            assert a.mean(unit) == b.mean(unit)

@@ -1,0 +1,116 @@
+"""End-to-end integration tests: the full paper pipeline on one database."""
+
+import numpy as np
+import pytest
+
+from repro.calibration import Calibrator
+from repro.core import UncertaintyPredictor, Variant
+from repro.executor import Executor
+from repro.hardware import PC1, PC2, HardwareSimulator
+from repro.mathstats import spearman
+from repro.optimizer import Optimizer
+from repro.sampling import SampleDatabase
+from repro.workloads import seljoin_workload
+
+
+class TestEndToEnd:
+    def test_predictions_correlate_with_errors(self, tpch_db):
+        """The paper's headline claim (R1) on a small SELJOIN workload."""
+        optimizer = Optimizer(tpch_db)
+        executor = Executor(tpch_db)
+        simulator = HardwareSimulator(PC2, rng=7)
+        units = Calibrator(simulator, repetitions=5).calibrate()
+        samples = SampleDatabase(tpch_db, sampling_ratio=0.05, seed=5)
+        predictor = UncertaintyPredictor(units)
+
+        sigmas, errors = [], []
+        for sql in seljoin_workload(num_queries=14, seed=2):
+            planned = optimizer.plan_sql(sql)
+            result = executor.execute(planned)
+            actual = simulator.run_repeated(result.counts)
+            prediction = predictor.predict(planned, samples)
+            sigmas.append(prediction.std)
+            errors.append(abs(prediction.mean - actual))
+        assert spearman(sigmas, errors) > 0.5
+
+    def test_point_predictions_reasonable(self, tpch_db):
+        """Means land within a factor ~2 of the simulated actuals."""
+        optimizer = Optimizer(tpch_db)
+        executor = Executor(tpch_db)
+        simulator = HardwareSimulator(PC1, rng=8)
+        units = Calibrator(simulator, repetitions=5).calibrate()
+        samples = SampleDatabase(tpch_db, sampling_ratio=0.1, seed=6)
+        predictor = UncertaintyPredictor(units)
+
+        ratios = []
+        for sql in seljoin_workload(num_queries=7, seed=3):
+            planned = optimizer.plan_sql(sql)
+            result = executor.execute(planned)
+            actual = simulator.run_repeated(result.counts)
+            prediction = predictor.predict(planned, samples)
+            ratios.append(prediction.mean / actual)
+        median = float(np.median(ratios))
+        assert 0.5 < median < 2.0
+
+    def test_skewed_database_pipeline(self, skewed_db):
+        """The whole pipeline also runs on the Zipf(z=1) database."""
+        optimizer = Optimizer(skewed_db)
+        executor = Executor(skewed_db)
+        simulator = HardwareSimulator(PC2, rng=9)
+        units = Calibrator(simulator, repetitions=4).calibrate()
+        samples = SampleDatabase(skewed_db, sampling_ratio=0.05, seed=7)
+        predictor = UncertaintyPredictor(units)
+        sql = (
+            "SELECT COUNT(*) FROM customer, orders, lineitem "
+            "WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey "
+            "AND o_totalprice > 100000"
+        )
+        planned = optimizer.plan_sql(sql)
+        executor.execute(planned)
+        prediction = predictor.predict(planned, samples)
+        assert prediction.mean > 0
+        assert prediction.distribution.variance >= 0
+
+    def test_variance_shrinks_with_more_samples(self, tpch_db, calibrated_units):
+        """More samples -> (stochastically) tighter predicted distributions."""
+        optimizer = Optimizer(tpch_db)
+        predictor = UncertaintyPredictor(calibrated_units)
+        sql = (
+            "SELECT * FROM orders, lineitem WHERE o_orderkey = l_orderkey "
+            "AND o_totalprice <= 250000"
+        )
+        planned = optimizer.plan_sql(sql)
+        small_stds, large_stds = [], []
+        for seed in range(3):
+            small = SampleDatabase(tpch_db, sampling_ratio=0.02, seed=seed)
+            large = SampleDatabase(tpch_db, sampling_ratio=0.3, seed=seed)
+            small_stds.append(predictor.predict(planned, small).std)
+            large_stds.append(predictor.predict(planned, large).std)
+        assert np.mean(large_stds) < np.mean(small_stds)
+
+    def test_gee_variant_runs(self, tpch_db, calibrated_units, sample_db):
+        optimizer = Optimizer(tpch_db)
+        predictor = UncertaintyPredictor(calibrated_units)
+        sql = (
+            "SELECT o_orderpriority, COUNT(*) FROM orders "
+            "GROUP BY o_orderpriority"
+        )
+        planned = optimizer.plan_sql(sql)
+        baseline = predictor.predict(planned, sample_db, use_gee=False)
+        with_gee = predictor.predict(planned, sample_db, use_gee=True)
+        assert baseline.mean > 0 and with_gee.mean > 0
+
+    def test_all_variants_end_to_end(self, tpch_db, calibrated_units, sample_db):
+        optimizer = Optimizer(tpch_db)
+        predictor = UncertaintyPredictor(calibrated_units)
+        planned = optimizer.plan_sql(
+            "SELECT * FROM customer, orders WHERE c_custkey = o_custkey"
+        )
+        prepared = predictor.prepare(planned, sample_db)
+        stds = {
+            variant: predictor.predict_prepared(planned, prepared, variant).std
+            for variant in Variant
+        }
+        assert stds[Variant.ALL] >= max(
+            stds[Variant.NO_VAR_C], stds[Variant.NO_VAR_X], stds[Variant.NO_COV]
+        )

@@ -1,0 +1,147 @@
+"""Optimality of the DP join enumerator against brute-force search.
+
+For small relation sets we can enumerate every bushy join tree that
+avoids cross products and evaluate the same C_out metric the DP uses;
+the DP's answer must attain the minimum.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.plan.logical import JoinEdge
+from repro.optimizer.join_order import best_join_order
+
+
+def tree_cost(aliases, edges, base_rows, edge_selectivity):
+    """(min cost, rows) over all bushy, cross-product-free join trees."""
+
+    def solve(subset):
+        subset = frozenset(subset)
+        if len(subset) == 1:
+            (alias,) = subset
+            return 0.0, base_rows[alias]
+        best = None
+        items = sorted(subset)
+        for r in range(1, len(items)):
+            for left in itertools.combinations(items, r):
+                left = frozenset(left)
+                right = subset - left
+                if min(left) != min(subset):
+                    continue  # count each unordered split once
+                connecting = [
+                    e
+                    for e in edges
+                    if (
+                        (e.left_alias in left and e.right_alias in right)
+                        or (e.left_alias in right and e.right_alias in left)
+                    )
+                ]
+                if not connecting:
+                    continue
+                left_solution = solve(left)
+                right_solution = solve(right)
+                if left_solution is None or right_solution is None:
+                    continue
+                selectivity = 1.0
+                for edge in connecting:
+                    selectivity *= edge_selectivity(edge)
+                rows = max(
+                    left_solution[1] * right_solution[1] * selectivity, 1.0
+                )
+                cost = left_solution[0] + right_solution[0] + rows
+                if best is None or cost < best[0]:
+                    best = (cost, rows)
+        return best
+
+    return solve(frozenset(aliases))
+
+
+def evaluate_tree(tree, base_rows, edge_selectivity):
+    """C_out of a JoinTree produced by the DP."""
+    if tree.is_leaf:
+        return 0.0, base_rows[tree.alias]
+    left_cost, left_rows = evaluate_tree(tree.left, base_rows, edge_selectivity)
+    right_cost, right_rows = evaluate_tree(tree.right, base_rows, edge_selectivity)
+    selectivity = 1.0
+    for edge in tree.edges:
+        selectivity *= edge_selectivity(edge)
+    rows = max(left_rows * right_rows * selectivity, 1.0)
+    return left_cost + right_cost + rows, rows
+
+
+def chain_edges(aliases):
+    return [
+        JoinEdge(aliases[i], "k", aliases[i + 1], "k")
+        for i in range(len(aliases) - 1)
+    ]
+
+
+class TestDpOptimality:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rows=st.lists(
+            st.floats(1.0, 1e6), min_size=3, max_size=5
+        ),
+        sel_exponents=st.lists(st.integers(-6, -1), min_size=2, max_size=4),
+    )
+    def test_chain_queries_optimal(self, rows, sel_exponents):
+        aliases = [f"t{i}" for i in range(len(rows))]
+        base_rows = dict(zip(aliases, rows))
+        edges = chain_edges(aliases)
+        selectivities = {}
+        for i, edge in enumerate(edges):
+            exponent = sel_exponents[i % len(sel_exponents)]
+            selectivities[id(edge)] = 10.0 ** exponent
+
+        def edge_sel(edge):
+            for candidate in edges:
+                if (
+                    candidate.left_alias == edge.left_alias
+                    and candidate.right_alias == edge.right_alias
+                ):
+                    return selectivities[id(candidate)]
+            raise KeyError(edge)
+
+        tree = best_join_order(base_rows, edges, edge_sel)
+        dp_cost, _ = evaluate_tree(tree, base_rows, edge_sel)
+        optimal = tree_cost(aliases, edges, base_rows, edge_sel)
+        assert optimal is not None
+        assert dp_cost == pytest.approx(optimal[0], rel=1e-9)
+
+    def test_star_query_optimal(self):
+        aliases = ["fact", "d1", "d2", "d3"]
+        base_rows = {"fact": 1e6, "d1": 100.0, "d2": 1000.0, "d3": 10.0}
+        edges = [
+            JoinEdge("fact", "k1", "d1", "k1"),
+            JoinEdge("fact", "k2", "d2", "k2"),
+            JoinEdge("fact", "k3", "d3", "k3"),
+        ]
+        selectivity_map = {"d1": 1e-2, "d2": 1e-3, "d3": 1e-1}
+
+        def edge_sel(edge):
+            return selectivity_map[edge.right_alias]
+
+        tree = best_join_order(base_rows, edges, edge_sel)
+        dp_cost, _ = evaluate_tree(tree, base_rows, edge_sel)
+        optimal = tree_cost(aliases, edges, base_rows, edge_sel)
+        assert dp_cost == pytest.approx(optimal[0], rel=1e-9)
+
+    def test_cycle_query_optimal(self):
+        aliases = ["a", "b", "c"]
+        base_rows = {"a": 1e4, "b": 1e5, "c": 1e3}
+        edges = [
+            JoinEdge("a", "k", "b", "k"),
+            JoinEdge("b", "k", "c", "k"),
+            JoinEdge("a", "k", "c", "k"),
+        ]
+
+        def edge_sel(edge):
+            return 1e-4
+
+        tree = best_join_order(base_rows, edges, edge_sel)
+        dp_cost, _ = evaluate_tree(tree, base_rows, edge_sel)
+        optimal = tree_cost(aliases, edges, base_rows, edge_sel)
+        assert dp_cost == pytest.approx(optimal[0], rel=1e-9)

@@ -1,0 +1,197 @@
+"""Tests for normal moments, the monomial engine, and correlations."""
+
+import math
+
+import numpy as np
+import pytest
+import scipy.stats
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mathstats import (
+    NormalDistribution,
+    monomial_cov,
+    monomial_mean,
+    monomial_var,
+    noncentral_moment,
+    pearson,
+    ranks,
+    spearman,
+)
+
+finite_floats = st.floats(-5, 5, allow_nan=False)
+small_vars = st.floats(0.0, 4.0, allow_nan=False)
+
+
+class TestNoncentralMoments:
+    """Table 3 of the paper."""
+
+    @given(mu=finite_floats, var=small_vars)
+    @settings(max_examples=50, deadline=None)
+    def test_table3_formulas(self, mu, var):
+        assert noncentral_moment(mu, var, 1) == pytest.approx(mu, abs=1e-9)
+        assert noncentral_moment(mu, var, 2) == pytest.approx(mu**2 + var, rel=1e-9, abs=1e-9)
+        assert noncentral_moment(mu, var, 3) == pytest.approx(
+            mu**3 + 3 * mu * var, rel=1e-9, abs=1e-9
+        )
+        assert noncentral_moment(mu, var, 4) == pytest.approx(
+            mu**4 + 6 * mu**2 * var + 3 * var**2, rel=1e-9, abs=1e-9
+        )
+
+    def test_zeroth_moment(self):
+        assert noncentral_moment(3.0, 2.0, 0) == 1.0
+
+    def test_monte_carlo_agreement(self):
+        rng = np.random.default_rng(0)
+        draws = rng.normal(1.5, 0.5, 2_000_000)
+        for k in range(1, 5):
+            assert noncentral_moment(1.5, 0.25, k) == pytest.approx(
+                float((draws**k).mean()), rel=0.01
+            )
+
+    def test_negative_order_rejected(self):
+        with pytest.raises(ValueError):
+            noncentral_moment(0.0, 1.0, -1)
+
+
+class TestNormalDistribution:
+    def test_cdf_symmetry(self):
+        dist = NormalDistribution(0.0, 1.0)
+        assert dist.cdf(0.0) == pytest.approx(0.5)
+        assert dist.cdf(1.0) + dist.cdf(-1.0) == pytest.approx(1.0)
+
+    def test_quantile_inverts_cdf(self):
+        dist = NormalDistribution(3.0, 4.0)
+        for p in (0.1, 0.5, 0.9, 0.975):
+            assert dist.cdf(dist.quantile(p)) == pytest.approx(p, abs=1e-9)
+
+    def test_interval_mass(self):
+        dist = NormalDistribution(10.0, 9.0)
+        low, high = dist.interval(0.95)
+        assert dist.prob_within(low, high) == pytest.approx(0.95, abs=1e-9)
+
+    def test_matches_scipy(self):
+        dist = NormalDistribution(2.0, 5.0)
+        ref = scipy.stats.norm(2.0, math.sqrt(5.0))
+        for x in (-3.0, 0.0, 2.0, 4.5):
+            assert dist.cdf(x) == pytest.approx(ref.cdf(x), abs=1e-12)
+            assert dist.pdf(x) == pytest.approx(ref.pdf(x), abs=1e-12)
+
+    def test_degenerate_distribution(self):
+        dist = NormalDistribution(5.0, 0.0)
+        assert dist.cdf(4.9) == 0.0
+        assert dist.cdf(5.0) == 1.0
+        assert dist.quantile(0.3) == 5.0
+
+    def test_sum_of_independent(self):
+        total = NormalDistribution(1.0, 2.0) + NormalDistribution(3.0, 4.0)
+        assert total.mean == 4.0 and total.variance == 6.0
+
+    def test_scale_and_shift(self):
+        dist = NormalDistribution(2.0, 3.0).scale(2.0).shift(1.0)
+        assert dist.mean == 5.0 and dist.variance == 12.0
+
+    def test_negative_variance_rejected(self):
+        with pytest.raises(ValueError):
+            NormalDistribution(0.0, -1.0)
+
+    def test_bad_quantile_level(self):
+        with pytest.raises(ValueError):
+            NormalDistribution(0.0, 1.0).quantile(1.5)
+
+
+class TestMonomialEngine:
+    DISTS = {1: (0.3, 0.01), 2: (0.6, 0.04), 3: (0.1, 0.0)}
+
+    def test_mean_factorizes(self):
+        mean = monomial_mean({1: 1, 2: 1}, self.DISTS)
+        assert mean == pytest.approx(0.3 * 0.6)
+
+    def test_mean_with_power(self):
+        mean = monomial_mean({1: 2}, self.DISTS)
+        assert mean == pytest.approx(0.3**2 + 0.01)
+
+    def test_cov_independent_vars_zero(self):
+        assert monomial_cov({1: 1}, {2: 1}, self.DISTS) == pytest.approx(0.0)
+
+    def test_var_linear(self):
+        assert monomial_var({1: 1}, self.DISTS) == pytest.approx(0.01)
+
+    def test_cov_x_x2(self):
+        # Cov(X, X^2) = 2 mu sigma^2 for a normal.
+        got = monomial_cov({1: 1}, {1: 2}, self.DISTS)
+        assert got == pytest.approx(2 * 0.3 * 0.01, rel=1e-9)
+
+    def test_var_product_independent(self):
+        # Var[XY] = mx^2 vy + my^2 vx + vx vy.
+        got = monomial_var({1: 1, 2: 1}, self.DISTS)
+        expected = 0.3**2 * 0.04 + 0.6**2 * 0.01 + 0.01 * 0.04
+        assert got == pytest.approx(expected, rel=1e-9)
+
+    def test_zero_variance_var_is_zero(self):
+        assert monomial_var({3: 1}, self.DISTS) == pytest.approx(0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        mu1=st.floats(0.05, 0.9),
+        v1=st.floats(0.0001, 0.01),
+        mu2=st.floats(0.05, 0.9),
+        v2=st.floats(0.0001, 0.01),
+    )
+    def test_monte_carlo_cross_check(self, mu1, v1, mu2, v2):
+        """Property: monomial covariance matches simulation."""
+        dists = {1: (mu1, v1), 2: (mu2, v2)}
+        rng = np.random.default_rng(12)
+        x = rng.normal(mu1, math.sqrt(v1), 400_000)
+        y = rng.normal(mu2, math.sqrt(v2), 400_000)
+        got = monomial_cov({1: 1, 2: 1}, {1: 1}, dists)  # Cov(XY, X)
+        sim = float(np.cov(x * y, x)[0, 1])
+        assert got == pytest.approx(sim, rel=0.15, abs=1e-5)
+
+
+class TestCorrelation:
+    def test_pearson_perfect(self):
+        x = np.arange(10.0)
+        assert pearson(x, 2 * x + 1) == pytest.approx(1.0)
+        assert pearson(x, -x) == pytest.approx(-1.0)
+
+    def test_spearman_monotone_nonlinear(self):
+        x = np.arange(1.0, 20.0)
+        assert spearman(x, np.exp(x / 5)) == pytest.approx(1.0)
+
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=60)
+        y = 0.7 * x + rng.normal(size=60)
+        assert pearson(x, y) == pytest.approx(scipy.stats.pearsonr(x, y)[0], abs=1e-12)
+        assert spearman(x, y) == pytest.approx(
+            scipy.stats.spearmanr(x, y)[0], abs=1e-12
+        )
+
+    def test_matches_scipy_with_ties(self):
+        x = np.array([1.0, 2.0, 2.0, 3.0, 3.0, 3.0, 4.0])
+        y = np.array([2.0, 1.0, 3.0, 3.0, 5.0, 4.0, 6.0])
+        assert spearman(x, y) == pytest.approx(scipy.stats.spearmanr(x, y)[0], abs=1e-12)
+
+    def test_ranks_average_ties(self):
+        assert ranks([10.0, 20.0, 20.0, 30.0]).tolist() == [1.0, 2.5, 2.5, 4.0]
+
+    def test_degenerate_inputs(self):
+        assert math.isnan(pearson([1.0], [2.0]))
+        assert math.isnan(pearson([1.0, 1.0], [2.0, 3.0]))  # zero variance
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError):
+            spearman([1.0, 2.0], [1.0])
+
+    def test_outlier_sensitivity_rp_vs_rs(self):
+        """The Figure 3 phenomenon: rp is outlier-sensitive, rs robust."""
+        rng = np.random.default_rng(3)
+        x = rng.uniform(0, 1, 40)
+        y = x + rng.normal(0, 0.05, 40)
+        x_out = np.append(x, 50.0)
+        y_out = np.append(y, 0.0)  # a wild outlier breaking the trend
+        assert abs(pearson(x_out, y_out) - pearson(x, y)) > 0.5
+        assert abs(spearman(x_out, y_out) - spearman(x, y)) < 0.2

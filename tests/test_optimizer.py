@@ -1,0 +1,276 @@
+"""Tests for cardinality estimation, the cost model, join ordering, and
+physical plan construction."""
+
+import numpy as np
+import pytest
+
+from repro.optimizer import (
+    COST_UNIT_NAMES,
+    PLANNER_UNITS,
+    CardinalityEstimator,
+    CostModel,
+    Optimizer,
+    OptimizerConfig,
+    ResourceCounts,
+    best_join_order,
+)
+from repro.plan import (
+    HashJoinNode,
+    IndexScanNode,
+    JoinEdge,
+    NestLoopJoinNode,
+    OpKind,
+    PredicateKind,
+    ScanPredicate,
+    SeqScanNode,
+    SortNode,
+)
+
+
+class TestCardinality:
+    def test_range_estimate_close_to_truth(self, tpch_db):
+        estimator = CardinalityEstimator(tpch_db)
+        predicate = ScanPredicate("o", "o_totalprice", PredicateKind.LE, (225_000.0,))
+        estimate = estimator.predicate_selectivity("orders", predicate)
+        truth = (tpch_db.table("orders").column("o_totalprice") <= 225_000.0).mean()
+        assert estimate == pytest.approx(truth, abs=0.05)
+
+    def test_eq_estimate(self, tpch_db):
+        estimator = CardinalityEstimator(tpch_db)
+        predicate = ScanPredicate("c", "c_mktsegment", PredicateKind.EQ, ("BUILDING",))
+        estimate = estimator.predicate_selectivity("customer", predicate)
+        truth = (tpch_db.table("customer").column("c_mktsegment") == "BUILDING").mean()
+        assert estimate == pytest.approx(truth, abs=0.05)
+
+    def test_in_sums_eq(self, tpch_db):
+        estimator = CardinalityEstimator(tpch_db)
+        single = estimator.predicate_selectivity(
+            "lineitem", ScanPredicate("l", "l_shipmode", PredicateKind.EQ, ("AIR",))
+        )
+        double = estimator.predicate_selectivity(
+            "lineitem",
+            ScanPredicate("l", "l_shipmode", PredicateKind.IN, ("AIR", "RAIL")),
+        )
+        assert double > single
+
+    def test_conjunction_multiplies(self, tpch_db):
+        estimator = CardinalityEstimator(tpch_db)
+        p1 = ScanPredicate("l", "l_quantity", PredicateKind.LE, (25.0,))
+        p2 = ScanPredicate("l", "l_discount", PredicateKind.LE, (0.05,))
+        combined = estimator.scan_selectivity("lineitem", [p1, p2])
+        s1 = estimator.predicate_selectivity("lineitem", p1)
+        s2 = estimator.predicate_selectivity("lineitem", p2)
+        assert combined == pytest.approx(s1 * s2, rel=1e-9)
+
+    def test_join_selectivity_fk(self, tpch_db):
+        estimator = CardinalityEstimator(tpch_db)
+        edge = JoinEdge("o", "o_orderkey", "l", "l_orderkey")
+        selectivity = estimator.join_edge_selectivity(
+            edge, {"o": "orders", "l": "lineitem"}
+        )
+        orders = tpch_db.table("orders").num_rows
+        assert selectivity == pytest.approx(1.0 / orders, rel=0.05)
+
+    def test_group_count_capped_by_input(self, tpch_db):
+        estimator = CardinalityEstimator(tpch_db)
+        assert estimator.group_count([1000, 1000], input_rows=50.0) == 50.0
+        assert estimator.group_count([3, 4], input_rows=1000.0) == 12.0
+        assert estimator.group_count([], input_rows=10.0) == 1.0
+
+
+class TestCostModel:
+    def test_resource_counts_addition(self):
+        total = ResourceCounts(ns=1, nt=2) + ResourceCounts(ns=3, no=4)
+        assert total.ns == 4 and total.nt == 2 and total.no == 4
+
+    def test_total_cost_matches_equation_one(self):
+        counts = ResourceCounts(ns=10, nr=5, nt=100, ni=20, no=50)
+        units = {"cs": 1.0, "cr": 4.0, "ct": 0.01, "ci": 0.005, "co": 0.0025}
+        expected = 10 * 1.0 + 5 * 4.0 + 100 * 0.01 + 20 * 0.005 + 50 * 0.0025
+        assert counts.total_cost(units) == pytest.approx(expected)
+
+    def test_seq_scan_counts(self, tpch_db):
+        model = CostModel(tpch_db)
+        node = SeqScanNode(table="orders", alias="o", predicates=[])
+        counts = model.operator_counts(node, 0, 0, 15_000)
+        stats = tpch_db.table_stats("orders")
+        assert counts.nt == stats.num_rows
+        assert counts.ns == stats.num_pages
+        assert counts.nr == 0
+
+    def test_index_scan_linear_in_output(self, tpch_db):
+        model = CostModel(tpch_db)
+        node = IndexScanNode(table="orders", alias="o", index_column="o_orderkey")
+        node.index_fetch_factor = 1.0
+        small = model.operator_counts(node, 0, 0, 100)
+        large = model.operator_counts(node, 0, 0, 200)
+        assert large.nr > small.nr
+        assert large.ni == pytest.approx(2 * small.ni)
+
+    def test_hash_join_linear(self, tpch_db):
+        model = CostModel(tpch_db)
+        node = HashJoinNode(keys=[("a.x", "b.y")])
+        counts = model.operator_counts(node, 1000, 500, 2000)
+        assert counts.nt == 1500
+        # output cardinality must not affect the join's own counts (C5)
+        counts2 = model.operator_counts(node, 1000, 500, 99999)
+        assert counts2.nt == counts.nt and counts2.no == counts.no
+
+    def test_nestloop_quadratic(self, tpch_db):
+        model = CostModel(tpch_db)
+        node = NestLoopJoinNode(keys=[])
+        counts = model.operator_counts(node, 100, 50, 0)
+        assert counts.no == pytest.approx(100 * 50)
+        assert counts.nt == pytest.approx(100 + 100 * 50)
+
+    def test_sort_superlinear(self, tpch_db):
+        model = CostModel(tpch_db)
+        node = SortNode(keys=[("a.x", False)])
+        small = model.operator_counts(node, 1000, 0, 1000)
+        large = model.operator_counts(node, 2000, 0, 2000)
+        assert large.no > 2 * small.no  # n log n grows faster than n
+
+    def test_plan_cost_positive(self, optimizer, tpch_db):
+        planned = optimizer.plan_sql("SELECT * FROM orders WHERE o_totalprice > 100")
+        cost = CostModel(tpch_db).plan_cost(planned.root, planned.est_cards)
+        assert cost > 0
+
+    def test_cost_unit_names_complete(self):
+        assert set(COST_UNIT_NAMES) == set(PLANNER_UNITS)
+
+
+class TestJoinOrder:
+    def edges(self):
+        return [
+            JoinEdge("a", "x", "b", "x"),
+            JoinEdge("b", "y", "c", "y"),
+        ]
+
+    def test_chain_avoids_cross_product(self):
+        tree = best_join_order(
+            {"a": 1000.0, "b": 10.0, "c": 1000.0},
+            self.edges(),
+            lambda e: 0.001,
+        )
+        assert set(tree.aliases()) == {"a", "b", "c"}
+
+    def test_single_relation(self):
+        tree = best_join_order({"a": 5.0}, [], lambda e: 1.0)
+        assert tree.is_leaf and tree.alias == "a"
+
+    def test_smaller_side_becomes_build(self):
+        tree = best_join_order(
+            {"big": 10_000.0, "tiny": 5.0},
+            [JoinEdge("big", "x", "tiny", "x")],
+            lambda e: 0.01,
+        )
+        assert tree.left.alias == "big"
+        assert tree.right.alias == "tiny"
+
+    def test_disconnected_graph_cross_joins(self):
+        tree = best_join_order({"a": 10.0, "b": 20.0}, [], lambda e: 1.0)
+        assert set(tree.aliases()) == {"a", "b"}
+        assert tree.edges == ()
+
+    def test_selective_edge_joined_first(self):
+        # star: center joins two satellites; the more selective edge first
+        edges = [
+            JoinEdge("center", "k1", "sat1", "k1"),
+            JoinEdge("center", "k2", "sat2", "k2"),
+        ]
+        selectivities = {("center", "sat1"): 1e-6, ("center", "sat2"): 1e-2}
+
+        def edge_sel(edge):
+            return selectivities[(edge.left_alias, edge.right_alias)]
+
+        tree = best_join_order(
+            {"center": 10_000.0, "sat1": 1000.0, "sat2": 1000.0}, edges, edge_sel
+        )
+        # the bottom join should be center x sat1 (cheapest intermediate)
+        bottom = tree.left if not tree.left.is_leaf else tree.right
+        assert set(bottom.aliases()) == {"center", "sat1"}
+
+
+class TestOptimizer:
+    def test_index_scan_chosen_for_selective_range(self, tpch_db):
+        optimizer = Optimizer(tpch_db)
+        planned = optimizer.plan_sql(
+            "SELECT * FROM lineitem WHERE l_shipdate <= DATE '1992-02-01'"
+        )
+        assert planned.root.kind is OpKind.INDEX_SCAN
+
+    def test_seq_scan_for_wide_range(self, tpch_db):
+        optimizer = Optimizer(tpch_db)
+        planned = optimizer.plan_sql(
+            "SELECT * FROM lineitem WHERE l_shipdate <= DATE '1998-12-01'"
+        )
+        assert planned.root.kind is OpKind.SEQ_SCAN
+
+    def test_index_scans_disabled_by_config(self, tpch_db):
+        optimizer = Optimizer(tpch_db, OptimizerConfig(enable_index_scans=False))
+        planned = optimizer.plan_sql(
+            "SELECT * FROM lineitem WHERE l_shipdate <= DATE '1992-02-01'"
+        )
+        assert planned.root.kind is OpKind.SEQ_SCAN
+
+    def test_join_algorithm_choice(self, tpch_db):
+        optimizer = Optimizer(tpch_db)
+        planned = optimizer.plan_sql(
+            "SELECT * FROM orders, lineitem WHERE o_orderkey = l_orderkey"
+        )
+        assert planned.root.kind is OpKind.HASH_JOIN
+        # tiny inner (region, 5 rows) -> nested loop
+        planned = optimizer.plan_sql(
+            "SELECT * FROM nation, region WHERE n_regionkey = r_regionkey"
+        )
+        assert planned.root.kind is OpKind.NESTLOOP_JOIN
+
+    def test_aggregate_on_top(self, tpch_db):
+        optimizer = Optimizer(tpch_db)
+        planned = optimizer.plan_sql(
+            "SELECT o_orderpriority, COUNT(*) FROM orders GROUP BY o_orderpriority"
+        )
+        assert planned.root.kind is OpKind.AGGREGATE
+
+    def test_est_selectivity_in_unit_range(self, optimizer):
+        planned = optimizer.plan_sql(
+            "SELECT * FROM orders, lineitem WHERE o_orderkey = l_orderkey "
+            "AND o_totalprice > 200000"
+        )
+        for node in planned.root.walk():
+            selectivity = planned.est_selectivity(node)
+            assert 0.0 <= selectivity <= 1.0 + 1e-9
+
+    def test_leaf_row_product(self, optimizer, tpch_db):
+        planned = optimizer.plan_sql(
+            "SELECT * FROM orders, lineitem WHERE o_orderkey = l_orderkey"
+        )
+        expected = (
+            tpch_db.table("orders").num_rows * tpch_db.table("lineitem").num_rows
+        )
+        assert planned.leaf_row_product(planned.root) == expected
+
+    def test_est_cards_close_for_fk_join(self, optimizer, tpch_db):
+        planned = optimizer.plan_sql(
+            "SELECT * FROM orders, lineitem WHERE o_orderkey = l_orderkey"
+        )
+        lineitem_rows = tpch_db.table("lineitem").num_rows
+        assert planned.est_cards[planned.root.op_id] == pytest.approx(
+            lineitem_rows, rel=0.1
+        )
+
+    def test_five_way_join_plans(self, optimizer):
+        planned = optimizer.plan_sql(
+            "SELECT * FROM customer, orders, lineitem, supplier, nation "
+            "WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey "
+            "AND l_suppkey = s_suppkey AND s_nationkey = n_nationkey"
+        )
+        aliases = set(planned.root.leaf_aliases())
+        assert aliases == {"customer", "orders", "lineitem", "supplier", "nation"}
+
+    def test_op_ids_postorder_unique(self, optimizer):
+        planned = optimizer.plan_sql(
+            "SELECT COUNT(*) FROM orders, lineitem WHERE o_orderkey = l_orderkey"
+        )
+        ids = [node.op_id for node in planned.root.walk()]
+        assert ids == sorted(ids) == list(range(len(ids)))

@@ -1,0 +1,142 @@
+"""Cross-cutting pipeline properties: determinism, self-joins, scaling."""
+
+import numpy as np
+import pytest
+
+from repro.core import UncertaintyPredictor, Variant
+from repro.executor import Executor
+from repro.optimizer import Optimizer
+from repro.optimizer.cost_model import CostModel, ResourceCounts
+from repro.plan import IndexScanNode, OpKind
+from repro.sampling import SampleDatabase, SelectivityEstimator
+from repro.workloads import template_by_number
+
+
+class TestDeterminism:
+    SQL = (
+        "SELECT * FROM orders, lineitem WHERE o_orderkey = l_orderkey "
+        "AND o_totalprice > 250000"
+    )
+
+    def test_planning_deterministic(self, tpch_db):
+        a = Optimizer(tpch_db).plan_sql(self.SQL)
+        b = Optimizer(tpch_db).plan_sql(self.SQL)
+        assert a.root.pretty() == b.root.pretty()
+        assert a.est_cards == b.est_cards
+
+    def test_prediction_deterministic(self, tpch_db, calibrated_units):
+        planned = Optimizer(tpch_db).plan_sql(self.SQL)
+        predictor = UncertaintyPredictor(calibrated_units)
+        samples = SampleDatabase(tpch_db, sampling_ratio=0.05, seed=17)
+        first = predictor.predict(planned, samples)
+        second = predictor.predict(planned, samples)
+        assert first.mean == second.mean
+        assert first.std == second.std
+
+    def test_different_samples_different_distributions(
+        self, tpch_db, calibrated_units
+    ):
+        """The Section 6.3.2 point: each sample yields its own D_i."""
+        planned = Optimizer(tpch_db).plan_sql(self.SQL)
+        predictor = UncertaintyPredictor(calibrated_units)
+        means = set()
+        for seed in range(4):
+            samples = SampleDatabase(tpch_db, sampling_ratio=0.03, seed=seed)
+            means.add(round(predictor.predict(planned, samples).mean, 9))
+        assert len(means) > 1
+
+
+class TestSelfJoin:
+    def test_q7_two_nation_copies_estimated(self, tpch_db, sample_db):
+        rng = np.random.default_rng(7)
+        sql = template_by_number(7).seljoin(rng)
+        planned = Optimizer(tpch_db).plan_sql(sql)
+        estimate = SelectivityEstimator(sample_db, planned).estimate()
+        root = estimate.resolve(planned.root.op_id)
+        aliases = set(root.leaf_aliases)
+        assert {"n1", "n2"} <= aliases
+        assert 0.0 <= root.mean <= 1.0
+
+    def test_q7_executes(self, tpch_db):
+        rng = np.random.default_rng(7)
+        sql = template_by_number(7).instantiate(rng)
+        planned = Optimizer(tpch_db).plan_sql(sql)
+        result = Executor(tpch_db).execute(planned)
+        assert result.num_rows >= 0
+
+
+class TestCostModelContract:
+    def test_plan_counts_respects_fetched_override(self, tpch_db):
+        optimizer = Optimizer(tpch_db)
+        planned = optimizer.plan_sql(
+            "SELECT * FROM lineitem WHERE l_shipdate <= DATE '1992-02-15'"
+        )
+        node = planned.root
+        assert node.kind is OpKind.INDEX_SCAN
+        model = CostModel(tpch_db)
+        cards = {node.op_id: 100.0}
+        default = model.plan_counts(node, cards)[node.op_id]
+        overridden = model.plan_counts(node, cards, fetched={node.op_id: 500.0})[
+            node.op_id
+        ]
+        assert overridden.ni == pytest.approx(500.0)
+        assert overridden.ni != default.ni
+
+    def test_counts_monotone_in_cardinality(self, tpch_db):
+        """More input rows never cost less, for every operator family."""
+        optimizer = Optimizer(tpch_db)
+        planned = optimizer.plan_sql(
+            "SELECT COUNT(*) FROM orders, lineitem WHERE o_orderkey = l_orderkey"
+        )
+        model = CostModel(tpch_db)
+        for node in planned.root.walk():
+            if node.is_scan:
+                continue
+            small = model.operator_counts(node, 100.0, 100.0, 50.0)
+            large = model.operator_counts(node, 1000.0, 1000.0, 500.0)
+            for unit in ("cs", "cr", "ct", "ci", "co"):
+                assert large.as_dict()[unit] >= small.as_dict()[unit]
+
+    def test_resource_counts_immutable(self):
+        counts = ResourceCounts(ns=1.0)
+        with pytest.raises(Exception):
+            counts.ns = 2.0
+
+
+class TestVarianceScaling:
+    def test_sigma_scales_with_database_size(self, calibrated_units):
+        """Bigger database, same SR -> bigger absolute time uncertainty."""
+        from repro.datagen import TpchConfig, generate_tpch
+
+        sql = (
+            "SELECT * FROM orders, lineitem WHERE o_orderkey = l_orderkey "
+            "AND o_totalprice <= 250000"
+        )
+        stds = []
+        for sf in (0.005, 0.02):
+            db = generate_tpch(TpchConfig(scale_factor=sf, seed=3))
+            planned = Optimizer(db).plan_sql(sql)
+            samples = SampleDatabase(db, sampling_ratio=0.05, seed=4)
+            prediction = UncertaintyPredictor(calibrated_units).predict(
+                planned, samples
+            )
+            stds.append(prediction.std)
+        assert stds[1] > stds[0]
+
+    def test_variant_hierarchy_over_workload(
+        self, tpch_db, sample_db, calibrated_units
+    ):
+        """All >= each ablated variant for every query of a workload."""
+        from repro.workloads import seljoin_workload
+
+        optimizer = Optimizer(tpch_db)
+        predictor = UncertaintyPredictor(calibrated_units)
+        for sql in seljoin_workload(num_queries=7, seed=23):
+            planned = optimizer.plan_sql(sql)
+            prepared = predictor.prepare(planned, sample_db)
+            full = predictor.predict_prepared(planned, prepared, Variant.ALL)
+            for variant in (Variant.NO_VAR_C, Variant.NO_VAR_X, Variant.NO_COV):
+                ablated = predictor.predict_prepared(planned, prepared, variant)
+                assert ablated.distribution.variance <= (
+                    full.distribution.variance + 1e-15
+                )

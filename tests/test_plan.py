@@ -1,0 +1,198 @@
+"""Tests for predicates, expressions, binding, and physical plan trees."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.plan import (
+    AggregateNode,
+    ColumnPairScanPredicate,
+    HashJoinNode,
+    PredicateKind,
+    ScanPredicate,
+    SeqScanNode,
+    assign_op_ids,
+    bind_query,
+    compile_scalar,
+)
+from repro.sql import parse_query
+from repro.sql.ast import Arith, ColumnRef, Literal
+
+
+class TestScanPredicate:
+    def test_eq_mask(self):
+        predicate = ScanPredicate("t", "a", PredicateKind.EQ, (3,))
+        mask = predicate.mask(np.array([1, 3, 3, 4]))
+        assert mask.tolist() == [False, True, True, False]
+
+    def test_between_mask(self):
+        predicate = ScanPredicate("t", "a", PredicateKind.BETWEEN, (2, 4))
+        mask = predicate.mask(np.array([1, 2, 3, 4, 5]))
+        assert mask.tolist() == [False, True, True, True, False]
+
+    def test_in_mask(self):
+        predicate = ScanPredicate("t", "a", PredicateKind.IN, (1, 5))
+        mask = predicate.mask(np.array([1, 2, 5]))
+        assert mask.tolist() == [True, False, True]
+
+    def test_prefix_mask(self):
+        predicate = ScanPredicate("t", "a", PredicateKind.PREFIX, ("PRO",))
+        mask = predicate.mask(np.array(["PROMO", "ECON", "PRO"], dtype="U8"))
+        assert mask.tolist() == [True, False, True]
+
+    def test_num_ops(self):
+        assert ScanPredicate("t", "a", PredicateKind.EQ, (1,)).num_ops == 1
+        assert ScanPredicate("t", "a", PredicateKind.BETWEEN, (1, 2)).num_ops == 2
+        assert ScanPredicate("t", "a", PredicateKind.IN, (1, 2, 3)).num_ops == 3
+
+    def test_range_bounds(self):
+        assert ScanPredicate("t", "a", PredicateKind.LE, (9,)).range_bounds() == (None, 9)
+        assert ScanPredicate("t", "a", PredicateKind.GE, (2,)).range_bounds() == (2, None)
+        assert ScanPredicate("t", "a", PredicateKind.EQ, (5,)).range_bounds() == (5, 5)
+
+    def test_is_range(self):
+        assert ScanPredicate("t", "a", PredicateKind.LT, (1,)).is_range
+        assert not ScanPredicate("t", "a", PredicateKind.IN, (1,)).is_range
+        assert not ScanPredicate("t", "a", PredicateKind.PREFIX, ("x",)).is_range
+
+    def test_column_pair_mask(self):
+        predicate = ColumnPairScanPredicate("t", "a", PredicateKind.LT, "b")
+        mask = predicate.mask(np.array([1, 5]), np.array([2, 2]))
+        assert mask.tolist() == [True, False]
+
+
+class TestScalarExpressions:
+    def resolver(self, ref):
+        return f"t.{ref.name}"
+
+    def test_column_lookup(self):
+        expr = compile_scalar(ColumnRef(name="a"), self.resolver)
+        out = expr.evaluate({"t.a": np.array([1.0, 2.0])}, 2)
+        assert out.tolist() == [1.0, 2.0]
+
+    def test_arith(self):
+        ast = Arith("*", ColumnRef(name="a"), Arith("-", Literal(1, "number"), ColumnRef(name="b")))
+        expr = compile_scalar(ast, self.resolver)
+        out = expr.evaluate({"t.a": np.array([10.0]), "t.b": np.array([0.25])}, 1)
+        assert out.tolist() == [7.5]
+
+    def test_columns_collected(self):
+        ast = Arith("+", ColumnRef(name="a"), ColumnRef(name="b"))
+        expr = compile_scalar(ast, self.resolver)
+        assert set(expr.columns) == {"t.a", "t.b"}
+
+    def test_num_ops(self):
+        ast = Arith("+", ColumnRef(name="a"), Arith("*", ColumnRef(name="b"), Literal(2, "number")))
+        assert compile_scalar(ast, self.resolver).num_ops == 2
+
+    def test_missing_column_raises(self):
+        expr = compile_scalar(ColumnRef(name="a"), self.resolver)
+        with pytest.raises(PlanError):
+            expr.evaluate({}, 0)
+
+
+class TestBinder:
+    def bind(self, sql, db):
+        return bind_query(parse_query(sql), db)
+
+    def test_scan_predicates_routed_to_alias(self, tpch_db):
+        bound = self.bind(
+            "SELECT * FROM orders, lineitem WHERE o_orderkey = l_orderkey "
+            "AND o_totalprice > 1000 AND l_quantity < 10",
+            tpch_db,
+        )
+        assert len(bound.scan_predicates["orders"]) == 1
+        assert len(bound.scan_predicates["lineitem"]) == 1
+        assert len(bound.join_edges) == 1
+
+    def test_unqualified_resolution(self, tpch_db):
+        bound = self.bind("SELECT * FROM orders WHERE o_totalprice > 5", tpch_db)
+        assert bound.scan_predicates["orders"][0].column == "o_totalprice"
+
+    def test_ambiguous_column_rejected(self, tpch_db):
+        with pytest.raises(PlanError):
+            self.bind("SELECT n_name FROM nation n1, nation n2", tpch_db)
+
+    def test_qualified_disambiguation(self, tpch_db):
+        bound = self.bind(
+            "SELECT n1.n_name FROM nation n1, nation n2 "
+            "WHERE n1.n_nationkey = n2.n_nationkey",
+            tpch_db,
+        )
+        assert bound.join_edges[0].left_alias == "n1"
+
+    def test_unknown_column(self, tpch_db):
+        with pytest.raises(PlanError):
+            self.bind("SELECT nope FROM orders", tpch_db)
+
+    def test_unknown_alias(self, tpch_db):
+        with pytest.raises(PlanError):
+            self.bind("SELECT zz.o_orderkey FROM orders", tpch_db)
+
+    def test_same_table_column_pair(self, tpch_db):
+        bound = self.bind(
+            "SELECT * FROM lineitem WHERE l_commitdate < l_receiptdate", tpch_db
+        )
+        predicate = bound.scan_predicates["lineitem"][0]
+        assert isinstance(predicate, ColumnPairScanPredicate)
+        assert predicate.op is PredicateKind.LT
+
+    def test_cross_table_nonequi_is_cross_filter(self, tpch_db):
+        bound = self.bind(
+            "SELECT * FROM orders, lineitem WHERE o_orderdate < l_shipdate",
+            tpch_db,
+        )
+        assert len(bound.cross_filters) == 1
+        assert not bound.join_edges
+
+    def test_aggregates_and_groups(self, tpch_db):
+        bound = self.bind(
+            "SELECT o_orderpriority, COUNT(*) FROM orders GROUP BY o_orderpriority",
+            tpch_db,
+        )
+        assert bound.group_keys == ["orders.o_orderpriority"]
+        assert bound.aggregates[0].func == "COUNT"
+        assert bound.has_aggregates
+
+    def test_non_grouped_column_rejected(self, tpch_db):
+        with pytest.raises(PlanError):
+            self.bind("SELECT o_custkey, COUNT(*) FROM orders", tpch_db)
+
+    def test_duplicate_alias_rejected(self, tpch_db):
+        with pytest.raises(PlanError):
+            self.bind("SELECT * FROM orders o, lineitem o", tpch_db)
+
+
+class TestPhysicalTree:
+    def build_tree(self):
+        left = SeqScanNode(table="a", alias="a")
+        right = SeqScanNode(table="b", alias="b")
+        join = HashJoinNode(keys=[("a.x", "b.y")], children=[left, right])
+        agg = AggregateNode(children=[join])
+        return assign_op_ids(agg)
+
+    def test_postorder_ids(self):
+        root = self.build_tree()
+        kinds = [node.kind.value for node in root.walk()]
+        assert kinds == ["SeqScan", "SeqScan", "HashJoin", "Aggregate"]
+        assert [node.op_id for node in root.walk()] == [0, 1, 2, 3]
+
+    def test_leaf_aliases(self):
+        root = self.build_tree()
+        assert root.leaf_aliases() == ("a", "b")
+        assert root.children[0].leaf_aliases() == ("a", "b")
+
+    def test_is_join_and_scan(self):
+        root = self.build_tree()
+        nodes = list(root.walk())
+        assert nodes[0].is_scan and not nodes[0].is_join
+        assert nodes[2].is_join and not nodes[2].is_scan
+
+    def test_right_child_of_unary_raises(self):
+        root = self.build_tree()
+        with pytest.raises(PlanError):
+            _ = root.right  # aggregate has one child
+
+    def test_pretty_contains_labels(self):
+        text = self.build_tree().pretty()
+        assert "HashJoin" in text and "SeqScan" in text

@@ -1,0 +1,48 @@
+"""Smoke tests for the run_all report driver and the CLI bench path."""
+
+import io
+
+import pytest
+
+from repro.datagen import TpchConfig, generate_tpch
+from repro.experiments import ExperimentLab
+from repro.experiments.run_all import (
+    section_figure3,
+    section_figure9,
+    section_table4,
+)
+
+
+@pytest.fixture(scope="module")
+def mini_lab():
+    database = generate_tpch(TpchConfig(scale_factor=0.005, seed=31))
+    return ExperimentLab(
+        databases={"uniform-small": database},
+        seed=0,
+        query_counts={"MICRO": 6, "SELJOIN": 4, "TPCH": 4},
+        calibration_repetitions=3,
+    )
+
+
+class TestReportSections:
+    def test_table4_section(self, mini_lab):
+        out = io.StringIO()
+        section_table4(mini_lab, out)
+        text = out.getvalue()
+        assert "Table 4" in text
+        assert "uniform-small" in text
+        assert text.count("|") > 20  # a rendered grid
+
+    def test_figure3_section(self, mini_lab):
+        out = io.StringIO()
+        section_figure3(mini_lab, out)
+        text = out.getvalue()
+        assert "full population" in text
+        assert "largest-sigma query removed" in text
+
+    def test_figure9_section(self, mini_lab):
+        out = io.StringIO()
+        section_figure9(mini_lab, out)
+        text = out.getvalue()
+        assert "overhead" in text
+        assert "MICRO" in text and "TPCH" in text

@@ -1,0 +1,183 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import SqlLexError, SqlParseError
+from repro.sql import (
+    AggCall,
+    Arith,
+    Between,
+    ColumnRef,
+    Comparison,
+    InList,
+    LikePrefix,
+    Literal,
+    TokenType,
+    parse_query,
+    tokenize,
+)
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select FROM WhErE")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_lowercased(self):
+        tokens = tokenize("LineItem L_ShipDate")
+        assert tokens[0].value == "lineitem"
+        assert tokens[1].value == "l_shipdate"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14 .5")
+        assert [t.value for t in tokens[:-1]] == ["42", "3.14", ".5"]
+        assert all(t.type is TokenType.NUMBER for t in tokens[:-1])
+
+    def test_strings(self):
+        tokens = tokenize("'hello world'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "hello world"
+
+    def test_operators(self):
+        tokens = tokenize("= <> <= >= < > != + - / *")
+        values = [t.value for t in tokens[:-1]]
+        assert values == ["=", "<>", "<=", ">=", "<", ">", "<>", "+", "-", "/", "*"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlLexError):
+            tokenize("'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlLexError):
+            tokenize("SELECT @")
+
+    def test_ends_with_end_token(self):
+        assert tokenize("x")[-1].type is TokenType.END
+
+
+class TestParserBasics:
+    def test_select_star(self):
+        query = parse_query("SELECT * FROM lineitem")
+        assert query.select_star
+        assert query.tables[0].table == "lineitem"
+
+    def test_select_columns(self):
+        query = parse_query("SELECT a, b FROM t")
+        assert [item.expression.name for item in query.select] == ["a", "b"]
+
+    def test_table_alias(self):
+        query = parse_query("SELECT * FROM nation n1, nation n2")
+        assert query.tables[0].alias == "n1"
+        assert query.tables[1].effective_name == "n2"
+
+    def test_qualified_column(self):
+        query = parse_query("SELECT n1.n_name FROM nation n1")
+        ref = query.select[0].expression
+        assert ref == ColumnRef(name="n_name", qualifier="n1")
+
+    def test_limit(self):
+        assert parse_query("SELECT * FROM t LIMIT 10").limit == 10
+
+    def test_order_by_directions(self):
+        query = parse_query("SELECT * FROM t ORDER BY a DESC, b ASC, c")
+        assert [(o.expression.name, o.descending) for o in query.order_by] == [
+            ("a", True), ("b", False), ("c", False),
+        ]
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse_query("SELECT * FROM t garbage extra tokens")
+
+    def test_missing_from(self):
+        with pytest.raises(SqlParseError):
+            parse_query("SELECT a WHERE b = 1")
+
+
+class TestPredicates:
+    def test_comparison_literal(self):
+        query = parse_query("SELECT * FROM t WHERE a >= 10")
+        predicate = query.predicates[0]
+        assert isinstance(predicate, Comparison)
+        assert predicate.op == ">="
+        assert predicate.right == Literal(10, "number")
+
+    def test_comparison_column(self):
+        query = parse_query("SELECT * FROM a, b WHERE a.x = b.y")
+        predicate = query.predicates[0]
+        assert isinstance(predicate.right, ColumnRef)
+
+    def test_between(self):
+        query = parse_query("SELECT * FROM t WHERE a BETWEEN 1 AND 5")
+        predicate = query.predicates[0]
+        assert isinstance(predicate, Between)
+        assert (predicate.low.value, predicate.high.value) == (1, 5)
+
+    def test_in_list(self):
+        query = parse_query("SELECT * FROM t WHERE a IN ('x', 'y')")
+        predicate = query.predicates[0]
+        assert isinstance(predicate, InList)
+        assert [v.value for v in predicate.values] == ["x", "y"]
+
+    def test_like_prefix(self):
+        query = parse_query("SELECT * FROM t WHERE a LIKE 'PROMO%'")
+        predicate = query.predicates[0]
+        assert isinstance(predicate, LikePrefix)
+        assert predicate.prefix == "PROMO"
+
+    def test_like_infix_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse_query("SELECT * FROM t WHERE a LIKE '%green%'")
+
+    def test_date_literal(self):
+        query = parse_query("SELECT * FROM t WHERE d < DATE '1995-03-15'")
+        literal = query.predicates[0].right
+        assert literal.kind == "date"
+        assert literal.value == 1169  # days since 1992-01-01
+
+    def test_multiple_conjuncts(self):
+        query = parse_query("SELECT * FROM t WHERE a = 1 AND b = 2 AND c = 3")
+        assert len(query.predicates) == 3
+
+
+class TestAggregates:
+    def test_count_star(self):
+        query = parse_query("SELECT COUNT(*) FROM t")
+        agg = query.select[0].expression
+        assert isinstance(agg, AggCall)
+        assert agg.func == "COUNT" and agg.argument is None
+
+    def test_sum_expression(self):
+        query = parse_query("SELECT SUM(l_extendedprice * (1 - l_discount)) FROM t")
+        agg = query.select[0].expression
+        assert agg.func == "SUM"
+        assert isinstance(agg.argument, Arith)
+        assert agg.argument.op == "*"
+
+    def test_count_distinct(self):
+        query = parse_query("SELECT COUNT(DISTINCT a) FROM t")
+        assert query.select[0].expression.distinct
+
+    def test_avg_star_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse_query("SELECT AVG(*) FROM t")
+
+    def test_alias(self):
+        query = parse_query("SELECT SUM(a) AS total FROM t")
+        assert query.select[0].alias == "total"
+
+    def test_group_by(self):
+        query = parse_query("SELECT a, COUNT(*) FROM t GROUP BY a")
+        assert query.group_by == [ColumnRef(name="a")]
+        assert query.has_aggregates
+
+    def test_arithmetic_precedence(self):
+        query = parse_query("SELECT SUM(a + b * c) FROM t")
+        expr = query.select[0].expression.argument
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parenthesized_expression(self):
+        query = parse_query("SELECT SUM((a + b) * c) FROM t")
+        expr = query.select[0].expression.argument
+        assert expr.op == "*"
+        assert expr.left.op == "+"

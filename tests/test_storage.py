@@ -1,0 +1,211 @@
+"""Tests for schemas, tables, statistics, indexes, and the catalog."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CatalogError, SchemaError
+from repro.storage import (
+    Column,
+    ColumnType,
+    Database,
+    Schema,
+    SortedIndex,
+    Table,
+    build_column_stats,
+    build_table_stats,
+)
+
+
+def make_table(name="t", n=100):
+    schema = Schema(
+        [
+            Column("k", ColumnType.INT),
+            Column("v", ColumnType.FLOAT),
+            Column("s", ColumnType.STR),
+        ]
+    )
+    rng = np.random.default_rng(0)
+    return Table(
+        name,
+        schema,
+        {
+            "k": np.arange(n, dtype=np.int64),
+            "v": rng.uniform(0, 10, n),
+            "s": np.array([f"s{i % 7}" for i in range(n)], dtype="U8"),
+        },
+    )
+
+
+class TestSchema:
+    def test_lookup(self):
+        schema = make_table().schema
+        assert schema.column("k").ctype is ColumnType.INT
+        assert schema.position("v") == 1
+        assert "s" in schema
+        assert len(schema) == 3
+
+    def test_unknown_column(self):
+        with pytest.raises(SchemaError):
+            make_table().schema.column("nope")
+
+    def test_duplicate_column(self):
+        with pytest.raises(SchemaError):
+            Schema([Column("a", ColumnType.INT), Column("a", ColumnType.INT)])
+
+    def test_invalid_name(self):
+        with pytest.raises(SchemaError):
+            Column("has space", ColumnType.INT)
+
+    def test_row_width_positive(self):
+        assert make_table().schema.row_width_bytes > 24
+
+
+class TestTable:
+    def test_row_count(self):
+        assert make_table(n=50).num_rows == 50
+
+    def test_pages_scale_with_rows(self):
+        small = make_table(n=10)
+        large = make_table(n=10_000)
+        assert large.num_pages > small.num_pages >= 1
+
+    def test_missing_column_data(self):
+        schema = Schema([Column("a", ColumnType.INT)])
+        with pytest.raises(SchemaError):
+            Table("bad", schema, {})
+
+    def test_ragged_columns(self):
+        schema = Schema([Column("a", ColumnType.INT), Column("b", ColumnType.INT)])
+        with pytest.raises(SchemaError):
+            Table("bad", schema, {"a": np.arange(3), "b": np.arange(4)})
+
+    def test_extra_columns(self):
+        schema = Schema([Column("a", ColumnType.INT)])
+        with pytest.raises(SchemaError):
+            Table("bad", schema, {"a": np.arange(3), "zz": np.arange(3)})
+
+    def test_take_preserves_order(self):
+        table = make_table()
+        sub = table.take(np.array([5, 2, 9]))
+        assert sub.column("k").tolist() == [5, 2, 9]
+
+    def test_rows_iterator(self):
+        rows = list(make_table().rows(limit=3))
+        assert len(rows) == 3
+        assert rows[0]["k"] == 0
+
+
+class TestColumnStats:
+    def test_eq_selectivity_mcv(self):
+        values = np.array([1] * 90 + [2] * 10, dtype=np.int64)
+        stats = build_column_stats("c", ColumnType.INT, values)
+        assert stats.eq_selectivity(1) == pytest.approx(0.9)
+        assert stats.eq_selectivity(2) == pytest.approx(0.1)
+
+    def test_range_selectivity_uniform(self):
+        values = np.arange(10_000, dtype=np.int64)
+        stats = build_column_stats("c", ColumnType.INT, values)
+        sel = stats.range_selectivity(low=2500, high=7500)
+        assert sel == pytest.approx(0.5, abs=0.05)
+
+    def test_range_beyond_domain(self):
+        values = np.arange(100, dtype=np.int64)
+        stats = build_column_stats("c", ColumnType.INT, values)
+        assert stats.range_selectivity(low=1000) == pytest.approx(0.0, abs=1e-9)
+        assert stats.range_selectivity(high=1000) == pytest.approx(1.0)
+
+    def test_value_at_quantile_roundtrip(self):
+        values = np.arange(10_000, dtype=np.int64)
+        stats = build_column_stats("c", ColumnType.INT, values)
+        for q in (0.1, 0.5, 0.9):
+            value = stats.value_at_quantile(q)
+            assert stats.range_selectivity(high=value) == pytest.approx(q, abs=0.05)
+
+    def test_ndv(self):
+        values = np.array([1, 1, 2, 3, 3, 3], dtype=np.int64)
+        stats = build_column_stats("c", ColumnType.INT, values)
+        assert stats.num_distinct == 3
+
+    def test_string_column_no_histogram(self):
+        values = np.array(["a", "b", "a"], dtype="U4")
+        stats = build_column_stats("c", ColumnType.STR, values)
+        assert stats.histogram is None
+        assert stats.num_distinct == 2
+
+    def test_empty_column(self):
+        stats = build_column_stats("c", ColumnType.INT, np.array([], dtype=np.int64))
+        assert stats.num_rows == 0 and stats.num_distinct == 0
+
+    def test_table_stats(self):
+        table = make_table()
+        stats = build_table_stats(table)
+        assert stats.num_rows == table.num_rows
+        assert set(stats.columns) == {"k", "v", "s"}
+
+
+class TestSortedIndex:
+    def test_eq_lookup(self):
+        table = make_table()
+        index = SortedIndex.build(table, "k")
+        assert index.lookup_eq(42).tolist() == [42]
+
+    def test_range_lookup(self):
+        table = make_table()
+        index = SortedIndex.build(table, "k")
+        positions = index.lookup_range(10, 14)
+        assert sorted(table.column("k")[positions].tolist()) == [10, 11, 12, 13, 14]
+
+    def test_open_ended_ranges(self):
+        table = make_table(n=20)
+        index = SortedIndex.build(table, "k")
+        assert len(index.lookup_range(low=15)) == 5
+        assert len(index.lookup_range(high=4)) == 5
+        assert len(index.lookup_range()) == 20
+
+    def test_empty_result(self):
+        table = make_table(n=10)
+        index = SortedIndex.build(table, "k")
+        assert len(index.lookup_range(100, 200)) == 0
+
+    def test_duplicate_keys(self):
+        schema = Schema([Column("a", ColumnType.INT)])
+        table = Table("t", schema, {"a": np.array([5, 5, 5, 1], dtype=np.int64)})
+        index = SortedIndex.build(table, "a")
+        assert len(index.lookup_eq(5)) == 3
+
+    def test_pages_positive(self):
+        index = SortedIndex.build(make_table(), "k")
+        assert index.num_pages >= 1
+
+
+class TestDatabase:
+    def test_add_and_lookup(self):
+        db = Database("test")
+        db.add_table(make_table("a"), indexed_columns=("k",))
+        assert db.table("a").num_rows == 100
+        assert db.table_stats("a").num_rows == 100
+        assert db.has_index("a", "k")
+        assert not db.has_index("a", "v")
+
+    def test_duplicate_table(self):
+        db = Database("test")
+        db.add_table(make_table("a"))
+        with pytest.raises(CatalogError):
+            db.add_table(make_table("a"))
+
+    def test_unknown_table(self):
+        with pytest.raises(CatalogError):
+            Database("test").table("nope")
+
+    def test_index_unknown_column(self):
+        db = Database("test")
+        db.add_table(make_table("a"))
+        with pytest.raises(CatalogError):
+            db.create_index("a", "zzz")
+
+    def test_total_rows(self):
+        db = Database("test")
+        db.add_table(make_table("a", n=10))
+        db.add_table(make_table("b", n=20))
+        assert db.total_rows == 30
+        assert db.table_names == ["a", "b"]

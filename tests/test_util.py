@@ -1,0 +1,124 @@
+"""Tests for the vectorized index utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util import ensure_rng, expand_ranges, group_ids, join_indices
+
+
+class TestEnsureRng:
+    def test_from_seed(self):
+        rng = ensure_rng(7)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_from_none(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_passthrough(self):
+        rng = np.random.default_rng(3)
+        assert ensure_rng(rng) is rng
+
+    def test_same_seed_same_stream(self):
+        a = ensure_rng(5).integers(0, 100, 10)
+        b = ensure_rng(5).integers(0, 100, 10)
+        assert np.array_equal(a, b)
+
+
+class TestExpandRanges:
+    def test_simple(self):
+        out = expand_ranges(np.array([0, 10]), np.array([2, 3]))
+        assert out.tolist() == [0, 1, 10, 11, 12]
+
+    def test_empty_counts(self):
+        out = expand_ranges(np.array([5, 7]), np.array([0, 0]))
+        assert len(out) == 0
+
+    def test_mixed_zero_counts(self):
+        out = expand_ranges(np.array([1, 100, 4]), np.array([1, 0, 2]))
+        assert out.tolist() == [1, 4, 5]
+
+    def test_no_rows(self):
+        out = expand_ranges(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert len(out) == 0
+
+
+class TestJoinIndices:
+    def test_basic_match(self):
+        li, ri = join_indices(np.array([1, 2, 3]), np.array([2, 2, 4]))
+        pairs = set(zip(li.tolist(), ri.tolist()))
+        assert pairs == {(1, 0), (1, 1)}
+
+    def test_no_match(self):
+        li, ri = join_indices(np.array([1]), np.array([2]))
+        assert len(li) == 0 and len(ri) == 0
+
+    def test_empty_side(self):
+        li, ri = join_indices(np.array([], dtype=np.int64), np.array([1, 2]))
+        assert len(li) == 0
+
+    def test_duplicates_both_sides(self):
+        li, ri = join_indices(np.array([7, 7]), np.array([7, 7, 7]))
+        assert len(li) == 6
+
+    def test_string_keys(self):
+        li, ri = join_indices(
+            np.array(["a", "b"], dtype="U8"), np.array(["b", "a"], dtype="U8")
+        )
+        pairs = set(zip(li.tolist(), ri.tolist()))
+        assert pairs == {(0, 1), (1, 0)}
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        left=st.lists(st.integers(0, 8), max_size=30),
+        right=st.lists(st.integers(0, 8), max_size=30),
+    )
+    def test_matches_naive_join(self, left, right):
+        """Property: output pairs equal the naive nested-loop equijoin."""
+        li, ri = join_indices(np.array(left, dtype=np.int64), np.array(right, dtype=np.int64))
+        got = sorted(zip(li.tolist(), ri.tolist()))
+        expected = sorted(
+            (i, j)
+            for i, lv in enumerate(left)
+            for j, rv in enumerate(right)
+            if lv == rv
+        )
+        assert got == expected
+
+
+class TestGroupIds:
+    def test_single_column(self):
+        ids, reps = group_ids(np.array([3, 1, 3, 2]))
+        assert len(reps) == 3
+        # same value -> same id
+        assert ids[0] == ids[2]
+        assert len(set(ids.tolist())) == 3
+
+    def test_multi_column(self):
+        a = np.array([1, 1, 2, 2])
+        b = np.array(["x", "y", "x", "x"], dtype="U4")
+        ids, reps = group_ids(a, b)
+        assert len(reps) == 3
+        assert ids[2] == ids[3]
+        assert ids[0] != ids[1]
+
+    def test_empty(self):
+        ids, reps = group_ids(np.array([], dtype=np.int64))
+        assert len(ids) == 0 and len(reps) == 0
+
+    def test_requires_keys(self):
+        with pytest.raises(ValueError):
+            group_ids()
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(st.integers(-5, 5), min_size=1, max_size=40))
+    def test_ids_are_dense_and_consistent(self, values):
+        array = np.array(values, dtype=np.int64)
+        ids, reps = group_ids(array)
+        # dense: ids cover 0..k-1
+        assert set(ids.tolist()) == set(range(len(reps)))
+        # consistent: equal values get equal ids
+        for i in range(len(values)):
+            for j in range(len(values)):
+                assert (values[i] == values[j]) == (ids[i] == ids[j])

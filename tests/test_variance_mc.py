@@ -1,0 +1,244 @@
+"""Monte-Carlo validation of the distribution-parameter assembly.
+
+Builds tiny synthetic plans with hand-chosen cost functions, unit
+distributions, and selectivity distributions, then checks E[t_q] and
+Var[t_q] from Algorithm 3 against direct simulation of
+t_q = sum_c c * g_c(X).
+"""
+
+import numpy as np
+import pytest
+
+from repro.calibration.calibrator import CalibratedUnits
+from repro.core.variance import VarianceOptions, assemble_distribution_parameters
+from repro.costfuncs.families import C1, C2, C5
+from repro.costfuncs.fitting import FittedCostFunction, OperatorCostFunctions
+from repro.mathstats import NormalDistribution
+from repro.plan import HashJoinNode, SeqScanNode, assign_op_ids
+from repro.sampling.estimator import NodeSelectivity, SamplingEstimate
+
+
+class _PlanStub:
+    """assemble_distribution_parameters only needs .root."""
+
+    def __init__(self, root):
+        self.root = root
+
+
+def make_units(ct=(0.01, 1e-6), cs=(1.0, 0.01)):
+    zero = NormalDistribution(1e-9, 0.0)
+    return CalibratedUnits(
+        distributions={
+            "ct": NormalDistribution(*ct),
+            "cs": NormalDistribution(*cs),
+            "cr": zero,
+            "ci": zero,
+            "co": zero,
+        },
+        samples={},
+    )
+
+
+def selectivity(op_id, mean, variance, alias, source="sample"):
+    return NodeSelectivity(
+        op_id=op_id,
+        mean=mean,
+        variance=variance,
+        var_components={alias: variance},
+        leaf_aliases=(alias,),
+        sample_sizes={alias: 1000},
+        source=source,
+    )
+
+
+def build_join_plan():
+    """Scan a (op 0), scan b (op 1), hash join (op 2)."""
+    left = SeqScanNode(table="a", alias="a")
+    right = SeqScanNode(table="b", alias="b")
+    join = HashJoinNode(keys=[("a.k", "b.k")], children=[left, right])
+    return assign_op_ids(join)
+
+
+class TestIndependentVariables:
+    """With independent selectivities everything is exact — MC must agree."""
+
+    X0 = (0.3, 0.001)
+    X1 = (0.5, 0.002)
+    COEFFS = np.array([100.0, 200.0, 5.0])  # ct: b0*xl + b1*xr + b2
+    SCAN_CONST = 50.0  # cs for scan a
+
+    def assemble(self, options=VarianceOptions()):
+        root = build_join_plan()
+        estimate = SamplingEstimate(
+            per_node={
+                0: selectivity(0, *self.X0, "a"),
+                1: selectivity(1, *self.X1, "b"),
+                2: selectivity(2, 0.1, 0.0, "a", source="optimizer"),
+            }
+        )
+        fitted = {
+            0: OperatorCostFunctions(
+                0,
+                {
+                    "cs": FittedCostFunction(
+                        unit="cs",
+                        family=C1,
+                        coefficients=np.array([self.SCAN_CONST]),
+                        var_bindings={},
+                    )
+                },
+            ),
+            1: OperatorCostFunctions(1, {}),
+            2: OperatorCostFunctions(
+                2,
+                {
+                    "ct": FittedCostFunction(
+                        unit="ct",
+                        family=C5,
+                        coefficients=self.COEFFS,
+                        var_bindings={"xl": 0, "xr": 1},
+                    )
+                },
+            ),
+        }
+        units = make_units()
+        return (
+            assemble_distribution_parameters(
+                _PlanStub(root), estimate, fitted, units, options
+            ),
+            units,
+        )
+
+    def simulate(self, n=400_000, unit_variance=True, sel_variance=True):
+        rng = np.random.default_rng(0)
+        x0 = rng.normal(self.X0[0], np.sqrt(self.X0[1]) if sel_variance else 0.0, n)
+        x1 = rng.normal(self.X1[0], np.sqrt(self.X1[1]) if sel_variance else 0.0, n)
+        ct = rng.normal(0.01, 1e-3 if unit_variance else 0.0, n)
+        cs = rng.normal(1.0, 0.1 if unit_variance else 0.0, n)
+        g_ct = self.COEFFS[0] * x0 + self.COEFFS[1] * x1 + self.COEFFS[2]
+        t = ct * g_ct + cs * self.SCAN_CONST
+        return float(t.mean()), float(t.var())
+
+    def test_mean_matches_mc(self):
+        breakdown, _ = self.assemble()
+        mc_mean, _ = self.simulate()
+        assert breakdown.mean == pytest.approx(mc_mean, rel=0.01)
+
+    def test_variance_matches_mc(self):
+        breakdown, _ = self.assemble()
+        _, mc_var = self.simulate()
+        assert breakdown.variance == pytest.approx(mc_var, rel=0.03)
+
+    def test_no_var_c_matches_mc(self):
+        breakdown, _ = self.assemble(
+            VarianceOptions(include_cost_unit_variance=False)
+        )
+        _, mc_var = self.simulate(unit_variance=False)
+        assert breakdown.variance == pytest.approx(mc_var, rel=0.03)
+
+    def test_no_var_x_matches_mc(self):
+        breakdown, _ = self.assemble(
+            VarianceOptions(include_selectivity_variance=False)
+        )
+        _, mc_var = self.simulate(sel_variance=False)
+        assert breakdown.variance == pytest.approx(mc_var, rel=0.03)
+
+    def test_mean_analytic(self):
+        breakdown, _ = self.assemble()
+        expected = 0.01 * (100 * 0.3 + 200 * 0.5 + 5) + 1.0 * 50.0
+        assert breakdown.mean == pytest.approx(expected, rel=1e-9)
+
+
+class TestCorrelatedVariables:
+    """Nested operators: the assembled variance must be a conservative
+    upper bound on simulation with any admissible correlation.
+
+    The synthetic selectivity distributions are chosen *consistent with
+    the sampling estimator*: variance = rho (1 - rho) / n for the scan,
+    and at most that for the join — otherwise the Theorem 8 bound B3
+    (which only sees rho and n) would legitimately under-cap them.
+    """
+
+    N = 1000
+    X0 = (0.4, 0.4 * 0.6 / 1000)  # scan: exact Bernoulli variance
+    X2 = (0.2, 0.00016)  # join: half the Bernoulli maximum, split evenly
+
+    def assemble(self):
+        root = build_join_plan()
+        estimate = SamplingEstimate(
+            per_node={
+                0: selectivity(0, *self.X0, "a"),
+                1: selectivity(1, 0.5, 0.0, "b", source="optimizer"),
+                # the join's own selectivity: correlated with op 0
+                2: NodeSelectivity(
+                    op_id=2,
+                    mean=self.X2[0],
+                    variance=self.X2[1],
+                    var_components={"a": self.X2[1] / 2, "b": self.X2[1] / 2},
+                    leaf_aliases=("a", "b"),
+                    sample_sizes={"a": self.N, "b": self.N},
+                    source="sample",
+                ),
+            }
+        )
+        fitted = {
+            0: OperatorCostFunctions(0, {}),
+            1: OperatorCostFunctions(1, {}),
+            2: OperatorCostFunctions(
+                2,
+                {
+                    "ct": FittedCostFunction(
+                        unit="ct",
+                        family=C5,
+                        coefficients=np.array([100.0, 0.0, 0.0]),
+                        var_bindings={"xl": 0, "xr": 1},
+                    ),
+                    "cs": FittedCostFunction(
+                        unit="cs",
+                        family=C2,
+                        coefficients=np.array([30.0, 0.0]),
+                        var_bindings={"x": 2},
+                    ),
+                },
+            ),
+        }
+        units = make_units()
+        return assemble_distribution_parameters(
+            _PlanStub(root), estimate, fitted, units
+        )
+
+    def simulate(self, correlation, n=400_000):
+        rng = np.random.default_rng(1)
+        z0 = rng.normal(size=n)
+        z2 = correlation * z0 + np.sqrt(1 - correlation**2) * rng.normal(size=n)
+        x0 = self.X0[0] + np.sqrt(self.X0[1]) * z0
+        x2 = self.X2[0] + np.sqrt(self.X2[1]) * z2
+        ct = rng.normal(0.01, 1e-3, n)
+        cs = rng.normal(1.0, 0.1, n)
+        t = ct * (100.0 * x0) + cs * (30.0 * x2)
+        return float(t.var())
+
+    # Theorem 7 bounds the covariance induced by *shared samples*: at most
+    # B1 = sqrt(restricted_u * restricted_v) = sqrt(0.00024 * 0.00008),
+    # i.e. a correlation cap of B1 / sqrt(var_u var_v) ~= 0.707. Arbitrary
+    # copulas beyond that cannot arise from the sampling estimator.
+    @pytest.mark.parametrize("correlation", [0.0, 0.3, 0.6, 0.707])
+    def test_assembled_variance_is_upper_bound(self, correlation):
+        breakdown = self.assemble()
+        mc_var = self.simulate(correlation)
+        # Algorithm 3 adds |Cov| upper bounds, so it must dominate the MC
+        # variance for every admissible correlation level.
+        assert breakdown.variance >= mc_var * 0.97
+
+    def test_bounded_term_is_positive(self):
+        breakdown = self.assemble()
+        assert breakdown.bounded_covariance_term > 0.0
+
+    def test_no_cov_matches_independent_mc(self):
+        root = build_join_plan()
+        breakdown = self.assemble()
+        # With cross covariances off, the prediction should match the
+        # independent (correlation = 0) simulation.
+        estimate_var = breakdown.variance - breakdown.bounded_covariance_term
+        mc_var = self.simulate(correlation=0.0)
+        assert estimate_var == pytest.approx(mc_var, rel=0.05)

@@ -1,0 +1,116 @@
+"""Tests for the MICRO / SELJOIN / TPCH workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.executor import Executor
+from repro.optimizer import Optimizer
+from repro.sql import parse_query
+from repro.workloads import (
+    TPCH_TEMPLATES,
+    micro_join_queries,
+    micro_scan_queries,
+    micro_workload,
+    seljoin_workload,
+    template_by_number,
+    tpch_workload,
+    workload_by_name,
+)
+
+
+class TestMicro:
+    def test_scan_queries_cover_selectivity_space(self, tpch_db, optimizer, executor):
+        queries = micro_scan_queries(tpch_db, per_table=6)
+        orders_queries = [q for q in queries if "FROM orders" in q]
+        selectivities = []
+        for sql in orders_queries:
+            planned = optimizer.plan_sql(sql)
+            result = executor.execute(planned)
+            selectivities.append(
+                result.num_rows / tpch_db.table("orders").num_rows
+            )
+        assert selectivities == sorted(selectivities)
+        assert selectivities[0] < 0.25
+        assert selectivities[-1] > 0.75
+
+    def test_join_queries_grid_size(self, tpch_db):
+        queries = micro_join_queries(tpch_db, grid=3)
+        assert len(queries) == 3 * 3 * 3  # three join pairs
+
+    def test_workload_subsampling(self, tpch_db):
+        full = micro_workload(tpch_db)
+        subset = micro_workload(tpch_db, num_queries=10, seed=1)
+        assert len(subset) == 10
+        assert set(subset) <= set(full)
+
+    def test_all_micro_queries_parse(self, tpch_db):
+        for sql in micro_workload(tpch_db):
+            parse_query(sql)
+
+
+class TestTemplates:
+    def test_fourteen_templates(self):
+        numbers = sorted(t.number for t in TPCH_TEMPLATES)
+        assert numbers == [1, 3, 4, 5, 6, 7, 8, 9, 10, 12, 13, 14, 18, 19]
+
+    def test_lookup(self):
+        assert template_by_number(5).number == 5
+        with pytest.raises(KeyError):
+            template_by_number(2)
+
+    def test_instances_parse(self):
+        rng = np.random.default_rng(0)
+        for template in TPCH_TEMPLATES:
+            parse_query(template.instantiate(rng))
+            parse_query(template.seljoin(rng))
+
+    def test_seljoin_has_no_aggregates(self):
+        rng = np.random.default_rng(0)
+        for template in TPCH_TEMPLATES:
+            query = parse_query(template.seljoin(rng))
+            assert query.select_star
+            assert not query.has_aggregates
+
+    def test_tpch_instances_have_aggregates(self):
+        rng = np.random.default_rng(0)
+        for template in TPCH_TEMPLATES:
+            query = parse_query(template.instantiate(rng))
+            assert query.has_aggregates
+
+    def test_parameters_vary(self):
+        rng = np.random.default_rng(0)
+        template = template_by_number(6)
+        instances = {template.instantiate(rng) for _ in range(10)}
+        assert len(instances) > 3
+
+    def test_q7_self_join_aliases(self):
+        rng = np.random.default_rng(0)
+        query = parse_query(template_by_number(7).instantiate(rng))
+        aliases = [t.effective_name for t in query.tables]
+        assert "n1" in aliases and "n2" in aliases
+
+    @pytest.mark.parametrize("number", [1, 3, 4, 5, 6, 7, 8, 9, 10, 12, 13, 14, 18, 19])
+    def test_every_template_plans_and_executes(self, tpch_db, number):
+        rng = np.random.default_rng(number)
+        sql = template_by_number(number).instantiate(rng)
+        planned = Optimizer(tpch_db).plan_sql(sql)
+        result = Executor(tpch_db).execute(planned)
+        assert result.num_rows >= 0
+
+
+class TestWorkloadDispatch:
+    def test_counts(self, tpch_db):
+        assert len(seljoin_workload(num_queries=20)) == 20
+        assert len(tpch_workload(num_queries=17)) == 17
+        assert len(workload_by_name("MICRO", tpch_db, 12)) == 12
+
+    def test_unknown_name(self, tpch_db):
+        with pytest.raises(ValueError):
+            workload_by_name("NOPE", tpch_db, 5)
+
+    def test_deterministic(self, tpch_db):
+        a = tpch_workload(num_queries=10, seed=5)
+        b = tpch_workload(num_queries=10, seed=5)
+        assert a == b
+        c = tpch_workload(num_queries=10, seed=6)
+        assert a != c
