@@ -1,0 +1,22 @@
+# Developer entry points. The container has no ruff/flake8; `lint` uses
+# the repo's own AST-based checker (tools/lint.py) and falls through to
+# ruff when one is installed. `test` runs lint first so dead imports
+# fail fast.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: lint test bench example-batch
+
+lint:
+	$(PYTHON) tools/lint.py
+	@command -v ruff >/dev/null 2>&1 && ruff check src tests benchmarks examples tools || true
+
+test: lint
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest $(wildcard benchmarks/bench_*.py) -q
+
+example-batch:
+	$(PYTHON) examples/batch_service.py

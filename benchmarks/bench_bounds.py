@@ -9,7 +9,7 @@ import math
 
 import numpy as np
 
-from repro.core import PlanAncestry, bound_linear_linear
+from repro.core import PlanAncestry
 from repro.core.covariance import _shared_info, g_factor
 from repro.experiments.reporting import render_table
 

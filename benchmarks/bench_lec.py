@@ -5,7 +5,6 @@ ranking across SELJOIN queries: how often they agree, and the expected
 cost of each choice.
 """
 
-import numpy as np
 
 from repro.core import LeastExpectedCostChooser
 from repro.experiments.reporting import render_table

@@ -6,7 +6,6 @@ weaker correlations than Table 4 (errors are often tiny), which
 motivates Table 9's restriction to large-error operators.
 """
 
-import numpy as np
 
 from repro.experiments.reporting import render_table
 from repro.experiments.settings import BENCHMARKS

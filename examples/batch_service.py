@@ -1,0 +1,77 @@
+"""Batch serving: many queries, variants, and concurrency levels at once.
+
+Builds a TPC-H database, starts a :class:`repro.PredictionService`, and
+serves a 30-query template workload (with the recurring queries a real
+dashboard workload has) across two predictor variants and three
+multiprogramming levels — sharing one plan/sample/fit pass per distinct
+query and assembling every combination with the vectorized path.
+
+Run:  python examples/batch_service.py
+"""
+
+from repro import (
+    Calibrator,
+    HardwareSimulator,
+    PC2,
+    PredictionService,
+    TpchConfig,
+    Variant,
+    generate_tpch,
+)
+from repro.util import ensure_rng
+from repro.workloads.tpch_templates import TPCH_TEMPLATES
+
+BATCH = 30
+VARIANTS = (Variant.ALL, Variant.NO_COV)
+MPLS = (1, 2, 4)
+
+
+def main() -> None:
+    print("1. generating TPC-H (scale 0.01, uniform) ...")
+    db = generate_tpch(TpchConfig(scale_factor=0.01, seed=1))
+
+    print("2. calibrating cost units on the simulated machine PC2 ...")
+    units = Calibrator(HardwareSimulator(PC2, rng=0)).calibrate()
+
+    print("3. building the workload (30 queries, ~1/3 repeats) ...")
+    rng = ensure_rng(7)
+    distinct = [
+        TPCH_TEMPLATES[i % len(TPCH_TEMPLATES)].instantiate(rng)
+        for i in range(BATCH * 2 // 3)
+    ]
+    repeats = [
+        distinct[int(rng.integers(len(distinct)))]
+        for _ in range(BATCH - len(distinct))
+    ]
+    queries = distinct + repeats
+
+    print("4. serving the batch ...\n")
+    service = PredictionService(db, units, sampling_ratio=0.05, seed=2)
+    batch = service.predict_batch(queries, variants=VARIANTS, mpls=MPLS)
+
+    print(f"   {'#':>3} {'mean':>9} {'std':>9} {'mean@mpl4':>10}  cache")
+    for index, prediction in enumerate(batch):
+        unloaded = prediction.result(Variant.ALL, 1)
+        loaded = prediction.result(Variant.ALL, 4)
+        cache = "hit" if prediction.prepare_was_cached else "miss"
+        print(
+            f"   {index:>3} {unloaded.mean:>8.3f}s {unloaded.std:>8.3f}s "
+            f"{loaded.mean:>9.3f}s  {cache}"
+        )
+
+    stats = batch.stats
+    print(
+        f"\n   {len(batch)} queries x {len(VARIANTS)} variants x "
+        f"{len(MPLS)} mpls in {batch.elapsed_seconds:.3f}s "
+        f"({batch.queries_per_second:.0f} q/s)"
+    )
+    print(
+        f"   prepares: {stats.prepares_run} run, "
+        f"{stats.prepare_cache_hits} served from cache "
+        f"(hit rate {stats.prepare_hit_rate:.0%}); "
+        f"assemblies: {stats.assemblies}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -37,6 +37,7 @@ from .hardware import PC1, PC2, PROFILES, HardwareProfile, HardwareSimulator
 from .mathstats import NormalDistribution, pearson, spearman
 from .optimizer import Optimizer, OptimizerConfig, PlannedQuery
 from .sampling import SampleDatabase
+from .service import BatchPrediction, PredictionService, QueryPrediction
 from .sql import parse_query
 from .storage import Database, Table
 
@@ -64,6 +65,9 @@ __all__ = [
     "SampleDatabase",
     "UncertaintyPredictor",
     "PredictionResult",
+    "PredictionService",
+    "BatchPrediction",
+    "QueryPrediction",
     "Variant",
     "ProgressIndicator",
     "NormalDistribution",

@@ -2,10 +2,11 @@
 
 Subcommands::
 
-    python -m repro generate  --scale 0.02 --skew 0            # describe a DB
-    python -m repro explain   --sql "SELECT ..."               # show the plan
-    python -m repro predict   --sql "SELECT ..." [--sr 0.05]   # distribution
-    python -m repro bench     [--quick]                        # the full grid
+    python -m repro generate      --scale 0.02 --skew 0          # describe a DB
+    python -m repro explain       --sql "SELECT ..."             # show the plan
+    python -m repro predict       --sql "SELECT ..." [--sr 0.05] # distribution
+    python -m repro predict-batch --templates 20 --mpl 1,4       # batch service
+    python -m repro bench         [--quick]                      # the full grid
 
 The CLI regenerates the database from its config on every invocation
 (generation is deterministic and fast at these scales), so it needs no
@@ -18,14 +19,17 @@ import argparse
 import sys
 
 from .calibration import Calibrator
-from .core import UncertaintyPredictor
+from .core import UncertaintyPredictor, Variant
 from .datagen import TpchConfig, generate_tpch
 from .executor import Executor
 from .hardware import PROFILES, HardwareSimulator
 from .optimizer import Optimizer
 from .sampling import SampleDatabase
+from .service import PredictionService
 
 __all__ = ["main", "build_parser"]
+
+_VARIANT_BY_NAME = {variant.value.lower(): variant for variant in Variant}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,6 +62,41 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument(
         "--execute", action="store_true",
         help="also execute and report the simulated actual time",
+    )
+
+    batch = sub.add_parser(
+        "predict-batch", help="serve a batch of queries through the service"
+    )
+    add_db_args(batch)
+    source = batch.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--sql", action="append", default=None,
+        help="a query to serve (repeatable)",
+    )
+    source.add_argument(
+        "--file", default=None,
+        help="file with one SQL query per line (blank lines and # comments skipped)",
+    )
+    source.add_argument(
+        "--templates", type=int, default=None, metavar="N",
+        help="serve N TPC-H template instantiations",
+    )
+    batch.add_argument("--sr", type=float, default=0.05, help="sampling ratio")
+    batch.add_argument(
+        "--machine", choices=sorted(PROFILES), default="PC2", help="hardware profile"
+    )
+    batch.add_argument(
+        "--variants", default="all",
+        help="comma-separated predictor variants "
+        f"({', '.join(sorted(_VARIANT_BY_NAME))})",
+    )
+    batch.add_argument(
+        "--mpl", default="1",
+        help="comma-separated multiprogramming levels (default: 1)",
+    )
+    batch.add_argument(
+        "--template-seed", type=int, default=0,
+        help="RNG seed for --templates instantiation",
     )
 
     bench = sub.add_parser("bench", help="run the full evaluation grid")
@@ -110,6 +149,87 @@ def _cmd_predict(args, out) -> int:
     return 0
 
 
+def _batch_queries(args) -> list[str]:
+    if args.sql:
+        return list(args.sql)
+    if args.file:
+        with open(args.file) as handle:
+            lines = [line.strip() for line in handle]
+        return [line for line in lines if line and not line.startswith("#")]
+    from .util import ensure_rng
+    from .workloads.tpch_templates import TPCH_TEMPLATES
+
+    rng = ensure_rng(args.template_seed)
+    return [
+        TPCH_TEMPLATES[i % len(TPCH_TEMPLATES)].instantiate(rng)
+        for i in range(args.templates)
+    ]
+
+
+def _parse_variants(spec: str) -> list[Variant]:
+    variants = []
+    for name in spec.split(","):
+        name = name.strip().lower()
+        if name not in _VARIANT_BY_NAME:
+            raise SystemExit(
+                f"unknown variant {name!r}; choose from "
+                f"{', '.join(sorted(_VARIANT_BY_NAME))}"
+            )
+        variants.append(_VARIANT_BY_NAME[name])
+    return variants
+
+
+def _cmd_predict_batch(args, out) -> int:
+    db, _ = _database(args)
+    queries = _batch_queries(args)
+    if not queries:
+        print("no queries to serve", file=out)
+        return 1
+    variants = _parse_variants(args.variants)
+    try:
+        mpls = [int(level) for level in args.mpl.split(",")]
+    except ValueError:
+        raise SystemExit(
+            f"--mpl expects comma-separated integers, got {args.mpl!r}"
+        ) from None
+
+    simulator = HardwareSimulator(PROFILES[args.machine], rng=args.seed)
+    units = Calibrator(simulator).calibrate()
+    service = PredictionService(
+        db, units, sampling_ratio=args.sr, seed=args.seed + 1
+    )
+    batch = service.predict_batch(queries, variants=variants, mpls=mpls)
+
+    header = f"{'#':>3}  {'mean':>9}  {'std':>9}  {'90% interval':>22}  cache"
+    print(header, file=out)
+    for index, prediction in enumerate(batch):
+        result = prediction.result(variants[0], mpls[0])
+        low, high = result.confidence_interval(0.90)
+        cache = "hit" if prediction.prepare_was_cached else "miss"
+        print(
+            f"{index:>3}  {result.mean:>8.4f}s  {result.std:>8.4f}s  "
+            f"[{low:>8.4f}s, {high:>8.4f}s]  {cache}",
+            file=out,
+        )
+        for mpl in mpls[1:]:
+            loaded = prediction.result(variants[0], mpl)
+            print(
+                f"{'':>3}  {loaded.mean:>8.4f}s  {loaded.std:>8.4f}s  "
+                f"(mpl={mpl})",
+                file=out,
+            )
+    stats = batch.stats
+    print(
+        f"\nserved {len(batch)} queries in {batch.elapsed_seconds:.3f}s "
+        f"({batch.queries_per_second:.1f} q/s) — "
+        f"{stats.prepares_run} prepares, {stats.prepare_cache_hits} cache hits "
+        f"(hit rate {stats.prepare_hit_rate:.0%}), "
+        f"{stats.assemblies} assemblies",
+        file=out,
+    )
+    return 0
+
+
 def _cmd_bench(args, out) -> int:
     from .experiments.run_all import build_lab, report_sections
 
@@ -127,6 +247,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "explain": _cmd_explain,
     "predict": _cmd_predict,
+    "predict-batch": _cmd_predict_batch,
     "bench": _cmd_bench,
 }
 

@@ -20,7 +20,9 @@ from .progress import ProgressEstimate, ProgressIndicator
 from .variance import (
     VarianceBreakdown,
     VarianceOptions,
+    VectorizedAssembler,
     assemble_distribution_parameters,
+    assemble_distribution_parameters_reference,
 )
 
 __all__ = [
@@ -32,7 +34,9 @@ __all__ = [
     "Variant",
     "VarianceOptions",
     "VarianceBreakdown",
+    "VectorizedAssembler",
     "assemble_distribution_parameters",
+    "assemble_distribution_parameters_reference",
     "PlanAncestry",
     "bound_linear_linear",
     "bound_square_linear",

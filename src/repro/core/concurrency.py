@@ -59,6 +59,7 @@ class InterferenceModel:
             raise ValueError(f"multiprogramming level must be >= 1, got {mpl}")
         neighbours = mpl - 1
         distributions = {}
+        samples: dict[str, list[float]] = {}
         for name, dist in units.distributions.items():
             scale = 1.0 + self.slopes.get(name, 0.0) * neighbours
             mean = dist.mean * scale
@@ -66,7 +67,13 @@ class InterferenceModel:
             jitter = self.jitters.get(name, 0.0) * neighbours
             variance += (mean * jitter) ** 2
             distributions[name] = NormalDistribution(mean, variance)
-        return CalibratedUnits(distributions=distributions, samples={})
+            # The calibration samples are observations of the unloaded unit;
+            # under load each observation degrades by the same mean scale.
+            # The jitter term is *interference* uncertainty — it has no
+            # per-observation counterpart, so it is reflected only in the
+            # inflated variance above, not in the scaled samples.
+            samples[name] = [value * scale for value in units.samples.get(name, [])]
+        return CalibratedUnits(distributions=distributions, samples=samples)
 
 
 class ConcurrentPredictor:

@@ -15,6 +15,7 @@ A risk-averse variant (mean plus lambda times sigma) is also provided.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..calibration.calibrator import CalibratedUnits
@@ -36,9 +37,15 @@ _CANDIDATE_CONFIGS = {
 }
 
 
-@dataclass
+#: Candidate evaluations retained per chooser (LRU; each entry holds the
+#: full plans and predictions for one (sql, sample set)).
+_CANDIDATE_CACHE_SIZE = 128
+
+
+@dataclass(frozen=True)
 class PlanCandidate:
-    """One candidate plan with both cost views."""
+    """One candidate plan with both cost views (immutable: instances are
+    shared between the chooser's cache and every caller)."""
 
     label: str
     planned: PlannedQuery
@@ -63,9 +70,21 @@ class LeastExpectedCostChooser:
     def __init__(self, database: Database, units: CalibratedUnits):
         self._database = database
         self._predictor = UncertaintyPredictor(units)
+        self._candidates: OrderedDict[tuple, list[PlanCandidate]] = OrderedDict()
 
     def candidates(self, sql: str, sample_db: SampleDatabase) -> list[PlanCandidate]:
-        """Evaluate every distinct candidate plan for ``sql``."""
+        """Evaluate every distinct candidate plan for ``sql``.
+
+        Results are cached per (sql, sample set), so comparing the LEC
+        choice against the point or risk-averse choice on the same query
+        plans and samples each candidate exactly once instead of
+        repeating all the work per chooser.
+        """
+        key = (sql, sample_db.fingerprint())
+        cached = self._candidates.get(key)
+        if cached is not None:
+            self._candidates.move_to_end(key)
+            return list(cached)
         results: list[PlanCandidate] = []
         seen_shapes: set[str] = set()
         for label, config in _CANDIDATE_CONFIGS.items():
@@ -92,7 +111,10 @@ class LeastExpectedCostChooser:
                     cost_std=expected.std,
                 )
             )
-        return results
+        self._candidates[key] = results
+        if len(self._candidates) > _CANDIDATE_CACHE_SIZE:
+            self._candidates.popitem(last=False)
+        return list(results)
 
     def choose(self, sql: str, sample_db: SampleDatabase) -> PlanCandidate:
         """The least-expected-cost plan."""

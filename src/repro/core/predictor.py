@@ -16,7 +16,7 @@ repeated physical executions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
 
 from ..calibration.calibrator import CalibratedUnits
@@ -26,7 +26,7 @@ from ..mathstats.normal import NormalDistribution
 from ..optimizer.optimizer import PlannedQuery
 from ..sampling.estimator import SamplingEstimate, SelectivityEstimator
 from ..sampling.sample_db import SampleDatabase
-from .variance import VarianceBreakdown, VarianceOptions, assemble_distribution_parameters
+from .variance import VarianceBreakdown, VarianceOptions, VectorizedAssembler
 
 __all__ = ["Variant", "PreparedPrediction", "PredictionResult", "UncertaintyPredictor"]
 
@@ -54,6 +54,25 @@ class PreparedPrediction:
 
     estimate: SamplingEstimate
     fitted: dict[int, OperatorCostFunctions]
+    _assembler: VectorizedAssembler | None = field(
+        default=None, repr=False, compare=False
+    )
+    _assembler_root: object = field(default=None, repr=False, compare=False)
+
+    def assembler(self, planned) -> VectorizedAssembler:
+        """The (lazily built, cached) vectorized Algorithm-3 assembler.
+
+        Caching it here lets every consumer that shares a prepare pass —
+        variant ablations, multiprogramming sweeps, the batch service —
+        also share the extracted term structure and covariance kernels.
+        The cache is keyed on the plan object: asking for a different
+        plan's assembly rebuilds rather than silently reusing the first
+        plan's ancestry.
+        """
+        if self._assembler is None or self._assembler_root is not planned.root:
+            self._assembler = VectorizedAssembler(planned, self.estimate, self.fitted)
+            self._assembler_root = planned.root
+        return self._assembler
 
 
 @dataclass
@@ -74,8 +93,16 @@ class PredictionResult:
         return self.distribution.std
 
     def confidence_interval(self, confidence: float = 0.95) -> tuple[float, float]:
+        """The central interval, clamped to nonnegative running times.
+
+        Both ends are clamped: a high-variance prediction whose Gaussian
+        interval lies entirely below zero degenerates to (0.0, 0.0)
+        rather than an inverted (0.0, negative) pair.
+        """
         low, high = self.distribution.interval(confidence)
-        return max(low, 0.0), high
+        low, high = max(low, 0.0), max(high, 0.0)
+        assert low <= high, (low, high)
+        return low, high
 
     def prob_within(self, low: float, high: float) -> float:
         return self.distribution.prob_within(low, high)
@@ -128,12 +155,8 @@ class UncertaintyPredictor:
         variant: Variant = Variant.ALL,
     ) -> PredictionResult:
         """Assemble the distribution from prepared artifacts."""
-        breakdown = assemble_distribution_parameters(
-            planned,
-            prepared.estimate,
-            prepared.fitted,
-            self._units,
-            VARIANT_OPTIONS[variant],
+        breakdown = prepared.assembler(planned).assemble(
+            self._units, VARIANT_OPTIONS[variant]
         )
         return PredictionResult(
             distribution=NormalDistribution(breakdown.mean, breakdown.variance),

@@ -20,7 +20,6 @@ from ..plan.physical import (
     AggregateNode,
     FilterNode,
     IndexScanNode,
-    LimitNode,
     OpKind,
     PlanNode,
     SeqScanNode,

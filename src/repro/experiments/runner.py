@@ -15,6 +15,7 @@ grid tractable.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -190,9 +191,14 @@ class ExperimentLab:
         key = (db_label, benchmark, index, machine)
         if key not in self._actuals:
             executed = self.executed_queries(db_label, benchmark)[index]
+            # zlib.crc32, not hash(): string hashing is randomized per
+            # process (PYTHONHASHSEED), which made every "actual" time —
+            # and every metric derived from it — change between runs.
             simulator = HardwareSimulator(
                 PROFILES[machine],
-                rng=hash((self.seed, db_label, benchmark, index, machine)) % (2**32),
+                rng=zlib.crc32(
+                    f"{self.seed}/{db_label}/{benchmark}/{index}/{machine}".encode()
+                ),
             )
             self._actuals[key] = simulator.run_repeated(executed.counts, repetitions=5)
         return self._actuals[key]

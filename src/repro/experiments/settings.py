@@ -9,7 +9,6 @@ all other grid axes identical.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 from ..datagen import TpchConfig
 

@@ -68,6 +68,17 @@ class NormalDistribution:
         return self.quantile(tail), self.quantile(1.0 - tail)
 
     def prob_within(self, low: float, high: float) -> float:
+        """P(low <= X <= high), treating the interval as closed.
+
+        The degenerate variance == 0 case is a point mass at the mean:
+        all the probability lies inside any interval containing the mean.
+        The generic cdf difference would get the boundary wrong there
+        (cdf is right-continuous, so cdf(mean) - cdf(mean - eps) = 1 but
+        cdf(mean + eps) - cdf(mean) = 0); for a continuous normal the
+        open/closed distinction is immaterial.
+        """
+        if self.variance == 0:
+            return 1.0 if low <= self.mean <= high else 0.0
         return max(self.cdf(high) - self.cdf(low), 0.0)
 
     def moment(self, k: int) -> float:

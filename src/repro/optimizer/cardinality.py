@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..plan.logical import JoinEdge
-from ..plan.predicates import ColumnPairScanPredicate, PredicateKind, ScanPredicate
+from ..plan.predicates import ColumnPairScanPredicate, PredicateKind
 from ..storage import Database
 
 __all__ = ["CardinalityEstimator", "DEFAULT_UNKNOWN_SELECTIVITY"]

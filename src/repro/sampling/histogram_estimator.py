@@ -29,10 +29,8 @@ them in place so the bound machinery still applies).
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..optimizer.cardinality import CardinalityEstimator
-from ..optimizer.cost_model import ResourceCounts
 from ..optimizer.optimizer import PlannedQuery
 from ..plan.physical import OpKind
 from ..plan.predicates import ColumnPairScanPredicate, PredicateKind

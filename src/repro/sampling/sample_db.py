@@ -11,6 +11,7 @@ for each appearance of a shared relation).
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass, field
 
@@ -26,6 +27,17 @@ __all__ = ["SampleDatabase"]
 #: Sample tables smaller than this are pointless for variance estimation
 #: (the paper sets S_1^2 = 0; we simply refuse to go below 2 rows).
 MIN_SAMPLE_ROWS = 2
+
+_database_tokens = itertools.count()
+
+
+def _database_token(database: Database) -> int:
+    """A process-unique, never-recycled identity for a Database instance."""
+    token = getattr(database, "_sample_fingerprint_token", None)
+    if token is None:
+        token = next(_database_tokens)
+        database._sample_fingerprint_token = token
+    return token
 
 
 @dataclass
@@ -54,6 +66,21 @@ class SampleDatabase:
                 self._samples[(name, copy)] = np.sort(indices)
 
     # ------------------------------------------------------------------
+    def fingerprint(self) -> tuple:
+        """A hashable identity for caching artifacts derived from this
+        sample set: the underlying database instance plus every parameter
+        that determines which tuples were drawn. Two SampleDatabase
+        instances with equal fingerprints hold identical samples. The
+        database is identified by a monotonically assigned token (not
+        ``id()``, which the allocator recycles after garbage collection,
+        and not the object itself, which is unhashable)."""
+        return (
+            _database_token(self.database),
+            self.sampling_ratio,
+            self.num_copies,
+            self.seed,
+        )
+
     def sample_size(self, table_name: str) -> int:
         """Number of sample tuples (= sampling steps n) for a table."""
         rows = self.database.table(table_name).num_rows

@@ -1,0 +1,19 @@
+"""Batch prediction serving on top of the uncertainty predictor."""
+
+from .cache import CacheStats, PreparedCache, plan_signature
+from .service import (
+    BatchPrediction,
+    PredictionService,
+    QueryPrediction,
+    ServiceStats,
+)
+
+__all__ = [
+    "BatchPrediction",
+    "CacheStats",
+    "PredictionService",
+    "PreparedCache",
+    "QueryPrediction",
+    "ServiceStats",
+    "plan_signature",
+]

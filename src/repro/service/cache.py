@@ -1,0 +1,117 @@
+"""Caching of prepared prediction artifacts.
+
+A :class:`~repro.core.predictor.PreparedPrediction` (sampling estimates
++ fitted cost functions + the vectorized assembler hanging off it) is
+the expensive part of a prediction, and it is fully determined by
+
+* the physical plan — shape *and* predicate constants, since the
+  sampling pass evaluates the actual predicates over the sample tuples;
+* the sample set it is estimated on (database identity, sampling ratio,
+  number of copies, seed);
+* the preparation parameters (grid width, estimator method, GEE flag).
+
+:func:`plan_signature` renders the first item into a stable string;
+:class:`PreparedCache` is a small LRU keyed by the full triple. Repeated
+queries — dashboards re-issuing identical SQL, template workloads with
+recurring parameter bindings — skip planning's expensive tail entirely.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..core.predictor import PreparedPrediction
+from ..optimizer.optimizer import PlannedQuery
+from ..plan.physical import OpKind, PlanNode
+
+__all__ = ["CacheStats", "PreparedCache", "plan_signature"]
+
+
+def _node_signature(node: PlanNode) -> str:
+    """One line per operator: label plus everything prepare depends on."""
+    parts = [node.label()]
+    predicates = getattr(node, "predicates", None)
+    if predicates:
+        parts.append(";".join(str(p) for p in predicates))
+    index_predicate = getattr(node, "index_predicate", None)
+    if index_predicate is not None:
+        parts.append(f"idx:{index_predicate}")
+    if node.kind is OpKind.FILTER:
+        parts.append(";".join(str(p) for p in node.scan_predicates))
+        parts.append(";".join(str(p) for p in node.compare_predicates))
+    if node.kind is OpKind.SORT:
+        parts.append(";".join(f"{col}:{desc}" for col, desc in node.keys))
+    if node.kind is OpKind.LIMIT:
+        parts.append(f"limit:{node.count}")
+    return "|".join(parts)
+
+
+def plan_signature(planned: PlannedQuery) -> str:
+    """A stable identity for a planned query's prepare-relevant content.
+
+    Two planned queries with equal signatures run the same operators with
+    the same predicates over the same aliases, so their prepared
+    artifacts are interchangeable.
+    """
+    lines = [
+        f"{depth}:{_node_signature(node)}"
+        for node, depth in _walk_with_depth(planned.root, 0)
+    ]
+    aliases = ",".join(
+        f"{alias}={table}" for alias, table in sorted(planned.alias_tables.items())
+    )
+    return "\n".join(lines) + "\n@" + aliases
+
+
+def _walk_with_depth(node: PlanNode, depth: int):
+    yield node, depth
+    for child in node.children:
+        yield from _walk_with_depth(child, depth + 1)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`PreparedCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PreparedCache:
+    """A bounded LRU mapping cache keys to PreparedPrediction artifacts."""
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize < 1:
+            raise ValueError(f"cache needs a positive maxsize, got {maxsize}")
+        self._maxsize = maxsize
+        self._entries: OrderedDict[tuple, PreparedPrediction] = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: tuple) -> PreparedPrediction | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: tuple, prepared: PreparedPrediction) -> None:
+        self._entries[key] = prepared
+        self._entries.move_to_end(key)
+        if len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()

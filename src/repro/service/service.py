@@ -1,0 +1,264 @@
+"""The batch prediction service.
+
+:class:`PredictionService` turns the one-query-at-a-time predictor into
+a serving component: it accepts batches of SQL strings (or pre-planned
+queries), plans and prepares each distinct query once, caches the
+prepared artifacts, and fans every query out across predictor variants
+and multiprogramming levels while sharing the single prepare pass — the
+regime where the paper's "uncertainty at negligible overhead" claim has
+to hold up (Section 6.3.4).
+
+The division of labour per query:
+
+* plan       — once per distinct SQL string (memoized);
+* prepare    — once per distinct (plan, sample set): the sampling pass
+               and cost-function fitting, by far the dominant cost;
+* assemble   — once per (variant, mpl) via the shared
+               :class:`~repro.core.variance.VectorizedAssembler`, a few
+               small matrix products each.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+from ..calibration.calibrator import CalibratedUnits
+from ..core.concurrency import ConcurrentPredictor, InterferenceModel
+from ..core.predictor import (
+    PredictionResult,
+    PreparedPrediction,
+    UncertaintyPredictor,
+    Variant,
+)
+from ..costfuncs.fitting import DEFAULT_GRID_W
+from ..errors import PredictionError
+from ..optimizer.optimizer import Optimizer, OptimizerConfig, PlannedQuery
+from ..sampling.sample_db import SampleDatabase
+from ..storage import Database
+from .cache import PreparedCache, plan_signature
+
+__all__ = ["BatchPrediction", "PredictionService", "QueryPrediction", "ServiceStats"]
+
+
+@dataclass
+class ServiceStats:
+    """Cumulative serving counters (monotonic over a service's lifetime)."""
+
+    queries_served: int = 0
+    plans_built: int = 0
+    prepares_run: int = 0
+    prepare_cache_hits: int = 0
+    assemblies: int = 0
+
+    @property
+    def prepare_hit_rate(self) -> float:
+        total = self.prepares_run + self.prepare_cache_hits
+        return self.prepare_cache_hits / total if total else 0.0
+
+    def snapshot(self) -> "ServiceStats":
+        return replace(self)
+
+    def since(self, earlier: "ServiceStats") -> "ServiceStats":
+        """The counter deltas accumulated after ``earlier`` was snapshot."""
+        return ServiceStats(
+            queries_served=self.queries_served - earlier.queries_served,
+            plans_built=self.plans_built - earlier.plans_built,
+            prepares_run=self.prepares_run - earlier.prepares_run,
+            prepare_cache_hits=self.prepare_cache_hits
+            - earlier.prepare_cache_hits,
+            assemblies=self.assemblies - earlier.assemblies,
+        )
+
+
+@dataclass
+class QueryPrediction:
+    """All requested distributions for one query of a batch."""
+
+    sql: str | None
+    planned: PlannedQuery
+    #: (variant, multiprogramming level) -> prediction
+    results: dict[tuple[Variant, int], PredictionResult]
+    prepare_was_cached: bool
+
+    def result(
+        self, variant: Variant = Variant.ALL, mpl: int = 1
+    ) -> PredictionResult:
+        try:
+            return self.results[(variant, mpl)]
+        except KeyError:
+            raise PredictionError(
+                f"no prediction for variant={variant.value!r}, mpl={mpl}; "
+                f"requested combinations: {sorted((v.value, m) for v, m in self.results)}"
+            ) from None
+
+    @property
+    def mean(self) -> float:
+        return self.result().mean
+
+    @property
+    def std(self) -> float:
+        return self.result().std
+
+
+@dataclass
+class BatchPrediction:
+    """The service's answer for one batch.
+
+    ``stats`` holds only this batch's counters (a delta of the service's
+    cumulative :class:`ServiceStats`), so its hit rate and prepare counts
+    describe the batch and stay fixed after the call returns.
+    """
+
+    predictions: list[QueryPrediction]
+    elapsed_seconds: float
+    stats: ServiceStats = field(repr=False, default_factory=ServiceStats)
+
+    def __len__(self) -> int:
+        return len(self.predictions)
+
+    def __iter__(self):
+        return iter(self.predictions)
+
+    @property
+    def queries_per_second(self) -> float:
+        return len(self.predictions) / max(self.elapsed_seconds, 1e-12)
+
+
+class PredictionService:
+    """Serves uncertainty-aware predictions for query batches."""
+
+    def __init__(
+        self,
+        database: Database,
+        units: CalibratedUnits,
+        *,
+        sampling_ratio: float = 0.05,
+        num_copies: int = 2,
+        seed: int = 0,
+        grid_w: int = DEFAULT_GRID_W,
+        optimizer_config: OptimizerConfig | None = None,
+        interference: InterferenceModel | None = None,
+        use_gee: bool = False,
+        method: str = "sampling",
+        cache_size: int = 256,
+    ):
+        self._database = database
+        self._optimizer = Optimizer(database, optimizer_config)
+        self._sample_db = SampleDatabase(
+            database,
+            sampling_ratio=sampling_ratio,
+            num_copies=num_copies,
+            seed=seed,
+        )
+        self._preparer = UncertaintyPredictor(units, grid_w=grid_w)
+        self._concurrent = ConcurrentPredictor(units, interference)
+        self._use_gee = use_gee
+        self._method = method
+        self._grid_w = grid_w
+        # Bounded like the prepared cache: a long-lived service fed ad-hoc
+        # SQL must not grow a plan per distinct query string forever.
+        self._plans: OrderedDict[str, PlannedQuery] = OrderedDict()
+        self._plans_maxsize = cache_size
+        self._prepared = PreparedCache(maxsize=cache_size)
+        self.stats = ServiceStats()
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def sample_db(self) -> SampleDatabase:
+        return self._sample_db
+
+    @property
+    def prepared_cache(self) -> PreparedCache:
+        return self._prepared
+
+    # -- planning / preparing ---------------------------------------------
+    def plan(self, query: str | PlannedQuery) -> PlannedQuery:
+        """Plan a SQL string (memoized) or pass a pre-planned query through."""
+        if isinstance(query, PlannedQuery):
+            return query
+        planned = self._plans.get(query)
+        if planned is None:
+            planned = self._optimizer.plan_sql(query)
+            self._plans[query] = planned
+            if len(self._plans) > self._plans_maxsize:
+                self._plans.popitem(last=False)
+            self.stats.plans_built += 1
+        else:
+            self._plans.move_to_end(query)
+        return planned
+
+    def _cache_key(self, planned: PlannedQuery) -> tuple:
+        return (
+            plan_signature(planned),
+            self._sample_db.fingerprint(),
+            self._grid_w,
+            self._use_gee,
+            self._method,
+        )
+
+    def prepare(self, planned: PlannedQuery) -> tuple[PreparedPrediction, bool]:
+        """The cached sampling + fitting pass; returns (artifacts, was_hit)."""
+        key = self._cache_key(planned)
+        prepared = self._prepared.get(key)
+        if prepared is not None:
+            self.stats.prepare_cache_hits += 1
+            return prepared, True
+        prepared = self._preparer.prepare(
+            planned,
+            self._sample_db,
+            use_gee=self._use_gee,
+            method=self._method,
+        )
+        self._prepared.put(key, prepared)
+        self.stats.prepares_run += 1
+        return prepared, False
+
+    # -- serving -----------------------------------------------------------
+    def predict_query(
+        self,
+        query: str | PlannedQuery,
+        variants: Sequence[Variant] = (Variant.ALL,),
+        mpls: Sequence[int] = (1,),
+    ) -> QueryPrediction:
+        """One query, fanned out across variants and multiprogramming levels."""
+        if not variants or not mpls:
+            raise PredictionError("need at least one variant and one mpl")
+        planned = self.plan(query)
+        prepared, was_cached = self.prepare(planned)
+        results: dict[tuple[Variant, int], PredictionResult] = {}
+        for mpl in mpls:
+            predictor = self._concurrent.predictor_at(mpl)
+            for variant in variants:
+                results[(variant, mpl)] = predictor.predict_prepared(
+                    planned, prepared, variant
+                )
+                self.stats.assemblies += 1
+        self.stats.queries_served += 1
+        return QueryPrediction(
+            sql=query if isinstance(query, str) else None,
+            planned=planned,
+            results=results,
+            prepare_was_cached=was_cached,
+        )
+
+    def predict_batch(
+        self,
+        queries: Iterable[str | PlannedQuery],
+        variants: Sequence[Variant] = (Variant.ALL,),
+        mpls: Sequence[int] = (1,),
+    ) -> BatchPrediction:
+        """A whole batch; see :meth:`predict_query` for the per-query fan-out."""
+        before = self.stats.snapshot()
+        started = time.perf_counter()
+        predictions = [
+            self.predict_query(query, variants=variants, mpls=mpls)
+            for query in queries
+        ]
+        return BatchPrediction(
+            predictions=predictions,
+            elapsed_seconds=time.perf_counter() - started,
+            stats=self.stats.since(before),
+        )

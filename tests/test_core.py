@@ -17,10 +17,9 @@ from repro.core import (
     h_factor,
 )
 from repro.core.covariance import power_variance
-from repro.executor import Executor
 from repro.hardware import PC2, HardwareSimulator
 from repro.mathstats import NormalDistribution
-from repro.sampling import NodeSelectivity, SelectivityEstimator
+from repro.sampling import NodeSelectivity
 
 
 def make_selectivity(op_id, mean, variance, aliases, n=1000, components=None):
@@ -162,6 +161,31 @@ class TestPredictor:
         low, high = prediction.confidence_interval(0.9)
         assert low <= prediction.mean <= high
         assert low >= 0.0
+
+    def test_confidence_interval_never_inverted(self):
+        # Regression: only the low end used to be clamped to 0, so a
+        # high-variance prediction whose Gaussian interval sits below
+        # zero returned an inverted (0.0, negative) pair.
+        from repro.core import PredictionResult
+
+        prediction = PredictionResult(
+            distribution=NormalDistribution(-0.5, 0.001),
+            breakdown=None,
+            prepared=None,
+            variant=Variant.ALL,
+        )
+        low, high = prediction.confidence_interval(0.95)
+        assert (low, high) == (0.0, 0.0)
+
+        wide = PredictionResult(
+            distribution=NormalDistribution(0.1, 4.0),
+            breakdown=None,
+            prepared=None,
+            variant=Variant.ALL,
+        )
+        low, high = wide.confidence_interval(0.95)
+        assert low == 0.0
+        assert high > low
 
     def test_prob_within_is_probability(
         self, optimizer, sample_db, calibrated_units

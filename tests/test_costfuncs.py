@@ -6,7 +6,7 @@ import scipy.optimize
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.costfuncs import C1, C2, C3, C4, C5, C6, CostFunctionFitter, family_for, nnls
+from repro.costfuncs import C1, C2, C4, C5, C6, CostFunctionFitter, family_for, nnls
 from repro.errors import FittingError
 from repro.plan import OpKind
 from repro.sampling import SelectivityEstimator

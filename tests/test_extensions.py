@@ -11,7 +11,6 @@ from repro.core import LeastExpectedCostChooser, UncertaintyPredictor
 from repro.core.concurrency import ConcurrentPredictor, InterferenceModel
 from repro.errors import PredictionError
 from repro.experiments.plots import ascii_lines, ascii_scatter
-from repro.optimizer import Optimizer
 from repro.optimizer.cost_model import COST_UNIT_NAMES
 from repro.sampling.histogram_estimator import HistogramSelectivityEstimator
 
@@ -86,6 +85,25 @@ class TestInterferenceModel:
     def test_invalid_mpl(self, calibrated_units):
         with pytest.raises(ValueError):
             InterferenceModel.default().loaded_units(calibrated_units, 0)
+
+    def test_samples_propagate_scaled(self, calibrated_units):
+        # Regression: loaded_units used to return samples={}, silently
+        # dropping the calibration observations.
+        model = InterferenceModel.default()
+        loaded = model.loaded_units(calibrated_units, 3)
+        for unit in COST_UNIT_NAMES:
+            original = calibrated_units.samples[unit]
+            scaled = loaded.samples[unit]
+            assert len(scaled) == len(original)
+            scale = 1.0 + model.slopes[unit] * 2
+            assert scaled[0] == pytest.approx(original[0] * scale)
+
+    def test_samples_identity_at_mpl_one(self, calibrated_units):
+        loaded = InterferenceModel.default().loaded_units(calibrated_units, 1)
+        for unit in COST_UNIT_NAMES:
+            assert loaded.samples[unit] == pytest.approx(
+                calibrated_units.samples[unit]
+            )
 
 
 class TestConcurrentPredictor:
@@ -196,6 +214,50 @@ class TestLecChooser:
         candidates = chooser.candidates("SELECT * FROM region", sample_db)
         shapes = [c.planned.root.pretty() for c in candidates]
         assert len(shapes) == len(set(shapes))
+
+    def test_choosers_share_one_candidate_evaluation(
+        self, tpch_db, sample_db, calibrated_units, monkeypatch
+    ):
+        # Regression: choose / choose_by_point / choose_risk_averse used to
+        # re-plan and re-predict every candidate from scratch, doubling (or
+        # tripling) all sampling work when comparing rankings on one query.
+        import repro.core.lec as lec_module
+
+        prepare_calls = 0
+        original_prepare = UncertaintyPredictor.prepare
+
+        def counting_prepare(self, *args, **kwargs):
+            nonlocal prepare_calls
+            prepare_calls += 1
+            return original_prepare(self, *args, **kwargs)
+
+        monkeypatch.setattr(UncertaintyPredictor, "prepare", counting_prepare)
+        chooser = lec_module.LeastExpectedCostChooser(tpch_db, calibrated_units)
+        sql = "SELECT * FROM orders WHERE o_totalprice > 300000"
+        chooser.choose(sql, sample_db)
+        after_first = prepare_calls
+        assert after_first >= 1
+        lec = chooser.choose(sql, sample_db)
+        point = chooser.choose_by_point(sql, sample_db)
+        risk = chooser.choose_risk_averse(sql, sample_db)
+        assert prepare_calls == after_first
+        assert {lec.label, point.label, risk.label} <= {
+            c.label for c in chooser.candidates(sql, sample_db)
+        }
+
+    def test_candidate_cache_is_isolated_per_query(
+        self, tpch_db, sample_db, calibrated_units
+    ):
+        chooser = LeastExpectedCostChooser(tpch_db, calibrated_units)
+        first = chooser.candidates("SELECT * FROM region", sample_db)
+        second = chooser.candidates(
+            "SELECT * FROM orders WHERE o_totalprice > 300000", sample_db
+        )
+        assert first and second
+        # Returned lists are copies: callers may sort/mutate freely.
+        cached = chooser.candidates("SELECT * FROM region", sample_db)
+        cached.clear()
+        assert chooser.candidates("SELECT * FROM region", sample_db)
 
 
 class TestAsciiPlots:

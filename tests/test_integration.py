@@ -1,7 +1,6 @@
 """End-to-end integration tests: the full paper pipeline on one database."""
 
 import numpy as np
-import pytest
 
 from repro.calibration import Calibrator
 from repro.core import UncertaintyPredictor, Variant

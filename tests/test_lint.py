@@ -1,0 +1,24 @@
+"""The lint gate: dead imports and stale __all__ entries fail the suite.
+
+Runs ``tools/lint.py`` (the dependency-free AST checker; the container
+has no ruff) over the whole repo, so a PR that leaves unused imports
+behind — easy to do when refactoring across subsystem boundaries —
+fails tier-1 instead of rotting silently.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_repo_is_lint_clean():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "lint.py")],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, f"lint problems:\n{result.stdout}"
+    assert "0 problems" in result.stdout

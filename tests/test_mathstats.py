@@ -83,6 +83,24 @@ class TestNormalDistribution:
         assert dist.cdf(5.0) == 1.0
         assert dist.quantile(0.3) == 5.0
 
+    def test_degenerate_prob_within_contains_point_mass(self):
+        # Regression: cdf(mean) = 1.0 made prob_within(mean, mean + eps)
+        # report 0.0 although all the mass lies inside the interval.
+        dist = NormalDistribution(5.0, 0.0)
+        assert dist.prob_within(5.0, 5.1) == 1.0
+        assert dist.prob_within(4.9, 5.0) == 1.0
+        assert dist.prob_within(4.9, 5.1) == 1.0
+        assert dist.prob_within(5.0, 5.0) == 1.0
+
+    def test_degenerate_prob_within_excludes_outside(self):
+        dist = NormalDistribution(5.0, 0.0)
+        assert dist.prob_within(5.1, 6.0) == 0.0
+        assert dist.prob_within(4.0, 4.9) == 0.0
+
+    def test_prob_within_continuous_unaffected(self):
+        dist = NormalDistribution(0.0, 1.0)
+        assert dist.prob_within(-1.0, 1.0) == pytest.approx(0.6826894921)
+
     def test_sum_of_independent(self):
         total = NormalDistribution(1.0, 2.0) + NormalDistribution(3.0, 4.0)
         assert total.mean == 4.0 and total.variance == 6.0

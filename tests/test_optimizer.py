@@ -1,7 +1,6 @@
 """Tests for cardinality estimation, the cost model, join ordering, and
 physical plan construction."""
 
-import numpy as np
 import pytest
 
 from repro.optimizer import (

@@ -7,7 +7,7 @@ from repro.core import UncertaintyPredictor, Variant
 from repro.executor import Executor
 from repro.optimizer import Optimizer
 from repro.optimizer.cost_model import CostModel, ResourceCounts
-from repro.plan import IndexScanNode, OpKind
+from repro.plan import OpKind
 from repro.sampling import SampleDatabase, SelectivityEstimator
 from repro.workloads import template_by_number
 

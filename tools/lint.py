@@ -1,0 +1,152 @@
+"""Dependency-free lint: dead imports and stale ``__all__`` exports.
+
+The container has no ruff/flake8, so this AST-based checker covers the
+two classes of rot that bite a growing multi-package repo the hardest:
+
+* module-level imports that nothing in the module uses;
+* ``__all__`` entries that name nothing defined in the module.
+
+Conventions honored:
+
+* ``__init__.py`` imports are re-exports; they are only flagged when the
+  module has an ``__all__`` and the name is missing from it.
+* ``import x as x`` / ``from m import x as x`` is the explicit
+  re-export idiom and is never flagged.
+* ``from __future__ import ...`` is ignored.
+
+Usage: ``python tools/lint.py [paths...]`` (defaults to src, tests,
+benchmarks, examples, tools). Exit status 1 when problems were found.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples", "tools")
+
+
+def _imported_names(tree: ast.AST):
+    """Yield (local name, node, explicit_reexport) for every import."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                explicit = alias.asname is not None and alias.asname == alias.name
+                yield local, node, explicit
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                explicit = alias.asname is not None and alias.asname == alias.name
+                yield local, node, explicit
+
+
+def _used_names(tree: ast.AST) -> set[str]:
+    used: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            # the root of a dotted chain is an ast.Name, already covered
+            continue
+    return used
+
+
+def _dunder_all(tree: ast.AST) -> list[str] | None:
+    """The union of every ``__all__ = [...]`` / ``__all__ += [...]``.
+
+    Returns None when the module declares no ``__all__`` or when any of
+    its parts is not a literal (dynamic exports: don't guess).
+    """
+    names: list[str] = []
+    found = False
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.Assign, ast.AugAssign)):
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                found = True
+                try:
+                    value = ast.literal_eval(node.value)
+                except ValueError:
+                    return None
+                names.extend(str(name) for name in value)
+    return names if found else None
+
+
+def _defined_names(tree: ast.Module) -> set[str]:
+    defined: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            defined.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    defined.add(target.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                defined.add(node.target.id)
+    defined.update(local for local, _, _ in _imported_names(tree))
+    return defined
+
+
+def check_file(path: Path) -> list[str]:
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return [f"{path}:{error.lineno}: syntax error: {error.msg}"]
+
+    problems: list[str] = []
+    exported = _dunder_all(tree)
+    used = _used_names(tree)
+    is_package_init = path.name == "__init__.py"
+
+    for local, node, explicit_reexport in _imported_names(tree):
+        if explicit_reexport:
+            continue
+        if local in used:
+            continue
+        if exported is not None and local in exported:
+            continue
+        if is_package_init and exported is None:
+            continue  # bare re-export package with no declared surface
+        problems.append(f"{path}:{node.lineno}: unused import {local!r}")
+
+    if exported is not None:
+        defined = _defined_names(tree)
+        for name in exported:
+            if name not in defined:
+                problems.append(
+                    f"{path}: __all__ names {name!r} which is not defined"
+                )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    roots = [Path(arg) for arg in argv] if argv else [
+        Path(name) for name in DEFAULT_PATHS
+    ]
+    problems: list[str] = []
+    checked = 0
+    for root in roots:
+        if not root.exists():
+            continue
+        files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+        for path in files:
+            problems.extend(check_file(path))
+            checked += 1
+    for problem in problems:
+        print(problem)
+    print(f"lint: {checked} files checked, {len(problems)} problems")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
