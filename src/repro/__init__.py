@@ -36,7 +36,7 @@ from .executor import ExecutionResult, Executor
 from .hardware import PC1, PC2, PROFILES, HardwareProfile, HardwareSimulator
 from .mathstats import NormalDistribution, pearson, spearman
 from .optimizer import Optimizer, OptimizerConfig, PlannedQuery
-from .sampling import SampleDatabase
+from .sampling import SampleDatabase, SamplingEngine
 from .service import BatchPrediction, PredictionService, QueryPrediction
 from .sql import parse_query
 from .storage import Database, Table
@@ -63,6 +63,7 @@ __all__ = [
     "Calibrator",
     "CalibratedUnits",
     "SampleDatabase",
+    "SamplingEngine",
     "UncertaintyPredictor",
     "PredictionResult",
     "PredictionService",

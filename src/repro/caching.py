@@ -1,0 +1,108 @@
+"""Shared cache bookkeeping: hit/miss statistics and a byte-budgeted LRU.
+
+Both serving-layer caches use these primitives: the
+:class:`~repro.service.cache.PreparedCache` (entry-count bounded, whole
+prepared predictions) and the
+:class:`~repro.sampling.engine.SamplingEngine` (byte bounded, per-subplan
+sample intermediates). Keeping one :class:`CacheStats` dataclass means
+every cache reports hits, misses, and evictions the same way.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+__all__ = ["ByteBudgetLRU", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    #: entries rejected on insert because they alone exceed the budget
+    oversized: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float | None:
+        """Hits per lookup, or None before the first lookup.
+
+        A cache that was never consulted has no hit rate; reporting 0%
+        would read as "everything missed".
+        """
+        total = self.hits + self.misses
+        return self.hits / total if total else None
+
+    def describe(self) -> str:
+        """Human-readable rate, e.g. ``"75% (3/4)"`` or ``"no lookups"``."""
+        rate = self.hit_rate
+        if rate is None:
+            return "no lookups"
+        return f"{rate:.0%} ({self.hits}/{self.lookups})"
+
+
+class ByteBudgetLRU:
+    """An LRU cache bounded by the summed byte size of its entries.
+
+    Each ``put`` declares the entry's size; when the running total
+    exceeds the budget, least-recently-used entries are evicted until it
+    fits again. An entry larger than the whole budget is rejected
+    outright (counted in ``stats.oversized``) rather than evicting
+    everything for a value that cannot be retained anyway.
+    """
+
+    def __init__(self, max_bytes: int):
+        if max_bytes < 1:
+            raise ValueError(f"cache needs a positive byte budget, got {max_bytes}")
+        self._max_bytes = max_bytes
+        self._entries: OrderedDict[Hashable, tuple[Any, int]] = OrderedDict()
+        self._bytes_used = 0
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def max_bytes(self) -> int:
+        return self._max_bytes
+
+    @property
+    def bytes_used(self) -> int:
+        return self._bytes_used
+
+    def get(self, key: Hashable) -> Any | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry[0]
+
+    def put(self, key: Hashable, value: Any, nbytes: int) -> bool:
+        """Insert ``value``; returns False when it exceeds the whole budget."""
+        if nbytes > self._max_bytes:
+            self.stats.oversized += 1
+            return False
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes_used -= old[1]
+        self._entries[key] = (value, nbytes)
+        self._bytes_used += nbytes
+        while self._bytes_used > self._max_bytes:
+            _, (_, evicted_bytes) = self._entries.popitem(last=False)
+            self._bytes_used -= evicted_bytes
+            self.stats.evictions += 1
+        return True
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes_used = 0

@@ -198,11 +198,22 @@ def _cmd_predict_batch(args, out) -> int:
     service = PredictionService(
         db, units, sampling_ratio=args.sr, seed=args.seed + 1
     )
-    batch = service.predict_batch(queries, variants=variants, mpls=mpls)
+    # skip_failures: one malformed statement yields a per-query error
+    # row, not an aborted batch; the exit code still reports it.
+    batch = service.predict_batch(
+        queries, variants=variants, mpls=mpls, skip_failures=True
+    )
 
     header = f"{'#':>3}  {'mean':>9}  {'std':>9}  {'90% interval':>22}  cache"
     print(header, file=out)
-    for index, prediction in enumerate(batch):
+    failure_by_index = {failure.index: failure for failure in batch.failures}
+    predictions = iter(batch.predictions)
+    for index in range(len(queries)):
+        failure = failure_by_index.get(index)
+        if failure is not None:
+            print(f"{index:>3}  ERROR  {failure.error}", file=out)
+            continue
+        prediction = next(predictions)
         result = prediction.result(variants[0], mpls[0])
         low, high = result.confidence_interval(0.90)
         cache = "hit" if prediction.prepare_was_cached else "miss"
@@ -220,13 +231,29 @@ def _cmd_predict_batch(args, out) -> int:
             )
     stats = batch.stats
     print(
-        f"\nserved {len(batch)} queries in {batch.elapsed_seconds:.3f}s "
+        f"\nserved {len(batch)} of {len(queries)} queries in "
+        f"{batch.elapsed_seconds:.3f}s "
         f"({batch.queries_per_second:.1f} q/s) — "
         f"{stats.prepares_run} prepares, {stats.prepare_cache_hits} cache hits "
         f"(hit rate {stats.prepare_hit_rate:.0%}), "
         f"{stats.assemblies} assemblies",
         file=out,
     )
+    report = service.report()
+    print(
+        f"prepared cache : {report.prepared_entries} entries, "
+        f"hit rate {report.prepared_cache.describe()}",
+        file=out,
+    )
+    print(
+        f"sampling engine: {report.sampling_entries} sub-plans, "
+        f"{report.sampling_bytes_used / 1024:.0f} KiB, "
+        f"hit rate {report.sampling_cache.describe()}",
+        file=out,
+    )
+    if batch.failures:
+        print(f"{len(batch.failures)} queries failed", file=out)
+        return 1
     return 0
 
 

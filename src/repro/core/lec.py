@@ -11,6 +11,14 @@ optimizer's cardinality estimate was optimistic: a plan that looks
 cheap on paper (say, a nested-loop join over a "tiny" inner) carries an
 explosive expected cost once its input selectivity has real variance.
 A risk-averse variant (mean plus lambda times sigma) is also provided.
+
+Evaluating one query means sampling up to five candidate plans whose
+shapes mostly differ *above* the leaves, so the chooser threads one
+shared :class:`~repro.sampling.engine.SamplingEngine` through every
+candidate's prepare pass: scans and lower join subtrees are sampled
+once and served from the engine for the remaining candidates (the
+engine's signatures are invariant to the join algorithm and scan access
+path — exactly the knobs the candidate configurations turn).
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from dataclasses import dataclass
 from ..calibration.calibrator import CalibratedUnits
 from ..optimizer.cost_model import CostModel
 from ..optimizer.optimizer import Optimizer, OptimizerConfig, PlannedQuery
+from ..sampling.engine import SamplingEngine
 from ..sampling.sample_db import SampleDatabase
 from ..storage import Database
 from .predictor import UncertaintyPredictor
@@ -67,10 +76,24 @@ class PlanCandidate:
 class LeastExpectedCostChooser:
     """Ranks candidate plans by expected running time."""
 
-    def __init__(self, database: Database, units: CalibratedUnits):
+    def __init__(
+        self,
+        database: Database,
+        units: CalibratedUnits,
+        engine: SamplingEngine | None = None,
+    ):
         self._database = database
         self._predictor = UncertaintyPredictor(units)
         self._candidates: OrderedDict[tuple, list[PlanCandidate]] = OrderedDict()
+        # One engine across all candidates and queries: candidate configs
+        # share their leaf scans and lower joins, and repeated queries on
+        # the same sample set share everything below their aggregates.
+        self._engine = engine if engine is not None else SamplingEngine()
+
+    @property
+    def engine(self) -> SamplingEngine:
+        """The shared sub-plan sampling engine (for stats inspection)."""
+        return self._engine
 
     def candidates(self, sql: str, sample_db: SampleDatabase) -> list[PlanCandidate]:
         """Evaluate every distinct candidate plan for ``sql``.
@@ -93,7 +116,7 @@ class LeastExpectedCostChooser:
             if shape in seen_shapes:
                 continue
             seen_shapes.add(shape)
-            prepared = self._predictor.prepare(planned, sample_db)
+            prepared = self._predictor.prepare(planned, sample_db, engine=self._engine)
             expected = self._predictor.predict_prepared(planned, prepared)
             # The classic baseline: Eq. 1 at the optimizer's own cardinality
             # estimates, in seconds via the calibrated unit means.

@@ -24,6 +24,7 @@ from ..costfuncs.fitting import DEFAULT_GRID_W, CostFunctionFitter, OperatorCost
 from ..errors import PredictionError
 from ..mathstats.normal import NormalDistribution
 from ..optimizer.optimizer import PlannedQuery
+from ..sampling.engine import SamplingEngine
 from ..sampling.estimator import SamplingEstimate, SelectivityEstimator
 from ..sampling.sample_db import SampleDatabase
 from .variance import VarianceBreakdown, VarianceOptions, VectorizedAssembler
@@ -126,18 +127,22 @@ class UncertaintyPredictor:
         sample_db: SampleDatabase | None,
         use_gee: bool = False,
         method: str = "sampling",
+        engine: SamplingEngine | None = None,
     ) -> PreparedPrediction:
         """Run selectivity estimation + fitting once; reusable across variants.
 
         ``method`` selects the selectivity estimator: "sampling" (the
         paper's Algorithm 1; requires ``sample_db``) or "histogram" (the
         catalog-statistics alternative the paper lists as future work).
+        An optional shared :class:`~repro.sampling.engine.SamplingEngine`
+        memoizes sub-plan sampling work across calls; it only applies to
+        the "sampling" method.
         """
         if method == "sampling":
             if sample_db is None:
                 raise PredictionError("sampling estimation requires a sample_db")
             estimate = SelectivityEstimator(
-                sample_db, planned, use_gee=use_gee
+                sample_db, planned, use_gee=use_gee, engine=engine
             ).estimate()
         elif method == "histogram":
             from ..sampling.histogram_estimator import HistogramSelectivityEstimator

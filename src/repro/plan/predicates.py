@@ -148,3 +148,9 @@ class ColumnComparePredicate:
     @property
     def num_ops(self) -> int:
         return 1
+
+    def __str__(self) -> str:
+        return (
+            f"{self.left_alias}.{self.left_column} {self.op.value} "
+            f"{self.right_alias}.{self.right_column}"
+        )

@@ -1,14 +1,19 @@
 """Sampling-based selectivity estimation (Section 3.2, Algorithm 1)."""
 
+from .engine import SamplingEngine, SubPlanEntry
 from .estimator import NodeSelectivity, SamplingEstimate, SelectivityEstimator
 from .gee import gee_distinct_estimate, gee_selectivity
 from .sample_db import SampleDatabase
+from .signature import subplan_signature
 
 __all__ = [
     "SampleDatabase",
+    "SamplingEngine",
     "SelectivityEstimator",
     "SamplingEstimate",
+    "SubPlanEntry",
     "NodeSelectivity",
     "gee_distinct_estimate",
     "gee_selectivity",
+    "subplan_signature",
 ]

@@ -1,0 +1,135 @@
+"""The shared sub-plan sampling engine.
+
+Algorithm 1 — the sample join pipeline — is the dominant cost of a
+prediction, and much of it is repeated verbatim: the LEC chooser's five
+candidate configurations mostly differ *above* the leaves (scans and
+lower joins are shared), and batch queries instantiated from the same
+template share whole join subtrees. :class:`SamplingEngine` memoizes
+per-subplan results — the sample intermediate, the derived
+:class:`~repro.sampling.estimator.NodeSelectivity`, and the sample-run
+resource counts — keyed by
+
+* the **sample-set fingerprint**
+  (:meth:`~repro.sampling.sample_db.SampleDatabase.fingerprint`), so one
+  engine can safely serve several sample databases, and
+* the **canonical sub-plan signature**
+  (:mod:`repro.sampling.signature`), invariant to op ids, join input
+  order, join algorithm, and scan access path — the degrees of freedom
+  that vary across LEC candidates without changing the sample-space
+  computation.
+
+Entries live in a byte-budgeted LRU (sample intermediates carry real
+column arrays, so the budget is measured in bytes, not entries). A hit
+returns the stored intermediate for reuse by parent operators and a
+re-keyed copy of the stored selectivity; both are bitwise identical to
+what a cold pass would compute, which the benchmark and tests assert.
+
+Results computed through the optimizer fallback (an empty sample
+intermediate) are *not* stored: their selectivity depends on the
+enclosing plan's optimizer estimates, not only on the subtree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from ..caching import ByteBudgetLRU, CacheStats
+from ..optimizer.cost_model import ResourceCounts
+
+if TYPE_CHECKING:  # import cycle: estimator consults the engine
+    from .estimator import NodeSelectivity, _SampleIntermediate
+
+__all__ = ["DEFAULT_ENGINE_BUDGET_BYTES", "SamplingEngine", "SubPlanEntry"]
+
+#: Default byte budget for memoized sample intermediates (128 MiB).
+DEFAULT_ENGINE_BUDGET_BYTES = 128 * 1024 * 1024
+
+#: Fixed per-entry overhead charged on top of the array payloads.
+_ENTRY_OVERHEAD_BYTES = 512
+
+
+def _intermediate_nbytes(intermediate: "_SampleIntermediate") -> int:
+    """Budgeted size of one entry: its arrays plus a fixed overhead."""
+    total = _ENTRY_OVERHEAD_BYTES
+    for array in intermediate.columns.values():
+        total += array.nbytes
+    for array in intermediate.provenance.values():
+        total += array.nbytes
+    return total
+
+
+@dataclass
+class SubPlanEntry:
+    """One memoized sub-plan result.
+
+    Everything in here is shared between cache and consumers and must be
+    treated as immutable: the estimator re-keys ``selectivity`` with
+    :func:`dataclasses.replace` instead of mutating it, and operators
+    only read from the intermediate's arrays.
+    """
+
+    intermediate: "_SampleIntermediate"
+    selectivity: "NodeSelectivity"
+    counts: ResourceCounts
+
+    def rekeyed_selectivity(self, op_id: int) -> "NodeSelectivity":
+        """The stored selectivity under the consuming plan's op id."""
+        return replace(self.selectivity, op_id=op_id)
+
+
+class SamplingEngine:
+    """Memoizes Algorithm-1 sub-plan results across plans and queries."""
+
+    def __init__(self, max_bytes: int = DEFAULT_ENGINE_BUDGET_BYTES):
+        self._cache = ByteBudgetLRU(max_bytes)
+
+    # -- cache protocol ----------------------------------------------------
+    def lookup(self, fingerprint: tuple, signature: str) -> SubPlanEntry | None:
+        return self._cache.get((fingerprint, signature))
+
+    def store(
+        self,
+        fingerprint: tuple,
+        signature: str,
+        intermediate: "_SampleIntermediate",
+        selectivity: "NodeSelectivity",
+        counts: ResourceCounts,
+    ) -> None:
+        entry = SubPlanEntry(
+            intermediate=intermediate, selectivity=selectivity, counts=counts
+        )
+        self._cache.put(
+            (fingerprint, signature), entry, _intermediate_nbytes(intermediate)
+        )
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def stats(self) -> CacheStats:
+        return self._cache.stats
+
+    @property
+    def bytes_used(self) -> int:
+        return self._cache.bytes_used
+
+    @property
+    def max_bytes(self) -> int:
+        return self._cache.max_bytes
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __bool__(self) -> bool:
+        # An *empty* engine must not read as "no engine" in `if engine:`
+        # checks; truthiness follows identity, not fill level.
+        return True
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    def describe(self) -> str:
+        return (
+            f"{len(self)} sub-plans, "
+            f"{self.bytes_used / 1024:.0f} KiB / {self.max_bytes / 1024:.0f} KiB, "
+            f"hit rate {self.stats.describe()}"
+        )

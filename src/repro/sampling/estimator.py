@@ -17,6 +17,7 @@ covariance bound B1 (Theorem 7).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,7 +33,9 @@ from ..plan.physical import (
     PlanNode,
 )
 from ..plan.predicates import ColumnPairScanPredicate
-from .sample_db import SampleDatabase
+from .engine import SamplingEngine
+from .sample_db import MIN_SAMPLE_ROWS, SampleDatabase
+from .signature import compose_signature
 
 __all__ = ["NodeSelectivity", "SamplingEstimate", "SelectivityEstimator"]
 
@@ -63,8 +66,18 @@ class NodeSelectivity:
         return len(self.leaf_aliases)
 
     def min_sample_size(self) -> int:
+        """Smallest backing sample size, or the documented sampling floor.
+
+        Estimates that never touched a sample — optimizer fallbacks for
+        aggregates, alias pass-throughs (Sort/Materialize), histogram
+        nodes — carry no ``sample_sizes``. For those this returns
+        :data:`~repro.sampling.sample_db.MIN_SAMPLE_ROWS`, the smallest
+        sample any :class:`SampleDatabase` materializes, so downstream
+        ``n - 1``-style arithmetic stays well-defined without a silent
+        magic number.
+        """
         if not self.sample_sizes:
-            return 2
+            return MIN_SAMPLE_ROWS
         return min(self.sample_sizes.values())
 
     def restricted_variance(self, aliases) -> float:
@@ -114,18 +127,30 @@ def _sample_predicate_mask(data: _SampleIntermediate, alias: str, predicate) -> 
 
 
 class SelectivityEstimator:
-    """Runs Algorithm 1 over a planned query."""
+    """Runs Algorithm 1 over a planned query.
+
+    With an :class:`~repro.sampling.engine.SamplingEngine` attached, the
+    estimator consults it at every scan, join, and filter: a hit reuses
+    the memoized sample intermediate (and its derived selectivity and
+    resource counts) instead of re-executing the sub-plan over the
+    sample tables; a miss stores the freshly computed result. Estimates
+    are bitwise identical either way — the engine only skips work whose
+    outcome is already known.
+    """
 
     def __init__(
         self,
         sample_db: SampleDatabase,
         planned: PlannedQuery,
         use_gee: bool = False,
+        engine: SamplingEngine | None = None,
     ):
         self._samples = sample_db
         self._planned = planned
         self._copies = sample_db.assign_copies(planned.alias_tables)
         self._use_gee = use_gee
+        self._engine = engine
+        self._fingerprint = sample_db.fingerprint() if engine is not None else None
 
     # ------------------------------------------------------------------
     def estimate(self) -> SamplingEstimate:
@@ -135,22 +160,64 @@ class SelectivityEstimator:
         self._visit(self._planned.root, per_node, run_counts)
         return SamplingEstimate(per_node=per_node, sample_run_counts=run_counts)
 
+    # -- engine consultation ------------------------------------------------
+    def _signature_for(self, node: PlanNode, child_signatures: list) -> str | None:
+        """This node's canonical sub-plan signature (None: not memoizable)."""
+        if self._engine is None:
+            return None
+        return compose_signature(node, child_signatures, self._copies)
+
+    def _lookup(self, signature: str | None):
+        if self._engine is None or signature is None:
+            return None
+        return self._engine.lookup(self._fingerprint, signature)
+
+    def _store(
+        self,
+        signature: str | None,
+        result: _SampleIntermediate,
+        selectivity: NodeSelectivity,
+        counts: ResourceCounts,
+    ) -> None:
+        if self._engine is None or signature is None:
+            return
+        if result.num_rows == 0:
+            # Empty intermediates take the optimizer fallback, whose
+            # selectivity depends on the enclosing plan's estimates, not
+            # only on this subtree — unsafe to share across plans.
+            return
+        self._engine.store(self._fingerprint, signature, result, selectivity, counts)
+
     # ------------------------------------------------------------------
     def _visit(
         self,
         node: PlanNode,
         per_node: dict[int, NodeSelectivity],
         run_counts: dict[int, ResourceCounts],
-    ) -> _SampleIntermediate | None:
-        """Returns the sample intermediate, or None above an aggregate."""
+    ) -> tuple[_SampleIntermediate | None, str | None]:
+        """Returns (sample intermediate, sub-plan signature).
+
+        Both are None above an aggregate; the signature alone is None
+        when memoization is off or the subtree is not memoizable.
+        """
         kind = node.kind
         if node.is_scan:
+            signature = self._signature_for(node, [])
+            entry = self._lookup(signature)
+            if entry is not None:
+                per_node[node.op_id] = entry.rekeyed_selectivity(node.op_id)
+                run_counts[node.op_id] = entry.counts
+                return entry.intermediate, signature
             result = self._scan(node, run_counts)
-            per_node[node.op_id] = self._scan_selectivity(node, result)
-            return result
+            selectivity = self._scan_selectivity(node, result)
+            per_node[node.op_id] = selectivity
+            self._store(signature, result, selectivity, run_counts[node.op_id])
+            return result, signature
 
         children = [self._visit(c, per_node, run_counts) for c in node.children]
-        aggregate_below = any(c is None for c in children)
+        intermediates = [intermediate for intermediate, _ in children]
+        signatures = [signature for _, signature in children]
+        aggregate_below = any(intermediate is None for intermediate in intermediates)
 
         if kind is OpKind.AGGREGATE or aggregate_below:
             if (
@@ -159,29 +226,49 @@ class SelectivityEstimator:
                 and not aggregate_below
                 and node.group_keys
             ):
-                per_node[node.op_id] = self._gee_selectivity(node, children[0])
+                per_node[node.op_id] = self._gee_selectivity(node, intermediates[0])
             else:
                 per_node[node.op_id] = self._optimizer_fallback(node)
-            return None
+            return None, None
 
         if node.is_join:
-            result = self._join(node, children[0], children[1], run_counts)
-            per_node[node.op_id] = self._product_selectivity(node, result)
-            return result
+            signature = self._signature_for(node, signatures)
+            entry = self._lookup(signature)
+            if entry is not None:
+                per_node[node.op_id] = entry.rekeyed_selectivity(node.op_id)
+                run_counts[node.op_id] = entry.counts
+                return entry.intermediate, signature
+            result = self._join(node, intermediates[0], intermediates[1], run_counts)
+            selectivity = self._product_selectivity(node, result)
+            per_node[node.op_id] = selectivity
+            self._store(signature, result, selectivity, run_counts[node.op_id])
+            return result, signature
         if kind is OpKind.FILTER:
-            result = self._filter(node, children[0], run_counts)
+            signature = self._signature_for(node, signatures)
+            entry = self._lookup(signature)
+            if entry is not None:
+                per_node[node.op_id] = entry.rekeyed_selectivity(node.op_id)
+                run_counts[node.op_id] = entry.counts
+                return entry.intermediate, signature
+            result = self._filter(node, intermediates[0], run_counts)
             if len(result.provenance) > 1:
-                per_node[node.op_id] = self._product_selectivity(node, result)
+                selectivity = self._product_selectivity(node, result)
             else:
-                per_node[node.op_id] = self._scan_selectivity(node, result)
-            return result
+                selectivity = self._scan_selectivity(node, result)
+            per_node[node.op_id] = selectivity
+            self._store(signature, result, selectivity, run_counts[node.op_id])
+            return result, signature
         if kind in (OpKind.SORT, OpKind.MATERIALIZE):
             per_node[node.op_id] = self._alias_selectivity(node)
-            run_counts[node.op_id] = ResourceCounts(nt=float(children[0].num_rows))
-            return children[0]
+            run_counts[node.op_id] = ResourceCounts(
+                nt=float(intermediates[0].num_rows)
+            )
+            # Sort/Materialize pass the sample intermediate through
+            # untouched, so the child's signature stays valid above them.
+            return intermediates[0], signatures[0]
         if kind is OpKind.LIMIT:
             per_node[node.op_id] = self._optimizer_fallback(node)
-            return children[0]
+            return intermediates[0], signatures[0]
         raise SamplingError(f"sampling estimator: unknown operator {kind}")
 
     # -- operators over samples -------------------------------------------
@@ -251,13 +338,13 @@ class SelectivityEstimator:
 
     # -- selectivity distributions -----------------------------------------
     def _scan_selectivity(self, node, result) -> NodeSelectivity:
+        if result.num_rows == 0:
+            return self._empty_fallback(node)
         alias = node.leaf_aliases()[0]
         n = self._samples.sample_size(self._planned.alias_tables[alias])
         rho = result.num_rows / n
         # S_n^2 = rho(1 - rho) for tuple-level scans; Var[rho_n] ~ S_n^2/n.
         variance = rho * (1.0 - rho) / n
-        if result.num_rows == 0:
-            return self._empty_fallback(node)
         return NodeSelectivity(
             op_id=node.op_id,
             mean=rho,
@@ -269,7 +356,15 @@ class SelectivityEstimator:
         )
 
     def _product_selectivity(self, node, result) -> NodeSelectivity:
-        """rho_n and S_n^2 for an operator over a product space (joins)."""
+        """rho_n and S_n^2 for an operator over a product space (joins).
+
+        An empty result short-circuits to the fallback *before* any
+        variance arithmetic: with zero observations the ``Q_{k,j}``
+        counters are all zero and the deviations collapse to a spurious
+        exact zero variance, so none of the math below is meaningful.
+        """
+        if result.num_rows == 0:
+            return self._empty_fallback(node)
         aliases = node.leaf_aliases()
         sizes = {
             alias: self._samples.sample_size(self._planned.alias_tables[alias])
@@ -279,13 +374,13 @@ class SelectivityEstimator:
         for size in sizes.values():
             total_product *= size
         rho = result.num_rows / total_product
-        if result.num_rows == 0:
-            return self._empty_fallback(node)
 
         components: dict[str, float] = {}
         for alias in aliases:
             n_k = sizes[alias]
             if n_k < 2:
+                # The n_k - 1 denominator below would divide by zero; the
+                # paper sets S_1^2 = 0 for single-tuple samples.
                 components[alias] = 0.0
                 continue
             q = np.bincount(result.provenance[alias], minlength=n_k).astype(np.float64)
@@ -322,7 +417,7 @@ class SelectivityEstimator:
             alias: self._samples.sample_size(self._planned.alias_tables[alias])
             for alias in aliases
         }
-        rho = min(max(self._planned.est_selectivity(node), 0.0), 1.0)
+        rho = self._clamped_estimate(node)
         variance = rho * rho
         share = variance / len(aliases) if aliases else 0.0
         return NodeSelectivity(
@@ -335,6 +430,17 @@ class SelectivityEstimator:
             source="sample",
         )
 
+    def _clamped_estimate(self, node) -> float:
+        """The optimizer's selectivity estimate, NaN-guarded into [0, 1].
+
+        ``min(nan, 1.0)`` is nan, so a non-finite estimate must be
+        replaced before clamping or it poisons every moment downstream.
+        """
+        estimated = self._planned.est_selectivity(node)
+        if not math.isfinite(estimated):
+            return 0.0
+        return min(max(estimated, 0.0), 1.0)
+
     def _optimizer_fallback(self, node) -> NodeSelectivity:
         """Aggregates (and anything above them): optimizer estimate, S^2=0."""
         aliases = node.leaf_aliases()
@@ -344,7 +450,7 @@ class SelectivityEstimator:
         }
         return NodeSelectivity(
             op_id=node.op_id,
-            mean=min(self._planned.est_selectivity(node), 1.0),
+            mean=self._clamped_estimate(node),
             variance=0.0,
             var_components={alias: 0.0 for alias in aliases},
             leaf_aliases=aliases,

@@ -1,0 +1,118 @@
+"""Canonical sub-plan signatures for memoizing Algorithm-1 work.
+
+:func:`repro.service.cache.plan_signature` identifies a *whole* planned
+query exactly — including physical operator choices, since fitted cost
+functions depend on them. The signatures here extend that idea downward
+to individual sub-plans, but deliberately identify *less*: they name
+exactly what the sampling pass of Algorithm 1 computes from a subtree,
+and nothing more. Two subtrees with equal sampling signatures produce
+sample intermediates with the same row multiset and the same
+per-relation provenance counters, so every statistic Algorithm 1
+derives from them (``rho_n``, the ``Q_{k,j}`` counters, ``S_n^2`` and
+its per-relation components) is bitwise identical.
+
+Invariances, each justified by how the estimator executes:
+
+* **op_id free** — node numbering never reaches the sample run;
+* **join input order** — ``equijoin_pairs`` emits the same pair
+  multiset either way round, and all downstream statistics are
+  position-bincounts, which do not depend on row order;
+* **join algorithm** — hash/merge/nestloop all sample via the same
+  equijoin (or cross-product) kernel;
+* **scan access path** — a SeqScan predicate set and an IndexScan's
+  index-plus-residual predicates select the same sample rows;
+* **Sort/Materialize/Limit transparency** — those operators pass the
+  child's intermediate through untouched, so a subtree signature skips
+  them entirely (a merge-join candidate's sort does not defeat reuse).
+
+What *is* captured: alias, base table, and sample-copy assignment per
+scan (different copies hold different tuples), the full predicate
+constants, and the equijoin key sets. Aggregates have no sample
+intermediate (Algorithm 1 stops below them), so any subtree containing
+one has no signature.
+"""
+
+from __future__ import annotations
+
+from ..plan.physical import OpKind, PlanNode
+
+__all__ = [
+    "compose_signature",
+    "filter_signature",
+    "join_signature",
+    "scan_signature",
+    "subplan_signature",
+]
+
+
+def scan_signature(node: PlanNode, copy: int) -> str:
+    """Signature of a scan's sample output: table sample + predicate set."""
+    predicates = [str(p) for p in node.predicates]
+    index_predicate = getattr(node, "index_predicate", None)
+    if index_predicate is not None:
+        predicates.append(str(index_predicate))
+    predicates.sort()
+    return f"scan[{node.alias}={node.table}#{copy}|{';'.join(predicates)}]"
+
+
+def join_signature(
+    keys: list[tuple[str, str]], left_signature: str, right_signature: str
+) -> str:
+    """Signature of an (equi- or cross-) join over two signed inputs.
+
+    Key pairs and child signatures are sorted so that ``A JOIN B ON
+    a.x = b.y`` and ``B JOIN A ON b.y = a.x`` — the same sample-space
+    computation — share one signature. An empty key list is the cross
+    join.
+    """
+    pairs = sorted("~".join(sorted(pair)) for pair in keys)
+    first, second = sorted((left_signature, right_signature))
+    return f"join[{','.join(pairs)}]({first},{second})"
+
+
+def filter_signature(node: PlanNode, child_signature: str) -> str:
+    """Signature of a filter applied to a signed input."""
+    scan_parts = sorted(str(p) for p in node.scan_predicates)
+    compare_parts = sorted(str(p) for p in node.compare_predicates)
+    return (
+        f"filter[{';'.join(scan_parts)}|{';'.join(compare_parts)}]"
+        f"({child_signature})"
+    )
+
+
+def compose_signature(
+    node: PlanNode, child_signatures: list[str | None], copies: dict[str, int]
+) -> str | None:
+    """One node's signature from its children's already-computed ones.
+
+    The single composition rule shared by the recursive
+    :func:`subplan_signature` and the estimator's incremental bottom-up
+    pass — both must key the cache identically or entries get served
+    under stale keys. Returns None when the subtree has no sample
+    intermediate (aggregates and everything above them) or the operator
+    is not one the sampling pass recognizes.
+    """
+    if node.is_scan:
+        return scan_signature(node, copies.get(node.alias, 0))
+    if any(signature is None for signature in child_signatures):
+        return None
+    if node.is_join:
+        return join_signature(node.keys, child_signatures[0], child_signatures[1])
+    if node.kind is OpKind.FILTER:
+        return filter_signature(node, child_signatures[0])
+    if node.kind in (OpKind.SORT, OpKind.MATERIALIZE, OpKind.LIMIT):
+        return child_signatures[0]
+    return None
+
+
+def subplan_signature(node: PlanNode, copies: dict[str, int]) -> str | None:
+    """The canonical sampling signature of a whole subtree.
+
+    ``copies`` maps each alias to its assigned sample copy (from
+    :meth:`~repro.sampling.sample_db.SampleDatabase.assign_copies`);
+    unlisted aliases default to copy 0. Returns None for subtrees whose
+    sample intermediate does not exist (anything containing an
+    aggregate) or whose operators the sampling pass does not recognize.
+    """
+    child_signatures = [subplan_signature(child, copies) for child in node.children]
+    return compose_signature(node, child_signatures, copies)

@@ -1,10 +1,12 @@
 """Batch prediction serving on top of the uncertainty predictor."""
 
-from .cache import CacheStats, PreparedCache, plan_signature
+from .cache import CacheStats, PreparedCache, plan_signature, subplan_signature
 from .service import (
     BatchPrediction,
     PredictionService,
+    QueryFailure,
     QueryPrediction,
+    ServiceReport,
     ServiceStats,
 )
 
@@ -13,7 +15,10 @@ __all__ = [
     "CacheStats",
     "PredictionService",
     "PreparedCache",
+    "QueryFailure",
     "QueryPrediction",
+    "ServiceReport",
     "ServiceStats",
     "plan_signature",
+    "subplan_signature",
 ]

@@ -14,18 +14,29 @@ the expensive part of a prediction, and it is fully determined by
 :class:`PreparedCache` is a small LRU keyed by the full triple. Repeated
 queries — dashboards re-issuing identical SQL, template workloads with
 recurring parameter bindings — skip planning's expensive tail entirely.
+
+Two granularities of signature exist. :func:`plan_signature` (here) is
+*exact*: it distinguishes physical operator choices and join input
+order, because fitted cost functions depend on them. Its per-subtree
+extension, :func:`~repro.sampling.signature.subplan_signature`
+(re-exported here), identifies only what Algorithm 1's sampling pass
+computes and is deliberately invariant to op ids, join input order, and
+the physical operator flavor — it keys the
+:class:`~repro.sampling.engine.SamplingEngine`'s memoized sample
+intermediates, which *are* interchangeable across those differences.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
 
+from ..caching import CacheStats
 from ..core.predictor import PreparedPrediction
 from ..optimizer.optimizer import PlannedQuery
 from ..plan.physical import OpKind, PlanNode
+from ..sampling.signature import subplan_signature
 
-__all__ = ["CacheStats", "PreparedCache", "plan_signature"]
+__all__ = ["CacheStats", "PreparedCache", "plan_signature", "subplan_signature"]
 
 
 def _node_signature(node: PlanNode) -> str:
@@ -42,6 +53,17 @@ def _node_signature(node: PlanNode) -> str:
         parts.append(";".join(str(p) for p in node.compare_predicates))
     if node.kind is OpKind.SORT:
         parts.append(";".join(f"{col}:{desc}" for col, desc in node.keys))
+    if node.kind is OpKind.AGGREGATE:
+        # label() carries only group keys and output names; the aggregate
+        # mode — function, DISTINCT flag, argument expression — changes
+        # the prepared artifacts too and must not collide.
+        parts.append(
+            ";".join(
+                f"{spec.func}:{'distinct' if spec.distinct else 'all'}:"
+                f"{spec.argument.node if spec.argument is not None else '*'}"
+                for spec in node.aggregates
+            )
+        )
     if node.kind is OpKind.LIMIT:
         parts.append(f"limit:{node.count}")
     return "|".join(parts)
@@ -68,20 +90,6 @@ def _walk_with_depth(node: PlanNode, depth: int):
     yield node, depth
     for child in node.children:
         yield from _walk_with_depth(child, depth + 1)
-
-
-@dataclass
-class CacheStats:
-    """Hit/miss counters of one :class:`PreparedCache`."""
-
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-
-    @property
-    def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
 
 
 class PreparedCache:

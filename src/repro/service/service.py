@@ -16,6 +16,13 @@ The division of labour per query:
 * assemble   — once per (variant, mpl) via the shared
                :class:`~repro.core.variance.VectorizedAssembler`, a few
                small matrix products each.
+
+Below the prepared-artifact cache sits a second, finer-grained layer:
+one :class:`~repro.sampling.engine.SamplingEngine` shared by every
+prepare pass the service runs. Queries whose *whole* plan is new can
+still reuse the sample intermediates of any join/filter/scan sub-plan
+an earlier query already sampled — template instantiations that differ
+only in one branch's constants share everything else.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
 from ..calibration.calibrator import CalibratedUnits
+from ..caching import CacheStats
 from ..core.concurrency import ConcurrentPredictor, InterferenceModel
 from ..core.predictor import (
     PredictionResult,
@@ -36,11 +44,19 @@ from ..core.predictor import (
 from ..costfuncs.fitting import DEFAULT_GRID_W
 from ..errors import PredictionError
 from ..optimizer.optimizer import Optimizer, OptimizerConfig, PlannedQuery
+from ..sampling.engine import DEFAULT_ENGINE_BUDGET_BYTES, SamplingEngine
 from ..sampling.sample_db import SampleDatabase
 from ..storage import Database
 from .cache import PreparedCache, plan_signature
 
-__all__ = ["BatchPrediction", "PredictionService", "QueryPrediction", "ServiceStats"]
+__all__ = [
+    "BatchPrediction",
+    "PredictionService",
+    "QueryFailure",
+    "QueryPrediction",
+    "ServiceReport",
+    "ServiceStats",
+]
 
 
 @dataclass
@@ -48,6 +64,7 @@ class ServiceStats:
     """Cumulative serving counters (monotonic over a service's lifetime)."""
 
     queries_served: int = 0
+    queries_failed: int = 0
     plans_built: int = 0
     prepares_run: int = 0
     prepare_cache_hits: int = 0
@@ -65,12 +82,49 @@ class ServiceStats:
         """The counter deltas accumulated after ``earlier`` was snapshot."""
         return ServiceStats(
             queries_served=self.queries_served - earlier.queries_served,
+            queries_failed=self.queries_failed - earlier.queries_failed,
             plans_built=self.plans_built - earlier.plans_built,
             prepares_run=self.prepares_run - earlier.prepares_run,
             prepare_cache_hits=self.prepare_cache_hits
             - earlier.prepare_cache_hits,
             assemblies=self.assemblies - earlier.assemblies,
         )
+
+
+@dataclass
+class ServiceReport:
+    """A point-in-time view of the service's caches and counters.
+
+    ``stats`` are the lifetime serving counters; the cache stats come
+    from the two cache layers — whole prepared predictions and memoized
+    sub-plan sampling work — whose hit rates explain where serving time
+    goes.
+    """
+
+    stats: ServiceStats
+    prepared_cache: CacheStats
+    prepared_entries: int
+    sampling_cache: CacheStats
+    sampling_entries: int
+    sampling_bytes_used: int
+    sampling_bytes_budget: int
+
+    def render(self) -> str:
+        lines = [
+            f"queries served : {self.stats.queries_served} "
+            f"({self.stats.queries_failed} failed)",
+            f"plans built    : {self.stats.plans_built}",
+            f"prepares run   : {self.stats.prepares_run} "
+            f"({self.stats.prepare_cache_hits} served from cache)",
+            f"assemblies     : {self.stats.assemblies}",
+            f"prepared cache : {self.prepared_entries} entries, "
+            f"hit rate {self.prepared_cache.describe()}",
+            f"sampling engine: {self.sampling_entries} sub-plans, "
+            f"{self.sampling_bytes_used / 1024:.0f} KiB "
+            f"/ {self.sampling_bytes_budget / 1024:.0f} KiB, "
+            f"hit rate {self.sampling_cache.describe()}",
+        ]
+        return "\n".join(lines)
 
 
 @dataclass
@@ -103,6 +157,22 @@ class QueryPrediction:
         return self.result().std
 
 
+@dataclass(frozen=True)
+class QueryFailure:
+    """One query of a batch that could not be served.
+
+    ``index`` is the query's position in the submitted batch, so callers
+    can line failures up with their inputs.
+    """
+
+    index: int
+    sql: str | None
+    error: str
+
+    def __str__(self) -> str:
+        return f"query #{self.index}: {self.error}"
+
+
 @dataclass
 class BatchPrediction:
     """The service's answer for one batch.
@@ -110,11 +180,15 @@ class BatchPrediction:
     ``stats`` holds only this batch's counters (a delta of the service's
     cumulative :class:`ServiceStats`), so its hit rate and prepare counts
     describe the batch and stay fixed after the call returns.
+    ``failures`` is non-empty only when the batch was served with
+    ``skip_failures=True`` and some queries could not be planned or
+    predicted; iteration yields the successful predictions only.
     """
 
     predictions: list[QueryPrediction]
     elapsed_seconds: float
     stats: ServiceStats = field(repr=False, default_factory=ServiceStats)
+    failures: list[QueryFailure] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.predictions)
@@ -144,7 +218,10 @@ class PredictionService:
         use_gee: bool = False,
         method: str = "sampling",
         cache_size: int = 256,
+        sampling_engine_bytes: int = DEFAULT_ENGINE_BUDGET_BYTES,
     ):
+        """``sampling_engine_bytes`` budgets the sub-plan sampling cache;
+        0 disables that layer entirely (every prepare samples cold)."""
         self._database = database
         self._optimizer = Optimizer(database, optimizer_config)
         self._sample_db = SampleDatabase(
@@ -163,6 +240,11 @@ class PredictionService:
         self._plans: OrderedDict[str, PlannedQuery] = OrderedDict()
         self._plans_maxsize = cache_size
         self._prepared = PreparedCache(maxsize=cache_size)
+        self._engine = (
+            SamplingEngine(max_bytes=sampling_engine_bytes)
+            if sampling_engine_bytes > 0
+            else None
+        )
         self.stats = ServiceStats()
 
     # -- introspection -----------------------------------------------------
@@ -173,6 +255,23 @@ class PredictionService:
     @property
     def prepared_cache(self) -> PreparedCache:
         return self._prepared
+
+    @property
+    def sampling_engine(self) -> SamplingEngine | None:
+        return self._engine
+
+    def report(self) -> ServiceReport:
+        """Snapshot counters and cache stats of both cache layers."""
+        engine = self._engine
+        return ServiceReport(
+            stats=self.stats.snapshot(),
+            prepared_cache=replace(self._prepared.stats),
+            prepared_entries=len(self._prepared),
+            sampling_cache=replace(engine.stats) if engine else CacheStats(),
+            sampling_entries=len(engine) if engine else 0,
+            sampling_bytes_used=engine.bytes_used if engine else 0,
+            sampling_bytes_budget=engine.max_bytes if engine else 0,
+        )
 
     # -- planning / preparing ---------------------------------------------
     def plan(self, query: str | PlannedQuery) -> PlannedQuery:
@@ -211,6 +310,7 @@ class PredictionService:
             self._sample_db,
             use_gee=self._use_gee,
             method=self._method,
+            engine=self._engine,
         )
         self._prepared.put(key, prepared)
         self.stats.prepares_run += 1
@@ -249,16 +349,46 @@ class PredictionService:
         queries: Iterable[str | PlannedQuery],
         variants: Sequence[Variant] = (Variant.ALL,),
         mpls: Sequence[int] = (1,),
+        skip_failures: bool = False,
     ) -> BatchPrediction:
-        """A whole batch; see :meth:`predict_query` for the per-query fan-out."""
+        """A whole batch; see :meth:`predict_query` for the per-query fan-out.
+
+        With ``skip_failures=True``, a query that cannot be planned or
+        predicted (malformed SQL, unsupported plan shape, a predicate
+        comparing incompatible types, ...) becomes a
+        :class:`QueryFailure` in the result instead of aborting the whole
+        batch; the remaining queries are still served. Any exception is
+        converted — a serving batch must degrade per query, and errors
+        escaping the library's own hierarchy (e.g. numpy type errors
+        raised while evaluating a predicate over sample columns) abort
+        the batch just as hard as a parse error would.
+        """
         before = self.stats.snapshot()
         started = time.perf_counter()
-        predictions = [
-            self.predict_query(query, variants=variants, mpls=mpls)
-            for query in queries
-        ]
+        predictions: list[QueryPrediction] = []
+        failures: list[QueryFailure] = []
+        for index, query in enumerate(queries):
+            if not skip_failures:
+                predictions.append(
+                    self.predict_query(query, variants=variants, mpls=mpls)
+                )
+                continue
+            try:
+                predictions.append(
+                    self.predict_query(query, variants=variants, mpls=mpls)
+                )
+            except Exception as error:  # noqa: BLE001 — per-query isolation
+                self.stats.queries_failed += 1
+                failures.append(
+                    QueryFailure(
+                        index=index,
+                        sql=query if isinstance(query, str) else None,
+                        error=f"{type(error).__name__}: {error}",
+                    )
+                )
         return BatchPrediction(
             predictions=predictions,
             elapsed_seconds=time.perf_counter() - started,
             stats=self.stats.since(before),
+            failures=failures,
         )

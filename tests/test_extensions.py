@@ -54,6 +54,42 @@ class TestCli:
         with pytest.raises(SystemExit):
             self.run("nope")
 
+    def test_predict_batch_reports_cache_layers(self):
+        code, text = self.run(
+            "predict-batch", "--scale", "0.002", "--sr", "0.2",
+            "--sql", "SELECT * FROM orders WHERE o_totalprice > 100000",
+            "--sql", "SELECT * FROM orders WHERE o_totalprice > 100000",
+        )
+        assert code == 0
+        assert "served 2 of 2 queries" in text
+        assert "prepared cache" in text
+        assert "sampling engine" in text
+
+    def test_predict_batch_survives_malformed_statement(self):
+        # One bad statement becomes a per-query error row; the rest of
+        # the batch is still served, and the exit code reports the
+        # partial failure.
+        code, text = self.run(
+            "predict-batch", "--scale", "0.002", "--sr", "0.2",
+            "--sql", "SELECT * FROM orders WHERE o_totalprice > 100000",
+            "--sql", "SELEC nope FRM",
+            "--sql", "SELECT * FROM lineitem WHERE l_quantity > 30",
+        )
+        assert code == 1
+        assert "ERROR" in text
+        assert "1 queries failed" in text
+        assert "served 2 of 3 queries" in text
+        # The good queries still produced prediction rows.
+        assert text.count("miss") >= 1
+
+    def test_predict_batch_all_failures(self):
+        code, text = self.run(
+            "predict-batch", "--scale", "0.002",
+            "--sql", "utter nonsense",
+        )
+        assert code == 1
+        assert "served 0 of 1 queries" in text
+
 
 class TestInterferenceModel:
     def test_mpl_one_is_identity(self, calibrated_units):

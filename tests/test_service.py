@@ -324,6 +324,35 @@ class TestPredictionService:
         assert len(batch) == 2
         assert batch.elapsed_seconds > 0
         assert batch.queries_per_second > 0
+        assert batch.failures == []
+
+    def test_batch_aborts_on_failure_by_default(self, service):
+        from repro.errors import SqlError
+
+        with pytest.raises(SqlError):
+            service.predict_batch([SQL_A, "SELEC nope"])
+
+    def test_skip_failures_isolates_bad_queries(self, service):
+        batch = service.predict_batch(
+            [SQL_A, "SELEC nope", SQL_B], skip_failures=True
+        )
+        assert len(batch) == 2
+        assert len(batch.failures) == 1
+        failure = batch.failures[0]
+        assert failure.index == 1
+        assert failure.sql == "SELEC nope"
+        assert "SqlParseError" in failure.error
+        assert batch.stats.queries_failed == 1
+
+    def test_skip_failures_covers_non_library_errors(self, service):
+        # Regression: a parseable query whose predicate compares a string
+        # column to a number fails inside numpy (UFuncTypeError), outside
+        # the ReproError hierarchy — it must still degrade per query.
+        bad = "SELECT * FROM orders WHERE o_orderpriority > 5"
+        batch = service.predict_batch([bad, SQL_A], skip_failures=True)
+        assert len(batch) == 1
+        assert len(batch.failures) == 1
+        assert batch.failures[0].index == 0
 
     def test_batch_stats_are_batch_scoped(self, tpch_db, calibrated_units):
         fresh = PredictionService(
@@ -376,6 +405,99 @@ class TestPlanSignature:
         }
         assert len(signatures) > 1
 
+    # -- collision audit: join keys, join kind, aggregate mode ------------
+
+    @staticmethod
+    def _signed(root):
+        class _Planned:
+            alias_tables = {"a": "t", "b": "t"}
+
+        planned = _Planned()
+        planned.root = assign_op_ids(root)
+        return plan_signature(planned)
+
+    @staticmethod
+    def _join_children():
+        return [
+            SeqScanNode(table="t", alias="a"),
+            SeqScanNode(table="t", alias="b"),
+        ]
+
+    def test_join_kind_is_captured(self):
+        from repro.plan import MergeJoinNode
+
+        hash_sig = self._signed(
+            HashJoinNode(keys=[("a.k", "b.k")], children=self._join_children())
+        )
+        merge_sig = self._signed(
+            MergeJoinNode(keys=[("a.k", "b.k")], children=self._join_children())
+        )
+        assert hash_sig != merge_sig
+
+    def test_join_keys_are_captured(self):
+        one = self._signed(
+            HashJoinNode(keys=[("a.k", "b.k")], children=self._join_children())
+        )
+        other = self._signed(
+            HashJoinNode(keys=[("a.j", "b.j")], children=self._join_children())
+        )
+        assert one != other
+
+    def test_aggregate_function_is_captured(self):
+        # Regression: the aggregate label carries only group keys and
+        # output names, so SUM(v) AS x and MAX(v) AS x used to collide.
+        from repro.plan import AggregateNode, AggSpec, ScalarExpr
+
+        def agg(func):
+            return AggregateNode(
+                group_keys=["a.k"],
+                aggregates=[
+                    AggSpec(
+                        func=func,
+                        argument=ScalarExpr(("col", "a.v")),
+                        output_name="x",
+                    )
+                ],
+                children=[SeqScanNode(table="t", alias="a")],
+            )
+
+        class _Planned:
+            alias_tables = {"a": "t"}
+
+        signatures = set()
+        for func in ("SUM", "MAX"):
+            planned = _Planned()
+            planned.root = assign_op_ids(agg(func))
+            signatures.add(plan_signature(planned))
+        assert len(signatures) == 2
+
+    def test_aggregate_distinct_flag_is_captured(self):
+        from repro.plan import AggregateNode, AggSpec, ScalarExpr
+
+        def agg(distinct):
+            return AggregateNode(
+                group_keys=["a.k"],
+                aggregates=[
+                    AggSpec(
+                        func="COUNT",
+                        argument=ScalarExpr(("col", "a.v")),
+                        output_name="x",
+                        distinct=distinct,
+                    )
+                ],
+                children=[SeqScanNode(table="t", alias="a")],
+            )
+
+        class _Planned:
+            alias_tables = {"a": "t"}
+
+        signatures = set()
+        for distinct in (False, True):
+            planned = _Planned()
+            planned.root = assign_op_ids(agg(distinct))
+            signatures.add(plan_signature(planned))
+        assert len(signatures) == 2
+
 
 class TestPreparedCache:
     def test_lru_eviction(self):
@@ -391,11 +513,14 @@ class TestPreparedCache:
 
     def test_hit_rate(self):
         cache = PreparedCache(maxsize=4)
-        assert cache.stats.hit_rate == 0.0
+        # Before any lookup there is no rate — not a misleading 0%.
+        assert cache.stats.hit_rate is None
+        assert cache.stats.describe() == "no lookups"
         cache.put(("a",), "A")
         cache.get(("a",))
         cache.get(("missing",))
         assert cache.stats.hit_rate == pytest.approx(0.5)
+        assert cache.stats.describe() == "50% (1/2)"
 
     def test_rejects_nonpositive_size(self):
         with pytest.raises(ValueError):

@@ -13,6 +13,8 @@ Conventions honored:
 * ``import x as x`` / ``from m import x as x`` is the explicit
   re-export idiom and is never flagged.
 * ``from __future__ import ...`` is ignored.
+* names referenced only inside quoted (forward-reference) annotations
+  count as used — the ``if TYPE_CHECKING:`` import idiom.
 
 Usage: ``python tools/lint.py [paths...]`` (defaults to src, tests,
 benchmarks, examples, tools). Exit status 1 when problems were found.
@@ -46,6 +48,17 @@ def _imported_names(tree: ast.AST):
                 yield local, node, explicit
 
 
+def _annotation_nodes(tree: ast.AST):
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AnnAssign) and node.annotation is not None:
+            yield node.annotation
+        elif isinstance(node, ast.arg) and node.annotation is not None:
+            yield node.annotation
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.returns is not None:
+                yield node.returns
+
+
 def _used_names(tree: ast.AST) -> set[str]:
     used: set[str] = set()
     for node in ast.walk(tree):
@@ -54,6 +67,20 @@ def _used_names(tree: ast.AST) -> set[str]:
         elif isinstance(node, ast.Attribute):
             # the root of a dotted chain is an ast.Name, already covered
             continue
+    # Quoted forward references ("ClassName", 'pkg.Cls | None') hide their
+    # names in string constants; parse every string found in an
+    # annotation position and count its names as used.
+    for annotation in _annotation_nodes(tree):
+        for node in ast.walk(annotation):
+            if not (isinstance(node, ast.Constant) and isinstance(node.value, str)):
+                continue
+            try:
+                parsed = ast.parse(node.value, mode="eval")
+            except SyntaxError:
+                continue
+            for name in ast.walk(parsed):
+                if isinstance(name, ast.Name):
+                    used.add(name.id)
     return used
 
 
