@@ -9,9 +9,27 @@ import math
 
 import numpy as np
 
+from repro.benchreport import Metric, register
 from repro.core import PlanAncestry
 from repro.core.covariance import _shared_info, g_factor
 from repro.experiments.reporting import render_table
+
+
+@register("bounds", tags=("ablation", "theory"))
+def scenario(ctx):
+    """Tightness of the covariance bounds B1/B2/B3 on SELJOIN plans."""
+    rows = _collect_bounds(ctx.small_lab)
+    b1 = np.array([r[0] for r in rows])
+    b2 = np.array([r[1] for r in rows])
+    b3 = np.array([r[2] for r in rows])
+    return [
+        Metric("pairs", float(len(rows))),
+        Metric("b1_mean", float(b1.mean())),
+        Metric("b2_mean", float(b2.mean())),
+        Metric("b3_mean", float(b3.mean())),
+        Metric("frac_b1_le_b2", float((b1 <= b2 + 1e-15).mean())),
+        Metric("frac_b1_le_b3", float((b1 <= b3 + 1e-15).mean())),
+    ]
 
 
 def _collect_bounds(lab):

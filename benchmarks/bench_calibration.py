@@ -4,8 +4,11 @@ Times the calibration procedure (the paper's offline step) and checks
 it lands near the simulated hardware truth on both machines.
 """
 
+import time
+
 import pytest
 
+from repro.benchreport import Metric, register
 from repro.calibration import Calibrator
 from repro.experiments.reporting import render_table
 from repro.hardware import PROFILES, HardwareSimulator
@@ -15,6 +18,30 @@ from repro.optimizer.cost_model import COST_UNIT_NAMES
 def _calibrate(machine):
     simulator = HardwareSimulator(PROFILES[machine], rng=0)
     return Calibrator(simulator, repetitions=10).calibrate()
+
+
+@register("calibration", tags=("table1", "offline"))
+def scenario(ctx):
+    """Calibration recovers the simulated hardware's true cost units."""
+    metrics = []
+    for machine in ("PC1", "PC2"):
+        started = time.perf_counter()
+        units = _calibrate(machine)
+        elapsed = time.perf_counter() - started
+        profile = PROFILES[machine]
+        rel_errs = [
+            abs(units.mean(name) - profile.units[name].mean)
+            / profile.units[name].mean
+            for name in COST_UNIT_NAMES
+        ]
+        metrics.append(Metric(
+            f"rel_err_max_{machine.lower()}", float(max(rel_errs))
+        ))
+        metrics.append(Metric(
+            f"calibrate_seconds_{machine.lower()}", elapsed,
+            kind="timing", unit="s",
+        ))
+    return metrics
 
 
 @pytest.mark.parametrize("machine", ["PC1", "PC2"])

@@ -5,10 +5,41 @@ means and variances grow with load, I/O-bound queries degrade faster
 than CPU-bound ones.
 """
 
+import numpy as np
+
+from repro.benchreport import Metric, register
 from repro.core.concurrency import ConcurrentPredictor
 from repro.experiments.reporting import render_table
 
 LEVELS = (1, 2, 4, 8)
+
+
+def _sweep_raw(lab, num_queries=6):
+    """(query, mpl) -> (mean, std) over the SELJOIN workload."""
+    executed = lab.executed_queries("uniform-small", "SELJOIN")
+    samples = lab.sample_db("uniform-small", 0.05)
+    predictor = ConcurrentPredictor(lab.units("PC1"))
+    sweeps = []
+    for query in executed[:num_queries]:
+        sweep = predictor.sweep(query.planned, samples, LEVELS)
+        sweeps.append([(sweep[mpl].mean, sweep[mpl].std) for mpl in LEVELS])
+    return sweeps
+
+
+@register("concurrency", tags=("extension", "mpl"))
+def scenario(ctx):
+    """Load monotonicity of the interference model across MPLs."""
+    sweeps = _sweep_raw(ctx.small_lab, num_queries=ctx.pick(quick=4, full=6))
+    means = np.array([[m for m, _ in row] for row in sweeps])
+    stds = np.array([[s for _, s in row] for row in sweeps])
+    monotone = float(np.mean([
+        all(np.diff(row) >= 0) for row in means
+    ]))
+    return [
+        Metric("monotone_mean_frac", monotone),
+        Metric("mean_slowdown_mpl8", float((means[:, -1] / means[:, 0]).mean())),
+        Metric("std_growth_mpl8", float((stds[:, -1] / stds[:, 0]).mean())),
+    ]
 
 
 def _sweep(lab):

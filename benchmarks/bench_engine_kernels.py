@@ -6,6 +6,7 @@ and full-plan execution throughput on the small TPC-H database.
 
 import pytest
 
+from repro.benchreport import Metric, register
 from repro.executor import Executor, equijoin_pairs
 from repro.optimizer import Optimizer
 
@@ -13,6 +14,41 @@ from repro.optimizer import Optimizer
 @pytest.fixture(scope="module")
 def db(small_lab):
     return small_lab.databases["uniform-small"]
+
+
+@register("engine_kernels", tags=("substrate", "latency"))
+def scenario(ctx):
+    """Hot-kernel latencies: equijoin, full-plan execution, planning."""
+    database = ctx.small_lab.databases["uniform-small"]
+    repetitions = ctx.pick(quick=3, full=5)
+    orders = database.table("orders").column("o_orderkey")
+    lineitem = database.table("lineitem").column("l_orderkey")
+    join_seconds, (left_idx, _) = ctx.best_of(
+        lambda: equijoin_pairs([orders], [lineitem]), repetitions
+    )
+    optimizer = Optimizer(database)
+    exec_sql = (
+        "SELECT COUNT(*) FROM customer, orders, lineitem "
+        "WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey "
+        "AND o_totalprice > 150000"
+    )
+    planned = optimizer.plan_sql(exec_sql)
+    executor = Executor(database)
+    exec_seconds, _ = ctx.best_of(lambda: executor.execute(planned), repetitions)
+    plan_sql = (
+        "SELECT COUNT(*) FROM customer, orders, lineitem, supplier, nation "
+        "WHERE c_custkey = o_custkey AND o_orderkey = l_orderkey "
+        "AND l_suppkey = s_suppkey AND s_nationkey = n_nationkey"
+    )
+    plan_seconds, _ = ctx.best_of(
+        lambda: optimizer.plan_sql(plan_sql), repetitions
+    )
+    return [
+        Metric("equijoin_seconds", join_seconds, kind="timing", unit="s"),
+        Metric("execute_seconds", exec_seconds, kind="timing", unit="s"),
+        Metric("plan_seconds", plan_seconds, kind="timing", unit="s"),
+        Metric("join_pairs", float(len(left_idx))),
+    ]
 
 
 def test_equijoin_kernel(db, benchmark):

@@ -5,7 +5,21 @@ shows rp jumps while rs barely moves. We regenerate that study on the
 cell with the largest predicted sigma.
 """
 
+from repro.benchreport import Metric, register
 from repro.experiments.reporting import render_table
+
+
+@register("fig3_outliers", tags=("figure", "robustness"))
+def scenario(ctx):
+    """rs stays put when the max-sigma outlier is removed; rp moves."""
+    cell, trimmed = _outlier_study(ctx.small_lab)
+    return [
+        Metric("rs_full", float(cell.rs)),
+        Metric("rs_trimmed", float(trimmed.rs)),
+        Metric("rp_full", float(cell.rp)),
+        Metric("rp_trimmed", float(trimmed.rp)),
+        Metric("rs_delta", float(abs(cell.rs - trimmed.rs))),
+    ]
 
 
 def _outlier_study(lab):

@@ -8,10 +8,23 @@ over-confidence (Pr >= Prn) at small alpha.
 
 import numpy as np
 
+from repro.benchreport import Metric, register
 from repro.experiments import metrics
 from repro.experiments.plots import ascii_lines
 from repro.experiments.reporting import render_table
 from repro.experiments.settings import BENCHMARKS
+
+
+@register("fig5_pr_curves", tags=("figure", "distribution"))
+def scenario(ctx):
+    """Predicted Pr(alpha) tracks the observed Prn(alpha) curves."""
+    results = _curves(ctx.lab)
+    out = []
+    for name, (alphas, empirical, predicted, dn) in results.items():
+        gaps = np.abs(np.asarray(empirical) - np.asarray(predicted))
+        out.append(Metric(f"gap_mean_{name.lower()}", float(gaps.mean())))
+        out.append(Metric(f"dn_{name.lower()}", float(dn)))
+    return out
 
 
 def _curves(lab):

@@ -7,8 +7,21 @@ database, PC1, SR = 0.01 — both weaker.
 
 import numpy as np
 
+from repro.benchreport import Metric, register
 from repro.experiments.plots import ascii_scatter
 from repro.experiments.reporting import render_table
+
+
+@register("fig6_scatter_cases", tags=("figure", "case-study"))
+def scenario(ctx):
+    """The good (skewed-large) vs weak (uniform-small SR=0.01) cases."""
+    good, weak = _cases(ctx.lab)
+    return [
+        Metric("rs_good", float(good.rs)),
+        Metric("rp_good", float(good.rp)),
+        Metric("rs_weak", float(weak.rs)),
+        Metric("rp_weak", float(weak.rp)),
+    ]
 
 
 def _cases(lab):

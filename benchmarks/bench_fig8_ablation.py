@@ -15,6 +15,7 @@ rank correlations are stable enough to assert on.
 import numpy as np
 import pytest
 
+from repro.benchreport import Metric, register
 from repro.core import Variant
 from repro.datagen import generate_tpch
 from repro.experiments import DATABASE_CONFIGS, ExperimentLab
@@ -24,16 +25,38 @@ ABLATION_RATIOS = (0.01, 0.05, 0.2)
 VARIANTS = (Variant.ALL, Variant.NO_VAR_C, Variant.NO_VAR_X, Variant.NO_COV)
 
 
-@pytest.fixture(scope="module")
-def ablation_lab():
+def _build_ablation_lab(tpch_queries):
     return ExperimentLab(
         databases={
             "uniform-small": generate_tpch(DATABASE_CONFIGS["uniform-small"])
         },
         seed=0,
-        query_counts={"TPCH": 28},
+        query_counts={"TPCH": tpch_queries},
         calibration_repetitions=8,
     )
+
+
+@register("fig8_ablation", tags=("figure", "ablation"))
+def scenario(ctx):
+    """rs of All / NoVar[c] / NoVar[X] / NoCov across sampling ratios."""
+    lab = _build_ablation_lab(ctx.pick(quick=14, full=28))
+    rows = _ablation(lab)
+    all_scores = np.array([row[1] for row in rows])
+    no_c = np.array([row[2] for row in rows])
+    no_x = np.array([row[3] for row in rows])
+    no_cov = np.array([row[4] for row in rows])
+    return [
+        Metric("rs_all_min", float(all_scores.min())),
+        Metric("rs_all_mean", float(all_scores.mean())),
+        Metric("rs_no_var_c_mean", float(no_c.mean())),
+        Metric("rs_no_var_x_mean", float(no_x.mean())),
+        Metric("rs_no_cov_mean", float(no_cov.mean())),
+    ]
+
+
+@pytest.fixture(scope="module")
+def ablation_lab():
+    return _build_ablation_lab(28)
 
 
 def _ablation(lab):

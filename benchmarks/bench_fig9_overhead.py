@@ -7,8 +7,26 @@ size. The bench regenerates the overhead grid and asserts both trends.
 
 import numpy as np
 
+from repro.benchreport import Metric, register
 from repro.experiments.reporting import render_table
 from repro.experiments.settings import BENCHMARKS, SAMPLING_RATIOS
+
+
+@register("fig9_overhead", tags=("figure", "overhead"))
+def scenario(ctx):
+    """Relative sampling overhead: grows with SR, small at SR=0.05."""
+    sections = _overheads(ctx.lab)
+    metrics = []
+    monotone = []
+    for name, rows in sections.items():
+        mid = rows[1][1:]
+        metrics.append(Metric(
+            f"overhead_mid_{name.lower()}", float(np.nanmean(mid))
+        ))
+        first_db_column = [row[1] for row in rows]
+        monotone.append(first_db_column == sorted(first_db_column))
+    metrics.append(Metric("monotone_frac", float(np.mean(monotone))))
+    return metrics
 
 
 def _overheads(lab):

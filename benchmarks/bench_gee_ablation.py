@@ -8,8 +8,24 @@ both strategies against the truth on TPCH queries.
 
 import numpy as np
 
+from repro.benchreport import Metric, register
 from repro.experiments.reporting import render_table
 from repro.plan import OpKind
+
+
+@register("gee_ablation", tags=("extension", "ablation"))
+def scenario(ctx):
+    """GEE vs optimizer-fallback aggregate selectivity errors."""
+    lab = ctx.small_lab
+    fallback_errors = _aggregate_errors(lab, use_gee=False)
+    gee_errors = _aggregate_errors(lab, use_gee=True)
+    return [
+        Metric("fallback_mean_rel_err", float(np.mean(fallback_errors))),
+        Metric("fallback_median_rel_err", float(np.median(fallback_errors))),
+        Metric("gee_mean_rel_err", float(np.mean(gee_errors))),
+        Metric("gee_median_rel_err", float(np.median(gee_errors))),
+        Metric("aggregates", float(len(gee_errors))),
+    ]
 
 
 def _aggregate_errors(lab, use_gee):

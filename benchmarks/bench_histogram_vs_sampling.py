@@ -8,8 +8,23 @@ and actual error on the same workload, plus their mean accuracy.
 
 import numpy as np
 
+from repro.benchreport import Metric, register
 from repro.experiments.reporting import render_table
 from repro.mathstats import spearman
+
+
+@register("histogram_vs_sampling", tags=("extension", "ablation"))
+def scenario(ctx):
+    """Sampling vs histogram estimators: sigma-error correlation."""
+    lab = ctx.small_lab
+    sampling_rs, sampling_med = _run(lab, "sampling")
+    histogram_rs, histogram_med = _run(lab, "histogram")
+    return [
+        Metric("sampling_rs", float(sampling_rs)),
+        Metric("histogram_rs", float(histogram_rs)),
+        Metric("sampling_median_rel_err", float(sampling_med)),
+        Metric("histogram_median_rel_err", float(histogram_med)),
+    ]
 
 
 def _run(lab, method):

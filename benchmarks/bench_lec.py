@@ -6,9 +6,28 @@ cost of each choice.
 """
 
 
+import numpy as np
+
+from repro.benchreport import Metric, register
 from repro.core import LeastExpectedCostChooser
 from repro.experiments.reporting import render_table
 from repro.workloads import seljoin_workload
+
+
+@register("lec", tags=("extension", "planning"))
+def scenario(ctx):
+    """LEC vs point-estimate plan choice on SELJOIN queries."""
+    rows = _lec_study(ctx.small_lab)
+    agree = [lec == point for _, lec, point, _, _ in rows]
+    lec_costs = np.array([row[3] for row in rows])
+    point_costs = np.array([row[4] for row in rows])
+    return [
+        Metric("queries", float(len(rows))),
+        Metric("agree_frac", float(np.mean(agree))),
+        Metric("candidates_mean", float(np.mean([row[0] for row in rows]))),
+        Metric("lec_expected_cost_mean", float(lec_costs.mean())),
+        Metric("point_expected_cost_mean", float(point_costs.mean())),
+    ]
 
 
 def _lec_study(lab):

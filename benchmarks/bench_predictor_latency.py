@@ -8,10 +8,41 @@ distribution assembly) on a SELJOIN query.
 
 import pytest
 
+from repro.benchreport import Metric, register
 from repro.core import UncertaintyPredictor
 from repro.costfuncs import CostFunctionFitter
 from repro.core.variance import assemble_distribution_parameters
 from repro.sampling import SelectivityEstimator
+
+
+@register("predictor_latency", tags=("latency", "overhead"))
+def scenario(ctx):
+    """Per-stage prediction latency on a SELJOIN query (best of N)."""
+    lab = ctx.small_lab
+    executed = lab.executed_queries("uniform-small", "SELJOIN")[1]
+    samples = lab.sample_db("uniform-small", 0.05)
+    units = lab.units("PC1")
+    estimate = SelectivityEstimator(samples, executed.planned).estimate()
+    fitted = CostFunctionFitter(executed.planned, estimate).fit_all()
+    predictor = UncertaintyPredictor(units)
+    repetitions = ctx.pick(quick=3, full=7)
+
+    stages = {
+        "sampling_pass_seconds":
+            lambda: SelectivityEstimator(samples, executed.planned).estimate(),
+        "fitting_seconds":
+            lambda: CostFunctionFitter(executed.planned, estimate).fit_all(),
+        "assembly_seconds":
+            lambda: assemble_distribution_parameters(
+                executed.planned, estimate, fitted, units
+            ),
+        "end_to_end_seconds":
+            lambda: predictor.predict(executed.planned, samples),
+    }
+    return [
+        Metric(name, ctx.best_of(func, repetitions)[0], kind="timing", unit="s")
+        for name, func in stages.items()
+    ]
 
 
 @pytest.fixture(scope="module")

@@ -20,6 +20,7 @@ import time
 
 import pytest
 
+from repro.benchreport import Metric, register
 from repro.core import UncertaintyPredictor, Variant
 from repro.core.concurrency import ConcurrentPredictor
 from repro.core.predictor import VARIANT_OPTIONS
@@ -41,8 +42,7 @@ MPLS = (1, 2, 4)
 SAMPLING_RATIO = 0.05
 
 
-@pytest.fixture(scope="module")
-def serving_setup():
+def _build_serving_setup(batch_size=BATCH_SIZE):
     db = generate_tpch(TpchConfig(scale_factor=0.01, skew_z=0.0, seed=11))
     units = Calibrator(
         HardwareSimulator(PROFILES["PC2"], rng=0), repetitions=6
@@ -52,11 +52,50 @@ def serving_setup():
     # parameter bindings (dashboards re-issue identical queries).
     distinct = [
         TPCH_TEMPLATES[i % len(TPCH_TEMPLATES)].instantiate(rng)
-        for i in range(BATCH_SIZE * 7 // 10)
+        for i in range(batch_size * 7 // 10)
     ]
     repeats = [distinct[int(rng.integers(len(distinct)))] for _ in
-               range(BATCH_SIZE - len(distinct))]
+               range(batch_size - len(distinct))]
     return db, units, distinct + repeats
+
+
+@pytest.fixture(scope="module")
+def serving_setup():
+    return _build_serving_setup()
+
+
+@register("service_throughput", tags=("service", "throughput"))
+def scenario(ctx):
+    """Batch service vs the naive per-query loop on a serving batch."""
+    db, units, queries = _build_serving_setup(
+        batch_size=ctx.pick(quick=20, full=BATCH_SIZE)
+    )
+    # Best-of-2 on each side (a fresh service per run keeps the batch
+    # path cold-cache like the naive loop it is compared against).
+    service_seconds, batch = ctx.best_of(
+        lambda: PredictionService(
+            db, units, sampling_ratio=SAMPLING_RATIO, seed=1
+        ).predict_batch(queries, variants=VARIANTS, mpls=MPLS),
+        2,
+    )
+    naive_seconds, naive_means = ctx.best_of(
+        lambda: run_naive(db, units, queries), 2
+    )
+
+    rel_diff = max(
+        abs(prediction.mean - naive_mean) / abs(naive_mean)
+        for prediction, naive_mean in zip(batch, naive_means)
+    )
+    return [
+        Metric("batch_seconds", service_seconds, kind="timing", unit="s"),
+        Metric("naive_seconds", naive_seconds, kind="timing", unit="s"),
+        Metric(
+            "batch_speedup", naive_seconds / service_seconds, kind="ratio",
+            floor=ctx.pick(quick=2.0, full=3.0),
+        ),
+        Metric("prepare_hit_rate", float(batch.stats.prepare_hit_rate)),
+        Metric("naive_agreement_max_rel_diff", float(rel_diff)),
+    ]
 
 
 def run_naive(db, units, queries) -> list[float]:

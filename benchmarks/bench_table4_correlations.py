@@ -9,8 +9,21 @@ asserts that shape.
 
 import numpy as np
 
+from repro.benchreport import Metric, register
 from repro.experiments.reporting import render_table
 from repro.experiments.settings import BENCHMARKS, MACHINES, SAMPLING_RATIOS
+
+
+@register("table4_correlations", tags=("table", "fidelity"))
+def scenario(ctx):
+    """rs over the full grid: median and fraction above 0.5."""
+    _, all_rs = _table4_rows(ctx.lab)
+    return [
+        Metric("rs_median", float(np.median(all_rs))),
+        Metric("rs_frac_gt_05", float((all_rs > 0.5).mean())),
+        Metric("rs_mean", float(all_rs.mean())),
+        Metric("cells", float(len(all_rs))),
+    ]
 
 
 def _table4_rows(lab):

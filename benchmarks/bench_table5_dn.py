@@ -6,8 +6,20 @@ predicted error likelihoods Pr(alpha) track the observed Prn(alpha).
 
 import numpy as np
 
+from repro.benchreport import Metric, register
 from repro.experiments.reporting import render_table
 from repro.experiments.settings import BENCHMARKS, MACHINES, SAMPLING_RATIOS
+
+
+@register("table5_dn", tags=("table", "fidelity"))
+def scenario(ctx):
+    """Distributional distance Dn over the grid: median, spread."""
+    _, all_dn = _table5_rows(ctx.lab)
+    return [
+        Metric("dn_median", float(np.median(all_dn))),
+        Metric("dn_frac_lt_04", float((all_dn < 0.4).mean())),
+        Metric("dn_mean", float(all_dn.mean())),
+    ]
 
 
 def _table5_rows(lab):

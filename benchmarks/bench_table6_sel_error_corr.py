@@ -7,11 +7,35 @@ motivates Table 9's restriction to large-error operators.
 """
 
 
+import numpy as np
+
+from repro.benchreport import Metric, register
 from repro.experiments.reporting import render_table
 from repro.experiments.settings import BENCHMARKS
 from repro.mathstats import pearson, spearman
 
 RATIOS = (0.01, 0.05, 0.1, 0.2)
+
+
+@register("table6_sel_error_corr", tags=("table", "selectivity"))
+def scenario(ctx):
+    """Correlation of estimated vs actual selectivity errors."""
+    lab = ctx.small_lab
+    all_rs = []
+    for db_label in lab.databases:
+        for sr in RATIOS:
+            for benchmark_name in BENCHMARKS:
+                records = lab.selectivity_records(db_label, benchmark_name, sr)
+                stds = [r.estimated_std for r in records]
+                errs = [r.error for r in records]
+                value = spearman(stds, errs)
+                if np.isfinite(value):
+                    all_rs.append(value)
+    return [
+        Metric("rs_mean", float(np.mean(all_rs))),
+        Metric("rs_median", float(np.median(all_rs))),
+        Metric("cells", float(len(all_rs))),
+    ]
 
 
 def _table6(lab):

@@ -7,11 +7,36 @@ bench regenerates the grid and the Figure 12 scatter data.
 
 import numpy as np
 
+from repro.benchreport import Metric, register
 from repro.experiments.reporting import render_table
 from repro.experiments.settings import BENCHMARKS
 from repro.mathstats import pearson, spearman
 
 RATIOS = (0.01, 0.05, 0.1, 0.2)
+
+
+@register("table7_sel_corr", tags=("table", "selectivity"))
+def scenario(ctx):
+    """Estimated vs actual selectivities hug the diagonal."""
+    lab = ctx.small_lab
+    all_rs = []
+    for db_label in lab.databases:
+        for sr in RATIOS:
+            for benchmark_name in BENCHMARKS:
+                records = lab.selectivity_records(db_label, benchmark_name, sr)
+                value = spearman(
+                    [r.estimated for r in records], [r.actual for r in records]
+                )
+                if np.isfinite(value):
+                    all_rs.append(value)
+    records = lab.selectivity_records("uniform-small", "MICRO", 0.1)
+    micro_rp = pearson(
+        [r.estimated for r in records], [r.actual for r in records]
+    )
+    return [
+        Metric("rs_mean", float(np.mean(all_rs))),
+        Metric("micro_pearson_sr01", float(micro_rp)),
+    ]
 
 
 def _table7(lab):

@@ -6,10 +6,28 @@ shrinking as the sampling ratio grows (strong consistency).
 
 import numpy as np
 
+from repro.benchreport import Metric, register
 from repro.experiments.reporting import render_table
 from repro.experiments.settings import BENCHMARKS
 
 RATIOS = (0.01, 0.05, 0.1, 0.2)
+
+
+@register("table8_rel_errors", tags=("table", "selectivity"))
+def scenario(ctx):
+    """Mean relative selectivity errors shrink as SR grows."""
+    sections = _table8(ctx.small_lab)
+    metrics = []
+    for db_label, rows in sections.items():
+        micro = [row[1] for row in rows]
+        slug = db_label.replace("-", "_")
+        metrics.append(Metric(f"micro_err_sr_min_{slug}", float(micro[0])))
+        metrics.append(Metric(f"micro_err_sr_max_{slug}", float(micro[-1])))
+        metrics.append(Metric(
+            f"micro_shrink_{slug}",
+            float(micro[-1] / micro[0]) if micro[0] else float("nan"),
+        ))
+    return metrics
 
 
 def _table8(lab):

@@ -7,11 +7,23 @@ them. We regenerate the restricted-population correlations.
 
 import numpy as np
 
+from repro.benchreport import Metric, register
 from repro.experiments.reporting import render_table
 from repro.experiments.settings import BENCHMARKS
 from repro.mathstats import pearson, spearman
 
 RATIOS = (0.01, 0.05, 0.1, 0.2)
+
+
+@register("table9_large_error_corr", tags=("table", "selectivity"))
+def scenario(ctx):
+    """Correlations restricted to relative errors > 0.2."""
+    _, restricted_rs = _table9(ctx.small_lab)
+    finite = [value for value in restricted_rs if np.isfinite(value)]
+    return [
+        Metric("restricted_rs_median", float(np.median(finite))),
+        Metric("restricted_cells", float(len(finite))),
+    ]
 
 
 def _table9(lab):

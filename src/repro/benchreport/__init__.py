@@ -1,0 +1,41 @@
+"""benchreport — the unified benchmark registry and regression guard.
+
+Every ``benchmarks/bench_*.py`` file registers named scenarios that
+return structured :class:`Metric` records; ``repro bench`` runs them
+(quick or full tier), stamps each :class:`BenchResult` with a
+deterministic seed and an environment fingerprint, and emits
+``BENCH_<scenario>.json`` plus a ``BENCH_summary.json`` trajectory.
+``tools/benchguard.py`` diffs fresh results against committed
+baselines with per-kind tolerance bands. See ``docs/benchmarks.md``.
+"""
+
+from .context import BenchContext, TIER_QUERY_COUNTS
+from .environment import environment_fingerprint, fingerprints_comparable
+from .registry import (
+    REGISTRY,
+    BenchRegistry,
+    BenchScenario,
+    default_bench_dir,
+    load_scenarios,
+    register,
+)
+from .result import BenchResult, Metric
+from .runner import SUMMARY_FILENAME, run_scenarios, write_artifacts
+
+__all__ = [
+    "BenchContext",
+    "BenchRegistry",
+    "BenchResult",
+    "BenchScenario",
+    "Metric",
+    "REGISTRY",
+    "SUMMARY_FILENAME",
+    "TIER_QUERY_COUNTS",
+    "default_bench_dir",
+    "environment_fingerprint",
+    "fingerprints_comparable",
+    "load_scenarios",
+    "register",
+    "run_scenarios",
+    "write_artifacts",
+]

@@ -1,0 +1,49 @@
+"""Environment fingerprinting for benchmark artifacts.
+
+Every :class:`~repro.benchreport.BenchResult` is stamped with the
+fingerprint of the machine and toolchain that produced it, so a
+baseline diff across machines (different CPU count, different numpy)
+is explainable instead of mysterious: the regression guard uses the
+fingerprint to decide which tolerance policy applies (wall-clock
+timings are only comparable on a matching fingerprint; fidelity
+metrics are seed-deterministic and compared everywhere).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+
+__all__ = ["environment_fingerprint", "fingerprints_comparable"]
+
+#: Keys that must match for wall-clock timings to be comparable.
+TIMING_KEYS = ("machine", "cpu_count", "python")
+
+
+def environment_fingerprint() -> dict:
+    """The toolchain + hardware identity stamped into every result."""
+    import numpy
+
+    from repro import __version__
+
+    return {
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": numpy.__version__,
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def fingerprints_comparable(a: dict, b: dict) -> bool:
+    """Whether wall-clock timings from ``a`` and ``b`` may be diffed.
+
+    Fidelity metrics are deterministic functions of the seed and are
+    always comparable; timings only mean anything on the same class of
+    machine. Missing keys count as a mismatch: don't guess.
+    """
+    return all(a.get(key) is not None and a.get(key) == b.get(key)
+               for key in TIMING_KEYS)

@@ -6,11 +6,16 @@ Subcommands::
     python -m repro explain       --sql "SELECT ..."             # show the plan
     python -m repro predict       --sql "SELECT ..." [--sr 0.05] # distribution
     python -m repro predict-batch --templates 20 --mpl 1,4       # batch service
-    python -m repro bench         [--quick]                      # the full grid
+    python -m repro bench         [--quick | --full]             # the registry
+    python -m repro report        [--quick]                      # paper report
 
-The CLI regenerates the database from its config on every invocation
-(generation is deterministic and fast at these scales), so it needs no
-on-disk state.
+``bench`` runs the registered benchmark scenarios (see
+``docs/benchmarks.md``) and writes ``BENCH_<scenario>.json`` artifacts
+plus the ``BENCH_summary.json`` trajectory; ``report`` regenerates the
+paper's tables and figures as one markdown report (the old ``bench``
+behaviour). The CLI regenerates the database from its config on every
+invocation (generation is deterministic and fast at these scales), so
+it needs no on-disk state.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from . import __version__
 from .calibration import Calibrator
 from .core import UncertaintyPredictor, Variant
 from .datagen import TpchConfig, generate_tpch
@@ -37,6 +43,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Uncertainty-aware query execution time prediction",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -99,10 +108,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="RNG seed for --templates instantiation",
     )
 
-    bench = sub.add_parser("bench", help="run the full evaluation grid")
-    bench.add_argument("--quick", action="store_true")
-    bench.add_argument("--output", default=None)
+    bench = sub.add_parser(
+        "bench", help="run registered benchmark scenarios, emit JSON artifacts"
+    )
+    tier = bench.add_mutually_exclusive_group()
+    tier.add_argument(
+        "--quick", action="store_true",
+        help="fast CI tier: reduced workloads, quick-eligible scenarios only",
+    )
+    tier.add_argument(
+        "--full", action="store_true",
+        help="every scenario at full workload (the default)",
+    )
+    bench.add_argument(
+        "--scenario", action="append", default=None, metavar="NAME",
+        help="run exactly this scenario (repeatable; overrides the tier gate)",
+    )
+    bench.add_argument(
+        "-k", "--filter", default=None, metavar="PATTERN",
+        help="fnmatch/substring filter on scenario names and tags",
+    )
+    bench.add_argument(
+        "--jobs", type=int, default=1,
+        help="fan scenarios out across N worker processes (default: 1)",
+    )
+    bench.add_argument(
+        "--output-dir", default=".",
+        help="where BENCH_*.json artifacts land (default: cwd)",
+    )
+    bench.add_argument(
+        "--bench-dir", default=None,
+        help="directory holding bench_*.py files (default: ./benchmarks)",
+    )
     bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--list", action="store_true", dest="list_scenarios",
+        help="list the selected scenarios and exit",
+    )
+    bench.add_argument(
+        "--no-artifacts", action="store_true",
+        help="run without writing BENCH_*.json files",
+    )
+
+    report = sub.add_parser(
+        "report", help="regenerate the paper's tables/figures as one report"
+    )
+    report.add_argument("--quick", action="store_true")
+    report.add_argument("--output", default=None)
+    report.add_argument("--seed", type=int, default=0)
 
     return parser
 
@@ -239,18 +292,8 @@ def _cmd_predict_batch(args, out) -> int:
         f"{stats.assemblies} assemblies",
         file=out,
     )
-    report = service.report()
-    print(
-        f"prepared cache : {report.prepared_entries} entries, "
-        f"hit rate {report.prepared_cache.describe()}",
-        file=out,
-    )
-    print(
-        f"sampling engine: {report.sampling_entries} sub-plans, "
-        f"{report.sampling_bytes_used / 1024:.0f} KiB, "
-        f"hit rate {report.sampling_cache.describe()}",
-        file=out,
-    )
+    for line in service.report().cache_lines():
+        print(line, file=out)
     if batch.failures:
         print(f"{len(batch.failures)} queries failed", file=out)
         return 1
@@ -258,6 +301,69 @@ def _cmd_predict_batch(args, out) -> int:
 
 
 def _cmd_bench(args, out) -> int:
+    from pathlib import Path
+
+    from .benchreport import (
+        BenchRegistry,
+        load_scenarios,
+        run_scenarios,
+        write_artifacts,
+    )
+    from .benchreport.registry import default_bench_dir
+
+    bench_dir = Path(args.bench_dir) if args.bench_dir else default_bench_dir()
+    # A fresh registry per invocation: in-process callers (tests, other
+    # tools) must not see scenarios accumulated from earlier loads.
+    registry = load_scenarios(bench_dir, registry=BenchRegistry())
+    tier = "quick" if args.quick else "full"
+    selected = registry.select(
+        tier=tier, names=args.scenario, pattern=args.filter
+    )
+    if not selected:
+        print("no scenarios selected", file=out)
+        return 1
+    if args.list_scenarios:
+        for scenario in selected:
+            tags = f" [{', '.join(scenario.tags)}]" if scenario.tags else ""
+            quick = "quick" if scenario.quick else "full-only"
+            print(f"{scenario.name:<26} {quick:<9}{tags}", file=out)
+        return 0
+
+    print(
+        f"running {len(selected)} scenarios, tier={tier}, seed={args.seed}"
+        + (f", jobs={args.jobs}" if args.jobs > 1 else ""),
+        file=out,
+    )
+
+    def progress(result):
+        status = "ok" if result.ok else "FAILED"
+        print(
+            f"  {result.scenario:<26} {result.wall_seconds:>8.2f}s  "
+            f"{len(result.metrics):>2} metrics  {status}",
+            file=out,
+        )
+
+    results = run_scenarios(
+        selected, tier=tier, seed=args.seed, jobs=args.jobs,
+        bench_dir=bench_dir, progress=progress,
+    )
+    total = sum(r.wall_seconds for r in results)
+    failures = [r for r in results if not r.ok]
+    if not args.no_artifacts:
+        summary_path = write_artifacts(results, Path(args.output_dir))
+        print(f"artifacts in {Path(args.output_dir).resolve()}", file=out)
+        print(f"summary appended to {summary_path}", file=out)
+    print(
+        f"{len(results) - len(failures)}/{len(results)} scenarios ok "
+        f"in {total:.1f}s",
+        file=out,
+    )
+    for result in failures:
+        print(f"\nFAILED {result.scenario}:\n{result.error}", file=out)
+    return 1 if failures else 0
+
+
+def _cmd_report(args, out) -> int:
     from .experiments.run_all import build_lab, report_sections
 
     lab = build_lab(quick=args.quick, seed=args.seed)
@@ -276,6 +382,7 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "predict-batch": _cmd_predict_batch,
     "bench": _cmd_bench,
+    "report": _cmd_report,
 }
 
 

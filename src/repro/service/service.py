@@ -109,6 +109,17 @@ class ServiceReport:
     sampling_bytes_used: int
     sampling_bytes_budget: int
 
+    def cache_lines(self) -> list[str]:
+        """The two cache-layer summary lines (shared with the CLI)."""
+        return [
+            f"prepared cache : {self.prepared_entries} entries, "
+            f"hit rate {self.prepared_cache.describe()}",
+            f"sampling engine: {self.sampling_entries} sub-plans, "
+            f"{self.sampling_bytes_used / 1024:.0f} KiB "
+            f"/ {self.sampling_bytes_budget / 1024:.0f} KiB, "
+            f"hit rate {self.sampling_cache.describe()}",
+        ]
+
     def render(self) -> str:
         lines = [
             f"queries served : {self.stats.queries_served} "
@@ -117,12 +128,7 @@ class ServiceReport:
             f"prepares run   : {self.stats.prepares_run} "
             f"({self.stats.prepare_cache_hits} served from cache)",
             f"assemblies     : {self.stats.assemblies}",
-            f"prepared cache : {self.prepared_entries} entries, "
-            f"hit rate {self.prepared_cache.describe()}",
-            f"sampling engine: {self.sampling_entries} sub-plans, "
-            f"{self.sampling_bytes_used / 1024:.0f} KiB "
-            f"/ {self.sampling_bytes_budget / 1024:.0f} KiB, "
-            f"hit rate {self.sampling_cache.describe()}",
+            *self.cache_lines(),
         ]
         return "\n".join(lines)
 

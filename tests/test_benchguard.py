@@ -1,0 +1,257 @@
+"""The regression guard: tolerance bands, fingerprint gating, CLI exit
+codes, and the committed baselines themselves."""
+
+import importlib.util
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.benchreport import BenchResult, Metric, environment_fingerprint
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "repro_tools_benchguard", REPO_ROOT / "tools" / "benchguard.py"
+)
+benchguard = importlib.util.module_from_spec(_spec)
+# dataclass processing resolves cls.__module__ through sys.modules, so
+# the module must be registered before execution.
+sys.modules[_spec.name] = benchguard
+_spec.loader.exec_module(benchguard)
+
+
+def make_result(scenario="demo", **metric_values):
+    metrics = {}
+    for name, value in metric_values.items():
+        if isinstance(value, Metric):
+            metrics[name] = value
+        else:
+            metrics[name] = Metric(name, float(value))
+    return BenchResult(
+        scenario=scenario, tier="quick", seed=0, wall_seconds=1.0,
+        metrics=metrics, environment=environment_fingerprint(),
+    )
+
+
+def regressions(findings):
+    return [f for f in findings if f.regression]
+
+
+class TestComparePolicy:
+    def test_identical_passes(self):
+        base = {"demo": make_result(rs=0.8)}
+        fresh = {"demo": make_result(rs=0.8)}
+        assert regressions(benchguard.compare(fresh, base)) == []
+
+    def test_fidelity_band_two_sided(self):
+        base = {"demo": make_result(rs=0.8)}
+        ok = {"demo": make_result(rs=0.81)}
+        assert regressions(benchguard.compare(ok, base)) == []
+        for drifted in (0.8 + 0.05, 0.8 - 0.05):
+            bad = {"demo": make_result(rs=drifted)}
+            found = regressions(benchguard.compare(bad, base))
+            assert len(found) == 1
+            assert "fidelity drifted" in found[0].message
+
+    def test_ratio_one_sided_with_slack(self):
+        ratio = lambda v: Metric("speedup", v, kind="ratio")  # noqa: E731
+        base = {"demo": make_result(speedup=ratio(10.0))}
+        improved = {"demo": make_result(speedup=ratio(50.0))}
+        assert regressions(benchguard.compare(improved, base)) == []
+        within = {"demo": make_result(speedup=ratio(6.5))}
+        assert regressions(benchguard.compare(within, base)) == []
+        collapsed = {"demo": make_result(speedup=ratio(2.0))}
+        found = regressions(benchguard.compare(collapsed, base))
+        assert len(found) == 1
+        assert "ratio fell" in found[0].message
+
+    def test_ratio_hard_floor(self):
+        floored = Metric("speedup", 1.2, kind="ratio", floor=1.5)
+        base = {"demo": make_result(speedup=Metric(
+            "speedup", 1.6, kind="ratio", floor=1.5
+        ))}
+        fresh = {"demo": make_result(speedup=floored)}
+        found = regressions(benchguard.compare(fresh, base))
+        assert any("hard floor" in f.message for f in found)
+
+    def test_timing_loose_band(self):
+        timing = lambda v: Metric("secs", v, kind="timing")  # noqa: E731
+        base = {"demo": make_result(secs=timing(1.0))}
+        slower_ok = {"demo": make_result(secs=timing(1.9))}
+        assert regressions(benchguard.compare(slower_ok, base)) == []
+        blown = {"demo": make_result(secs=timing(2.5))}
+        found = regressions(benchguard.compare(blown, base))
+        assert len(found) == 1
+        assert "timing grew" in found[0].message
+
+    def test_timing_skipped_across_machines(self):
+        base_result = make_result(secs=Metric("secs", 1.0, kind="timing"))
+        base_result.environment = dict(
+            base_result.environment, cpu_count=999, machine="sparc"
+        )
+        fresh = {"demo": make_result(secs=Metric("secs", 99.0, kind="timing"))}
+        findings = benchguard.compare(fresh, {"demo": base_result})
+        assert regressions(findings) == []
+        assert any("timing skipped" in f.message for f in findings)
+        strict = benchguard.TolerancePolicy(strict_timings=True)
+        assert regressions(
+            benchguard.compare(fresh, {"demo": base_result}, strict)
+        )
+
+    def test_missing_scenario_and_metric(self):
+        base = {"demo": make_result(rs=0.8), "gone": make_result(x=1.0)}
+        fresh = {"demo": make_result(other=0.8)}
+        found = regressions(benchguard.compare(fresh, base))
+        messages = "\n".join(f.message for f in found)
+        assert "scenario missing" in messages
+        assert "metric missing" in messages
+
+    def test_new_scenario_is_note_not_regression(self):
+        base = {"demo": make_result(rs=0.8)}
+        fresh = {"demo": make_result(rs=0.8), "new": make_result(y=1.0)}
+        findings = benchguard.compare(fresh, base)
+        assert regressions(findings) == []
+        assert any("new scenario" in f.message for f in findings)
+
+    def test_nan_fresh_value_is_regression(self):
+        # Ordered comparisons are all False for NaN; without an explicit
+        # finiteness check, a metric degrading to NaN would pass every
+        # band (and every floor) silently.
+        base = {"demo": make_result(rs=0.8)}
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            fresh = {"demo": make_result(rs=bad)}
+            found = regressions(benchguard.compare(fresh, base))
+            assert len(found) == 1, bad
+            assert "non-finite" in found[0].message
+
+    def test_nan_never_clears_a_floor(self):
+        fresh = {"new": make_result(speedup=Metric(
+            "speedup", float("nan"), kind="ratio", floor=1.5
+        ))}
+        found = regressions(benchguard.compare(fresh, {}))
+        assert len(found) == 1
+        assert "hard floor" in found[0].message
+
+    def test_nan_baseline_is_note_not_regression(self):
+        base = {"demo": make_result(rs=float("nan"))}
+        fresh = {"demo": make_result(rs=0.8)}
+        findings = benchguard.compare(fresh, base)
+        assert regressions(findings) == []
+        assert any("baseline is non-finite" in f.message for f in findings)
+
+    def test_floor_enforced_without_baseline(self):
+        # Hard floors are baseline-independent: a brand-new scenario
+        # landing below its own floor must not ride in green on the
+        # "no baseline yet" note.
+        fresh = {"new": make_result(speedup=Metric(
+            "speedup", 0.8, kind="ratio", floor=1.05
+        ))}
+        found = regressions(benchguard.compare(fresh, {}))
+        assert len(found) == 1
+        assert "hard floor" in found[0].message
+
+    def test_floor_enforced_on_new_metric_of_known_scenario(self):
+        base = {"demo": make_result(rs=0.8)}
+        fresh = {"demo": make_result(rs=0.8, speedup=Metric(
+            "speedup", 0.9, kind="ratio", floor=2.0
+        ))}
+        found = regressions(benchguard.compare(fresh, base))
+        assert len(found) == 1
+        assert "hard floor" in found[0].message
+
+    def test_new_failed_scenario_is_regression(self):
+        failed = make_result(rs=0.8)
+        failed.error = "Traceback ..."
+        found = regressions(benchguard.compare({"new": failed}, {}))
+        assert len(found) == 1
+        assert "new scenario failed" in found[0].message
+
+    def test_failed_scenario_is_regression(self):
+        base = {"demo": make_result(rs=0.8)}
+        failed = make_result(rs=0.8)
+        failed.error = "Traceback ..."
+        found = regressions(benchguard.compare({"demo": failed}, base))
+        assert len(found) == 1
+        assert "scenario failed" in found[0].message
+
+
+class TestGuardCli:
+    def run_guard(self, *argv):
+        return subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "benchguard.py"),
+             *argv],
+            capture_output=True, text=True, cwd=REPO_ROOT,
+        )
+
+    @pytest.fixture()
+    def dirs(self, tmp_path):
+        fresh_dir = tmp_path / "fresh"
+        base_dir = tmp_path / "base"
+        fresh_dir.mkdir()
+        make_result(rs=0.8).write(fresh_dir)
+        return fresh_dir, base_dir
+
+    def test_update_then_pass_then_fail(self, dirs):
+        fresh_dir, base_dir = dirs
+        seeded = self.run_guard(
+            "--results", str(fresh_dir), "--baselines", str(base_dir),
+            "--update",
+        )
+        assert seeded.returncode == 0, seeded.stdout
+        assert (base_dir / "BENCH_demo.json").exists()
+
+        clean = self.run_guard(
+            "--results", str(fresh_dir), "--baselines", str(base_dir)
+        )
+        assert clean.returncode == 0, clean.stdout
+        assert "0 regressions" in clean.stdout
+
+        # perturb a fidelity metric beyond the band -> non-zero exit
+        path = fresh_dir / "BENCH_demo.json"
+        record = json.loads(path.read_text())
+        record["metrics"]["rs"]["value"] += 0.5
+        path.write_text(json.dumps(record))
+        broken = self.run_guard(
+            "--results", str(fresh_dir), "--baselines", str(base_dir)
+        )
+        assert broken.returncode == 1
+        assert "REGRESSION" in broken.stdout
+
+    def test_missing_baselines_dir_fails(self, dirs):
+        fresh_dir, base_dir = dirs
+        result = self.run_guard(
+            "--results", str(fresh_dir), "--baselines", str(base_dir)
+        )
+        assert result.returncode == 1
+        assert "no baselines" in result.stdout
+
+    def test_empty_results_dir_fails(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        result = self.run_guard("--results", str(empty))
+        assert result.returncode == 1
+        assert "no fresh BENCH_" in result.stdout
+
+
+class TestCommittedBaselines:
+    """The baselines shipped in-repo stay loadable and complete."""
+
+    @pytest.mark.parametrize("tier", ["quick", "full"])
+    def test_baselines_cover_every_scenario(self, tier):
+        from repro.benchreport import BenchRegistry, load_scenarios
+
+        registry = load_scenarios(
+            REPO_ROOT / "benchmarks", registry=BenchRegistry()
+        )
+        directory = REPO_ROOT / "benchmarks" / "baselines" / tier
+        baselines = benchguard.load_results(directory)
+        expected = {s.name for s in registry.select(tier)}
+        assert expected <= set(baselines)
+        for result in baselines.values():
+            assert result.tier == tier
+            assert result.ok
+            assert result.metrics
+            assert result.environment["repro_version"]

@@ -1,0 +1,86 @@
+"""The GitHub Actions workflow stays valid and gates what it must.
+
+CI definitions rot silently — a bad indent or a renamed Make target
+only surfaces once a PR is already red. This parses the YAML and pins
+the contract: lint, tier-1 tests, the quick bench smoke, the
+regression guard, and the artifact upload, on both push and
+pull_request.
+"""
+
+from pathlib import Path
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+WORKFLOW = REPO_ROOT / ".github" / "workflows" / "ci.yml"
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    return yaml.safe_load(WORKFLOW.read_text())
+
+
+def steps(workflow):
+    jobs = workflow["jobs"]
+    assert len(jobs) == 1
+    (job,) = jobs.values()
+    return job["steps"]
+
+
+def run_commands(workflow):
+    return [step.get("run", "") for step in steps(workflow)]
+
+
+def test_workflow_parses_and_has_one_job(workflow):
+    assert workflow["name"] == "ci"
+    assert len(workflow["jobs"]) == 1
+
+
+def test_triggers_push_and_pull_request(workflow):
+    # YAML 1.1 parses the bare key `on` as boolean True.
+    triggers = workflow.get("on", workflow.get(True))
+    assert "pull_request" in triggers
+    assert "push" in triggers
+
+
+def test_gates_in_order(workflow):
+    commands = run_commands(workflow)
+
+    def index_of(fragment):
+        matches = [i for i, cmd in enumerate(commands) if fragment in cmd]
+        assert matches, f"no step runs {fragment!r}"
+        return matches[0]
+
+    lint = index_of("make lint")
+    tests = index_of("pytest -x -q")
+    bench = index_of("repro bench --quick")
+    guard = index_of("benchguard.py")
+    assert lint < tests < bench < guard
+
+
+def test_bench_artifacts_uploaded(workflow):
+    uploads = [
+        step for step in steps(workflow)
+        if "upload-artifact" in step.get("uses", "")
+    ]
+    assert len(uploads) == 1
+    assert "BENCH_summary.json" in uploads[0]["with"]["path"]
+    # uploaded even when the guard fails — that's when you want them
+    assert uploads[0]["if"] == "always()"
+
+
+def test_pip_cache_enabled(workflow):
+    setups = [
+        step for step in steps(workflow)
+        if "setup-python" in step.get("uses", "")
+    ]
+    assert len(setups) == 1
+    assert setups[0]["with"]["cache"] == "pip"
+
+
+def test_guard_runs_quick_tier_against_committed_baselines(workflow):
+    (guard,) = [cmd for cmd in run_commands(workflow) if "benchguard" in cmd]
+    assert "--tier quick" in guard
+    assert (REPO_ROOT / "benchmarks" / "baselines" / "quick").is_dir()

@@ -1,16 +1,28 @@
-"""The lint gate: dead imports and stale __all__ entries fail the suite.
+"""The lint gate: dead imports, stale __all__ entries, and unseeded
+randomness in benchmarks fail the suite.
 
 Runs ``tools/lint.py`` (the dependency-free AST checker; the container
 has no ruff) over the whole repo, so a PR that leaves unused imports
 behind — easy to do when refactoring across subsystem boundaries —
-fails tier-1 instead of rotting silently.
+fails tier-1 instead of rotting silently. The unseeded-RNG check keeps
+benchmark scenarios bitwise-reproducible (the generalization of the
+``hash()`` flakiness that once made metric benches drift across runs).
 """
 
+import importlib.util
 import subprocess
 import sys
 from pathlib import Path
 
+import pytest
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "repro_tools_lint", REPO_ROOT / "tools" / "lint.py"
+)
+lint = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(lint)
 
 
 def test_repo_is_lint_clean():
@@ -22,3 +34,70 @@ def test_repo_is_lint_clean():
     )
     assert result.returncode == 0, f"lint problems:\n{result.stdout}"
     assert "0 problems" in result.stdout
+
+
+class TestBenchmarkRngCheck:
+    """Seeded-generator discipline inside benchmarks/ files."""
+
+    def check(self, tmp_path, source, filename="bench_demo.py",
+              directory="benchmarks"):
+        bench_dir = tmp_path / directory
+        bench_dir.mkdir(exist_ok=True)
+        path = bench_dir / filename
+        path.write_text(source)
+        return lint.check_file(path)
+
+    @pytest.mark.parametrize("source", [
+        "import random\nx = random.random()\n",
+        "import random\nrandom.seed(0)\n",
+        "import random as rnd\nrnd.shuffle([1, 2])\n",
+        "import numpy as np\nx = np.random.rand(3)\n",
+        "import numpy\nx = numpy.random.randint(10)\n",
+        "from numpy import random\nx = random.random()\n",
+        "from numpy.random import rand\nx = rand(3)\n",
+    ])
+    def test_global_rng_flagged(self, tmp_path, source):
+        problems = self.check(tmp_path, source)
+        assert len(problems) == 1
+        assert "process-global" in problems[0]
+
+    @pytest.mark.parametrize("source", [
+        "import random\nrng = random.Random()\n",
+        "import numpy as np\nrng = np.random.default_rng()\n",
+        "from numpy.random import default_rng\nrng = default_rng()\n",
+    ])
+    def test_unseeded_constructor_flagged(self, tmp_path, source):
+        problems = self.check(tmp_path, source)
+        assert len(problems) == 1
+        assert "without an explicit seed" in problems[0]
+
+    @pytest.mark.parametrize("source", [
+        "import random\nrng = random.Random(7)\n",
+        "import numpy as np\nrng = np.random.default_rng(0)\n",
+        "import numpy as np\nrng = np.random.default_rng(seed=3)\n",
+        "from numpy.random import default_rng\nrng = default_rng(11)\n",
+        "import numpy as np\nrng = np.random.RandomState(5)\n",
+    ])
+    def test_seeded_constructor_clean(self, tmp_path, source):
+        assert self.check(tmp_path, source) == []
+
+    def test_hash_flagged_in_benchmarks(self, tmp_path):
+        problems = self.check(tmp_path, "x = hash('query text')\n")
+        assert len(problems) == 1
+        assert "hash()" in problems[0]
+        assert "crc32" in problems[0]
+
+    def test_rng_check_skipped_outside_benchmarks(self, tmp_path):
+        # The discipline applies to benchmarks only: library code may
+        # keep optional-seed APIs, tests may use hash().
+        source = "import random\nx = random.random()\ny = hash('q')\n"
+        assert self.check(
+            tmp_path, source, filename="module.py", directory="pkg"
+        ) == []
+
+    def test_real_benchmarks_are_clean(self):
+        problems = []
+        for path in sorted((REPO_ROOT / "benchmarks").glob("*.py")):
+            tree = lint.ast.parse(path.read_text(), filename=str(path))
+            problems.extend(lint.check_benchmark_rng(path, tree))
+        assert problems == []

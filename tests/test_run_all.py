@@ -12,6 +12,10 @@ from repro.experiments.run_all import (
     section_table4,
 )
 
+# Full-experiment report sections are the slow tier: deselected from
+# tier-1 runs by pytest.ini (run explicitly with `pytest -m slow`).
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def mini_lab():

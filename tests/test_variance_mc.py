@@ -17,6 +17,10 @@ from repro.mathstats import NormalDistribution
 from repro.plan import HashJoinNode, SeqScanNode, assign_op_ids
 from repro.sampling.estimator import NodeSelectivity, SamplingEstimate
 
+# Monte-Carlo validation is the slow tier: deselected from tier-1 runs
+# by pytest.ini, exercised in CI's scheduled/manual `-m slow` pass.
+pytestmark = pytest.mark.slow
+
 
 class _PlanStub:
     """assemble_distribution_parameters only needs .root."""

@@ -16,6 +16,15 @@ Conventions honored:
 * names referenced only inside quoted (forward-reference) annotations
   count as used — the ``if TYPE_CHECKING:`` import idiom.
 
+Benchmark files (any path containing a ``benchmarks`` directory) get
+one extra check: no process-global randomness. Benchmarks must be
+bitwise-reproducible across runs and machines, so calls into the
+module-level ``random`` / ``numpy.random`` state (or constructing a
+generator without an explicit seed) are flagged, as is builtin
+``hash()`` (randomized per process for strings — the flakiness that
+once made metric benches drift across runs). Use ``random.Random(seed)``
+/ ``np.random.default_rng(seed)`` / ``zlib.crc32`` instead.
+
 Usage: ``python tools/lint.py [paths...]`` (defaults to src, tests,
 benchmarks, examples, tools). Exit status 1 when problems were found.
 """
@@ -27,6 +36,22 @@ import sys
 from pathlib import Path
 
 DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples", "tools")
+
+#: RNG constructors that are fine *when given an explicit seed*.
+SEEDED_RNG_CONSTRUCTORS = {
+    "random.Random",
+    "random.SystemRandom",  # never reproducible, but also never silent drift
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.RandomState",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.MT19937",
+    "numpy.random.Philox",
+    "numpy.random.SFC64",
+}
+
+_RNG_MODULES = ("random", "numpy.random")
 
 
 def _imported_names(tree: ast.AST):
@@ -123,6 +148,74 @@ def _defined_names(tree: ast.Module) -> set[str]:
     return defined
 
 
+def _rng_aliases(tree: ast.AST) -> dict[str, str]:
+    """Local name -> dotted module for random / numpy(.random) imports."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in ("random", "numpy", "numpy.random"):
+                    if alias.asname:
+                        aliases[alias.asname] = alias.name
+                    else:
+                        # `import numpy.random` binds the name `numpy`.
+                        root = alias.name.split(".")[0]
+                        aliases[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if node.module in ("random", "numpy", "numpy.random"):
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def _resolve_dotted(node: ast.AST, aliases: dict[str, str]) -> str | None:
+    """``np.random.default_rng`` -> ``numpy.random.default_rng``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name) and node.id in aliases:
+        return ".".join([aliases[node.id], *reversed(parts)])
+    return None
+
+
+def check_benchmark_rng(path: Path, tree: ast.AST) -> list[str]:
+    """Flag process-global / unseeded randomness in benchmark files."""
+    aliases = _rng_aliases(tree)
+    problems: list[str] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Name) and node.func.id == "hash":
+            problems.append(
+                f"{path}:{node.lineno}: hash() in a benchmark is randomized "
+                "per process for strings; use zlib.crc32 or a seeded RNG"
+            )
+            continue
+        dotted = _resolve_dotted(node.func, aliases)
+        if dotted is None or not any(
+            dotted.startswith(module + ".") for module in _RNG_MODULES
+        ):
+            continue
+        if dotted in SEEDED_RNG_CONSTRUCTORS:
+            if node.args or node.keywords:
+                continue
+            problems.append(
+                f"{path}:{node.lineno}: {dotted}() without an explicit seed "
+                "in a benchmark; pass one so runs are reproducible"
+            )
+        else:
+            problems.append(
+                f"{path}:{node.lineno}: {dotted}() uses process-global "
+                "random state in a benchmark; use random.Random(seed) / "
+                "np.random.default_rng(seed)"
+            )
+    return problems
+
+
 def check_file(path: Path) -> list[str]:
     source = path.read_text()
     try:
@@ -153,6 +246,9 @@ def check_file(path: Path) -> list[str]:
                 problems.append(
                     f"{path}: __all__ names {name!r} which is not defined"
                 )
+
+    if "benchmarks" in path.parts:
+        problems.extend(check_benchmark_rng(path, tree))
     return problems
 
 
