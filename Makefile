@@ -10,7 +10,7 @@ PYTHON ?= python
 BENCH_OUT ?= .
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: lint test test-slow bench bench-quick bench-baselines ci example-batch
+.PHONY: lint test test-slow bench bench-quick bench-baselines ci serve example-batch
 
 lint:
 	$(PYTHON) tools/lint.py
@@ -54,11 +54,17 @@ bench-baselines:
 	$(PYTHON) tools/benchguard.py --results /tmp/bench-full-baseline --tier full --update
 
 # A fresh directory per run: the guard must never be satisfied by a
-# stale BENCH_*.json from a previous invocation.
+# stale BENCH_*.json from a previous invocation. The HTTP smoke boots
+# `repro serve` on an ephemeral port and drives it from a second
+# process (tools/http_smoke.py).
 ci: test
+	$(PYTHON) tools/http_smoke.py
 	rm -rf bench-artifacts
 	$(PYTHON) -m repro bench --quick --output-dir bench-artifacts
 	$(PYTHON) tools/benchguard.py --results bench-artifacts --tier quick
+
+serve:
+	$(PYTHON) -m repro serve --port 8080
 
 example-batch:
 	$(PYTHON) examples/batch_service.py

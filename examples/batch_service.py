@@ -1,39 +1,40 @@
 """Batch serving: many queries, variants, and concurrency levels at once.
 
-Builds a TPC-H database, starts a :class:`repro.PredictionService`, and
-serves a 30-query template workload (with the recurring queries a real
-dashboard workload has) across two predictor variants and three
-multiprogramming levels — sharing one plan/sample/fit pass per distinct
-query and assembling every combination with the vectorized path.
+Builds a :class:`repro.Session` facade whose config defaults the fan-out
+to two predictor variants and three multiprogramming levels, then serves
+a 30-query template workload (with the recurring queries a real
+dashboard workload has). The :class:`repro.PredictionService` engine
+behind the session shares one plan/sample/fit pass per distinct query
+and assembles every combination with the vectorized path.
 
 Run:  python examples/batch_service.py
 """
 
-from repro import (
-    Calibrator,
-    HardwareSimulator,
-    PC2,
-    PredictionService,
-    TpchConfig,
-    Variant,
-    generate_tpch,
-)
+from repro import Session, SessionConfig
 from repro.util import ensure_rng
 from repro.workloads.tpch_templates import TPCH_TEMPLATES
 
 BATCH = 30
-VARIANTS = (Variant.ALL, Variant.NO_COV)
+VARIANTS = ("all", "nocov")
 MPLS = (1, 2, 4)
 
 
 def main() -> None:
-    print("1. generating TPC-H (scale 0.01, uniform) ...")
-    db = generate_tpch(TpchConfig(scale_factor=0.01, seed=1))
+    print("1. building the session: TPC-H (scale 0.01, uniform), machine PC2 ...")
+    session = Session(
+        SessionConfig(
+            scale_factor=0.01,
+            db_seed=1,
+            calibration_seed=0,
+            sampling_ratio=0.05,
+            sampling_seed=2,
+            default_variants=VARIANTS,
+            default_mpls=MPLS,
+            default_confidences=(0.9,),
+        )
+    )
 
-    print("2. calibrating cost units on the simulated machine PC2 ...")
-    units = Calibrator(HardwareSimulator(PC2, rng=0)).calibrate()
-
-    print("3. building the workload (30 queries, ~1/3 repeats) ...")
+    print("2. building the workload (30 queries, ~1/3 repeats) ...")
     rng = ensure_rng(7)
     distinct = [
         TPCH_TEMPLATES[i % len(TPCH_TEMPLATES)].instantiate(rng)
@@ -45,15 +46,14 @@ def main() -> None:
     ]
     queries = distinct + repeats
 
-    print("4. serving the batch ...\n")
-    service = PredictionService(db, units, sampling_ratio=0.05, seed=2)
-    batch = service.predict_batch(queries, variants=VARIANTS, mpls=MPLS)
+    print("3. serving the batch ...\n")
+    batch = session.predict_batch(queries)
 
     print(f"   {'#':>3} {'mean':>9} {'std':>9} {'mean@mpl4':>10}  cache")
-    for index, prediction in enumerate(batch):
-        unloaded = prediction.result(Variant.ALL, 1)
-        loaded = prediction.result(Variant.ALL, 4)
-        cache = "hit" if prediction.prepare_was_cached else "miss"
+    for index, response in enumerate(batch):
+        unloaded = response.result("all", 1)
+        loaded = response.result("all", 4)
+        cache = "hit" if response.prepare_was_cached else "miss"
         print(
             f"   {index:>3} {unloaded.mean:>8.3f}s {unloaded.std:>8.3f}s "
             f"{loaded.mean:>9.3f}s  {cache}"
@@ -68,9 +68,10 @@ def main() -> None:
     print(
         f"   prepares: {stats.prepares_run} run, "
         f"{stats.prepare_cache_hits} served from cache "
-        f"(hit rate {stats.prepare_hit_rate:.0%}); "
+        f"(hit rate {stats.describe_hit_rate()}); "
         f"assemblies: {stats.assemblies}"
     )
+    session.close()
 
 
 if __name__ == "__main__":

@@ -1,24 +1,16 @@
 """Quickstart: predict a query's running time *distribution*.
 
-Builds a small TPC-H database, calibrates the (simulated) machine,
-and predicts the running time of a join query — mean, standard
-deviation, and confidence intervals — then compares against the
+One declarative :class:`repro.SessionConfig` builds the whole stack —
+a small TPC-H database, a calibrated (simulated) machine, and the
+sampling-based estimator — behind a :class:`repro.Session` facade. The
+session predicts the running time of a join query (mean, standard
+deviation, confidence intervals), then the example compares against the
 "actual" (simulated) execution, the paper's measurement protocol.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    Calibrator,
-    Executor,
-    HardwareSimulator,
-    Optimizer,
-    PC2,
-    SampleDatabase,
-    TpchConfig,
-    UncertaintyPredictor,
-    generate_tpch,
-)
+from repro import Executor, PredictRequest, Session, SessionConfig
 
 SQL = (
     "SELECT COUNT(*) FROM customer, orders, lineitem "
@@ -28,39 +20,48 @@ SQL = (
 
 
 def main() -> None:
-    print("1. generating TPC-H (scale 0.02, uniform) ...")
-    db = generate_tpch(TpchConfig(scale_factor=0.02, seed=1))
-
-    print("2. planning:")
-    planned = Optimizer(db).plan_sql(SQL)
-    print(planned.explain())
-
-    print("\n3. calibrating cost units on the simulated machine PC2 ...")
-    simulator = HardwareSimulator(PC2, rng=0)
-    units = Calibrator(simulator).calibrate()
-    for name, dist in units.distributions.items():
+    print("1. building the session: TPC-H (scale 0.02, uniform), machine PC2,")
+    print("   sampling estimator at SR = 5% ...")
+    session = Session(
+        SessionConfig(
+            scale_factor=0.02,
+            db_seed=1,
+            machine="PC2",
+            calibration_seed=0,
+            sampling_ratio=0.05,
+            sampling_seed=2,
+        )
+    )
+    for name, dist in session.units.distributions.items():
         print(f"   {name}: {dist.mean:.3e} s (std {dist.std:.1e})")
 
-    print("\n4. sampling pass (SR = 5%) + prediction ...")
-    samples = SampleDatabase(db, sampling_ratio=0.05, seed=2)
-    prediction = UncertaintyPredictor(units).predict(planned, samples)
+    print("\n2. planning:")
+    print(session.explain(SQL))
 
-    print(f"   predicted mean : {prediction.mean:.3f} s")
-    print(f"   predicted std  : {prediction.std:.3f} s")
-    for confidence in (0.5, 0.9, 0.99):
-        low, high = prediction.confidence_interval(confidence)
-        print(f"   {confidence:.0%} interval  : [{low:.3f} s, {high:.3f} s]")
+    print("\n3. predicting (one typed request -> one typed response) ...")
+    response = session.predict(
+        PredictRequest(sql=SQL, confidences=(0.5, 0.9, 0.99))
+    )
+    result = response.results[0]
+    print(f"   predicted mean : {result.mean:.3f} s")
+    print(f"   predicted std  : {result.std:.3f} s")
+    for interval in result.intervals:
+        print(
+            f"   {interval.confidence:.0%} interval  : "
+            f"[{interval.low:.3f} s, {interval.high:.3f} s]"
+        )
 
-    print("\n5. executing for ground truth (mean of 5 simulated runs) ...")
-    result = Executor(db).execute(planned)
-    actual = simulator.run_repeated(result.counts)
-    z = abs(actual - prediction.mean) / max(prediction.std, 1e-12)
+    print("\n4. executing for ground truth (mean of 5 simulated runs) ...")
+    executed = Executor(session.database).execute(session.plan(SQL))
+    actual = session.simulator.run_repeated(executed.counts)
+    z = abs(actual - result.mean) / max(result.std, 1e-12)
     print(f"   actual time    : {actual:.3f} s")
     print(f"   |error| / std  : {z:.2f}  (the paper's normalized error E')")
     print(
         "   the predictor believes P(T within the 90% interval) = 0.90; "
         f"this run {'landed inside' if z < 1.645 else 'fell outside'}."
     )
+    session.close()
 
 
 if __name__ == "__main__":

@@ -5,25 +5,31 @@ predicting a *distribution* of likely query running times instead of a
 point estimate, by treating cost units and selectivities as random
 variables.
 
-Quick start::
+Quick start — the session facade owns the whole predictor stack::
 
-    from repro import (
-        TpchConfig, generate_tpch, Optimizer, Executor, SampleDatabase,
-        HardwareSimulator, PC2, Calibrator, UncertaintyPredictor,
-    )
+    from repro import Session, SessionConfig
 
-    db = generate_tpch(TpchConfig(scale_factor=0.01))
-    planned = Optimizer(db).plan_sql(
+    session = Session(SessionConfig(scale_factor=0.01))
+    response = session.predict(
         "SELECT COUNT(*) FROM orders, lineitem "
         "WHERE o_orderkey = l_orderkey AND o_totalprice > 100000"
     )
-    simulator = HardwareSimulator(PC2, rng=0)
-    units = Calibrator(simulator).calibrate()
-    samples = SampleDatabase(db, sampling_ratio=0.05)
-    prediction = UncertaintyPredictor(units).predict(planned, samples)
-    print(prediction.mean, prediction.std, prediction.confidence_interval())
+    print(response.mean, response.std, response.result().intervals)
+
+The assembled parts stay public for advanced use (see docs/api.md):
+``Optimizer``, ``Calibrator``, ``SampleDatabase``,
+``UncertaintyPredictor``, and the ``PredictionService`` engine the
+session drives. ``python -m repro serve`` exposes a session over
+HTTP/JSON; ``repro.HttpClient`` is the matching client.
 """
 
+from .api import (
+    HttpClient,
+    PredictRequest,
+    PredictResponse,
+    Session,
+    SessionConfig,
+)
 from .calibration import CalibratedUnits, Calibrator
 from .core import (
     PredictionResult,
@@ -45,6 +51,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "Session",
+    "SessionConfig",
+    "PredictRequest",
+    "PredictResponse",
+    "HttpClient",
     "TpchConfig",
     "generate_tpch",
     "Database",

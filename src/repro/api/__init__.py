@@ -1,0 +1,43 @@
+"""The public serving API: session facade, wire schema, HTTP front-end.
+
+This package is the front door everything else is built against:
+
+* :class:`Session` + :class:`SessionConfig` — the transport-agnostic
+  facade owning the whole predictor stack
+  (:class:`~repro.service.PredictionService` is the engine behind it);
+* :mod:`repro.api.wire` — the versioned JSON wire schema
+  (:data:`SCHEMA_VERSION`, typed requests/responses, error bodies);
+* :mod:`repro.api.http` / :mod:`repro.api.client` — the stdlib HTTP
+  server (``repro serve``) and the matching :class:`HttpClient`.
+"""
+
+from .client import ApiError, HttpClient
+from .config import ESTIMATOR_BACKENDS, SessionConfig
+from .http import ApiHTTPServer, build_server
+from .session import Session
+from .wire import (
+    SCHEMA_VERSION,
+    BatchRequest,
+    BatchResponse,
+    IntervalPayload,
+    PredictRequest,
+    PredictResponse,
+    ResultPayload,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ESTIMATOR_BACKENDS",
+    "ApiError",
+    "ApiHTTPServer",
+    "BatchRequest",
+    "BatchResponse",
+    "HttpClient",
+    "IntervalPayload",
+    "PredictRequest",
+    "PredictResponse",
+    "ResultPayload",
+    "Session",
+    "SessionConfig",
+    "build_server",
+]

@@ -1,0 +1,115 @@
+"""A small stdlib HTTP client for the serving front-end.
+
+:class:`HttpClient` speaks the versioned wire schema against a running
+``repro serve`` (or any :class:`~repro.api.http.ApiHTTPServer`), so a
+second process can drive predictions with the same typed objects the
+in-process :class:`~repro.api.session.Session` returns::
+
+    client = HttpClient("http://127.0.0.1:8080")
+    client.healthz()
+    response = client.predict("SELECT COUNT(*) FROM orders ...")
+    batch = client.predict_batch(["SELECT ...", "SELECT ..."])
+
+Structured server errors surface as :class:`ApiError` carrying the HTTP
+status and the stable wire ``code`` (``"sql-parse"``,
+``"schema-version"``, ``"over-capacity"``, ...).
+"""
+
+from __future__ import annotations
+
+import urllib.error
+import urllib.request
+from typing import Sequence
+
+from ..errors import ReproError
+from ..service.service import ServiceReport
+from .wire import (
+    BatchRequest,
+    BatchResponse,
+    PredictRequest,
+    PredictResponse,
+    dumps,
+    loads,
+    service_report_from_dict,
+)
+
+__all__ = ["ApiError", "HttpClient"]
+
+
+class ApiError(ReproError):
+    """A structured error answer from the serving front-end."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(f"[{status}/{code}] {message}")
+        self.status = status
+        self.code = code
+        self.remote_message = message
+
+
+class HttpClient:
+    """Typed wire-schema requests against one serving base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        self._base_url = base_url.rstrip("/")
+        self._timeout = timeout
+
+    @property
+    def base_url(self) -> str:
+        return self._base_url
+
+    # -- transport ---------------------------------------------------------
+    def request_json(self, method: str, path: str, payload: dict | None = None) -> dict:
+        """One HTTP exchange; returns the decoded JSON body.
+
+        Error statuses with a structured body raise :class:`ApiError`;
+        transport failures raise it with code ``"transport"``.
+        """
+        url = f"{self._base_url}{path}"
+        data = dumps(payload).encode("utf-8") if payload is not None else None
+        request = urllib.request.Request(
+            url,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self._timeout) as reply:
+                return loads(reply.read())
+        except urllib.error.HTTPError as error:
+            raise self._structured(error) from None
+        except urllib.error.URLError as error:
+            raise ApiError(0, "transport", f"cannot reach {url}: {error.reason}") from None
+
+    @staticmethod
+    def _structured(error: urllib.error.HTTPError) -> ApiError:
+        try:
+            record = loads(error.read())
+            body = record["error"]
+            return ApiError(error.code, str(body["code"]), str(body["message"]))
+        except Exception:  # noqa: BLE001 — non-JSON error page
+            return ApiError(error.code, "http", f"{error.code} {error.reason}")
+
+    # -- endpoints ---------------------------------------------------------
+    def healthz(self) -> dict:
+        """``GET /v1/healthz`` — liveness, schema version, uptime."""
+        return self.request_json("GET", "/v1/healthz")
+
+    def stats(self) -> ServiceReport:
+        """``GET /v1/stats`` — the serving counters and cache stats."""
+        return service_report_from_dict(self.request_json("GET", "/v1/stats"))
+
+    def predict(self, request: PredictRequest | str) -> PredictResponse:
+        """``POST /v1/predict`` — one query (a bare SQL string is accepted)."""
+        if isinstance(request, str):
+            request = PredictRequest(sql=request)
+        record = self.request_json("POST", "/v1/predict", request.to_dict())
+        return PredictResponse.from_dict(record)
+
+    def predict_batch(
+        self, batch: BatchRequest | Sequence[str]
+    ) -> BatchResponse:
+        """``POST /v1/predict-batch`` — a batch with one shared fan-out."""
+        if not isinstance(batch, BatchRequest):
+            batch = BatchRequest(queries=tuple(batch))
+        record = self.request_json("POST", "/v1/predict-batch", batch.to_dict())
+        return BatchResponse.from_dict(record)

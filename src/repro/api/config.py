@@ -1,0 +1,138 @@
+"""The declarative session configuration.
+
+One :class:`SessionConfig` describes everything a
+:class:`~repro.api.session.Session` owns: the database source (TPC-H
+generation parameters), the calibration profile (machine + seed +
+repetitions), the selectivity-estimator backend chosen **by name**
+("sampling" — the paper's Algorithm 1 — or "histogram", the
+catalog-statistics alternative), both cache budgets, and the default
+variant/multiprogramming/confidence fan-out applied to requests that do
+not spell their own.
+
+The config is itself a wire object: :meth:`to_dict`/:meth:`from_dict`
+round-trip through JSON with unknown-field tolerance, so a serving
+deployment can keep its predictor configuration in a plain JSON file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields, replace
+
+from ..core.predictor import Variant
+from ..costfuncs.fitting import DEFAULT_GRID_W
+from ..errors import PredictionError, SessionError
+from ..hardware import PROFILES
+from ..sampling.engine import DEFAULT_ENGINE_BUDGET_BYTES
+
+__all__ = ["ESTIMATOR_BACKENDS", "SessionConfig"]
+
+#: The selectivity-estimator backends selectable by name.
+ESTIMATOR_BACKENDS = ("sampling", "histogram")
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Everything needed to build a predictor stack, declaratively."""
+
+    # -- database source (TPC-H generation is deterministic and fast) --
+    scale_factor: float = 0.02
+    skew_z: float = 0.0
+    db_seed: int = 0
+    # -- calibration profile ------------------------------------------
+    machine: str = "PC2"
+    calibration_seed: int = 0
+    calibration_repetitions: int = 10
+    # -- estimator backend --------------------------------------------
+    estimator: str = "sampling"
+    sampling_ratio: float = 0.05
+    num_copies: int = 2
+    sampling_seed: int = 1
+    use_gee: bool = False
+    grid_w: int = DEFAULT_GRID_W
+    # -- cache budgets ------------------------------------------------
+    prepared_cache_size: int = 256
+    sampling_engine_bytes: int = DEFAULT_ENGINE_BUDGET_BYTES
+    # -- request defaults ---------------------------------------------
+    default_variants: tuple[str, ...] = ("all",)
+    default_mpls: tuple[int, ...] = (1,)
+    default_confidences: tuple[float, ...] = (0.5, 0.9, 0.99)
+
+    def __post_init__(self):
+        if self.scale_factor <= 0:
+            raise SessionError(
+                f"scale_factor must be positive, got {self.scale_factor}"
+            )
+        if self.machine not in PROFILES:
+            raise SessionError(
+                f"unknown machine {self.machine!r}; "
+                f"known profiles: {', '.join(sorted(PROFILES))}"
+            )
+        if self.calibration_repetitions < 2:
+            raise SessionError(
+                "calibration needs at least 2 repetitions for a variance, "
+                f"got {self.calibration_repetitions}"
+            )
+        if self.estimator not in ESTIMATOR_BACKENDS:
+            raise SessionError(
+                f"unknown estimator backend {self.estimator!r}; "
+                f"expected one of {', '.join(ESTIMATOR_BACKENDS)}"
+            )
+        if not 0.0 < self.sampling_ratio <= 1.0:
+            raise SessionError(
+                f"sampling_ratio must be in (0, 1], got {self.sampling_ratio}"
+            )
+        if not self.default_variants:
+            raise SessionError("default_variants must name at least one variant")
+        try:
+            for name in self.default_variants:
+                Variant.from_name(name)
+        except PredictionError as error:
+            raise SessionError(str(error)) from None
+        if not self.default_mpls or any(mpl < 1 for mpl in self.default_mpls):
+            raise SessionError(
+                "default_mpls needs at least one level, all >= 1; "
+                f"got {self.default_mpls!r}"
+            )
+        if not self.default_confidences or any(
+            not 0.0 < c < 1.0 for c in self.default_confidences
+        ):
+            raise SessionError(
+                "default_confidences must all lie in (0, 1); "
+                f"got {self.default_confidences!r}"
+            )
+
+    def variants(self) -> tuple[Variant, ...]:
+        """The default variants resolved to :class:`Variant` members."""
+        return tuple(Variant.from_name(name) for name in self.default_variants)
+
+    def replace(self, **changes) -> "SessionConfig":
+        """A copy with ``changes`` applied (dataclasses.replace wrapper)."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """A JSON-ready mapping of every field."""
+        record = asdict(self)
+        for name in ("default_variants", "default_mpls", "default_confidences"):
+            record[name] = list(record[name])
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "SessionConfig":
+        """Rebuild from a mapping, ignoring unknown fields.
+
+        Tolerating unknown keys keeps old servers able to read configs
+        written by newer ones — the same policy as the wire schema.
+        """
+        if not isinstance(record, dict):
+            raise SessionError(
+                f"session config must be a mapping, got {type(record).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        kwargs = {}
+        for name, value in record.items():
+            if name not in known:
+                continue
+            if name in ("default_variants", "default_mpls", "default_confidences"):
+                value = tuple(value)
+            kwargs[name] = value
+        return cls(**kwargs)

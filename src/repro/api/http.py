@@ -1,0 +1,232 @@
+"""The stdlib-only HTTP/JSON serving front-end.
+
+``repro serve`` binds one :class:`~repro.api.session.Session` behind a
+threaded HTTP server speaking the versioned wire schema
+(:mod:`repro.api.wire`):
+
+* ``POST /v1/predict``        — one :class:`PredictRequest` body
+* ``POST /v1/predict-batch``  — one :class:`BatchRequest` body
+* ``GET  /v1/healthz``        — liveness + schema version
+* ``GET  /v1/stats``          — the serving :class:`ServiceReport`
+
+Error taxonomy: library errors map to structured JSON bodies with a
+stable ``code`` field (:func:`repro.errors.error_code`). Malformed SQL
+is a **400** carrying the parser's message, other library failures are
+422, malformed payloads/versions are 400, and anything escaping the
+hierarchy is a 500 — the server never answers a prediction request with
+a bare traceback.
+
+Admission is bounded: at most ``max_in_flight`` prediction requests may
+hold worker threads at once; excess requests are refused immediately
+with 503 (code ``"over-capacity"``) rather than queued without bound.
+Health/stats probes are never metered.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..errors import ReproError, SqlError, WireError
+from .session import Session
+from .wire import (
+    SCHEMA_VERSION,
+    BatchRequest,
+    PredictRequest,
+    dumps,
+    error_body,
+    loads,
+    service_report_to_dict,
+)
+
+__all__ = ["ApiHTTPServer", "build_server", "status_for_error"]
+
+DEFAULT_MAX_IN_FLIGHT = 8
+
+
+def status_for_error(error: BaseException) -> int:
+    """The HTTP status for a failed request, per the error taxonomy."""
+    if isinstance(error, (SqlError, WireError)):
+        return 400
+    if isinstance(error, ReproError):
+        return 422
+    return 500
+
+
+class ApiHTTPServer(ThreadingHTTPServer):
+    """A threaded HTTP server bound to one session, with admission."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        session: Session,
+        address: tuple[str, int] = ("127.0.0.1", 0),
+        max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+    ):
+        if max_in_flight < 1:
+            raise WireError(
+                f"max_in_flight must be >= 1, got {max_in_flight}"
+            )
+        super().__init__(address, _ApiRequestHandler)
+        self.session = session
+        self.max_in_flight = max_in_flight
+        self._admission = threading.BoundedSemaphore(max_in_flight)
+        self._started = time.monotonic()
+
+    @property
+    def url(self) -> str:
+        """The base URL the server is reachable at."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def admit(self) -> bool:
+        """Try to claim one in-flight slot; False when at capacity."""
+        return self._admission.acquire(blocking=False)
+
+    def release(self) -> None:
+        self._admission.release()
+
+    def health(self) -> dict:
+        """The liveness payload: schema version, uptime, traffic counter."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "status": "ok",
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "queries_served": self.session.service.stats.queries_served,
+            "max_in_flight": self.max_in_flight,
+        }
+
+
+def build_server(
+    session: Session,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+) -> ApiHTTPServer:
+    """Bind (but do not start) a server; ``port=0`` picks an ephemeral one.
+
+    Call ``serve_forever()`` on the result (typically from a dedicated
+    thread) and ``shutdown()`` + ``server_close()`` to stop.
+    """
+    return ApiHTTPServer(session, (host, port), max_in_flight=max_in_flight)
+
+
+class _ApiRequestHandler(BaseHTTPRequestHandler):
+    """Routes the four ``/v1`` endpoints onto the bound session."""
+
+    server_version = "repro-serve"
+    protocol_version = "HTTP/1.1"
+    # Bounds every socket read/write. Without it a client declaring a
+    # Content-Length it never delivers would block rfile.read() forever
+    # *while holding an admission slot* — max_in_flight such clients
+    # would wedge the server permanently.
+    timeout = 60
+
+    # The default handler logs every request line to stderr; serving
+    # benchmarks would drown in it.
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        pass
+
+    # -- plumbing ----------------------------------------------------------
+    def _send_json(self, status: int, record: dict, retry_after: bool = False):
+        body = dumps(record).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after:
+            self.send_header("Retry-After", "1")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_body(self, error: BaseException):
+        # Any error path may leave declared body bytes unread; under
+        # HTTP/1.1 keep-alive those would be parsed as the next request
+        # line and desync the connection. Closing is always safe.
+        self.close_connection = True
+        self._send_json(status_for_error(error), error_body(error))
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise WireError("request needs a JSON body with Content-Length")
+        return loads(self.rfile.read(length))
+
+    def _not_found(self):
+        self.close_connection = True  # request body (if any) was not drained
+        self._send_json(404, {
+            "schema_version": SCHEMA_VERSION,
+            "error": {
+                "code": "not-found",
+                "type": "NotFound",
+                "message": f"unknown endpoint {self.path!r}; known: "
+                "/v1/predict, /v1/predict-batch, /v1/healthz, /v1/stats",
+            },
+        })
+
+    def _over_capacity(self):
+        self.close_connection = True  # refused before reading the body
+        self._send_json(503, {
+            "schema_version": SCHEMA_VERSION,
+            "error": {
+                "code": "over-capacity",
+                "type": "OverCapacity",
+                "message": f"server is at its in-flight limit "
+                f"({self.server.max_in_flight}); retry shortly",
+            },
+        }, retry_after=True)
+
+    # -- routes ------------------------------------------------------------
+    def do_GET(self):  # noqa: N802 — stdlib naming
+        try:
+            if self.path == "/v1/healthz":
+                self._send_json(200, self.server.health())
+            elif self.path == "/v1/stats":
+                report = self.server.session.stats()
+                self._send_json(200, service_report_to_dict(report))
+            else:
+                self._not_found()
+        except Exception as error:  # noqa: BLE001 — HTTP boundary
+            self._send_error_body(error)
+
+    def do_POST(self):  # noqa: N802 — stdlib naming
+        if self.path not in ("/v1/predict", "/v1/predict-batch"):
+            self._not_found()
+            return
+        if not self.server.admit():
+            self._over_capacity()
+            return
+        try:
+            record = self._read_body()
+            if self.path == "/v1/predict":
+                response = self.server.session.predict(
+                    PredictRequest.from_dict(record)
+                )
+            else:
+                response = self.server.session.predict_batch(
+                    BatchRequest.from_dict(record)
+                )
+            self._send_json(200, response.to_dict())
+        except Exception as error:  # noqa: BLE001 — HTTP boundary
+            self._send_error_body(error)
+        finally:
+            self.server.release()
+
+    def do_PUT(self):  # noqa: N802 — stdlib naming
+        self._method_not_allowed()
+
+    def do_DELETE(self):  # noqa: N802 — stdlib naming
+        self._method_not_allowed()
+
+    def _method_not_allowed(self):
+        self.close_connection = True  # request body (if any) was not drained
+        self._send_json(405, {
+            "schema_version": SCHEMA_VERSION,
+            "error": {
+                "code": "method-not-allowed",
+                "type": "MethodNotAllowed",
+                "message": f"{self.command} is not supported on {self.path!r}",
+            },
+        })
+

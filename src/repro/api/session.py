@@ -1,0 +1,317 @@
+"""The session facade: one object that owns the whole predictor stack.
+
+A :class:`Session` is built from one declarative
+:class:`~repro.api.config.SessionConfig` and assembles everything the
+hand-wired consumers used to stitch together themselves — database,
+hardware simulator, calibrated cost units, and the
+:class:`~repro.service.PredictionService` engine with both cache layers.
+It exposes the typed wire objects
+(:class:`~repro.api.wire.PredictRequest` →
+:class:`~repro.api.wire.PredictResponse`) plus lifecycle:
+``warmup()``, ``stats()``, ``close()``, and context-manager use.
+
+The facade is thread-safe (one lock serializes predictions — the engine
+below shares mutable caches), which is what lets the HTTP front-end
+(:mod:`repro.api.http`) drive one session from a threaded server.
+``PredictionService`` remains fully usable directly; it is the internal
+engine, the session is the front door.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Sequence
+
+from ..calibration import Calibrator
+from ..calibration.calibrator import CalibratedUnits
+from ..core.predictor import Variant
+from ..datagen import TpchConfig, generate_tpch
+from ..errors import SessionError
+from ..hardware import PROFILES, HardwareSimulator
+from ..service.service import (
+    BatchPrediction,
+    PredictionService,
+    QueryPrediction,
+    ServiceReport,
+)
+from ..storage import Database
+from .config import SessionConfig
+from .wire import (
+    BatchRequest,
+    BatchResponse,
+    IntervalPayload,
+    PredictRequest,
+    PredictResponse,
+    ResultPayload,
+    _validate_fanout,
+)
+
+__all__ = ["Session"]
+
+
+class Session:
+    """The transport-agnostic front door to the predictor stack."""
+
+    def __init__(self, config: SessionConfig | None = None):
+        """Build the full stack from ``config`` (defaults when omitted).
+
+        Generation and calibration are deterministic given the config,
+        so constructing a session twice yields bitwise-identical
+        predictors.
+        """
+        self._config = config or SessionConfig()
+        self._database = generate_tpch(
+            TpchConfig(
+                scale_factor=self._config.scale_factor,
+                skew_z=self._config.skew_z,
+                seed=self._config.db_seed,
+            )
+        )
+        self._simulator = HardwareSimulator(
+            PROFILES[self._config.machine], rng=self._config.calibration_seed
+        )
+        self._units = Calibrator(
+            self._simulator, repetitions=self._config.calibration_repetitions
+        ).calibrate()
+        self._finish_init()
+
+    @classmethod
+    def from_components(
+        cls,
+        database: Database,
+        units: CalibratedUnits,
+        config: SessionConfig | None = None,
+        simulator: HardwareSimulator | None = None,
+    ) -> "Session":
+        """Wrap an existing database + calibration in a session.
+
+        The bridge from the hand-wired era: callers that already hold a
+        :class:`~repro.storage.Database` and
+        :class:`~repro.calibration.CalibratedUnits` (tests, experiment
+        labs) get the facade without regenerating either. The config's
+        database/calibration fields are ignored; its estimator, cache,
+        and default-fan-out fields still apply.
+        """
+        session = cls.__new__(cls)
+        session._config = config or SessionConfig()
+        session._database = database
+        session._simulator = simulator
+        session._units = units
+        session._finish_init()
+        return session
+
+    def _finish_init(self) -> None:
+        config = self._config
+        self._service = PredictionService(
+            self._database,
+            self._units,
+            sampling_ratio=config.sampling_ratio,
+            num_copies=config.num_copies,
+            seed=config.sampling_seed,
+            grid_w=config.grid_w,
+            use_gee=config.use_gee,
+            method=config.estimator,
+            cache_size=config.prepared_cache_size,
+            sampling_engine_bytes=config.sampling_engine_bytes,
+        )
+        self._lock = threading.RLock()
+        self._closed = False
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def config(self) -> SessionConfig:
+        return self._config
+
+    @property
+    def database(self) -> Database:
+        return self._database
+
+    @property
+    def units(self) -> CalibratedUnits:
+        return self._units
+
+    @property
+    def simulator(self) -> HardwareSimulator:
+        """The calibration simulator (ground-truth executions reuse it)."""
+        if self._simulator is None:
+            raise SessionError(
+                "this session was built from components without a simulator"
+            )
+        return self._simulator
+
+    @property
+    def service(self) -> PredictionService:
+        """The internal serving engine (advanced/diagnostic use)."""
+        return self._service
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- lifecycle ---------------------------------------------------------
+    def warmup(self, queries: Iterable[str] | None = None) -> int:
+        """Pre-plan and pre-prepare queries so first requests serve warm.
+
+        With ``queries=None``, one instantiation of every TPC-H template
+        is pushed through the engine. Returns the number of queries that
+        warmed successfully (failures are skipped, not raised).
+        """
+        if queries is None:
+            from ..util import ensure_rng
+            from ..workloads.tpch_templates import TPCH_TEMPLATES
+
+            rng = ensure_rng(self._config.db_seed)
+            queries = [
+                template.instantiate(rng) for template in TPCH_TEMPLATES
+            ]
+        with self._lock:
+            self._ensure_open()
+            batch = self._service.predict_batch(
+                queries,
+                variants=self._config.variants(),
+                mpls=self._config.default_mpls,
+                skip_failures=True,
+            )
+        return len(batch)
+
+    def stats(self) -> ServiceReport:
+        """A point-in-time snapshot of serving counters and cache stats."""
+        with self._lock:
+            return self._service.report()
+
+    def close(self) -> None:
+        """Release cached artifacts; further predictions raise.
+
+        Idempotent. The session holds no OS resources — closing exists
+        so pooled deployments can drop the (potentially large) sample
+        and prepared-artifact caches deterministically.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._service.prepared_cache.clear()
+            engine = self._service.sampling_engine
+            if engine is not None:
+                engine.clear()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise SessionError("session is closed")
+
+    # -- planning ----------------------------------------------------------
+    def plan(self, sql: str):
+        """Plan one SQL string through the engine's memoized optimizer."""
+        with self._lock:
+            self._ensure_open()
+            return self._service.plan(sql)
+
+    def explain(self, sql: str) -> str:
+        """The optimized plan of ``sql``, rendered for humans."""
+        return self.plan(sql).explain()
+
+    # -- serving -----------------------------------------------------------
+    def predict(self, request: PredictRequest | str) -> PredictResponse:
+        """Serve one prediction request (a bare SQL string is accepted)."""
+        if isinstance(request, str):
+            request = PredictRequest(sql=request)
+        variants, mpls, confidences = self._fanout(
+            request.variants, request.mpls, request.confidences
+        )
+        with self._lock:
+            self._ensure_open()
+            prediction = self._service.predict_query(
+                request.sql, variants=variants, mpls=mpls
+            )
+        return self._response(prediction, request.sql, confidences)
+
+    def predict_batch(
+        self, batch: BatchRequest | Sequence[str]
+    ) -> BatchResponse:
+        """Serve a whole batch (a sequence of SQL strings is accepted).
+
+        With the default ``skip_failures=True`` a query that cannot be
+        planned or predicted becomes a coded
+        :class:`~repro.service.QueryFailure` in the response instead of
+        failing the batch.
+        """
+        if not isinstance(batch, BatchRequest):
+            batch = BatchRequest(queries=tuple(batch))
+        variants, mpls, confidences = self._fanout(
+            batch.variants, batch.mpls, batch.confidences
+        )
+        with self._lock:
+            self._ensure_open()
+            served: BatchPrediction = self._service.predict_batch(
+                batch.queries,
+                variants=variants,
+                mpls=mpls,
+                skip_failures=batch.skip_failures,
+            )
+        responses = []
+        successes = iter(served.predictions)
+        failed_indexes = {failure.index for failure in served.failures}
+        for index, sql in enumerate(batch.queries):
+            if index in failed_indexes:
+                continue
+            responses.append(self._response(next(successes), sql, confidences))
+        return BatchResponse(
+            responses=tuple(responses),
+            failures=tuple(served.failures),
+            elapsed_seconds=served.elapsed_seconds,
+            stats=served.stats,
+        )
+
+    # -- internals ---------------------------------------------------------
+    def _fanout(self, variants, mpls, confidences):
+        """Resolve request-level overrides against the config defaults.
+
+        Validation delegates to the one wire-schema validator
+        (:func:`repro.api.wire._validate_fanout`), so callers bypassing
+        the typed request objects hit the same rules and the same error
+        taxonomy (WireError -> HTTP 400) as everyone else.
+        """
+        names = variants if variants is not None else self._config.default_variants
+        mpls = tuple(mpls) if mpls is not None else self._config.default_mpls
+        confidences = (
+            tuple(confidences)
+            if confidences is not None
+            else self._config.default_confidences
+        )
+        _validate_fanout(names, mpls, confidences)
+        resolved = tuple(Variant.from_name(name) for name in names)
+        return resolved, mpls, confidences
+
+    def _response(
+        self,
+        prediction: QueryPrediction,
+        sql: str,
+        confidences: tuple[float, ...],
+    ) -> PredictResponse:
+        payloads = []
+        for (variant, mpl), result in prediction.results.items():
+            intervals = tuple(
+                IntervalPayload(confidence, *result.confidence_interval(confidence))
+                for confidence in confidences
+            )
+            payloads.append(
+                ResultPayload(
+                    variant=variant.wire_name,
+                    mpl=mpl,
+                    mean=result.mean,
+                    variance=result.distribution.variance,
+                    std=result.std,
+                    intervals=intervals,
+                )
+            )
+        return PredictResponse(
+            sql=sql,
+            results=tuple(payloads),
+            prepare_was_cached=prediction.prepare_was_cached,
+        )

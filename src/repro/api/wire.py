@@ -1,0 +1,532 @@
+"""The versioned wire schema: typed request/response objects + JSON.
+
+Every object that crosses a process boundary lives here: requests,
+responses, per-(variant, mpl) result payloads, confidence intervals,
+per-query failures, serving stats, and structured error bodies. Each has
+``to_dict``/``from_dict`` and round-trips **bitwise** through JSON
+(Python's float repr is exact), which is what lets the HTTP front-end
+promise byte-identical means/variances/interval bounds to an in-process
+:class:`~repro.api.session.Session`.
+
+Versioning policy:
+
+* every top-level payload carries ``schema_version`` (currently
+  :data:`SCHEMA_VERSION`);
+* readers **reject** a different declared version
+  (:class:`~repro.errors.WireError`, code ``"schema-version"``) — the
+  schema is too young for cross-version adaptation;
+* readers **tolerate unknown fields** (ignored on decode), so additive
+  evolution does not break deployed clients;
+* a payload without ``schema_version`` is assumed current — friendlier
+  to hand-written curl bodies.
+
+Serialization refuses NaN/inf (``allow_nan=False``): a variance-0 point
+mass serializes as ``std == 0`` with degenerate interval bounds, never
+as a non-finite JSON extension token.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+
+from ..caching import CacheStats
+from ..core.predictor import Variant
+from ..errors import PredictionError, WireError, error_code
+from ..service.service import QueryFailure, ServiceReport, ServiceStats
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "PredictRequest",
+    "BatchRequest",
+    "IntervalPayload",
+    "ResultPayload",
+    "PredictResponse",
+    "BatchResponse",
+    "dumps",
+    "loads",
+    "check_schema_version",
+    "error_body",
+    "query_failure_to_dict",
+    "query_failure_from_dict",
+    "service_stats_to_dict",
+    "service_stats_from_dict",
+    "cache_stats_to_dict",
+    "cache_stats_from_dict",
+    "service_report_to_dict",
+    "service_report_from_dict",
+]
+
+#: The current wire schema version. Bump on any incompatible change.
+SCHEMA_VERSION = 1
+
+_COUNTER_FIELDS = (
+    "queries_served",
+    "queries_failed",
+    "plans_built",
+    "prepares_run",
+    "prepare_cache_hits",
+    "assemblies",
+)
+
+_CACHE_FIELDS = ("hits", "misses", "evictions", "oversized")
+
+
+# ---------------------------------------------------------------------------
+# envelope helpers
+
+
+def dumps(record: dict) -> str:
+    """Serialize a wire dict as strict JSON (no NaN/inf extension tokens)."""
+    try:
+        return json.dumps(record, allow_nan=False, sort_keys=True)
+    except ValueError as error:
+        raise WireError(f"payload is not strict-JSON serializable: {error}") from None
+
+
+def loads(text: str | bytes) -> dict:
+    """Parse a JSON body into a mapping, or raise a structured WireError."""
+    try:
+        record = json.loads(text)
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise WireError(f"body is not valid JSON: {error}", code="bad-json") from None
+    if not isinstance(record, dict):
+        raise WireError(
+            f"expected a JSON object, got {type(record).__name__}"
+        )
+    return record
+
+
+def check_schema_version(record: dict) -> None:
+    """Reject a payload declaring a schema version other than ours."""
+    version = record.get("schema_version", SCHEMA_VERSION)
+    if version != SCHEMA_VERSION:
+        raise WireError(
+            f"unsupported schema_version {version!r}; "
+            f"this endpoint speaks version {SCHEMA_VERSION}",
+            code="schema-version",
+        )
+
+
+def _finite(value: float, what: str) -> float:
+    value = float(value)
+    if not math.isfinite(value):
+        raise WireError(f"{what} must be finite, got {value!r}")
+    return value
+
+
+def error_body(error: BaseException) -> dict:
+    """The structured JSON error body for any exception.
+
+    ``code`` is the stable machine-readable field
+    (:func:`repro.errors.error_code`); ``type`` names the Python class
+    for humans; ``message`` is the exception text (for a parse error,
+    the parser's own message).
+    """
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "error": {
+            "code": error_code(error),
+            "type": type(error).__name__,
+            "message": str(error),
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# requests
+
+
+@dataclass(frozen=True)
+class PredictRequest:
+    """One query's prediction request.
+
+    ``variants``/``mpls``/``confidences`` left as ``None`` defer to the
+    serving session's configured defaults.
+    """
+
+    sql: str
+    variants: tuple[str, ...] | None = None
+    mpls: tuple[int, ...] | None = None
+    confidences: tuple[float, ...] | None = None
+
+    def __post_init__(self):
+        if not isinstance(self.sql, str) or not self.sql.strip():
+            raise WireError("request needs a non-empty 'sql' string")
+        _validate_fanout(self.variants, self.mpls, self.confidences)
+
+    def to_dict(self) -> dict:
+        record = {"schema_version": SCHEMA_VERSION, "sql": self.sql}
+        if self.variants is not None:
+            record["variants"] = list(self.variants)
+        if self.mpls is not None:
+            record["mpls"] = [int(mpl) for mpl in self.mpls]
+        if self.confidences is not None:
+            record["confidences"] = [float(c) for c in self.confidences]
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "PredictRequest":
+        """Decode, tolerating unknown fields, rejecting foreign versions."""
+        check_schema_version(record)
+        if "sql" not in record:
+            raise WireError("request needs a non-empty 'sql' string")
+        return cls(
+            sql=record["sql"],
+            variants=_optional_tuple(record.get("variants"), str, "variants"),
+            mpls=_optional_tuple(record.get("mpls"), int, "mpls"),
+            confidences=_optional_tuple(
+                record.get("confidences"), float, "confidences"
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """A batch of SQL strings with one shared fan-out."""
+
+    queries: tuple[str, ...]
+    variants: tuple[str, ...] | None = None
+    mpls: tuple[int, ...] | None = None
+    confidences: tuple[float, ...] | None = None
+    skip_failures: bool = True
+
+    def __post_init__(self):
+        if not self.queries:
+            raise WireError("batch request needs at least one query")
+        for sql in self.queries:
+            if not isinstance(sql, str) or not sql.strip():
+                raise WireError("every batch query must be a non-empty string")
+        _validate_fanout(self.variants, self.mpls, self.confidences)
+
+    def to_dict(self) -> dict:
+        record = {
+            "schema_version": SCHEMA_VERSION,
+            "queries": list(self.queries),
+            "skip_failures": self.skip_failures,
+        }
+        if self.variants is not None:
+            record["variants"] = list(self.variants)
+        if self.mpls is not None:
+            record["mpls"] = [int(mpl) for mpl in self.mpls]
+        if self.confidences is not None:
+            record["confidences"] = [float(c) for c in self.confidences]
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "BatchRequest":
+        """Decode, tolerating unknown fields, rejecting foreign versions."""
+        check_schema_version(record)
+        queries = record.get("queries")
+        if not isinstance(queries, (list, tuple)):
+            raise WireError("batch request needs a 'queries' list")
+        return cls(
+            queries=tuple(queries),
+            variants=_optional_tuple(record.get("variants"), str, "variants"),
+            mpls=_optional_tuple(record.get("mpls"), int, "mpls"),
+            confidences=_optional_tuple(
+                record.get("confidences"), float, "confidences"
+            ),
+            skip_failures=bool(record.get("skip_failures", True)),
+        )
+
+
+def _validate_fanout(variants, mpls, confidences) -> None:
+    """Reject an invalid requested fan-out as a payload error.
+
+    Raising :class:`WireError` here (not the engine's PredictionError /
+    SessionError deeper down) is what keeps the HTTP contract honest:
+    a client sending an unknown variant or ``mpl: 0`` gets a 400
+    ``bad-request``, not a 422 internal-looking failure.
+    """
+    if variants is not None:
+        try:
+            for name in variants:
+                Variant.from_name(name)
+        except PredictionError as error:
+            raise WireError(str(error)) from None
+    if mpls is not None and any(mpl < 1 for mpl in mpls):
+        raise WireError(
+            f"multiprogramming levels must all be >= 1, got {list(mpls)}"
+        )
+    if confidences is not None and any(
+        not 0.0 < c < 1.0 for c in confidences
+    ):
+        raise WireError(
+            f"confidences must all lie in (0, 1), got {list(confidences)}"
+        )
+
+
+def _optional_tuple(value, convert, what):
+    if value is None:
+        return None
+    if not isinstance(value, (list, tuple)):
+        raise WireError(f"{what!r} must be a list")
+    try:
+        return tuple(convert(item) for item in value)
+    except (TypeError, ValueError) as error:
+        raise WireError(f"bad {what!r} entry: {error}") from None
+
+
+# ---------------------------------------------------------------------------
+# responses
+
+
+@dataclass(frozen=True)
+class IntervalPayload:
+    """One central confidence interval, clamped to nonnegative times."""
+
+    confidence: float
+    low: float
+    high: float
+
+    def to_dict(self) -> dict:
+        return {
+            "confidence": _finite(self.confidence, "confidence"),
+            "low": _finite(self.low, "interval low"),
+            "high": _finite(self.high, "interval high"),
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "IntervalPayload":
+        """Decode one interval record."""
+        return cls(
+            confidence=float(record["confidence"]),
+            low=float(record["low"]),
+            high=float(record["high"]),
+        )
+
+
+@dataclass(frozen=True)
+class ResultPayload:
+    """One (variant, mpl) cell of a prediction fan-out.
+
+    ``std`` is carried redundantly (``sqrt(variance)``) for consumers
+    that never want to touch math; the distribution is fully determined
+    by ``mean``/``variance``.
+    """
+
+    variant: str
+    mpl: int
+    mean: float
+    variance: float
+    std: float
+    intervals: tuple[IntervalPayload, ...]
+
+    def interval(self, confidence: float) -> IntervalPayload:
+        """The requested-confidence interval carried by this result."""
+        for interval in self.intervals:
+            if interval.confidence == confidence:
+                return interval
+        raise WireError(
+            f"no {confidence!r} interval in this result; carried: "
+            f"{sorted(i.confidence for i in self.intervals)}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "variant": self.variant,
+            "mpl": int(self.mpl),
+            "mean": _finite(self.mean, "mean"),
+            "variance": _finite(self.variance, "variance"),
+            "std": _finite(self.std, "std"),
+            "intervals": [interval.to_dict() for interval in self.intervals],
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "ResultPayload":
+        """Decode one fan-out cell."""
+        return cls(
+            variant=str(record["variant"]),
+            mpl=int(record["mpl"]),
+            mean=float(record["mean"]),
+            variance=float(record["variance"]),
+            std=float(record["std"]),
+            intervals=tuple(
+                IntervalPayload.from_dict(item)
+                for item in record.get("intervals", [])
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class PredictResponse:
+    """All requested distributions for one query."""
+
+    sql: str
+    results: tuple[ResultPayload, ...]
+    prepare_was_cached: bool = False
+
+    def result(self, variant: str = "all", mpl: int = 1) -> ResultPayload:
+        """The cell for ``(variant, mpl)``; raises when not requested."""
+        key = Variant.from_name(variant).wire_name
+        for payload in self.results:
+            if payload.variant == key and payload.mpl == mpl:
+                return payload
+        raise WireError(
+            f"no result for variant={variant!r}, mpl={mpl}; carried: "
+            f"{sorted((r.variant, r.mpl) for r in self.results)}"
+        )
+
+    @property
+    def mean(self) -> float:
+        return self.results[0].mean
+
+    @property
+    def std(self) -> float:
+        return self.results[0].std
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "sql": self.sql,
+            "prepare_was_cached": self.prepare_was_cached,
+            "results": [payload.to_dict() for payload in self.results],
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "PredictResponse":
+        """Decode, tolerating unknown fields, rejecting foreign versions."""
+        check_schema_version(record)
+        return cls(
+            sql=str(record.get("sql", "")),
+            results=tuple(
+                ResultPayload.from_dict(item)
+                for item in record.get("results", [])
+            ),
+            prepare_was_cached=bool(record.get("prepare_was_cached", False)),
+        )
+
+
+@dataclass(frozen=True)
+class BatchResponse:
+    """The serving answer for one batch: responses, failures, counters."""
+
+    responses: tuple[PredictResponse, ...]
+    failures: tuple[QueryFailure, ...]
+    elapsed_seconds: float
+    stats: ServiceStats
+
+    def __len__(self) -> int:
+        return len(self.responses)
+
+    def __iter__(self):
+        return iter(self.responses)
+
+    @property
+    def queries_per_second(self) -> float:
+        return len(self.responses) / max(self.elapsed_seconds, 1e-12)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "responses": [response.to_dict() for response in self.responses],
+            "failures": [
+                query_failure_to_dict(failure) for failure in self.failures
+            ],
+            "elapsed_seconds": _finite(self.elapsed_seconds, "elapsed_seconds"),
+            "stats": service_stats_to_dict(self.stats),
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "BatchResponse":
+        """Decode, tolerating unknown fields, rejecting foreign versions."""
+        check_schema_version(record)
+        return cls(
+            responses=tuple(
+                PredictResponse.from_dict(item)
+                for item in record.get("responses", [])
+            ),
+            failures=tuple(
+                query_failure_from_dict(item)
+                for item in record.get("failures", [])
+            ),
+            elapsed_seconds=float(record.get("elapsed_seconds", 0.0)),
+            stats=service_stats_from_dict(record.get("stats", {})),
+        )
+
+
+# ---------------------------------------------------------------------------
+# service-layer records (failures, counters, reports)
+
+
+def query_failure_to_dict(failure: QueryFailure) -> dict:
+    """Wire form of one per-query failure."""
+    return {
+        "index": failure.index,
+        "sql": failure.sql,
+        "error": failure.error,
+        "code": failure.code,
+    }
+
+
+def query_failure_from_dict(record: dict) -> QueryFailure:
+    """Rebuild a :class:`~repro.service.QueryFailure` from its wire form."""
+    return QueryFailure(
+        index=int(record["index"]),
+        sql=record.get("sql"),
+        error=str(record.get("error", "")),
+        code=str(record.get("code", "internal")),
+    )
+
+
+def service_stats_to_dict(stats: ServiceStats) -> dict:
+    """Wire form of the cumulative serving counters.
+
+    ``prepare_hit_rate`` is included as a derived convenience field,
+    ``null`` when there was no prepare traffic (matching the in-process
+    ``None``).
+    """
+    record = {name: getattr(stats, name) for name in _COUNTER_FIELDS}
+    record["prepare_hit_rate"] = stats.prepare_hit_rate
+    return record
+
+
+def service_stats_from_dict(record: dict) -> ServiceStats:
+    """Rebuild :class:`~repro.service.ServiceStats` (derived fields ignored)."""
+    return ServiceStats(
+        **{name: int(record.get(name, 0)) for name in _COUNTER_FIELDS}
+    )
+
+
+def cache_stats_to_dict(stats: CacheStats) -> dict:
+    """Wire form of one cache layer's hit/miss counters."""
+    record = {name: getattr(stats, name) for name in _CACHE_FIELDS}
+    record["hit_rate"] = stats.hit_rate
+    return record
+
+
+def cache_stats_from_dict(record: dict) -> CacheStats:
+    """Rebuild :class:`~repro.caching.CacheStats` (derived fields ignored)."""
+    return CacheStats(
+        **{name: int(record.get(name, 0)) for name in _CACHE_FIELDS}
+    )
+
+
+def service_report_to_dict(report: ServiceReport) -> dict:
+    """Wire form of a point-in-time :class:`~repro.service.ServiceReport`."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "stats": service_stats_to_dict(report.stats),
+        "prepared_cache": cache_stats_to_dict(report.prepared_cache),
+        "prepared_entries": report.prepared_entries,
+        "sampling_cache": cache_stats_to_dict(report.sampling_cache),
+        "sampling_entries": report.sampling_entries,
+        "sampling_bytes_used": report.sampling_bytes_used,
+        "sampling_bytes_budget": report.sampling_bytes_budget,
+    }
+
+
+def service_report_from_dict(record: dict) -> ServiceReport:
+    """Rebuild a :class:`~repro.service.ServiceReport` from its wire form."""
+    check_schema_version(record)
+    return ServiceReport(
+        stats=service_stats_from_dict(record.get("stats", {})),
+        prepared_cache=cache_stats_from_dict(record.get("prepared_cache", {})),
+        prepared_entries=int(record.get("prepared_entries", 0)),
+        sampling_cache=cache_stats_from_dict(record.get("sampling_cache", {})),
+        sampling_entries=int(record.get("sampling_entries", 0)),
+        sampling_bytes_used=int(record.get("sampling_bytes_used", 0)),
+        sampling_bytes_budget=int(record.get("sampling_bytes_budget", 0)),
+    )

@@ -6,13 +6,18 @@ Subcommands::
     python -m repro explain       --sql "SELECT ..."             # show the plan
     python -m repro predict       --sql "SELECT ..." [--sr 0.05] # distribution
     python -m repro predict-batch --templates 20 --mpl 1,4       # batch service
+    python -m repro serve         --port 8080                    # HTTP front-end
     python -m repro bench         [--quick | --full]             # the registry
     python -m repro report        [--quick]                      # paper report
 
-``bench`` runs the registered benchmark scenarios (see
-``docs/benchmarks.md``) and writes ``BENCH_<scenario>.json`` artifacts
-plus the ``BENCH_summary.json`` trajectory; ``report`` regenerates the
-paper's tables and figures as one markdown report (the old ``bench``
+``predict``/``predict-batch``/``serve`` all drive one
+:class:`repro.api.Session` built from the same declarative
+:class:`repro.api.SessionConfig` — ``serve`` exposes it over the
+versioned HTTP/JSON wire schema (see ``docs/api.md``). ``bench`` runs
+the registered benchmark scenarios (see ``docs/benchmarks.md``) and
+writes ``BENCH_<scenario>.json`` artifacts plus the
+``BENCH_summary.json`` trajectory; ``report`` regenerates the paper's
+tables and figures as one markdown report (the old ``bench``
 behaviour). The CLI regenerates the database from its config on every
 invocation (generation is deterministic and fast at these scales), so
 it needs no on-disk state.
@@ -24,18 +29,17 @@ import argparse
 import sys
 
 from . import __version__
-from .calibration import Calibrator
-from .core import UncertaintyPredictor, Variant
+from .api import Session, SessionConfig
+from .core import Variant
 from .datagen import TpchConfig, generate_tpch
+from .errors import PredictionError, SessionError
 from .executor import Executor
-from .hardware import PROFILES, HardwareSimulator
+from .hardware import PROFILES
 from .optimizer import Optimizer
-from .sampling import SampleDatabase
-from .service import PredictionService
 
 __all__ = ["main", "build_parser"]
 
-_VARIANT_BY_NAME = {variant.value.lower(): variant for variant in Variant}
+_VARIANT_NAMES = sorted(variant.wire_name for variant in Variant)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -97,7 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--variants", default="all",
         help="comma-separated predictor variants "
-        f"({', '.join(sorted(_VARIANT_BY_NAME))})",
+        f"({', '.join(_VARIANT_NAMES)})",
     )
     batch.add_argument(
         "--mpl", default="1",
@@ -106,6 +110,41 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--template-seed", type=int, default=0,
         help="RNG seed for --templates instantiation",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="serve predictions over HTTP/JSON (see docs/api.md)"
+    )
+    add_db_args(serve)
+    serve.add_argument("--sr", type=float, default=0.05, help="sampling ratio")
+    serve.add_argument(
+        "--machine", choices=sorted(PROFILES), default="PC2", help="hardware profile"
+    )
+    serve.add_argument(
+        "--estimator", choices=("sampling", "histogram"), default="sampling",
+        help="selectivity estimator backend (default: sampling)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="TCP port (0 picks an ephemeral one, printed at startup)",
+    )
+    serve.add_argument(
+        "--max-in-flight", type=int, default=8,
+        help="bounded admission: concurrent prediction requests (default: 8)",
+    )
+    serve.add_argument(
+        "--variants", default="all",
+        help="default predictor variants for requests that omit them "
+        f"({', '.join(_VARIANT_NAMES)})",
+    )
+    serve.add_argument(
+        "--mpl", default="1",
+        help="default comma-separated multiprogramming levels (default: 1)",
+    )
+    serve.add_argument(
+        "--warmup", action="store_true",
+        help="pre-serve one instantiation of every TPC-H template at startup",
     )
 
     bench = sub.add_parser(
@@ -181,23 +220,43 @@ def _cmd_explain(args, out) -> int:
     return 0
 
 
-def _cmd_predict(args, out) -> int:
-    db, _ = _database(args)
-    planned = Optimizer(db).plan_sql(args.sql)
-    simulator = HardwareSimulator(PROFILES[args.machine], rng=args.seed)
-    units = Calibrator(simulator).calibrate()
-    samples = SampleDatabase(db, sampling_ratio=args.sr, seed=args.seed + 1)
-    prediction = UncertaintyPredictor(units).predict(planned, samples)
+def _session_config(args, **overrides) -> SessionConfig:
+    """The declarative session config shared by predict/predict-batch/serve.
 
-    print(planned.explain(), file=out)
-    print(f"\npredicted mean : {prediction.mean:.4f} s", file=out)
-    print(f"predicted std  : {prediction.std:.4f} s", file=out)
-    for confidence in (0.5, 0.9, 0.99):
-        low, high = prediction.confidence_interval(confidence)
-        print(f"{confidence:>6.0%} interval : [{low:.4f} s, {high:.4f} s]", file=out)
+    Seed layout matches the historical hand-wired CLI: the simulator is
+    seeded with ``--seed``, the sample database with ``--seed + 1``.
+    """
+    try:
+        return SessionConfig(
+            scale_factor=args.scale,
+            skew_z=args.skew,
+            db_seed=args.seed,
+            machine=args.machine,
+            calibration_seed=args.seed,
+            sampling_ratio=args.sr,
+            sampling_seed=args.seed + 1,
+            **overrides,
+        )
+    except SessionError as error:
+        raise SystemExit(str(error)) from None
+
+
+def _cmd_predict(args, out) -> int:
+    session = Session(_session_config(args))
+    print(session.explain(args.sql), file=out)
+    response = session.predict(args.sql)
+    result = response.results[0]
+    print(f"\npredicted mean : {result.mean:.4f} s", file=out)
+    print(f"predicted std  : {result.std:.4f} s", file=out)
+    for interval in result.intervals:
+        print(
+            f"{interval.confidence:>6.0%} interval : "
+            f"[{interval.low:.4f} s, {interval.high:.4f} s]",
+            file=out,
+        )
     if args.execute:
-        result = Executor(db).execute(planned)
-        actual = simulator.run_repeated(result.counts)
+        executed = Executor(session.database).execute(session.plan(args.sql))
+        actual = session.simulator.run_repeated(executed.counts)
         print(f"actual (sim)   : {actual:.4f} s", file=out)
     return 0
 
@@ -219,64 +278,62 @@ def _batch_queries(args) -> list[str]:
     ]
 
 
-def _parse_variants(spec: str) -> list[Variant]:
-    variants = []
+def _parse_variants(spec: str) -> tuple[str, ...]:
+    names = []
     for name in spec.split(","):
-        name = name.strip().lower()
-        if name not in _VARIANT_BY_NAME:
+        try:
+            names.append(Variant.from_name(name).wire_name)
+        except PredictionError:
             raise SystemExit(
-                f"unknown variant {name!r}; choose from "
-                f"{', '.join(sorted(_VARIANT_BY_NAME))}"
-            )
-        variants.append(_VARIANT_BY_NAME[name])
-    return variants
+                f"unknown variant {name.strip().lower()!r}; choose from "
+                f"{', '.join(_VARIANT_NAMES)}"
+            ) from None
+    return tuple(names)
+
+
+def _parse_mpls(spec: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(level) for level in spec.split(","))
+    except ValueError:
+        raise SystemExit(
+            f"--mpl expects comma-separated integers, got {spec!r}"
+        ) from None
 
 
 def _cmd_predict_batch(args, out) -> int:
-    db, _ = _database(args)
     queries = _batch_queries(args)
     if not queries:
         print("no queries to serve", file=out)
         return 1
     variants = _parse_variants(args.variants)
-    try:
-        mpls = [int(level) for level in args.mpl.split(",")]
-    except ValueError:
-        raise SystemExit(
-            f"--mpl expects comma-separated integers, got {args.mpl!r}"
-        ) from None
-
-    simulator = HardwareSimulator(PROFILES[args.machine], rng=args.seed)
-    units = Calibrator(simulator).calibrate()
-    service = PredictionService(
-        db, units, sampling_ratio=args.sr, seed=args.seed + 1
+    mpls = _parse_mpls(args.mpl)
+    session = Session(
+        _session_config(args, default_variants=variants, default_mpls=mpls)
     )
-    # skip_failures: one malformed statement yields a per-query error
-    # row, not an aborted batch; the exit code still reports it.
-    batch = service.predict_batch(
-        queries, variants=variants, mpls=mpls, skip_failures=True
-    )
+    # Failures are skipped: one malformed statement yields a per-query
+    # error row, not an aborted batch; the exit code still reports it.
+    batch = session.predict_batch(queries)
 
     header = f"{'#':>3}  {'mean':>9}  {'std':>9}  {'90% interval':>22}  cache"
     print(header, file=out)
     failure_by_index = {failure.index: failure for failure in batch.failures}
-    predictions = iter(batch.predictions)
+    responses = iter(batch.responses)
     for index in range(len(queries)):
         failure = failure_by_index.get(index)
         if failure is not None:
-            print(f"{index:>3}  ERROR  {failure.error}", file=out)
+            print(f"{index:>3}  ERROR [{failure.code}]  {failure.error}", file=out)
             continue
-        prediction = next(predictions)
-        result = prediction.result(variants[0], mpls[0])
-        low, high = result.confidence_interval(0.90)
-        cache = "hit" if prediction.prepare_was_cached else "miss"
+        response = next(responses)
+        result = response.result(variants[0], mpls[0])
+        interval = result.interval(0.90)
+        cache = "hit" if response.prepare_was_cached else "miss"
         print(
             f"{index:>3}  {result.mean:>8.4f}s  {result.std:>8.4f}s  "
-            f"[{low:>8.4f}s, {high:>8.4f}s]  {cache}",
+            f"[{interval.low:>8.4f}s, {interval.high:>8.4f}s]  {cache}",
             file=out,
         )
         for mpl in mpls[1:]:
-            loaded = prediction.result(variants[0], mpl)
+            loaded = response.result(variants[0], mpl)
             print(
                 f"{'':>3}  {loaded.mean:>8.4f}s  {loaded.std:>8.4f}s  "
                 f"(mpl={mpl})",
@@ -288,15 +345,57 @@ def _cmd_predict_batch(args, out) -> int:
         f"{batch.elapsed_seconds:.3f}s "
         f"({batch.queries_per_second:.1f} q/s) — "
         f"{stats.prepares_run} prepares, {stats.prepare_cache_hits} cache hits "
-        f"(hit rate {stats.prepare_hit_rate:.0%}), "
+        f"(hit rate {stats.describe_hit_rate()}), "
         f"{stats.assemblies} assemblies",
         file=out,
     )
-    for line in service.report().cache_lines():
+    for line in session.stats().cache_lines():
         print(line, file=out)
     if batch.failures:
         print(f"{len(batch.failures)} queries failed", file=out)
         return 1
+    return 0
+
+
+def _cmd_serve(args, out) -> int:
+    from .api.http import build_server
+    from .api.wire import SCHEMA_VERSION
+
+    variants = _parse_variants(args.variants)
+    mpls = _parse_mpls(args.mpl)
+    config = _session_config(
+        args,
+        estimator=args.estimator,
+        default_variants=variants,
+        default_mpls=mpls,
+    )
+    print(
+        f"building session (scale {args.scale}, machine {args.machine}, "
+        f"estimator {args.estimator}) ...",
+        file=out, flush=True,
+    )
+    session = Session(config)
+    if args.warmup:
+        warmed = session.warmup()
+        print(f"warmed {warmed} template queries", file=out, flush=True)
+    server = build_server(
+        session, host=args.host, port=args.port,
+        max_in_flight=args.max_in_flight,
+    )
+    # The "listening on" line is the startup contract: tools/http_smoke.py
+    # and operators parse the (possibly ephemeral) bound address from it.
+    print(
+        f"repro serve listening on {server.url} "
+        f"(wire schema v{SCHEMA_VERSION}, max in-flight {args.max_in_flight})",
+        file=out, flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=out)
+    finally:
+        server.server_close()
+        session.close()
     return 0
 
 
@@ -381,6 +480,7 @@ _COMMANDS = {
     "explain": _cmd_explain,
     "predict": _cmd_predict,
     "predict-batch": _cmd_predict_batch,
+    "serve": _cmd_serve,
     "bench": _cmd_bench,
     "report": _cmd_report,
 }

@@ -40,6 +40,23 @@ class Variant(Enum):
     NO_VAR_X = "NoVar[X]"
     NO_COV = "NoCov"
 
+    @property
+    def wire_name(self) -> str:
+        """The lowercase name used on the wire and by the CLI."""
+        return self.value.lower()
+
+    @classmethod
+    def from_name(cls, name: str) -> "Variant":
+        """Resolve a case-insensitive wire/CLI name like ``"all"``/``"nocov"``."""
+        key = name.strip().lower()
+        for variant in cls:
+            if variant.value.lower() == key:
+                return variant
+        known = ", ".join(sorted(variant.value.lower() for variant in cls))
+        raise PredictionError(
+            f"unknown predictor variant {name!r}; expected one of {known}"
+        )
+
 
 VARIANT_OPTIONS = {
     Variant.ALL: VarianceOptions(),

@@ -2,6 +2,11 @@
 
 All library errors derive from :class:`ReproError` so callers can catch a
 single base class. Subsystems raise the most specific subclass available.
+
+Every class also carries a stable machine-readable **error code** (see
+:data:`ERROR_CODES` / :func:`error_code`): the wire schema and the HTTP
+front-end put that code in structured error bodies, so remote clients can
+branch on ``"sql-parse"`` instead of string-matching Python class names.
 """
 
 
@@ -55,3 +60,57 @@ class FittingError(ReproError):
 
 class PredictionError(ReproError):
     """The uncertainty-aware predictor hit an invalid state."""
+
+
+class SessionError(ReproError):
+    """A session facade was misconfigured or used after close()."""
+
+
+class WireError(ReproError):
+    """A wire-schema payload is malformed or has an unsupported version.
+
+    ``code`` refines the generic class-level error code: a schema-version
+    mismatch reports ``"schema-version"`` while other payload problems
+    keep the default ``"bad-request"``.
+    """
+
+    def __init__(self, message: str, code: str = "bad-request"):
+        super().__init__(message)
+        self.code = code
+
+
+#: Stable wire codes per error class, most specific first. These are part
+#: of the public HTTP contract (docs/api.md) — do not rename casually.
+ERROR_CODES = {
+    SqlLexError: "sql-lex",
+    SqlParseError: "sql-parse",
+    SqlError: "sql",
+    SchemaError: "schema",
+    CatalogError: "catalog",
+    PlanError: "plan",
+    OptimizerError: "optimizer",
+    ExecutionError: "execution",
+    SamplingError: "sampling",
+    CalibrationError: "calibration",
+    FittingError: "fitting",
+    PredictionError: "prediction",
+    SessionError: "session",
+    WireError: "bad-request",
+    ReproError: "error",
+}
+
+
+def error_code(error: BaseException) -> str:
+    """The stable wire code for ``error``.
+
+    An explicit ``code`` attribute on the instance wins; otherwise the
+    most specific :data:`ERROR_CODES` entry along the class's MRO;
+    anything outside the :class:`ReproError` hierarchy is ``"internal"``.
+    """
+    code = getattr(error, "code", None)
+    if isinstance(code, str) and code:
+        return code
+    for cls in type(error).__mro__:
+        if cls in ERROR_CODES:
+            return ERROR_CODES[cls]
+    return "internal"

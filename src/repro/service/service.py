@@ -42,7 +42,7 @@ from ..core.predictor import (
     Variant,
 )
 from ..costfuncs.fitting import DEFAULT_GRID_W
-from ..errors import PredictionError
+from ..errors import PredictionError, error_code
 from ..optimizer.optimizer import Optimizer, OptimizerConfig, PlannedQuery
 from ..sampling.engine import DEFAULT_ENGINE_BUDGET_BYTES, SamplingEngine
 from ..sampling.sample_db import SampleDatabase
@@ -71,9 +71,22 @@ class ServiceStats:
     assemblies: int = 0
 
     @property
-    def prepare_hit_rate(self) -> float:
+    def prepare_hit_rate(self) -> float | None:
+        """Cache hits per prepare lookup, or None before the first lookup.
+
+        Mirrors :attr:`repro.caching.CacheStats.hit_rate`: a service that
+        has seen no traffic has no hit rate, and reporting 0% would read
+        as "everything missed".
+        """
         total = self.prepares_run + self.prepare_cache_hits
-        return self.prepare_cache_hits / total if total else 0.0
+        return self.prepare_cache_hits / total if total else None
+
+    def describe_hit_rate(self) -> str:
+        """Human-readable prepare hit rate: ``"67%"``, or ``"n/a"``
+        before the first lookup (the shared None-means-no-traffic policy
+        of :meth:`repro.caching.CacheStats.describe`)."""
+        rate = self.prepare_hit_rate
+        return "n/a" if rate is None else f"{rate:.0%}"
 
     def snapshot(self) -> "ServiceStats":
         return replace(self)
@@ -168,12 +181,15 @@ class QueryFailure:
     """One query of a batch that could not be served.
 
     ``index`` is the query's position in the submitted batch, so callers
-    can line failures up with their inputs.
+    can line failures up with their inputs. ``code`` is the stable wire
+    code of the failure class (:func:`repro.errors.error_code`), so
+    remote consumers can branch without parsing ``error`` text.
     """
 
     index: int
     sql: str | None
     error: str
+    code: str = "internal"
 
     def __str__(self) -> str:
         return f"query #{self.index}: {self.error}"
@@ -390,6 +406,7 @@ class PredictionService:
                         index=index,
                         sql=query if isinstance(query, str) else None,
                         error=f"{type(error).__name__}: {error}",
+                        code=error_code(error),
                     )
                 )
         return BatchPrediction(

@@ -1,0 +1,238 @@
+"""The HTTP front-end: wire fidelity, error taxonomy, admission.
+
+The load-bearing assertion is `test_http_batch_bitwise_identical`: a
+batch of TPC-H template queries served over HTTP must be **bitwise**
+equal — means, variances, interval bounds — to the same batch through
+the in-process :class:`repro.api.Session`, the acceptance criterion of
+the serving front-end.
+"""
+
+import threading
+import urllib.request
+
+import pytest
+
+from repro.api import (
+    ApiError,
+    HttpClient,
+    Session,
+    SessionConfig,
+    build_server,
+)
+from repro.api.http import status_for_error
+from repro.api.wire import SCHEMA_VERSION, BatchRequest
+from repro.errors import (
+    OptimizerError,
+    ReproError,
+    SqlParseError,
+    WireError,
+)
+from repro.util import ensure_rng
+from repro.workloads.tpch_templates import TPCH_TEMPLATES
+
+SQL = "SELECT COUNT(*) FROM orders WHERE o_totalprice > 100000"
+
+
+@pytest.fixture(scope="module")
+def session(tpch_db, calibrated_units):
+    return Session.from_components(
+        tpch_db,
+        calibrated_units,
+        SessionConfig(sampling_ratio=0.05, sampling_seed=3),
+    )
+
+
+@pytest.fixture(scope="module")
+def server(session):
+    bound = build_server(session, port=0, max_in_flight=4)
+    thread = threading.Thread(target=bound.serve_forever, daemon=True)
+    thread.start()
+    yield bound
+    bound.shutdown()
+    bound.server_close()
+    thread.join(timeout=5)
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return HttpClient(server.url, timeout=30.0)
+
+
+def template_queries(count=8):
+    rng = ensure_rng(17)
+    return [
+        TPCH_TEMPLATES[i % len(TPCH_TEMPLATES)].instantiate(rng)
+        for i in range(count)
+    ]
+
+
+class TestEndpoints:
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["schema_version"] == SCHEMA_VERSION
+        assert health["max_in_flight"] == 4
+
+    def test_predict_round_trip(self, client, session):
+        over_http = client.predict(SQL)
+        in_process = session.predict(SQL)
+        assert over_http.results == in_process.results
+
+    def test_stats_endpoint_decodes_to_report(self, client):
+        report = client.stats()
+        assert report.stats.queries_served >= 1
+        assert report.sampling_bytes_budget > 0
+
+    def test_http_batch_bitwise_identical(self, client, session):
+        """Acceptance: HTTP == in-process, bitwise, for a template batch."""
+        queries = template_queries()
+        request = BatchRequest(
+            queries=tuple(queries), variants=("all", "nocov"),
+            mpls=(1, 4), confidences=(0.5, 0.9, 0.99),
+        )
+        over_http = client.predict_batch(request)
+        in_process = session.predict_batch(request)
+        assert len(over_http) == len(queries)
+        assert not over_http.failures
+        for remote, local in zip(over_http, in_process):
+            assert remote.sql == local.sql
+            for got, expected in zip(remote.results, local.results):
+                # == on the frozen dataclasses is exact float equality:
+                # means, variances, stds, and every interval bound.
+                assert got == expected
+
+    def test_unknown_endpoint_404(self, client):
+        with pytest.raises(ApiError) as caught:
+            client.request_json("GET", "/v2/predict")
+        assert caught.value.status == 404
+        assert caught.value.code == "not-found"
+
+    def test_unsupported_method_405(self, server):
+        request = urllib.request.Request(
+            f"{server.url}/v1/predict", data=b"{}", method="PUT"
+        )
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(request, timeout=10)
+        assert caught.value.code == 405
+
+
+class TestErrorTaxonomy:
+    def test_malformed_sql_is_400_with_parser_message(self, client):
+        with pytest.raises(ApiError) as caught:
+            client.predict("SELEC nope")
+        error = caught.value
+        assert error.status == 400
+        assert error.code == "sql-parse"
+        assert "expected SELECT" in error.remote_message
+
+    def test_bad_json_body_is_400(self, client):
+        request = urllib.request.Request(
+            f"{client.base_url}/v1/predict", data=b"not json {",
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as caught:
+            urllib.request.urlopen(request, timeout=10)
+        assert caught.value.code == 400
+
+    def test_missing_body_is_400(self, client):
+        with pytest.raises(ApiError) as caught:
+            client.request_json("POST", "/v1/predict")
+        assert caught.value.status == 400
+
+    def test_invalid_fanout_payload_is_400(self, client):
+        for payload in (
+            {"sql": SQL, "variants": ["warp-speed"]},
+            {"sql": SQL, "mpls": [0]},
+            {"sql": SQL, "confidences": [1.5]},
+        ):
+            with pytest.raises(ApiError) as caught:
+                client.request_json("POST", "/v1/predict", payload)
+            assert caught.value.status == 400
+            assert caught.value.code == "bad-request"
+
+    def test_foreign_schema_version_is_400(self, client):
+        with pytest.raises(ApiError) as caught:
+            client.request_json(
+                "POST", "/v1/predict",
+                {"sql": SQL, "schema_version": SCHEMA_VERSION + 1},
+            )
+        assert caught.value.status == 400
+        assert caught.value.code == "schema-version"
+
+    def test_batch_failures_carry_codes_not_500s(self, client):
+        batch = client.predict_batch([SQL, "SELEC nope"])
+        assert len(batch) == 1
+        (failure,) = batch.failures
+        assert failure.index == 1
+        assert failure.code == "sql-parse"
+
+    def test_status_mapping(self):
+        assert status_for_error(SqlParseError("x")) == 400
+        assert status_for_error(WireError("x")) == 400
+        assert status_for_error(OptimizerError("x")) == 422
+        assert status_for_error(ReproError("x")) == 422
+        assert status_for_error(RuntimeError("x")) == 500
+
+    def test_unknown_table_is_422_catalog(self, client):
+        # Parseable SQL the catalog refuses: a library error, not a 500.
+        with pytest.raises(ApiError) as caught:
+            client.predict("SELECT COUNT(*) FROM nosuchtable")
+        assert caught.value.status == 422
+        assert caught.value.code == "catalog"
+        assert "nosuchtable" in caught.value.remote_message
+
+
+class TestAdmission:
+    def test_over_capacity_is_503_with_retry_after(self, server, client):
+        # Deterministic: drain every admission slot directly, then ask.
+        taken = 0
+        while server.admit():
+            taken += 1
+        assert taken == server.max_in_flight
+        try:
+            with pytest.raises(ApiError) as caught:
+                client.predict(SQL)
+            assert caught.value.status == 503
+            assert caught.value.code == "over-capacity"
+        finally:
+            for _ in range(taken):
+                server.release()
+        # slots restored: serving works again
+        assert client.predict(SQL).results
+
+    def test_health_probes_never_metered(self, server, client):
+        taken = 0
+        while server.admit():
+            taken += 1
+        try:
+            assert client.healthz()["status"] == "ok"
+            assert client.stats().stats.queries_served >= 1
+        finally:
+            for _ in range(taken):
+                server.release()
+
+    def test_concurrent_batches_agree_with_serial(self, client, session):
+        """4 threads x same batch: every response bitwise-identical."""
+        queries = template_queries(4)
+        expected = session.predict_batch(queries)
+        results = [None] * 4
+        errors = []
+
+        def drive(slot):
+            try:
+                results[slot] = client.predict_batch(queries)
+            except Exception as error:  # noqa: BLE001 — assert below
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=drive, args=(slot,)) for slot in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        for batch in results:
+            assert batch is not None
+            for remote, local in zip(batch, expected):
+                assert remote.results == local.results

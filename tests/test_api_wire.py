@@ -1,0 +1,273 @@
+"""The versioned wire schema round-trips bitwise and rejects bad input.
+
+Every object that crosses the HTTP boundary must survive
+``to_dict -> json -> from_dict`` **exactly** (Python float repr is
+lossless), tolerate unknown fields, refuse foreign schema versions, and
+never emit NaN/inf (a variance-0 point mass serializes as plain zeros).
+"""
+
+import json
+
+import pytest
+
+from repro.api.wire import (
+    SCHEMA_VERSION,
+    BatchRequest,
+    BatchResponse,
+    IntervalPayload,
+    PredictRequest,
+    PredictResponse,
+    ResultPayload,
+    cache_stats_from_dict,
+    cache_stats_to_dict,
+    check_schema_version,
+    dumps,
+    error_body,
+    loads,
+    query_failure_from_dict,
+    query_failure_to_dict,
+    service_report_from_dict,
+    service_report_to_dict,
+    service_stats_from_dict,
+    service_stats_to_dict,
+)
+from repro.caching import CacheStats
+from repro.errors import (
+    PredictionError,
+    SqlParseError,
+    WireError,
+    error_code,
+)
+from repro.service import QueryFailure, ServiceReport, ServiceStats
+from repro.util import ensure_rng
+
+
+def rt(record):
+    """One JSON round-trip of a wire dict, strict mode."""
+    return json.loads(dumps(record))
+
+
+def random_response(rng, sql="SELECT 1", point_mass=False) -> PredictResponse:
+    """A synthetic response with adversarial float values."""
+    results = []
+    for variant, mpl in (("all", 1), ("nocov", 4)):
+        if point_mass:
+            mean, variance, std = float(rng.uniform(0, 10)), 0.0, 0.0
+        else:
+            mean = float(rng.uniform(0, 1000))
+            std = float(rng.uniform(0, 50))
+            variance = std * std
+        intervals = tuple(
+            IntervalPayload(c, mean - std, mean + std) for c in (0.5, 0.9)
+        )
+        results.append(
+            ResultPayload(
+                variant=variant, mpl=mpl, mean=mean, variance=variance,
+                std=std, intervals=intervals,
+            )
+        )
+    return PredictResponse(
+        sql=sql, results=tuple(results),
+        prepare_was_cached=bool(rng.integers(2)),
+    )
+
+
+class TestRequests:
+    def test_predict_request_round_trip(self):
+        request = PredictRequest(
+            sql="SELECT 1", variants=("all", "nocov"), mpls=(1, 4),
+            confidences=(0.5, 0.99),
+        )
+        assert PredictRequest.from_dict(rt(request.to_dict())) == request
+
+    def test_defaults_stay_none_on_the_wire(self):
+        request = PredictRequest(sql="SELECT 1")
+        record = request.to_dict()
+        assert "variants" not in record and "mpls" not in record
+        assert PredictRequest.from_dict(rt(record)) == request
+
+    def test_batch_request_round_trip(self):
+        batch = BatchRequest(
+            queries=("SELECT 1", "SELECT 2"), mpls=(1, 2),
+            skip_failures=False,
+        )
+        assert BatchRequest.from_dict(rt(batch.to_dict())) == batch
+
+    def test_empty_sql_rejected(self):
+        with pytest.raises(WireError):
+            PredictRequest(sql="   ")
+        with pytest.raises(WireError):
+            PredictRequest.from_dict({"schema_version": SCHEMA_VERSION})
+
+    def test_invalid_fanout_is_a_payload_error(self):
+        """Bad variants/mpls/confidences are WireErrors (HTTP 400), not
+        engine errors (which would surface as 422)."""
+        with pytest.raises(WireError):
+            PredictRequest(sql="SELECT 1", variants=("warp-speed",))
+        with pytest.raises(WireError):
+            PredictRequest(sql="SELECT 1", mpls=(0,))
+        with pytest.raises(WireError):
+            PredictRequest(sql="SELECT 1", confidences=(1.5,))
+        with pytest.raises(WireError):
+            BatchRequest(queries=("SELECT 1",), variants=("warp-speed",))
+
+    def test_bad_mpls_payload_rejected(self):
+        with pytest.raises(WireError):
+            PredictRequest.from_dict({"sql": "SELECT 1", "mpls": "1,2"})
+        with pytest.raises(WireError):
+            PredictRequest.from_dict({"sql": "SELECT 1", "mpls": ["one"]})
+
+
+class TestResponses:
+    def test_property_round_trip_random_responses(self):
+        """Many random responses survive JSON bitwise, dataclass-equal."""
+        rng = ensure_rng(1234)
+        for case in range(50):
+            response = random_response(rng, sql=f"SELECT {case}")
+            decoded = PredictResponse.from_dict(rt(response.to_dict()))
+            assert decoded == response  # exact float equality via __eq__
+
+    def test_point_mass_serializes_nan_inf_free(self):
+        """Variance-0 responses emit only finite JSON numbers."""
+        rng = ensure_rng(7)
+        response = random_response(rng, point_mass=True)
+        text = dumps(response.to_dict())
+        assert "NaN" not in text and "Infinity" not in text
+        decoded = PredictResponse.from_dict(json.loads(text))
+        assert decoded == response
+        assert decoded.results[0].variance == 0.0
+        assert decoded.results[0].std == 0.0
+
+    def test_non_finite_values_refused_at_serialization(self):
+        payload = ResultPayload(
+            variant="all", mpl=1, mean=float("nan"), variance=1.0,
+            std=1.0, intervals=(),
+        )
+        with pytest.raises(WireError):
+            payload.to_dict()
+        with pytest.raises(WireError):
+            dumps({"schema_version": SCHEMA_VERSION, "value": float("inf")})
+
+    def test_result_lookup_and_interval_lookup(self):
+        rng = ensure_rng(3)
+        response = random_response(rng)
+        cell = response.result("nocov", 4)
+        assert cell.variant == "nocov" and cell.mpl == 4
+        assert cell.interval(0.9).confidence == 0.9
+        with pytest.raises(WireError):
+            response.result("all", 99)
+        with pytest.raises(WireError):
+            cell.interval(0.42)
+
+    def test_unknown_fields_tolerated(self):
+        rng = ensure_rng(11)
+        record = random_response(rng).to_dict()
+        record["deployment_zone"] = "us-east-1"
+        record["results"][0]["novel_diagnostic"] = {"depth": 3}
+        decoded = PredictResponse.from_dict(record)
+        assert decoded.results[0].mean == record["results"][0]["mean"]
+
+
+class TestSchemaVersion:
+    def test_current_version_accepted(self):
+        check_schema_version({"schema_version": SCHEMA_VERSION})
+        check_schema_version({})  # absent -> assumed current
+
+    @pytest.mark.parametrize("version", [0, 2, 99, "1.0", None])
+    def test_foreign_version_rejected(self, version):
+        with pytest.raises(WireError) as caught:
+            check_schema_version({"schema_version": version})
+        assert caught.value.code == "schema-version"
+
+    def test_rejection_covers_every_top_level_reader(self):
+        foreign = {"schema_version": SCHEMA_VERSION + 1}
+        for reader in (
+            PredictRequest.from_dict,
+            BatchRequest.from_dict,
+            PredictResponse.from_dict,
+            BatchResponse.from_dict,
+            service_report_from_dict,
+        ):
+            with pytest.raises(WireError):
+                reader(dict(foreign))
+
+
+class TestServiceRecords:
+    def test_query_failure_round_trip(self):
+        failure = QueryFailure(
+            index=3, sql="SELEC nope",
+            error="SqlParseError: expected SELECT", code="sql-parse",
+        )
+        assert query_failure_from_dict(rt(query_failure_to_dict(failure))) == failure
+
+    def test_query_failure_none_sql(self):
+        failure = QueryFailure(index=0, sql=None, error="boom")
+        decoded = query_failure_from_dict(rt(query_failure_to_dict(failure)))
+        assert decoded.sql is None and decoded.code == "internal"
+
+    def test_service_stats_round_trip_and_null_hit_rate(self):
+        idle = ServiceStats()
+        record = rt(service_stats_to_dict(idle))
+        assert record["prepare_hit_rate"] is None  # JSON null, not 0.0
+        assert service_stats_from_dict(record) == idle
+
+        busy = ServiceStats(
+            queries_served=7, queries_failed=1, plans_built=4,
+            prepares_run=3, prepare_cache_hits=9, assemblies=28,
+        )
+        record = rt(service_stats_to_dict(busy))
+        assert record["prepare_hit_rate"] == pytest.approx(9 / 12)
+        assert service_stats_from_dict(record) == busy
+
+    def test_cache_stats_round_trip(self):
+        stats = CacheStats(hits=5, misses=3, evictions=2, oversized=1)
+        assert cache_stats_from_dict(rt(cache_stats_to_dict(stats))) == stats
+        assert rt(cache_stats_to_dict(CacheStats()))["hit_rate"] is None
+
+    def test_service_report_round_trip(self):
+        report = ServiceReport(
+            stats=ServiceStats(queries_served=2, prepares_run=2),
+            prepared_cache=CacheStats(hits=1, misses=2),
+            prepared_entries=2,
+            sampling_cache=CacheStats(hits=40, misses=8, evictions=3),
+            sampling_entries=12,
+            sampling_bytes_used=4096,
+            sampling_bytes_budget=1 << 20,
+        )
+        decoded = service_report_from_dict(rt(service_report_to_dict(report)))
+        assert decoded == report
+        # and the rendering helpers still work on the decoded copy
+        assert "prepared cache" in "\n".join(decoded.cache_lines())
+
+    def test_batch_response_round_trip(self):
+        rng = ensure_rng(99)
+        batch = BatchResponse(
+            responses=(random_response(rng), random_response(rng, "SELECT 2")),
+            failures=(QueryFailure(1, "SELEC", "parse", code="sql-parse"),),
+            elapsed_seconds=0.125,
+            stats=ServiceStats(queries_served=2, prepares_run=2),
+        )
+        assert BatchResponse.from_dict(rt(batch.to_dict())) == batch
+
+
+class TestErrorBodies:
+    def test_error_body_carries_stable_code(self):
+        body = error_body(SqlParseError("expected SELECT at position 0"))
+        assert body["schema_version"] == SCHEMA_VERSION
+        assert body["error"]["code"] == "sql-parse"
+        assert body["error"]["type"] == "SqlParseError"
+        assert "expected SELECT" in body["error"]["message"]
+
+    def test_error_codes_cover_the_hierarchy(self):
+        assert error_code(SqlParseError("x")) == "sql-parse"
+        assert error_code(PredictionError("x")) == "prediction"
+        assert error_code(WireError("x")) == "bad-request"
+        assert error_code(WireError("x", code="schema-version")) == "schema-version"
+        assert error_code(ValueError("x")) == "internal"
+
+    def test_loads_rejects_non_json_and_non_objects(self):
+        with pytest.raises(WireError) as caught:
+            loads(b"not json {")
+        assert caught.value.code == "bad-json"
+        with pytest.raises(WireError):
+            loads(b"[1, 2, 3]")

@@ -2,9 +2,10 @@
 
 CI definitions rot silently — a bad indent or a renamed Make target
 only surfaces once a PR is already red. This parses the YAML and pins
-the contract: lint, tier-1 tests, the quick bench smoke, the
-regression guard, and the artifact upload, on both push and
-pull_request.
+the contract: lint, tier-1 tests, the HTTP serving smoke, the quick
+bench smoke, the regression guard, and the artifact upload, on both
+push and pull_request. The Makefile's `ci` target must mirror the
+same HTTP smoke stage.
 """
 
 from pathlib import Path
@@ -55,9 +56,24 @@ def test_gates_in_order(workflow):
 
     lint = index_of("make lint")
     tests = index_of("pytest -x -q")
+    http_smoke = index_of("http_smoke.py")
     bench = index_of("repro bench --quick")
     guard = index_of("benchguard.py")
-    assert lint < tests < bench < guard
+    assert lint < tests < http_smoke < bench < guard
+
+
+def test_http_smoke_stage(workflow):
+    """The serving front-end is exercised end-to-end on every push."""
+    (smoke,) = [
+        cmd for cmd in run_commands(workflow) if "http_smoke.py" in cmd
+    ]
+    assert "python tools/http_smoke.py" in smoke
+
+
+def test_make_ci_mirrors_http_smoke():
+    makefile = (REPO_ROOT / "Makefile").read_text()
+    ci_target = makefile.split("\nci:", 1)[1]
+    assert "tools/http_smoke.py" in ci_target
 
 
 def test_bench_artifacts_uploaded(workflow):

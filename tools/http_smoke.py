@@ -1,0 +1,133 @@
+"""HTTP serving smoke for CI: boot ``repro serve``, drive it, shut down.
+
+Starts ``python -m repro serve`` on an **ephemeral port** as a child
+process, parses the bound address from the startup "listening on" line,
+then from this (second) process:
+
+* ``GET /v1/healthz`` — must report ``status: ok`` and the exact wire
+  ``schema_version`` this checkout speaks;
+* ``POST /v1/predict`` — one TPC-H query must come back with a positive
+  mean, a declared ``schema_version``, and interval bounds;
+* a malformed statement must be a structured 400 (``sql-parse``).
+
+Exit status 0 on success; any failure kills the child and exits 1.
+Wired into ``.github/workflows/ci.yml`` and ``make ci`` (pinned by
+``tests/test_ci_workflow.py``).
+
+Usage: ``python tools/http_smoke.py [--scale 0.01] [--timeout 180]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import queue
+import re
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api.client import ApiError, HttpClient  # noqa: E402
+from repro.api.wire import SCHEMA_VERSION  # noqa: E402
+
+SQL = "SELECT COUNT(*) FROM orders WHERE o_totalprice > 100000"
+_LISTENING = re.compile(r"listening on (http://[0-9.]+:\d+)")
+
+
+def _spawn(scale: float) -> subprocess.Popen:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0", "--scale", str(scale),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+
+
+def _wait_for_url(proc: subprocess.Popen, deadline: float) -> str:
+    # readline() on the child's pipe blocks with no timeout, so a hung
+    # server would stall this stage until the CI job-level timeout. A
+    # daemon thread feeds a queue; the main thread polls it against the
+    # deadline and can give up while the reader is still blocked.
+    lines: list[str] = []
+    feed: queue.Queue[str] = queue.Queue()
+    reader = threading.Thread(
+        target=lambda: [feed.put(line) for line in proc.stdout],
+        daemon=True,
+    )
+    reader.start()
+    while time.monotonic() < deadline:
+        try:
+            line = feed.get(timeout=min(1.0, max(deadline - time.monotonic(), 0.01)))
+        except queue.Empty:
+            if proc.poll() is not None:
+                raise RuntimeError(
+                    "repro serve exited before listening:\n" + "".join(lines)
+                )
+            continue
+        lines.append(line)
+        match = _LISTENING.search(line)
+        if match:
+            return match.group(1)
+    raise RuntimeError(
+        "timed out waiting for the listening line:\n" + "".join(lines)
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.01)
+    parser.add_argument("--timeout", type=float, default=180.0)
+    args = parser.parse_args(argv)
+
+    proc = _spawn(args.scale)
+    try:
+        url = _wait_for_url(proc, time.monotonic() + args.timeout)
+        client = HttpClient(url, timeout=args.timeout)
+
+        health = client.healthz()
+        assert health["status"] == "ok", health
+        assert health["schema_version"] == SCHEMA_VERSION, health
+
+        body = client.request_json("POST", "/v1/predict", {"sql": SQL})
+        assert body["schema_version"] == SCHEMA_VERSION, body
+        (result,) = body["results"]
+        assert result["mean"] > 0, result
+        assert result["intervals"], result
+
+        try:
+            client.predict("SELEC nope")
+        except ApiError as error:
+            assert error.status == 400, error
+            assert error.code == "sql-parse", error
+        else:
+            raise AssertionError("malformed SQL did not produce a 400")
+
+        print(
+            f"http smoke ok: {url} schema v{health['schema_version']}, "
+            f"mean {result['mean']:.4f}s"
+        )
+        return 0
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
