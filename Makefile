@@ -10,11 +10,16 @@ PYTHON ?= python
 BENCH_OUT ?= .
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: lint test test-slow bench bench-quick bench-baselines ci serve example-batch
+.PHONY: lint check-docs test test-slow bench bench-quick bench-baselines ci serve example-batch
 
 lint:
 	$(PYTHON) tools/lint.py
 	@command -v ruff >/dev/null 2>&1 && ruff check src tests benchmarks examples tools || true
+
+# Intra-repo markdown links must resolve; fenced python doc blocks
+# must compile (README.md + docs/, see tools/check_docs.py).
+check-docs:
+	$(PYTHON) tools/check_docs.py
 
 test: lint
 	$(PYTHON) -m pytest -x -q
@@ -57,7 +62,7 @@ bench-baselines:
 # stale BENCH_*.json from a previous invocation. The HTTP smoke boots
 # `repro serve` on an ephemeral port and drives it from a second
 # process (tools/http_smoke.py).
-ci: test
+ci: test check-docs
 	$(PYTHON) tools/http_smoke.py
 	rm -rf bench-artifacts
 	$(PYTHON) -m repro bench --quick --output-dir bench-artifacts

@@ -13,10 +13,22 @@ in-process :class:`~repro.api.session.Session` returns::
 Structured server errors surface as :class:`ApiError` carrying the HTTP
 status and the stable wire ``code`` (``"sql-parse"``,
 ``"schema-version"``, ``"over-capacity"``, ...).
+
+Admission refusals (503 ``over-capacity``) are retryable by
+construction — the server sheds load instead of queueing, and
+predictions are pure reads — so the client can absorb them:
+``retries_503=N`` re-sends a refused request up to N times behind a
+jittered exponential backoff drawn from a **seeded** generator
+(deterministic delay sequences; replay runs stay reproducible). The
+default is 0 retries: surfacing the 503 is the honest default for
+load tests measuring shed traffic.
 """
 
 from __future__ import annotations
 
+import random
+import threading
+import time
 import urllib.error
 import urllib.request
 from typing import Sequence
@@ -47,23 +59,85 @@ class ApiError(ReproError):
 
 
 class HttpClient:
-    """Typed wire-schema requests against one serving base URL."""
+    """Typed wire-schema requests against one serving base URL.
 
-    def __init__(self, base_url: str, timeout: float = 60.0):
+    ``retries_503`` bounds how many times an admission-refused request
+    (503, code ``over-capacity``) is re-sent; ``backoff_seconds`` is the
+    first retry's base delay, doubled per attempt and jittered to
+    50–100% of the base by a generator seeded with ``backoff_seed``.
+    The jitter draws and the retry counter are lock-protected, so the
+    client is safe to share across threads; the delay *sequence* is
+    deterministic — a serial (closed-loop) caller retries on the
+    identical schedule every run, while concurrent callers interleave
+    draws in arrival order.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        *,
+        retries_503: int = 0,
+        backoff_seconds: float = 0.05,
+        backoff_seed: int = 0,
+    ):
+        if retries_503 < 0:
+            raise ApiError(0, "bad-request", f"retries_503 must be >= 0, got {retries_503}")
+        if backoff_seconds <= 0:
+            raise ApiError(
+                0, "bad-request",
+                f"backoff_seconds must be positive, got {backoff_seconds}",
+            )
         self._base_url = base_url.rstrip("/")
         self._timeout = timeout
+        self._retries_503 = retries_503
+        self._backoff_seconds = backoff_seconds
+        self._backoff_rng = random.Random(backoff_seed)
+        self._backoff_lock = threading.Lock()
+        self._retries_performed = 0
 
     @property
     def base_url(self) -> str:
         return self._base_url
+
+    @property
+    def retries_performed(self) -> int:
+        """Total 503 retries this client has issued (monitoring aid)."""
+        return self._retries_performed
 
     # -- transport ---------------------------------------------------------
     def request_json(self, method: str, path: str, payload: dict | None = None) -> dict:
         """One HTTP exchange; returns the decoded JSON body.
 
         Error statuses with a structured body raise :class:`ApiError`;
-        transport failures raise it with code ``"transport"``.
+        transport failures raise it with code ``"transport"``. A 503
+        ``over-capacity`` answer is retried up to ``retries_503`` times
+        behind the seeded jittered backoff before it propagates.
         """
+        attempt = 0
+        while True:
+            try:
+                return self._exchange(method, path, payload)
+            except ApiError as error:
+                retryable = error.status == 503 and error.code == "over-capacity"
+                if not retryable or attempt >= self._retries_503:
+                    raise
+                time.sleep(self._backoff_delay(attempt))
+                attempt += 1
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Exponential base doubled per attempt, jittered to 50–100%.
+
+        The draw and the retry counter update are one atomic step, so
+        threads sharing a client neither lose counter increments nor
+        tear the generator's state.
+        """
+        base = self._backoff_seconds * (2.0 ** attempt)
+        with self._backoff_lock:
+            self._retries_performed += 1
+            return base * (0.5 + 0.5 * self._backoff_rng.random())
+
+    def _exchange(self, method: str, path: str, payload: dict | None) -> dict:
         url = f"{self._base_url}{path}"
         data = dumps(payload).encode("utf-8") if payload is not None else None
         request = urllib.request.Request(

@@ -16,10 +16,13 @@ is a **400** carrying the parser's message, other library failures are
 hierarchy is a 500 — the server never answers a prediction request with
 a bare traceback.
 
-Admission is bounded: at most ``max_in_flight`` prediction requests may
-hold worker threads at once; excess requests are refused immediately
-with 503 (code ``"over-capacity"``) rather than queued without bound.
-Health/stats probes are never metered.
+Admission is bounded: at most ``max_in_flight`` predictions may be in
+progress at once; excess requests are refused immediately with 503
+(code ``"over-capacity"``) rather than queued without bound. A slot
+covers reading the body and computing the prediction, and is released
+*before* the response is written — so N serial (closed-loop) clients
+are never spuriously refused under an N-slot cap. Health/stats probes
+are never metered.
 """
 
 from __future__ import annotations
@@ -86,6 +89,7 @@ class ApiHTTPServer(ThreadingHTTPServer):
         return self._admission.acquire(blocking=False)
 
     def release(self) -> None:
+        """Give back an in-flight slot claimed by :meth:`admit`."""
         self._admission.release()
 
     def health(self) -> dict:
@@ -197,21 +201,31 @@ class _ApiRequestHandler(BaseHTTPRequestHandler):
         if not self.server.admit():
             self._over_capacity()
             return
+        # The slot covers body read + prediction, and is released
+        # *before* the response is written: a client cannot issue its
+        # next request until it has read this response, so releasing
+        # first guarantees N serial clients never see a spurious 503
+        # under an N-slot cap. Releasing after the write (the old
+        # order) left a window where the finished handler still held
+        # the slot while the client's next request was already being
+        # admitted — closed-loop replay at clients == max_in_flight
+        # flushed that race out.
         try:
-            record = self._read_body()
-            if self.path == "/v1/predict":
-                response = self.server.session.predict(
-                    PredictRequest.from_dict(record)
-                )
-            else:
-                response = self.server.session.predict_batch(
-                    BatchRequest.from_dict(record)
-                )
+            try:
+                record = self._read_body()
+                if self.path == "/v1/predict":
+                    response = self.server.session.predict(
+                        PredictRequest.from_dict(record)
+                    )
+                else:
+                    response = self.server.session.predict_batch(
+                        BatchRequest.from_dict(record)
+                    )
+            finally:
+                self.server.release()
             self._send_json(200, response.to_dict())
         except Exception as error:  # noqa: BLE001 — HTTP boundary
             self._send_error_body(error)
-        finally:
-            self.server.release()
 
     def do_PUT(self):  # noqa: N802 — stdlib naming
         self._method_not_allowed()

@@ -175,9 +175,16 @@ class Session:
         return len(batch)
 
     def stats(self) -> ServiceReport:
-        """A point-in-time snapshot of serving counters and cache stats."""
-        with self._lock:
-            return self._service.report()
+        """A point-in-time snapshot of serving counters and cache stats.
+
+        Safe — and non-blocking — to call concurrently with traffic:
+        the engine copies each layer's counters atomically under that
+        layer's own lock (see :meth:`PredictionService.report
+        <repro.service.PredictionService.report>`), so a monitoring
+        probe neither observes torn :class:`~repro.caching.CacheStats`
+        nor waits behind an in-flight batch holding the session lock.
+        """
+        return self._service.report()
 
     def close(self) -> None:
         """Release cached artifacts; further predictions raise.

@@ -157,6 +157,7 @@ class PredictRequest:
         _validate_fanout(self.variants, self.mpls, self.confidences)
 
     def to_dict(self) -> dict:
+        """Wire form; omitted fan-out fields stay absent (server defaults)."""
         record = {"schema_version": SCHEMA_VERSION, "sql": self.sql}
         if self.variants is not None:
             record["variants"] = list(self.variants)
@@ -201,6 +202,7 @@ class BatchRequest:
         _validate_fanout(self.variants, self.mpls, self.confidences)
 
     def to_dict(self) -> dict:
+        """Wire form; omitted fan-out fields stay absent (server defaults)."""
         record = {
             "schema_version": SCHEMA_VERSION,
             "queries": list(self.queries),
@@ -282,6 +284,7 @@ class IntervalPayload:
     high: float
 
     def to_dict(self) -> dict:
+        """Wire form (finite floats enforced)."""
         return {
             "confidence": _finite(self.confidence, "confidence"),
             "low": _finite(self.low, "interval low"),
@@ -325,6 +328,7 @@ class ResultPayload:
         )
 
     def to_dict(self) -> dict:
+        """Wire form of one fan-out cell (finite floats enforced)."""
         return {
             "variant": self.variant,
             "mpl": int(self.mpl),
@@ -378,6 +382,7 @@ class PredictResponse:
         return self.results[0].std
 
     def to_dict(self) -> dict:
+        """Wire form with the schema version stamped."""
         return {
             "schema_version": SCHEMA_VERSION,
             "sql": self.sql,
@@ -419,6 +424,7 @@ class BatchResponse:
         return len(self.responses) / max(self.elapsed_seconds, 1e-12)
 
     def to_dict(self) -> dict:
+        """Wire form with the schema version stamped."""
         return {
             "schema_version": SCHEMA_VERSION,
             "responses": [response.to_dict() for response in self.responses],

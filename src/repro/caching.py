@@ -10,8 +10,9 @@ every cache reports hits, misses, and evictions the same way.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Hashable
 
 __all__ = ["ByteBudgetLRU", "CacheStats"]
@@ -65,6 +66,11 @@ class ByteBudgetLRU:
         self._max_bytes = max_bytes
         self._entries: OrderedDict[Hashable, tuple[Any, int]] = OrderedDict()
         self._bytes_used = 0
+        # Guards entry mutation *and* stats snapshots: a monitoring
+        # thread snapshotting stats mid-update must never see a torn
+        # CacheStats (hits already bumped, misses not yet — a state no
+        # point in time ever had).
+        self._lock = threading.Lock()
         self.stats = CacheStats()
 
     def __len__(self) -> int:
@@ -79,30 +85,43 @@ class ByteBudgetLRU:
         return self._bytes_used
 
     def get(self, key: Hashable) -> Any | None:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry[0]
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry[0]
 
     def put(self, key: Hashable, value: Any, nbytes: int) -> bool:
         """Insert ``value``; returns False when it exceeds the whole budget."""
-        if nbytes > self._max_bytes:
-            self.stats.oversized += 1
-            return False
-        old = self._entries.pop(key, None)
-        if old is not None:
-            self._bytes_used -= old[1]
-        self._entries[key] = (value, nbytes)
-        self._bytes_used += nbytes
-        while self._bytes_used > self._max_bytes:
-            _, (_, evicted_bytes) = self._entries.popitem(last=False)
-            self._bytes_used -= evicted_bytes
-            self.stats.evictions += 1
-        return True
+        with self._lock:
+            if nbytes > self._max_bytes:
+                self.stats.oversized += 1
+                return False
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes_used -= old[1]
+            self._entries[key] = (value, nbytes)
+            self._bytes_used += nbytes
+            while self._bytes_used > self._max_bytes:
+                _, (_, evicted_bytes) = self._entries.popitem(last=False)
+                self._bytes_used -= evicted_bytes
+                self.stats.evictions += 1
+            return True
+
+    def snapshot(self) -> tuple[CacheStats, int, int]:
+        """An atomic ``(stats copy, entry count, bytes used)`` triple.
+
+        The only safe way to read the counters concurrently with
+        traffic: copying field-by-field without the lock can interleave
+        with an increment and produce totals that never existed.
+        """
+        with self._lock:
+            return replace(self.stats), len(self._entries), self._bytes_used
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._bytes_used = 0
+        with self._lock:
+            self._entries.clear()
+            self._bytes_used = 0

@@ -7,20 +7,23 @@ Subcommands::
     python -m repro predict       --sql "SELECT ..." [--sr 0.05] # distribution
     python -m repro predict-batch --templates 20 --mpl 1,4       # batch service
     python -m repro serve         --port 8080                    # HTTP front-end
+    python -m repro replay        --mix mixed --arrival poisson:20  # load test
     python -m repro bench         [--quick | --full]             # the registry
     python -m repro report        [--quick]                      # paper report
 
 ``predict``/``predict-batch``/``serve`` all drive one
 :class:`repro.api.Session` built from the same declarative
 :class:`repro.api.SessionConfig` — ``serve`` exposes it over the
-versioned HTTP/JSON wire schema (see ``docs/api.md``). ``bench`` runs
-the registered benchmark scenarios (see ``docs/benchmarks.md``) and
-writes ``BENCH_<scenario>.json`` artifacts plus the
-``BENCH_summary.json`` trajectory; ``report`` regenerates the paper's
-tables and figures as one markdown report (the old ``bench``
-behaviour). The CLI regenerates the database from its config on every
-invocation (generation is deterministic and fast at these scales), so
-it needs no on-disk state.
+versioned HTTP/JSON wire schema (see ``docs/api.md``). ``replay``
+generates deterministic mixed workloads and drives either an
+in-process session or a live ``repro serve`` endpoint with them (see
+``docs/replay.md``). ``bench`` runs the registered benchmark scenarios
+(see ``docs/benchmarks.md``) and writes ``BENCH_<scenario>.json``
+artifacts plus the ``BENCH_summary.json`` trajectory; ``report``
+regenerates the paper's tables and figures as one markdown report (the
+old ``bench`` behaviour). The CLI regenerates the database from its
+config on every invocation (generation is deterministic and fast at
+these scales), so it needs no on-disk state.
 """
 
 from __future__ import annotations
@@ -32,7 +35,7 @@ from . import __version__
 from .api import Session, SessionConfig
 from .core import Variant
 from .datagen import TpchConfig, generate_tpch
-from .errors import PredictionError, SessionError
+from .errors import PredictionError, ReproError, SessionError
 from .executor import Executor
 from .hardware import PROFILES
 from .optimizer import Optimizer
@@ -147,6 +150,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="pre-serve one instantiation of every TPC-H template at startup",
     )
 
+    replay = sub.add_parser(
+        "replay",
+        help="replay a deterministic workload against the serving stack "
+        "(see docs/replay.md)",
+    )
+    add_db_args(replay)
+    replay.add_argument("--sr", type=float, default=0.05, help="sampling ratio")
+    replay.add_argument(
+        "--machine", choices=sorted(PROFILES), default="PC2", help="hardware profile"
+    )
+    replay.add_argument(
+        "--mix", default="mixed",
+        help="workload mix: a preset (tpch, micro, mixed, multitenant) "
+        "or kind=weight,... (default: mixed)",
+    )
+    replay.add_argument(
+        "--arrival", default="poisson:20",
+        help="open-loop arrival process: poisson:<rate>, uniform:<rate>, "
+        "bursty:<rate>[:factor[:period[:on_fraction]]] (default: poisson:20)",
+    )
+    replay.add_argument(
+        "--clients", type=int, default=None,
+        help="switch to closed-loop with N concurrent clients "
+        "(overrides --arrival)",
+    )
+    replay.add_argument(
+        "--requests", type=int, default=10,
+        help="closed-loop requests per client (default: 10)",
+    )
+    replay.add_argument(
+        "--think", type=float, default=0.0,
+        help="closed-loop think time between requests, seconds (default: 0)",
+    )
+    replay.add_argument(
+        "--duration", type=float, default=5.0,
+        help="open-loop schedule horizon in seconds (default: 5)",
+    )
+    replay.add_argument(
+        "--time-scale", type=float, default=1.0,
+        help="multiply open-loop arrival offsets (0.5 replays twice as fast)",
+    )
+    replay.add_argument(
+        "--target", default="inproc",
+        help="'inproc' (default) or a live endpoint base URL, "
+        "e.g. http://127.0.0.1:8080",
+    )
+    replay.add_argument(
+        "--retries-503", type=int, default=0,
+        help="HTTP target: retry admission-refused requests up to N times "
+        "behind a seeded jittered backoff (default: 0 — observe the 503s)",
+    )
+    replay.add_argument(
+        "--replay-seed", type=int, default=0,
+        help="seed for the request schedule (queries + arrival times)",
+    )
+    replay.add_argument(
+        "--calibrate", action="store_true",
+        help="also measure prediction-interval coverage under load vs idle "
+        "(executes each distinct query once for simulated ground truth)",
+    )
+    replay.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the report as JSON instead of text",
+    )
+    replay.add_argument(
+        "--quick", action="store_true",
+        help="canned short run: one seeded mixed schedule replayed against "
+        "BOTH the in-process session and an ephemeral HTTP server, with "
+        "determinism and bitwise cross-target checks",
+    )
+
     bench = sub.add_parser(
         "bench", help="run registered benchmark scenarios, emit JSON artifacts"
     )
@@ -205,6 +279,7 @@ def _database(args):
 
 
 def _cmd_generate(args, out) -> int:
+    """Generate the TPC-H database for ``--scale/--skew/--seed``, describe it."""
     db, config = _database(args)
     print(f"generated {config.describe()}", file=out)
     for name in db.table_names:
@@ -214,6 +289,7 @@ def _cmd_generate(args, out) -> int:
 
 
 def _cmd_explain(args, out) -> int:
+    """Plan ``--sql`` through the optimizer and print the physical plan."""
     db, _ = _database(args)
     planned = Optimizer(db).plan_sql(args.sql)
     print(planned.explain(), file=out)
@@ -242,6 +318,13 @@ def _session_config(args, **overrides) -> SessionConfig:
 
 
 def _cmd_predict(args, out) -> int:
+    """Predict one query's running-time distribution (optionally execute).
+
+    Builds a session from the CLI's database/calibration flags, prints
+    the plan, the predicted mean/std, and the configured confidence
+    intervals; ``--execute`` also runs the plan on the simulated
+    hardware for a ground-truth comparison.
+    """
     session = Session(_session_config(args))
     print(session.explain(args.sql), file=out)
     response = session.predict(args.sql)
@@ -301,6 +384,12 @@ def _parse_mpls(spec: str) -> tuple[int, ...]:
 
 
 def _cmd_predict_batch(args, out) -> int:
+    """Serve a batch (``--sql``/``--file``/``--templates``) through a session.
+
+    Prints one row per query (mean, std, 90% interval, cache state)
+    plus the serving counters; failed queries become per-row errors and
+    exit status 1 rather than aborting the batch.
+    """
     queries = _batch_queries(args)
     if not queries:
         print("no queries to serve", file=out)
@@ -358,6 +447,12 @@ def _cmd_predict_batch(args, out) -> int:
 
 
 def _cmd_serve(args, out) -> int:
+    """Expose a session over the versioned HTTP/JSON wire schema.
+
+    Binds the threaded front-end (``docs/api.md``) on ``--host/--port``
+    with bounded admission (``--max-in-flight``); the printed
+    "listening on" line is the startup contract tools parse.
+    """
     from .api.http import build_server
     from .api.wire import SCHEMA_VERSION
 
@@ -399,7 +494,186 @@ def _cmd_serve(args, out) -> int:
     return 0
 
 
+def _replay_load_model(args):
+    """The load model requested by the CLI flags (closed wins over open)."""
+    from .replay import ClosedLoop, parse_arrival
+
+    if args.clients is not None:
+        return ClosedLoop(
+            clients=args.clients,
+            requests_per_client=args.requests,
+            think_seconds=args.think,
+        )
+    return parse_arrival(args.arrival)
+
+
+def _cmd_replay(args, out) -> int:
+    """Replay a deterministic workload against the serving stack.
+
+    ``--target inproc`` builds a session in this process;
+    ``--target http://...`` drives a live ``repro serve`` endpoint
+    (the schedule is built locally from the same database config, which
+    regenerates deterministically). ``--quick`` runs the canned
+    both-targets determinism check instead. Exit status 1 when any
+    request failed or a ``--quick`` cross-check did not hold.
+    """
+    from .replay import (
+        HttpTarget,
+        InProcessTarget,
+        ReplayReport,
+        ReplayRunner,
+        build_schedule,
+        parse_mix,
+    )
+    from .replay.report import calibration_under_load
+
+    if args.quick:
+        return _cmd_replay_quick(args, out)
+    try:
+        mix = parse_mix(args.mix)
+        load = _replay_load_model(args)
+    except ReproError as error:
+        raise SystemExit(str(error)) from None
+
+    config = _session_config(args)
+    if args.target == "inproc":
+        # --json promises parseable stdout: progress chatter stays off it.
+        if not args.as_json:
+            print("building in-process session ...", file=out, flush=True)
+        session = Session(config)
+        target = InProcessTarget(session)
+        database = session.database
+    elif args.target.startswith(("http://", "https://")):
+        from .api import HttpClient
+
+        target = HttpTarget(
+            HttpClient(
+                args.target, retries_503=args.retries_503,
+                backoff_seed=args.replay_seed,
+            )
+        )
+        session = None
+        database, _ = _database(args)
+    else:
+        raise SystemExit(
+            f"--target must be 'inproc' or an http(s) URL, got {args.target!r}"
+        )
+
+    schedule = build_schedule(
+        mix, database, load,
+        seed=args.replay_seed, duration_seconds=args.duration,
+    )
+    if not args.as_json:
+        print(schedule.describe(), file=out, flush=True)
+    run = ReplayRunner(target, time_scale=args.time_scale).run(schedule)
+    calibration = None
+    if args.calibrate:
+        if session is None:
+            if not args.as_json:
+                print(
+                    "calibrating against a local mirror session ...",
+                    file=out, flush=True,
+                )
+            session = Session(config)
+        calibration = calibration_under_load(run, session)
+    report = ReplayReport.from_run(run, calibration=calibration)
+    if args.as_json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True), file=out)
+    else:
+        print(report.render(), file=out)
+    return 1 if report.requests_failed else 0
+
+
+def _cmd_replay_quick(args, out) -> int:
+    """The canned ``repro replay --quick`` acceptance run.
+
+    One seeded mixed TPC-H/micro schedule is built twice (fingerprints
+    must match), replayed against the in-process session, replayed
+    again in-process (predictions must be bitwise identical), then
+    replayed against an ephemeral HTTP server sharing the session
+    (responses must be bitwise identical across the wire).
+    """
+    import threading
+
+    from .api import HttpClient, build_server
+    from .replay import (
+        HttpTarget,
+        InProcessTarget,
+        PoissonArrivals,
+        ReplayReport,
+        ReplayRunner,
+        build_schedule,
+        parse_mix,
+    )
+    from .replay.report import calibration_under_load
+
+    mix = parse_mix("mixed")
+    arrival = PoissonArrivals(rate=30.0)
+    config = _session_config(args)
+    print("building in-process session ...", file=out, flush=True)
+    session = Session(config)
+
+    schedule = build_schedule(
+        mix, session.database, arrival,
+        seed=args.replay_seed, duration_seconds=1.0,
+    )
+    rebuilt = build_schedule(
+        mix, session.database, arrival,
+        seed=args.replay_seed, duration_seconds=1.0,
+    )
+    schedules_match = schedule.fingerprint() == rebuilt.fingerprint()
+    print(schedule.describe(), file=out, flush=True)
+
+    runner = ReplayRunner(InProcessTarget(session), time_scale=0.2)
+    first = runner.run(schedule)
+    second = runner.run(schedule)
+    inproc_match = first.results_signature() == second.results_signature()
+    calibration = calibration_under_load(first, session)
+    print("\n-- in-process --", file=out)
+    print(
+        ReplayReport.from_run(second, calibration=calibration).render(),
+        file=out, flush=True,
+    )
+
+    server = build_server(session, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        http_target = HttpTarget(
+            HttpClient(server.url, retries_503=3, backoff_seed=args.replay_seed)
+        )
+        http_run = ReplayRunner(http_target, time_scale=0.2).run(schedule)
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+    http_match = (
+        http_run.results_signature() == first.results_signature()
+    )
+    print("\n-- http --", file=out)
+    print(ReplayReport.from_run(http_run).render(), file=out)
+
+    checks = {
+        "identical schedules from one seed": schedules_match,
+        "bitwise-identical in-process replays": inproc_match,
+        "bitwise-identical responses over http": http_match,
+        "no failed requests": not (first.failed or second.failed or http_run.failed),
+    }
+    print("", file=out)
+    for label, passed in checks.items():
+        print(f"{'ok ' if passed else 'FAIL'} {label}", file=out)
+    return 0 if all(checks.values()) else 1
+
+
 def _cmd_bench(args, out) -> int:
+    """Run registered benchmark scenarios, write ``BENCH_*.json`` artifacts.
+
+    Loads every ``benchmarks/bench_*.py`` into a fresh registry,
+    selects by tier/name/pattern, and runs them with the shared
+    :class:`~repro.benchreport.BenchContext` (see ``docs/benchmarks.md``).
+    """
     from pathlib import Path
 
     from .benchreport import (
@@ -463,6 +737,7 @@ def _cmd_bench(args, out) -> int:
 
 
 def _cmd_report(args, out) -> int:
+    """Regenerate the paper's tables and figures as one markdown report."""
     from .experiments.run_all import build_lab, report_sections
 
     lab = build_lab(quick=args.quick, seed=args.seed)
@@ -481,6 +756,7 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "predict-batch": _cmd_predict_batch,
     "serve": _cmd_serve,
+    "replay": _cmd_replay,
     "bench": _cmd_bench,
     "report": _cmd_report,
 }

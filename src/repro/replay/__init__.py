@@ -1,0 +1,69 @@
+"""Workload replay and load generation for the serving stack.
+
+The paper's headline claim is that uncertainty-aware predictions stay
+calibrated under realistic *workloads*, not just on isolated queries
+(Section 6.3.4). This package is the machinery that drives the serving
+front door (:class:`repro.api.Session`, or a live ``repro serve``
+endpoint) with sustained, mixed, multi-tenant traffic and measures what
+comes back:
+
+* :class:`WorkloadMix` — composable, weighted traffic mixes over the
+  TPC-H templates and the MICRO benchmark, with optional per-component
+  prediction fan-out (variants × multiprogramming levels × confidence
+  levels) and bounded parameter pools for dashboard-style repetition;
+* :mod:`repro.replay.arrival` — seeded open-loop arrival processes
+  (Poisson, bursty on/off, uniform) and the closed-loop model
+  (N concurrent clients with think time);
+* :func:`build_schedule` — a **deterministic** request schedule: same
+  seed + mix + arrival model ⇒ the identical sequence of (time, client,
+  SQL, fan-out) requests, pinned by :meth:`ReplaySchedule.fingerprint`;
+* :mod:`repro.replay.targets` — the two drive targets: an in-process
+  :class:`~repro.api.Session` or a live HTTP endpoint via
+  :class:`~repro.api.HttpClient`;
+* :class:`ReplayRunner` — executes a schedule open- or closed-loop and
+  collects per-request observations;
+* :class:`ReplayReport` — throughput, p50/p95/p99 latency, error/503
+  rates, the cache-hit trajectory, and prediction-uncertainty
+  calibration measured *under load* against an idle baseline.
+
+``repro replay`` is the CLI entry point (see ``docs/replay.md``).
+"""
+
+from .arrival import (
+    ArrivalProcess,
+    BurstyArrivals,
+    ClosedLoop,
+    PoissonArrivals,
+    UniformArrivals,
+    parse_arrival,
+)
+from .mix import MIX_PRESETS, MixComponent, WorkloadMix, parse_mix
+from .report import CalibrationSummary, LatencySummary, ReplayReport
+from .runner import Observation, ReplayRunner, ReplayRun
+from .schedule import ReplaySchedule, ScheduledRequest, build_schedule
+from .targets import HttpTarget, InProcessTarget, ReplayTarget
+
+__all__ = [
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "CalibrationSummary",
+    "ClosedLoop",
+    "HttpTarget",
+    "InProcessTarget",
+    "LatencySummary",
+    "MIX_PRESETS",
+    "MixComponent",
+    "Observation",
+    "PoissonArrivals",
+    "ReplayReport",
+    "ReplayRun",
+    "ReplayRunner",
+    "ReplaySchedule",
+    "ReplayTarget",
+    "ScheduledRequest",
+    "UniformArrivals",
+    "WorkloadMix",
+    "build_schedule",
+    "parse_arrival",
+    "parse_mix",
+]

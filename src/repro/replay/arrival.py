@@ -1,0 +1,236 @@
+"""Load models: open-loop arrival processes and the closed-loop model.
+
+Open-loop models emit a fixed schedule of request arrival times that
+does **not** react to the system under test — the standard way to
+measure latency under a controlled offered load (and to surface
+overload, since arrivals keep coming whether or not the server keeps
+up). All processes draw from a caller-supplied seeded generator, so a
+schedule is a pure function of (mix, arrival model, seed, duration).
+
+* :class:`PoissonArrivals` — memoryless arrivals at a constant rate;
+* :class:`BurstyArrivals` — an on/off modulated Poisson process: the
+  same average rate, concentrated into periodic bursts;
+* :class:`UniformArrivals` — evenly spaced arrivals (the most gentle
+  schedule with a given rate, useful as a control).
+
+The closed-loop model (:class:`ClosedLoop`) is the opposite regime:
+``clients`` concurrent clients each issue a request, wait for the
+response, think for ``think_seconds``, and repeat — in-flight requests
+are bounded by the client count by construction, which is what the
+admission-control test leans on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+
+__all__ = [
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "ClosedLoop",
+    "PoissonArrivals",
+    "UniformArrivals",
+    "parse_arrival",
+]
+
+
+class ArrivalProcess:
+    """Base class: a deterministic generator of arrival-time offsets."""
+
+    #: average offered load in requests per second (set by subclasses)
+    rate: float
+
+    def offsets(self, rng: np.random.Generator, duration: float) -> np.ndarray:
+        """Sorted arrival offsets (seconds) within ``[0, duration)``."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable one-liner, e.g. ``"poisson @ 20.0 req/s"``."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _check(rate: float) -> None:
+        if not rate > 0:
+            raise ReproError(f"arrival rate must be positive, got {rate}")
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals: exponential inter-arrival gaps at ``rate``."""
+
+    rate: float
+
+    def __post_init__(self):
+        self._check(self.rate)
+
+    def offsets(self, rng: np.random.Generator, duration: float) -> np.ndarray:
+        """Draw gaps until the horizon is passed; O(rate * duration)."""
+        expected = max(int(self.rate * duration * 1.5) + 16, 16)
+        times: list[float] = []
+        t = 0.0
+        while True:
+            gaps = rng.exponential(1.0 / self.rate, size=expected)
+            for gap in gaps:
+                t += float(gap)
+                if t >= duration:
+                    return np.array(times)
+                times.append(t)
+
+    def describe(self) -> str:
+        return f"poisson @ {self.rate:g} req/s"
+
+
+@dataclass(frozen=True)
+class UniformArrivals(ArrivalProcess):
+    """Evenly spaced arrivals at ``rate`` (a deterministic control)."""
+
+    rate: float
+
+    def __post_init__(self):
+        self._check(self.rate)
+
+    def offsets(self, rng: np.random.Generator, duration: float) -> np.ndarray:
+        count = int(np.floor(self.rate * duration))
+        return np.arange(count) / self.rate
+
+    def describe(self) -> str:
+        return f"uniform @ {self.rate:g} req/s"
+
+
+@dataclass(frozen=True)
+class BurstyArrivals(ArrivalProcess):
+    """On/off modulated Poisson arrivals with the same *average* rate.
+
+    Each ``period_seconds`` window spends ``on_fraction`` of its length
+    in a burst. The burst rate is ``burst_factor`` times the quiet
+    rate, and both are scaled so the long-run average equals ``rate`` —
+    bursty and plain Poisson schedules of equal rate offer the same
+    total load, concentrated differently.
+    """
+
+    rate: float
+    burst_factor: float = 4.0
+    period_seconds: float = 1.0
+    on_fraction: float = 0.3
+
+    def __post_init__(self):
+        self._check(self.rate)
+        if self.burst_factor < 1:
+            raise ReproError(
+                f"burst_factor must be >= 1, got {self.burst_factor}"
+            )
+        if not 0.0 < self.on_fraction < 1.0:
+            raise ReproError(
+                f"on_fraction must lie in (0, 1), got {self.on_fraction}"
+            )
+        if not self.period_seconds > 0:
+            raise ReproError(
+                f"period_seconds must be positive, got {self.period_seconds}"
+            )
+
+    def _phase_rates(self) -> tuple[float, float]:
+        """(burst rate, quiet rate) preserving the average ``rate``."""
+        quiet = self.rate / (
+            self.on_fraction * self.burst_factor + (1.0 - self.on_fraction)
+        )
+        return quiet * self.burst_factor, quiet
+
+    def offsets(self, rng: np.random.Generator, duration: float) -> np.ndarray:
+        burst_rate, quiet_rate = self._phase_rates()
+        on_len = self.period_seconds * self.on_fraction
+        times: list[float] = []
+        start = 0.0
+        while start < duration:
+            for phase_rate, phase_len in (
+                (burst_rate, on_len),
+                (quiet_rate, self.period_seconds - on_len),
+            ):
+                end = min(start + phase_len, duration)
+                t = start
+                while True:
+                    t += float(rng.exponential(1.0 / phase_rate))
+                    if t >= end:
+                        break
+                    times.append(t)
+                start = end
+                if start >= duration:
+                    break
+        return np.array(times)
+
+    def describe(self) -> str:
+        return (
+            f"bursty @ {self.rate:g} req/s "
+            f"(x{self.burst_factor:g} bursts, "
+            f"{self.on_fraction:.0%} of each {self.period_seconds:g}s)"
+        )
+
+
+@dataclass(frozen=True)
+class ClosedLoop:
+    """The closed-loop model: N clients, think time, fixed request count.
+
+    Each client serially issues ``requests_per_client`` requests,
+    sleeping ``think_seconds`` between a response and the next request.
+    In-flight concurrency is bounded by ``clients`` by construction.
+    """
+
+    clients: int
+    requests_per_client: int = 10
+    think_seconds: float = 0.0
+
+    def __post_init__(self):
+        if self.clients < 1:
+            raise ReproError(f"need at least 1 client, got {self.clients}")
+        if self.requests_per_client < 1:
+            raise ReproError(
+                f"need at least 1 request per client, "
+                f"got {self.requests_per_client}"
+            )
+        if self.think_seconds < 0:
+            raise ReproError(
+                f"think_seconds must be >= 0, got {self.think_seconds}"
+            )
+
+    def describe(self) -> str:
+        """``"closed-loop, 4 clients x 10 requests, think 0.05s"``."""
+        return (
+            f"closed-loop, {self.clients} clients x "
+            f"{self.requests_per_client} requests, "
+            f"think {self.think_seconds:g}s"
+        )
+
+
+def parse_arrival(spec: str) -> ArrivalProcess:
+    """An arrival process from a CLI spec like ``"poisson:20"``.
+
+    Forms: ``poisson:<rate>``, ``uniform:<rate>``,
+    ``bursty:<rate>[:<burst_factor>[:<period>[:<on_fraction>]]]``.
+    """
+    name, _, rest = spec.strip().partition(":")
+    parts = [p for p in rest.split(":") if p] if rest else []
+    try:
+        values = [float(p) for p in parts]
+    except ValueError:
+        raise ReproError(
+            f"bad arrival spec {spec!r}: numeric parameters expected"
+        ) from None
+    if not values:
+        raise ReproError(
+            f"arrival spec {spec!r} needs a rate, e.g. 'poisson:20'"
+        )
+    if name == "poisson" and len(values) == 1:
+        return PoissonArrivals(values[0])
+    if name == "uniform" and len(values) == 1:
+        return UniformArrivals(values[0])
+    if name == "bursty" and len(values) <= 4:
+        defaults = [None, 4.0, 1.0, 0.3]
+        filled = values + defaults[len(values):]
+        return BurstyArrivals(*filled)
+    raise ReproError(
+        f"unknown arrival spec {spec!r}; expected poisson:<rate>, "
+        "uniform:<rate>, or bursty:<rate>[:factor[:period[:on_fraction]]]"
+    )

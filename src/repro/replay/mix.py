@@ -1,0 +1,258 @@
+"""Composable workload mixes: what traffic a replay is made of.
+
+A :class:`WorkloadMix` is a weighted set of :class:`MixComponent`\\ s.
+Each component names a query source — the TPC-H templates (all of them
+or one specific template), or the MICRO benchmark's scan / join grids —
+and may carry its own prediction fan-out (variants × multiprogramming
+levels × confidence levels), so one mix can model a multi-tenant blend:
+a dashboard tenant replaying a small pool of parameterized templates
+with a wide confidence fan-out next to an ad-hoc tenant issuing
+always-fresh instantiations.
+
+Drawing queries is deterministic: the schedule builder hands every mix
+one seeded generator, and each draw consumes from it in a fixed order.
+``pool_size`` bounds the number of *distinct* parameterizations a
+component cycles through — small pools model recurring dashboard
+traffic (high prepared-cache hit rates), ``None`` draws a fresh
+instantiation every time (cold ad-hoc traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ReproError
+from ..util import ensure_rng
+from ..workloads.micro import micro_join_queries, micro_scan_queries
+from ..workloads.tpch_templates import TPCH_TEMPLATES, template_by_number
+
+__all__ = ["MIX_PRESETS", "MixComponent", "WorkloadMix", "parse_mix"]
+
+#: Component kinds understood by :class:`MixComponent`.
+COMPONENT_KINDS = ("tpch", "micro-scan", "micro-join")
+
+
+@dataclass(frozen=True)
+class MixComponent:
+    """One weighted traffic source inside a :class:`WorkloadMix`.
+
+    ``kind`` is ``"tpch"`` (every template), ``"tpch:<n>"`` (one
+    specific template number), ``"micro-scan"`` or ``"micro-join"``.
+    ``variants`` / ``mpls`` / ``confidences`` left as ``None`` defer to
+    the serving session's defaults; setting them makes every request
+    drawn from this component carry its own fan-out. ``pool_size``
+    bounds the distinct parameterizations the component cycles through
+    (``None`` = a fresh instantiation per draw).
+    """
+
+    kind: str
+    weight: float = 1.0
+    variants: tuple[str, ...] | None = None
+    mpls: tuple[int, ...] | None = None
+    confidences: tuple[float, ...] | None = None
+    pool_size: int | None = None
+
+    def __post_init__(self):
+        base = self.kind.split(":", 1)[0]
+        if base not in COMPONENT_KINDS:
+            raise ReproError(
+                f"unknown mix component kind {self.kind!r}; expected one of "
+                f"{COMPONENT_KINDS} (tpch may carry a template number, "
+                f"e.g. 'tpch:6')"
+            )
+        if base != "tpch" and ":" in self.kind:
+            raise ReproError(
+                f"only tpch components take a template number, got {self.kind!r}"
+            )
+        if ":" in self.kind:
+            number = self.kind.split(":", 1)[1]
+            try:
+                template_by_number(int(number))
+            except (ValueError, KeyError) as error:
+                raise ReproError(
+                    f"bad template number in {self.kind!r}: {error}"
+                ) from None
+        if not self.weight > 0:
+            raise ReproError(
+                f"component {self.kind!r} needs a positive weight, "
+                f"got {self.weight}"
+            )
+        if self.pool_size is not None and self.pool_size < 1:
+            raise ReproError(
+                f"component {self.kind!r}: pool_size must be >= 1 or None, "
+                f"got {self.pool_size}"
+            )
+
+    def describe(self) -> str:
+        """``"tpch:6 x0.30 (pool 4)"``-style one-liner."""
+        text = f"{self.kind} x{self.weight:g}"
+        if self.pool_size is not None:
+            text += f" (pool {self.pool_size})"
+        return text
+
+
+class _ComponentDrawer:
+    """Draws concrete SQL strings for one component, deterministically.
+
+    Built once per schedule construction; owns the component's bounded
+    query pool (micro queries and ``pool_size``-limited template
+    parameterizations are materialized eagerly so draws are pure
+    index picks).
+    """
+
+    def __init__(self, component: MixComponent, database, rng):
+        self.component = component
+        self._rng = rng
+        base, _, number = component.kind.partition(":")
+        self._templates = (
+            (template_by_number(int(number)),) if number else TPCH_TEMPLATES
+        )
+        self._pool: list[str] | None = None
+        if base == "micro-scan":
+            self._pool = micro_scan_queries(database)
+        elif base == "micro-join":
+            self._pool = micro_join_queries(database)
+        if component.pool_size is not None:
+            if self._pool is None:
+                self._pool = [self._fresh() for _ in range(component.pool_size)]
+            else:
+                size = min(component.pool_size, len(self._pool))
+                chosen = self._rng.choice(
+                    len(self._pool), size=size, replace=False
+                )
+                self._pool = [self._pool[i] for i in sorted(chosen)]
+
+    def _fresh(self) -> str:
+        template = self._templates[
+            int(self._rng.integers(0, len(self._templates)))
+        ]
+        return template.instantiate(self._rng)
+
+    def draw(self) -> str:
+        """The next query for this component (consumes the shared rng)."""
+        if self._pool is not None:
+            return self._pool[int(self._rng.integers(0, len(self._pool)))]
+        return self._fresh()
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """A named, weighted blend of traffic components."""
+
+    name: str
+    components: tuple[MixComponent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        if not self.components:
+            raise ReproError(f"mix {self.name!r} needs at least one component")
+
+    def weights(self) -> np.ndarray:
+        """Component weights normalized to sum to 1."""
+        raw = np.array([c.weight for c in self.components], dtype=float)
+        return raw / raw.sum()
+
+    def drawer(self, database, seed_or_rng) -> "MixDrawer":
+        """A deterministic query drawer over ``database``.
+
+        The same database + seed yields the identical draw sequence —
+        the property :meth:`ReplaySchedule.fingerprint
+        <repro.replay.schedule.ReplaySchedule.fingerprint>` pins.
+        """
+        return MixDrawer(self, database, ensure_rng(seed_or_rng))
+
+    def describe(self) -> str:
+        """``"mixed = tpch x0.5 + micro-scan x0.25 + ..."``."""
+        parts = " + ".join(c.describe() for c in self.components)
+        return f"{self.name} = {parts}"
+
+
+class MixDrawer:
+    """Stateful deterministic sampler over a mix's components."""
+
+    def __init__(self, mix: WorkloadMix, database, rng):
+        self._mix = mix
+        self._rng = rng
+        self._weights = mix.weights()
+        self._drawers = [
+            _ComponentDrawer(component, database, rng)
+            for component in mix.components
+        ]
+
+    def draw(self) -> tuple[str, MixComponent]:
+        """``(sql, component)`` for the next request."""
+        index = int(
+            self._rng.choice(len(self._drawers), p=self._weights)
+        )
+        return self._drawers[index].draw(), self._mix.components[index]
+
+
+#: Named mixes selectable from the CLI (``repro replay --mix <name>``).
+MIX_PRESETS = {
+    # Ad-hoc analytics: always-fresh TPC-H template instantiations.
+    "tpch": WorkloadMix("tpch", (MixComponent("tpch"),)),
+    # The MICRO benchmark's selectivity-space grids.
+    "micro": WorkloadMix(
+        "micro",
+        (MixComponent("micro-scan"), MixComponent("micro-join")),
+    ),
+    # The default blend: half template traffic, half micro queries.
+    "mixed": WorkloadMix(
+        "mixed",
+        (
+            MixComponent("tpch", weight=0.5),
+            MixComponent("micro-scan", weight=0.25),
+            MixComponent("micro-join", weight=0.25),
+        ),
+    ),
+    # Multi-tenant: a dashboard tenant replaying a small parameter pool
+    # with a wide fan-out next to an ad-hoc tenant and a micro tenant.
+    "multitenant": WorkloadMix(
+        "multitenant",
+        (
+            MixComponent(
+                "tpch",
+                weight=0.5,
+                pool_size=6,
+                variants=("all", "nocov"),
+                mpls=(1, 4),
+                confidences=(0.5, 0.9, 0.99),
+            ),
+            MixComponent("tpch", weight=0.3),
+            MixComponent("micro-scan", weight=0.2),
+        ),
+    ),
+}
+
+
+def parse_mix(spec: str) -> WorkloadMix:
+    """A mix from a CLI spec: a preset name or ``kind=weight,...``.
+
+    ``"mixed"`` resolves a preset; ``"tpch=0.6,micro-scan=0.4"`` (and
+    ``"tpch:6=1"``) builds an ad-hoc mix. Weights are relative — they
+    need not sum to 1.
+    """
+    spec = spec.strip()
+    if spec in MIX_PRESETS:
+        return MIX_PRESETS[spec]
+    components = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        kind, _, weight = part.partition("=")
+        try:
+            components.append(
+                MixComponent(kind.strip(), weight=float(weight) if weight else 1.0)
+            )
+        except ValueError:
+            raise ReproError(
+                f"bad mix component {part!r}; expected kind=weight"
+            ) from None
+    if not components:
+        raise ReproError(
+            f"unknown mix {spec!r}; presets: {', '.join(sorted(MIX_PRESETS))} "
+            "or a kind=weight,... spec"
+        )
+    return WorkloadMix(spec, tuple(components))

@@ -1,0 +1,248 @@
+"""The replay driver: execute a schedule against a target, observe.
+
+Open-loop mode paces request *issue* times off the schedule's arrival
+offsets regardless of completions (a saturated target makes latencies
+grow — arrivals never slow down), fanning work over a thread pool.
+Closed-loop mode runs one thread per client, each serially walking its
+slice of the schedule with think-time pauses — in-flight requests are
+bounded by the client count by construction, and the runner's
+``max_in_flight`` gauge proves it.
+
+Every request yields one :class:`Observation` whatever happens: a
+response, a structured server error (admission 503s keep their
+``over-capacity`` code), or a local library error. The runner never
+raises out of a request — a load test must observe failure, not die of
+it.
+
+``time_scale`` compresses or stretches open-loop schedules (0.1 replays
+a 10-second trace in one second of offered-load time), which is how the
+bench scenario keeps wall time in the CI budget while replaying a
+meaningfully sized trace.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..api.client import ApiError
+from ..api.wire import PredictResponse
+from ..errors import ReproError, error_code
+from .schedule import ReplaySchedule, ScheduledRequest
+from .targets import ReplayTarget
+
+__all__ = ["Observation", "ReplayRun", "ReplayRunner"]
+
+#: Worker-pool bound for open-loop dispatch. Arrivals beyond this many
+#: concurrently outstanding requests queue in the pool (observable as
+#: growing latency, exactly what an overloaded open-loop run should show).
+DEFAULT_MAX_WORKERS = 32
+
+
+@dataclass(frozen=True)
+class Observation:
+    """What happened to one scheduled request."""
+
+    index: int
+    client: int
+    scheduled_at: float
+    #: seconds from replay start to the moment the request was issued
+    issued_at: float
+    latency_seconds: float
+    ok: bool
+    #: stable wire code on failure (``"over-capacity"``, ``"sql-parse"``, ...)
+    error_code: str | None = None
+    error: str | None = None
+    prepare_was_cached: bool = False
+    response: PredictResponse | None = None
+
+
+@dataclass
+class ReplayRun:
+    """The raw outcome of one replay: observations plus run-level gauges."""
+
+    schedule: ReplaySchedule
+    target_description: str
+    observations: list[Observation] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    #: the largest number of requests observed in flight at once
+    max_in_flight: int = 0
+
+    @property
+    def succeeded(self) -> list[Observation]:
+        return [o for o in self.observations if o.ok]
+
+    @property
+    def failed(self) -> list[Observation]:
+        return [o for o in self.observations if not o.ok]
+
+    def error_counts(self) -> dict[str, int]:
+        """Failure counts keyed by stable wire code."""
+        counts: dict[str, int] = {}
+        for observation in self.failed:
+            code = observation.error_code or "internal"
+            counts[code] = counts.get(code, 0) + 1
+        return counts
+
+    def results_signature(self) -> tuple:
+        """Every successful response's floats, in schedule order.
+
+        Two runs of the same schedule against deterministic targets
+        must produce equal signatures — the bitwise under-load
+        reproducibility claim the tests and the bench scenario pin.
+        """
+        rows = []
+        for observation in sorted(self.succeeded, key=lambda o: o.index):
+            response = observation.response
+            for result in response.results:
+                rows.append(
+                    (
+                        observation.index,
+                        result.variant,
+                        result.mpl,
+                        result.mean,
+                        result.variance,
+                        result.std,
+                        tuple(
+                            (i.confidence, i.low, i.high)
+                            for i in result.intervals
+                        ),
+                    )
+                )
+        return tuple(rows)
+
+
+class _InFlightGauge:
+    """A thread-safe concurrency counter with a high-water mark."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._current = 0
+        self.peak = 0
+
+    def __enter__(self):
+        with self._lock:
+            self._current += 1
+            self.peak = max(self.peak, self._current)
+        return self
+
+    def __exit__(self, *exc_info):
+        with self._lock:
+            self._current -= 1
+
+
+class ReplayRunner:
+    """Executes a :class:`ReplaySchedule` against one target."""
+
+    def __init__(
+        self,
+        target: ReplayTarget,
+        *,
+        time_scale: float = 1.0,
+        max_workers: int = DEFAULT_MAX_WORKERS,
+    ):
+        if not time_scale > 0:
+            raise ReproError(f"time_scale must be positive, got {time_scale}")
+        if max_workers < 1:
+            raise ReproError(f"max_workers must be >= 1, got {max_workers}")
+        self._target = target
+        self._time_scale = time_scale
+        self._max_workers = max_workers
+
+    def run(self, schedule: ReplaySchedule) -> ReplayRun:
+        """Replay ``schedule`` to completion; never raises per-request."""
+        run = ReplayRun(
+            schedule=schedule, target_description=self._target.describe()
+        )
+        gauge = _InFlightGauge()
+        lock = threading.Lock()
+        started = time.perf_counter()
+
+        def issue(request: ScheduledRequest) -> None:
+            issued_at = time.perf_counter() - started
+            with gauge:
+                observation = self._observe(request, issued_at)
+            with lock:
+                run.observations.append(observation)
+
+        if schedule.mode == "closed":
+            self._run_closed(schedule, issue)
+        else:
+            self._run_open(schedule, issue, started)
+
+        run.wall_seconds = time.perf_counter() - started
+        run.max_in_flight = gauge.peak
+        run.observations.sort(key=lambda o: o.index)
+        return run
+
+    # -- internals ---------------------------------------------------------
+    def _observe(
+        self, request: ScheduledRequest, issued_at: float
+    ) -> Observation:
+        request_started = time.perf_counter()
+        try:
+            response = self._target.predict(request)
+        except ApiError as error:
+            return Observation(
+                index=request.index,
+                client=request.client,
+                scheduled_at=request.at_seconds,
+                issued_at=issued_at,
+                latency_seconds=time.perf_counter() - request_started,
+                ok=False,
+                error_code=error.code,
+                error=error.remote_message,
+            )
+        except Exception as error:  # noqa: BLE001 — per-request isolation
+            return Observation(
+                index=request.index,
+                client=request.client,
+                scheduled_at=request.at_seconds,
+                issued_at=issued_at,
+                latency_seconds=time.perf_counter() - request_started,
+                ok=False,
+                error_code=error_code(error),
+                error=f"{type(error).__name__}: {error}",
+            )
+        return Observation(
+            index=request.index,
+            client=request.client,
+            scheduled_at=request.at_seconds,
+            issued_at=issued_at,
+            latency_seconds=time.perf_counter() - request_started,
+            ok=True,
+            prepare_was_cached=response.prepare_was_cached,
+            response=response,
+        )
+
+    def _run_open(self, schedule: ReplaySchedule, issue, started: float) -> None:
+        with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
+            futures = []
+            for request in schedule.requests:
+                due = request.at_seconds * self._time_scale
+                delay = due - (time.perf_counter() - started)
+                if delay > 0:
+                    time.sleep(delay)
+                futures.append(pool.submit(issue, request))
+            for future in futures:
+                future.result()
+
+    def _run_closed(self, schedule: ReplaySchedule, issue) -> None:
+        def client_loop(client: int) -> None:
+            requests = schedule.client_requests(client)
+            think = schedule.think_seconds
+            for position, request in enumerate(requests):
+                issue(request)
+                if think > 0 and position + 1 < len(requests):
+                    time.sleep(think)
+
+        threads = [
+            threading.Thread(target=client_loop, args=(client,), daemon=True)
+            for client in range(schedule.clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()

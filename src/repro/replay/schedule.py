@@ -1,0 +1,195 @@
+"""Deterministic request schedules: the replayable unit of a load test.
+
+A :class:`ReplaySchedule` is the fully materialized list of requests a
+replay will issue — for open-loop runs each request carries its arrival
+offset; for closed-loop runs each carries the issuing client and its
+position in that client's serial sequence. Construction is a pure
+function of (mix, load model, database config, seed): building the same
+schedule twice yields **identical** request tuples, which
+:meth:`ReplaySchedule.fingerprint` pins cheaply so two processes (or
+two PRs) can assert they replayed the same traffic.
+
+The schedule deliberately stores concrete SQL strings, not template
+references: a schedule built locally can be thrown at a remote
+``repro serve`` endpoint that has never seen the mix machinery.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from ..errors import ReproError
+from ..util import ensure_rng
+from .arrival import ArrivalProcess, ClosedLoop
+from .mix import WorkloadMix
+
+__all__ = ["ReplaySchedule", "ScheduledRequest", "build_schedule"]
+
+
+@dataclass(frozen=True)
+class ScheduledRequest:
+    """One request of a schedule.
+
+    ``at_seconds`` is the open-loop arrival offset from replay start
+    (0.0 for closed-loop requests, whose issue times depend on response
+    latencies by design). ``variants``/``mpls``/``confidences`` are the
+    drawing component's fan-out overrides (``None`` defers to the
+    target session's defaults).
+    """
+
+    index: int
+    at_seconds: float
+    client: int
+    sql: str
+    variants: tuple[str, ...] | None = None
+    mpls: tuple[int, ...] | None = None
+    confidences: tuple[float, ...] | None = None
+
+    def canonical(self) -> str:
+        """The stable one-line form fingerprints are computed over."""
+        return "\t".join(
+            (
+                str(self.index),
+                f"{self.at_seconds:.9f}",
+                str(self.client),
+                self.sql,
+                ",".join(self.variants) if self.variants else "-",
+                ",".join(map(str, self.mpls)) if self.mpls else "-",
+                ",".join(map(repr, self.confidences)) if self.confidences else "-",
+            )
+        )
+
+
+@dataclass(frozen=True)
+class ReplaySchedule:
+    """A materialized, deterministic request schedule."""
+
+    mode: str  # "open" | "closed"
+    requests: tuple[ScheduledRequest, ...]
+    clients: int
+    duration_seconds: float
+    seed: int
+    mix_description: str
+    load_description: str
+    #: closed-loop pause between a response and the client's next request
+    think_seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self):
+        return iter(self.requests)
+
+    def fingerprint(self) -> str:
+        """A stable CRC32 over every request's canonical form.
+
+        Equal fingerprints ⇔ byte-identical schedules (up to CRC
+        collision); cheap enough to print in every report and compare
+        across processes. Uses :func:`zlib.crc32`, not builtin
+        ``hash()``, so the value is stable across interpreter runs.
+        """
+        payload = "\n".join(request.canonical() for request in self.requests)
+        return f"{zlib.crc32(payload.encode('utf-8')):08x}"
+
+    def client_requests(self, client: int) -> tuple[ScheduledRequest, ...]:
+        """The serial request sequence of one closed-loop client."""
+        return tuple(r for r in self.requests if r.client == client)
+
+    def distinct_queries(self) -> int:
+        """How many distinct SQL strings the schedule contains."""
+        return len({request.sql for request in self.requests})
+
+    def describe(self) -> str:
+        """A multi-line summary (mix, load model, size, fingerprint)."""
+        return "\n".join(
+            (
+                f"schedule   : {len(self.requests)} requests "
+                f"({self.distinct_queries()} distinct), seed {self.seed}, "
+                f"fingerprint {self.fingerprint()}",
+                f"mix        : {self.mix_description}",
+                f"load model : {self.load_description}",
+            )
+        )
+
+
+def build_schedule(
+    mix: WorkloadMix,
+    database,
+    load: ArrivalProcess | ClosedLoop,
+    *,
+    seed: int = 0,
+    duration_seconds: float = 5.0,
+) -> ReplaySchedule:
+    """Materialize a deterministic schedule for ``mix`` under ``load``.
+
+    ``database`` anchors the mix's MICRO components (their predicates
+    come from catalog statistics) and must be generated from the same
+    :class:`~repro.datagen.TpchConfig` the target serves — the CLI
+    regenerates it from the shared session config, which is cheap and
+    exact. ``duration_seconds`` is the open-loop horizon; closed-loop
+    schedules take their size from the load model instead.
+    """
+    rng = ensure_rng(seed)
+    drawer = mix.drawer(database, rng)
+    requests: list[ScheduledRequest] = []
+
+    def scheduled(index: int, at: float, client: int) -> ScheduledRequest:
+        sql, component = drawer.draw()
+        return ScheduledRequest(
+            index=index,
+            at_seconds=at,
+            client=client,
+            sql=sql,
+            variants=component.variants,
+            mpls=component.mpls,
+            confidences=component.confidences,
+        )
+
+    if isinstance(load, ClosedLoop):
+        index = 0
+        # Client-major order: each client's serial sequence is drawn as
+        # one contiguous block, so adding a client never perturbs the
+        # queries earlier clients replay.
+        for client in range(load.clients):
+            for _ in range(load.requests_per_client):
+                requests.append(scheduled(index, 0.0, client))
+                index += 1
+        return ReplaySchedule(
+            mode="closed",
+            requests=tuple(requests),
+            clients=load.clients,
+            duration_seconds=0.0,
+            seed=seed,
+            mix_description=mix.describe(),
+            load_description=load.describe(),
+            think_seconds=load.think_seconds,
+        )
+
+    if not isinstance(load, ArrivalProcess):
+        raise ReproError(
+            f"load must be an ArrivalProcess or ClosedLoop, "
+            f"got {type(load).__name__}"
+        )
+    if not duration_seconds > 0:
+        raise ReproError(
+            f"open-loop schedules need a positive duration, "
+            f"got {duration_seconds}"
+        )
+    offsets = load.offsets(rng, duration_seconds)
+    for index, at in enumerate(offsets):
+        requests.append(scheduled(index, float(at), 0))
+    if not requests:
+        raise ReproError(
+            f"empty schedule: {load.describe()} produced no arrivals "
+            f"within {duration_seconds}s; raise the rate or the duration"
+        )
+    return ReplaySchedule(
+        mode="open",
+        requests=tuple(requests),
+        clients=1,
+        duration_seconds=duration_seconds,
+        seed=seed,
+        mix_description=mix.describe(),
+        load_description=load.describe(),
+    )

@@ -1,0 +1,104 @@
+"""Replay targets: where the generated traffic is sent.
+
+Two targets cover the serving stack end to end with one driver:
+
+* :class:`InProcessTarget` wraps a live :class:`~repro.api.Session` —
+  no transport, measures the engine + facade;
+* :class:`HttpTarget` wraps an :class:`~repro.api.HttpClient` against a
+  running ``repro serve`` — measures the full wire path including
+  admission control (503s surface as coded observations, optionally
+  absorbed by the client's seeded retry policy).
+
+Both speak the same typed wire objects, so the runner is oblivious to
+the transport and per-request observations are comparable across
+targets — the basis of the retained-throughput metrics in the
+``replay_load`` bench scenario.
+"""
+
+from __future__ import annotations
+
+from ..api.client import HttpClient
+from ..api.session import Session
+from ..api.wire import PredictRequest
+from ..service.service import ServiceReport
+from .schedule import ScheduledRequest
+
+__all__ = ["HttpTarget", "InProcessTarget", "ReplayTarget"]
+
+
+def _wire_request(request: ScheduledRequest) -> PredictRequest:
+    return PredictRequest(
+        sql=request.sql,
+        variants=request.variants,
+        mpls=request.mpls,
+        confidences=request.confidences,
+    )
+
+
+class ReplayTarget:
+    """Base class: issues one scheduled request, exposes serving stats."""
+
+    name: str = "target"
+
+    def predict(self, request: ScheduledRequest):
+        """Serve one request; returns the typed ``PredictResponse``."""
+        raise NotImplementedError
+
+    def stats(self) -> ServiceReport | None:
+        """A point-in-time serving report, or None when unreachable."""
+        return None
+
+    def describe(self) -> str:
+        """Human-readable target identity for reports."""
+        return self.name
+
+
+class InProcessTarget(ReplayTarget):
+    """Drive a :class:`~repro.api.Session` directly (no transport)."""
+
+    name = "inproc"
+
+    def __init__(self, session: Session):
+        self._session = session
+
+    @property
+    def session(self) -> Session:
+        return self._session
+
+    def predict(self, request: ScheduledRequest):
+        """Serve through the session facade (thread-safe by contract)."""
+        return self._session.predict(_wire_request(request))
+
+    def stats(self) -> ServiceReport:
+        """The session's serving report (non-blocking under traffic)."""
+        return self._session.stats()
+
+    def describe(self) -> str:
+        return "in-process session"
+
+
+class HttpTarget(ReplayTarget):
+    """Drive a live serving endpoint through the wire client."""
+
+    name = "http"
+
+    def __init__(self, client: HttpClient):
+        self._client = client
+
+    @property
+    def client(self) -> HttpClient:
+        return self._client
+
+    def predict(self, request: ScheduledRequest):
+        """POST /v1/predict (503s raise ApiError unless the client retries)."""
+        return self._client.predict(_wire_request(request))
+
+    def stats(self) -> ServiceReport | None:
+        """GET /v1/stats; None when the endpoint is unreachable."""
+        try:
+            return self._client.stats()
+        except Exception:  # noqa: BLE001 — stats are advisory during replay
+            return None
+
+    def describe(self) -> str:
+        return f"http {self._client.base_url}"

@@ -108,6 +108,15 @@ class SamplingEngine:
     def stats(self) -> CacheStats:
         return self._cache.stats
 
+    def snapshot(self) -> tuple[CacheStats, int, int]:
+        """Atomic ``(stats copy, entries, bytes used)`` for reporting.
+
+        Delegates to :meth:`repro.caching.ByteBudgetLRU.snapshot`, so a
+        monitoring thread reading concurrently with sampling traffic
+        never observes a torn :class:`CacheStats`.
+        """
+        return self._cache.snapshot()
+
     @property
     def bytes_used(self) -> int:
         return self._cache.bytes_used

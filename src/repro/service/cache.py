@@ -28,7 +28,9 @@ intermediates, which *are* interchangeable across those differences.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from dataclasses import replace
 
 from ..caching import CacheStats
 from ..core.predictor import PreparedPrediction
@@ -100,26 +102,37 @@ class PreparedCache:
             raise ValueError(f"cache needs a positive maxsize, got {maxsize}")
         self._maxsize = maxsize
         self._entries: OrderedDict[tuple, PreparedPrediction] = OrderedDict()
+        # Guards entries and stats together so concurrent monitoring
+        # (Session.stats() during traffic) never reads a torn CacheStats.
+        self._lock = threading.Lock()
         self.stats = CacheStats()
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def get(self, key: tuple) -> PreparedPrediction | None:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
 
     def put(self, key: tuple, prepared: PreparedPrediction) -> None:
-        self._entries[key] = prepared
-        self._entries.move_to_end(key)
-        if len(self._entries) > self._maxsize:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._entries[key] = prepared
+            self._entries.move_to_end(key)
+            if len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def snapshot(self) -> tuple[CacheStats, int]:
+        """An atomic ``(stats copy, entry count)`` pair for reporting."""
+        with self._lock:
+            return replace(self.stats), len(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

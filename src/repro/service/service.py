@@ -27,6 +27,7 @@ only in one branch's constants share everything else.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
@@ -267,6 +268,12 @@ class PredictionService:
             if sampling_engine_bytes > 0
             else None
         )
+        # Guards ServiceStats counter updates and snapshots. The engine
+        # itself is not thread-safe (callers serialize serving calls —
+        # the Session facade does), but monitoring must be: report()
+        # and stats snapshots are read concurrently with traffic and
+        # must never observe a torn counter set.
+        self._stats_lock = threading.Lock()
         self.stats = ServiceStats()
 
     # -- introspection -----------------------------------------------------
@@ -283,17 +290,41 @@ class PredictionService:
         return self._engine
 
     def report(self) -> ServiceReport:
-        """Snapshot counters and cache stats of both cache layers."""
+        """Snapshot counters and cache stats of both cache layers.
+
+        Safe to call from a monitoring thread concurrently with
+        traffic: every layer is copied atomically under its own lock
+        (the serving counters under the service's stats lock, each
+        cache under the cache's), so no snapshot is ever torn.
+        Cross-layer skew of in-flight requests is possible and
+        harmless — each layer is internally consistent.
+        """
         engine = self._engine
+        if engine is not None:
+            sampling_cache, sampling_entries, sampling_bytes = engine.snapshot()
+        else:
+            sampling_cache, sampling_entries, sampling_bytes = CacheStats(), 0, 0
+        prepared_cache, prepared_entries = self._prepared.snapshot()
         return ServiceReport(
-            stats=self.stats.snapshot(),
-            prepared_cache=replace(self._prepared.stats),
-            prepared_entries=len(self._prepared),
-            sampling_cache=replace(engine.stats) if engine else CacheStats(),
-            sampling_entries=len(engine) if engine else 0,
-            sampling_bytes_used=engine.bytes_used if engine else 0,
+            stats=self._snapshot_stats(),
+            prepared_cache=prepared_cache,
+            prepared_entries=prepared_entries,
+            sampling_cache=sampling_cache,
+            sampling_entries=sampling_entries,
+            sampling_bytes_used=sampling_bytes,
             sampling_bytes_budget=engine.max_bytes if engine else 0,
         )
+
+    def _snapshot_stats(self) -> ServiceStats:
+        """An atomic copy of the cumulative serving counters."""
+        with self._stats_lock:
+            return self.stats.snapshot()
+
+    def _count(self, **deltas: int) -> None:
+        """Atomically bump serving counters (``_count(plans_built=1)``)."""
+        with self._stats_lock:
+            for name, delta in deltas.items():
+                setattr(self.stats, name, getattr(self.stats, name) + delta)
 
     # -- planning / preparing ---------------------------------------------
     def plan(self, query: str | PlannedQuery) -> PlannedQuery:
@@ -306,7 +337,7 @@ class PredictionService:
             self._plans[query] = planned
             if len(self._plans) > self._plans_maxsize:
                 self._plans.popitem(last=False)
-            self.stats.plans_built += 1
+            self._count(plans_built=1)
         else:
             self._plans.move_to_end(query)
         return planned
@@ -325,7 +356,7 @@ class PredictionService:
         key = self._cache_key(planned)
         prepared = self._prepared.get(key)
         if prepared is not None:
-            self.stats.prepare_cache_hits += 1
+            self._count(prepare_cache_hits=1)
             return prepared, True
         prepared = self._preparer.prepare(
             planned,
@@ -335,7 +366,7 @@ class PredictionService:
             engine=self._engine,
         )
         self._prepared.put(key, prepared)
-        self.stats.prepares_run += 1
+        self._count(prepares_run=1)
         return prepared, False
 
     # -- serving -----------------------------------------------------------
@@ -357,8 +388,7 @@ class PredictionService:
                 results[(variant, mpl)] = predictor.predict_prepared(
                     planned, prepared, variant
                 )
-                self.stats.assemblies += 1
-        self.stats.queries_served += 1
+        self._count(assemblies=len(results), queries_served=1)
         return QueryPrediction(
             sql=query if isinstance(query, str) else None,
             planned=planned,
@@ -385,7 +415,7 @@ class PredictionService:
         raised while evaluating a predicate over sample columns) abort
         the batch just as hard as a parse error would.
         """
-        before = self.stats.snapshot()
+        before = self._snapshot_stats()
         started = time.perf_counter()
         predictions: list[QueryPrediction] = []
         failures: list[QueryFailure] = []
@@ -400,7 +430,7 @@ class PredictionService:
                     self.predict_query(query, variants=variants, mpls=mpls)
                 )
             except Exception as error:  # noqa: BLE001 — per-query isolation
-                self.stats.queries_failed += 1
+                self._count(queries_failed=1)
                 failures.append(
                     QueryFailure(
                         index=index,
@@ -412,6 +442,6 @@ class PredictionService:
         return BatchPrediction(
             predictions=predictions,
             elapsed_seconds=time.perf_counter() - started,
-            stats=self.stats.since(before),
+            stats=self._snapshot_stats().since(before),
             failures=failures,
         )

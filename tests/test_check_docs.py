@@ -1,0 +1,124 @@
+"""The documentation checker works and the repo's docs pass it.
+
+``tools/check_docs.py`` gates CI on two classes of doc rot: broken
+intra-repo markdown links and fenced python examples that no longer
+compile. These tests pin its behaviour on synthetic markdown and run
+it over the real README/docs tree (so a broken link fails tier-1, not
+just the CI stage).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_check_docs():
+    path = REPO_ROOT / "tools" / "check_docs.py"
+    spec = importlib.util.spec_from_file_location("check_docs", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["check_docs"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+check_docs = _load_check_docs()
+
+
+def test_broken_relative_link_flagged(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text("see [the guide](missing/guide.md) for details\n")
+    problems = check_docs.check_file(doc)
+    assert len(problems) == 1
+    assert "missing/guide.md" in problems[0]
+
+
+def test_good_relative_link_and_anchor_pass(tmp_path):
+    (tmp_path / "guide.md").write_text("# guide\n")
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "see [the guide](guide.md), [a section](guide.md#section), "
+        "[external](https://example.org), [mail](mailto:a@b.c), "
+        "and [inpage](#here)\n"
+    )
+    assert check_docs.check_file(doc) == []
+
+
+def test_links_inside_code_fences_ignored(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "```console\n$ grep '[x](missing.md)' file\n```\n"
+    )
+    assert check_docs.check_file(doc) == []
+
+
+def test_decorated_and_indented_fences_do_not_desync(tmp_path):
+    """Attribute info strings and indented fences keep the toggle sane."""
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "```python title=\"example\"\nx = 1\n```\n"
+        "- a list item:\n"
+        "  ```console\n  $ ls\n  ```\n"
+        "now a real broken link: [x](gone.md)\n"
+    )
+    problems = check_docs.check_file(doc)
+    assert len(problems) == 1 and "gone.md" in problems[0]
+
+
+def test_python_block_must_compile(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "```python\ndef broken(:\n    pass\n```\n"
+    )
+    problems = check_docs.check_file(doc)
+    assert len(problems) == 1
+    assert "does not compile" in problems[0]
+
+
+def test_python_block_that_compiles_passes(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "```python\nfrom math import tau\nprint(tau, ...)\n```\n"
+        "```json\n{\"not\": \"python\"}\n```\n"
+        "```console\n$ this is shell output\n```\n"
+    )
+    assert check_docs.check_file(doc) == []
+
+
+def test_python_block_line_numbers_point_at_the_error(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "title\n\n```python\nx = 1\ny = (\n```\n"
+    )
+    (problem,) = check_docs.check_file(doc)
+    # the open paren on line 5 of the file is the reported location
+    assert ":5:" in problem or ":6:" in problem
+
+
+def test_main_exit_status(tmp_path):
+    good = tmp_path / "good.md"
+    good.write_text("fine\n")
+    assert check_docs.main([str(good)]) == 0
+    bad = tmp_path / "bad.md"
+    bad.write_text("[x](nope.md)\n")
+    assert check_docs.main([str(bad)]) == 1
+    assert check_docs.main([str(tmp_path / "absent.md")]) == 1
+
+
+def test_repo_documentation_passes():
+    """README.md and docs/ must stay link-clean and compile-clean."""
+    roots = [REPO_ROOT / "README.md", REPO_ROOT / "docs"]
+    problems = []
+    for path in check_docs.iter_markdown_files(roots):
+        problems.extend(check_docs.check_file(path))
+    assert not problems, "\n".join(problems)
+
+
+def test_repo_docs_cover_the_doc_map():
+    """The README's documentation table links every docs/ page."""
+    readme = (REPO_ROOT / "README.md").read_text()
+    for page in sorted((REPO_ROOT / "docs").glob("*.md")):
+        assert f"docs/{page.name}" in readme, (
+            f"README.md does not link docs/{page.name}"
+        )

@@ -55,11 +55,12 @@ def test_gates_in_order(workflow):
         return matches[0]
 
     lint = index_of("make lint")
+    docs = index_of("check_docs.py")
     tests = index_of("pytest -x -q")
     http_smoke = index_of("http_smoke.py")
     bench = index_of("repro bench --quick")
     guard = index_of("benchguard.py")
-    assert lint < tests < http_smoke < bench < guard
+    assert lint < docs < tests < http_smoke < bench < guard
 
 
 def test_http_smoke_stage(workflow):
@@ -74,6 +75,17 @@ def test_make_ci_mirrors_http_smoke():
     makefile = (REPO_ROOT / "Makefile").read_text()
     ci_target = makefile.split("\nci:", 1)[1]
     assert "tools/http_smoke.py" in ci_target
+
+
+def test_check_docs_stage(workflow):
+    """The doc link/example checker gates every push (and make ci)."""
+    (check,) = [
+        cmd for cmd in run_commands(workflow) if "check_docs.py" in cmd
+    ]
+    assert "python tools/check_docs.py" in check
+    makefile = (REPO_ROOT / "Makefile").read_text()
+    ci_target = makefile.split("\nci:", 1)[1].split("\n\n", 1)[0]
+    assert "check-docs" in ci_target or "check_docs.py" in ci_target
 
 
 def test_bench_artifacts_uploaded(workflow):

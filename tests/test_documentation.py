@@ -49,3 +49,48 @@ def test_public_classes_document_methods():
             if name.startswith("_"):
                 continue
             assert inspect.getdoc(member), f"{cls.__name__}.{name} lacks a docstring"
+
+
+def test_every_cli_subcommand_documented():
+    """Each subcommand has a parser help line and a command docstring."""
+    from repro import cli
+
+    sub_actions = [
+        action
+        for action in cli.build_parser()._actions
+        if hasattr(action, "choices") and isinstance(action.choices, dict)
+    ]
+    (subparsers,) = sub_actions
+    assert set(subparsers.choices) == set(cli._COMMANDS)
+    helps = {
+        choice.prog.split()[-1]: choice.description
+        for choice in subparsers.choices.values()
+    }
+    for name, handler in cli._COMMANDS.items():
+        assert inspect.getdoc(handler), f"repro {name} handler lacks a docstring"
+        assert name in helps
+
+
+def test_api_and_replay_surfaces_fully_documented():
+    """Every public symbol and method of repro.api / repro.replay."""
+    import repro.api
+    import repro.replay
+
+    for module in (repro.api, repro.replay):
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                continue
+            assert inspect.getdoc(obj), f"{module.__name__}.{name} lacks a docstring"
+            if inspect.isclass(obj):
+                for method_name, member in inspect.getmembers(
+                    obj, inspect.isfunction
+                ):
+                    defined_here = getattr(member, "__module__", "").startswith(
+                        "repro"
+                    )
+                    if method_name.startswith("_") or not defined_here:
+                        continue
+                    assert inspect.getdoc(member), (
+                        f"{module.__name__}.{name}.{method_name} lacks a docstring"
+                    )

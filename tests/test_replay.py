@@ -1,0 +1,442 @@
+"""Workload replay: determinism, load models, concurrency, bugfix pins.
+
+The contract under test (ISSUE 5 acceptance):
+
+* same seed + mix + arrival model ⇒ the identical request schedule and
+  bitwise-identical in-process predictions;
+* a closed-loop client count actually bounds in-flight requests — with
+  clients ≤ the server's admission cap, a replay sees zero 503s;
+* ``Session.stats()`` is safe to call concurrently with traffic (no
+  torn ``CacheStats`` reads, no blocking behind batches);
+* ``HttpClient`` retries 503 admission refusals behind a seeded,
+  jittered, deterministic backoff.
+"""
+
+import random
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import HttpClient, Session, SessionConfig, build_server
+from repro.api.client import ApiError
+from repro.caching import ByteBudgetLRU
+from repro.datagen import TpchConfig, generate_tpch
+from repro.errors import ReproError
+from repro.replay import (
+    BurstyArrivals,
+    ClosedLoop,
+    HttpTarget,
+    InProcessTarget,
+    MixComponent,
+    PoissonArrivals,
+    ReplayReport,
+    ReplayRunner,
+    UniformArrivals,
+    WorkloadMix,
+    build_schedule,
+    parse_arrival,
+    parse_mix,
+)
+from repro.replay.report import calibration_under_load
+
+SESSION_CONFIG = SessionConfig(
+    scale_factor=0.01,
+    db_seed=5,
+    calibration_seed=0,
+    calibration_repetitions=5,
+    sampling_ratio=0.05,
+    sampling_seed=1,
+)
+
+
+@pytest.fixture(scope="module")
+def database():
+    return generate_tpch(TpchConfig(scale_factor=0.01, seed=5))
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session(SESSION_CONFIG)
+
+
+# ---------------------------------------------------------------------------
+# mixes
+
+
+def test_mix_presets_parse_and_draw(database):
+    for name in ("tpch", "micro", "mixed", "multitenant"):
+        mix = parse_mix(name)
+        drawer = mix.drawer(database, 3)
+        sql, component = drawer.draw()
+        assert sql.upper().startswith("SELECT")
+        assert component in mix.components
+
+
+def test_mix_spec_parsing():
+    mix = parse_mix("tpch=0.7,micro-join=0.3")
+    assert [c.kind for c in mix.components] == ["tpch", "micro-join"]
+    assert np.isclose(mix.weights().sum(), 1.0)
+    single = parse_mix("tpch:6")
+    assert single.components[0].kind == "tpch:6"
+
+
+def test_mix_validation_errors():
+    with pytest.raises(ReproError):
+        parse_mix("nonsense-mix")
+    with pytest.raises(ReproError):
+        MixComponent("tpch", weight=0.0)
+    with pytest.raises(ReproError):
+        MixComponent("micro-scan:3")
+    with pytest.raises(ReproError):
+        MixComponent("tpch:999")
+    with pytest.raises(ReproError):
+        MixComponent("tpch", pool_size=0)
+    with pytest.raises(ReproError):
+        WorkloadMix("empty", ())
+
+
+def test_pool_size_bounds_distinct_queries(database):
+    mix = WorkloadMix("pooled", (MixComponent("tpch", pool_size=3),))
+    drawer = mix.drawer(database, 11)
+    drawn = {drawer.draw()[0] for _ in range(60)}
+    assert 1 <= len(drawn) <= 3
+
+
+def test_template_component_sticks_to_its_template(database):
+    mix = WorkloadMix("only-q6", (MixComponent("tpch:6",),))
+    drawer = mix.drawer(database, 0)
+    for _ in range(5):
+        sql, _ = drawer.draw()
+        assert "l_discount BETWEEN" in sql  # Q6's signature predicate
+
+
+# ---------------------------------------------------------------------------
+# arrival processes
+
+
+def test_arrival_offsets_sorted_bounded_deterministic():
+    for process in (
+        PoissonArrivals(50.0),
+        UniformArrivals(50.0),
+        BurstyArrivals(50.0),
+    ):
+        first = process.offsets(np.random.default_rng(4), 2.0)
+        again = process.offsets(np.random.default_rng(4), 2.0)
+        assert np.array_equal(first, again)
+        assert np.all(np.diff(first) >= 0)
+        assert first.size == 0 or (first[0] >= 0 and first[-1] < 2.0)
+
+
+def test_arrival_rates_are_respected():
+    rng = np.random.default_rng(0)
+    poisson = PoissonArrivals(100.0).offsets(rng, 10.0)
+    assert 700 <= poisson.size <= 1300
+    uniform = UniformArrivals(10.0).offsets(np.random.default_rng(0), 2.0)
+    assert uniform.size == 20
+    bursty = BurstyArrivals(100.0).offsets(np.random.default_rng(1), 10.0)
+    assert 700 <= bursty.size <= 1300  # modulation preserves the average
+
+
+def test_bursty_concentrates_arrivals():
+    process = BurstyArrivals(
+        80.0, burst_factor=8.0, period_seconds=1.0, on_fraction=0.25
+    )
+    offsets = process.offsets(np.random.default_rng(2), 8.0)
+    in_burst = np.sum((offsets % 1.0) < 0.25)
+    # 25% of the time carries well over half the arrivals.
+    assert in_burst / offsets.size > 0.5
+
+
+def test_parse_arrival_forms_and_errors():
+    assert isinstance(parse_arrival("poisson:20"), PoissonArrivals)
+    assert isinstance(parse_arrival("uniform:5"), UniformArrivals)
+    bursty = parse_arrival("bursty:20:6:2:0.4")
+    assert (bursty.burst_factor, bursty.period_seconds, bursty.on_fraction) == (
+        6.0, 2.0, 0.4,
+    )
+    for bad in ("poisson", "poisson:x", "trickle:5", "bursty:1:2:3:4:5"):
+        with pytest.raises(ReproError):
+            parse_arrival(bad)
+    with pytest.raises(ReproError):
+        PoissonArrivals(0.0)
+    with pytest.raises(ReproError):
+        BurstyArrivals(10.0, on_fraction=1.5)
+
+
+# ---------------------------------------------------------------------------
+# schedules: the determinism acceptance criterion
+
+
+def test_same_seed_same_schedule(database):
+    mix = parse_mix("mixed")
+    arrival = PoissonArrivals(40.0)
+    one = build_schedule(mix, database, arrival, seed=9, duration_seconds=1.5)
+    two = build_schedule(mix, database, arrival, seed=9, duration_seconds=1.5)
+    assert one.requests == two.requests
+    assert one.fingerprint() == two.fingerprint()
+    other = build_schedule(mix, database, arrival, seed=10, duration_seconds=1.5)
+    assert one.fingerprint() != other.fingerprint()
+
+
+def test_closed_loop_schedule_shape(database):
+    load = ClosedLoop(clients=3, requests_per_client=4, think_seconds=0.01)
+    schedule = build_schedule(parse_mix("tpch"), database, load, seed=2)
+    assert schedule.mode == "closed"
+    assert len(schedule) == 12
+    assert schedule.think_seconds == 0.01
+    for client in range(3):
+        assert len(schedule.client_requests(client)) == 4
+    # client-major draw order: adding a client must not perturb the
+    # queries earlier clients replay
+    bigger = build_schedule(
+        parse_mix("tpch"), database,
+        ClosedLoop(clients=4, requests_per_client=4, think_seconds=0.01),
+        seed=2,
+    )
+    assert bigger.client_requests(0) == schedule.client_requests(0)
+    assert bigger.client_requests(2) == schedule.client_requests(2)
+
+
+def test_multitenant_fanout_rides_the_schedule(database):
+    schedule = build_schedule(
+        parse_mix("multitenant"), database, UniformArrivals(60.0),
+        seed=4, duration_seconds=1.0,
+    )
+    fanouts = {request.mpls for request in schedule.requests}
+    assert (1, 4) in fanouts  # the dashboard tenant's override
+    assert None in fanouts    # the ad-hoc tenants defer to defaults
+
+
+def test_empty_schedule_is_an_error(database):
+    with pytest.raises(ReproError):
+        build_schedule(
+            parse_mix("tpch"), database, PoissonArrivals(0.5),
+            seed=1, duration_seconds=0.01,
+        )
+
+
+# ---------------------------------------------------------------------------
+# replay runs: bitwise reproducibility + closed-loop bounding
+
+
+def test_open_loop_inprocess_bitwise_identical(session):
+    schedule = build_schedule(
+        parse_mix("mixed"), session.database, UniformArrivals(30.0),
+        seed=7, duration_seconds=1.0,
+    )
+    runner = ReplayRunner(InProcessTarget(session), time_scale=0.02)
+    first = runner.run(schedule)
+    second = runner.run(schedule)
+    assert not first.failed and not second.failed
+    assert len(first.observations) == len(schedule)
+    signature = first.results_signature()
+    assert signature == second.results_signature()
+    assert signature  # non-empty: the comparison is meaningful
+
+
+def test_closed_loop_bounds_in_flight_no_503s(session):
+    """clients ≤ max_in_flight ⇒ zero over-capacity refusals."""
+    server = build_server(session, port=0, max_in_flight=3)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        schedule = build_schedule(
+            parse_mix("mixed"), session.database,
+            ClosedLoop(clients=3, requests_per_client=5),
+            seed=13,
+        )
+        run = ReplayRunner(HttpTarget(HttpClient(server.url))).run(schedule)
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+    assert run.error_counts().get("over-capacity", 0) == 0
+    assert not run.failed
+    assert 0 < run.max_in_flight <= 3
+    # and the wire did not perturb a single bit vs an idle re-serve
+    by_index = {r.index: r for r in schedule.requests}
+    for observation in run.succeeded:
+        idle = session.predict(by_index[observation.index].sql)
+        assert idle.results == observation.response.results
+
+
+def test_replay_report_and_calibration(session):
+    schedule = build_schedule(
+        parse_mix("mixed"), session.database, UniformArrivals(25.0),
+        seed=3, duration_seconds=1.0,
+    )
+    run = ReplayRunner(InProcessTarget(session), time_scale=0.02).run(schedule)
+    calibration = calibration_under_load(run, session, confidence=0.9)
+    report = ReplayReport.from_run(run, calibration=calibration)
+    assert report.requests_total == len(schedule)
+    assert report.requests_failed == 0
+    assert report.throughput_qps > 0
+    assert report.latency.p50 <= report.latency.p95 <= report.latency.p99
+    assert report.cache_trajectory[-1][0] == len(schedule)
+    assert calibration.matches_idle
+    assert calibration.samples == len(schedule)
+    assert 0.0 <= calibration.coverage_under_load <= 1.0
+    assert calibration.coverage_under_load == calibration.coverage_idle
+    rendered = report.render()
+    assert "bitwise equal to idle" in rendered
+    assert report.to_dict()["schedule_fingerprint"] == schedule.fingerprint()
+
+
+def test_runner_isolates_bad_queries(session):
+    schedule = build_schedule(
+        parse_mix("tpch"), session.database, UniformArrivals(5.0),
+        seed=1, duration_seconds=1.0,
+    )
+    broken = schedule.requests[0]
+    poisoned = schedule.requests[1:] + (
+        type(broken)(
+            index=broken.index,
+            at_seconds=broken.at_seconds,
+            client=broken.client,
+            sql="SELEC nope",
+        ),
+    )
+    patched = type(schedule)(
+        mode=schedule.mode,
+        requests=poisoned,
+        clients=schedule.clients,
+        duration_seconds=schedule.duration_seconds,
+        seed=schedule.seed,
+        mix_description=schedule.mix_description,
+        load_description=schedule.load_description,
+    )
+    run = ReplayRunner(InProcessTarget(session), time_scale=0.01).run(patched)
+    assert len(run.failed) == 1
+    assert run.error_counts() == {"sql-parse": 1}
+    assert len(run.succeeded) == len(schedule) - 1
+
+
+# ---------------------------------------------------------------------------
+# bugfix pins: stats under traffic, 503 retry
+
+
+def test_session_stats_safe_and_nonblocking_under_traffic(session):
+    """Concurrent stats() probes: no exception, no torn/regressing counters."""
+    queries = [
+        request.sql
+        for request in build_schedule(
+            parse_mix("tpch"), session.database, UniformArrivals(30.0),
+            seed=21, duration_seconds=1.0,
+        ).requests
+    ]
+    stop = threading.Event()
+    errors: list[Exception] = []
+
+    def traffic():
+        try:
+            while not stop.is_set():
+                session.predict_batch(queries[:10])
+        except Exception as error:  # noqa: BLE001 — surfaced in assertions
+            errors.append(error)
+
+    thread = threading.Thread(target=traffic, daemon=True)
+    thread.start()
+    try:
+        last_lookups = -1
+        last_served = -1
+        for _ in range(300):
+            report = session.stats()
+            lookups = report.prepared_cache.lookups
+            assert lookups >= last_lookups
+            assert report.stats.queries_served >= last_served
+            assert report.sampling_bytes_used >= 0
+            rate = report.prepared_cache.hit_rate
+            assert rate is None or 0.0 <= rate <= 1.0
+            last_lookups = lookups
+            last_served = report.stats.queries_served
+    finally:
+        stop.set()
+        thread.join(timeout=10)
+    assert not errors
+
+
+def test_byte_budget_lru_stats_consistent_under_threads():
+    cache = ByteBudgetLRU(max_bytes=1024)
+    per_thread = 500
+
+    def worker(seed: int):
+        rng = random.Random(seed)
+        for i in range(per_thread):
+            key = rng.randrange(32)
+            if rng.random() < 0.5:
+                cache.get(key)
+            else:
+                cache.put(key, i, nbytes=rng.choice((64, 128, 2048)))
+
+    threads = [
+        threading.Thread(target=worker, args=(seed,)) for seed in range(4)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    stats, entries, bytes_used = cache.snapshot()
+    assert stats.lookups == stats.hits + stats.misses
+    assert 0 <= bytes_used <= 1024
+    assert entries == len(cache)
+
+
+def test_http_client_retries_503_with_seeded_backoff(monkeypatch):
+    client = HttpClient(
+        "http://127.0.0.1:1", retries_503=3, backoff_seconds=0.05,
+        backoff_seed=42,
+    )
+    attempts = []
+
+    def flaky_exchange(method, path, payload):
+        attempts.append(path)
+        if len(attempts) < 3:
+            raise ApiError(503, "over-capacity", "at capacity")
+        return {"ok": True}
+
+    delays = []
+    monkeypatch.setattr(client, "_exchange", flaky_exchange)
+    monkeypatch.setattr(
+        "repro.api.client.time.sleep", lambda seconds: delays.append(seconds)
+    )
+    assert client.request_json("GET", "/v1/healthz") == {"ok": True}
+    assert len(attempts) == 3
+    assert client.retries_performed == 2
+    # the jitter is drawn from random.Random(backoff_seed): recompute it
+    expected_rng = random.Random(42)
+    expected = [
+        0.05 * (2.0 ** attempt) * (0.5 + 0.5 * expected_rng.random())
+        for attempt in range(2)
+    ]
+    assert delays == expected
+    assert all(0.025 <= d <= 0.2 for d in delays)
+
+
+def test_http_client_retry_budget_exhausts(monkeypatch):
+    client = HttpClient("http://127.0.0.1:1", retries_503=2)
+
+    def always_full(method, path, payload):
+        raise ApiError(503, "over-capacity", "at capacity")
+
+    monkeypatch.setattr(client, "_exchange", always_full)
+    monkeypatch.setattr("repro.api.client.time.sleep", lambda seconds: None)
+    with pytest.raises(ApiError) as info:
+        client.request_json("POST", "/v1/predict", {})
+    assert info.value.code == "over-capacity"
+    assert client.retries_performed == 2
+
+
+def test_http_client_does_not_retry_other_errors(monkeypatch):
+    client = HttpClient("http://127.0.0.1:1", retries_503=5)
+    attempts = []
+
+    def parse_error(method, path, payload):
+        attempts.append(1)
+        raise ApiError(400, "sql-parse", "bad sql")
+
+    monkeypatch.setattr(client, "_exchange", parse_error)
+    with pytest.raises(ApiError):
+        client.request_json("POST", "/v1/predict", {})
+    assert len(attempts) == 1
+    assert client.retries_performed == 0

@@ -1,0 +1,149 @@
+"""Documentation link and example checker.
+
+Markdown rots in two silent ways: intra-repo links break when files
+move, and fenced code examples drift until they would not even parse.
+This checker walks ``README.md`` plus every ``docs/**/*.md`` and fails
+CI on either:
+
+* **links** — every relative markdown link target (``[text](path)``,
+  anchors stripped) must exist on disk, resolved against the linking
+  file's directory. External schemes (http/https/mailto) and pure
+  in-page anchors are skipped.
+* **python blocks** — every fenced block tagged ``python`` (or ``py``)
+  must at least :func:`compile`. Blocks tagged ``console``/``json``/
+  etc. are documentation of *output* and are not compiled.
+
+This is a syntax gate, not an execution gate: examples are not run
+(many build sessions or bind sockets), but a doc block that cannot
+compile is always a bug.
+
+Usage: ``python tools/check_docs.py [paths...]`` (defaults to README.md
+and docs/). Exit status 1 when problems were found. Wired into
+``make ci`` and ``.github/workflows/ci.yml``; pinned by
+``tests/test_check_docs.py`` and ``tests/test_ci_workflow.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+DEFAULT_PATHS = ("README.md", "docs")
+
+#: Inline markdown links: [text](target). Images (![alt](target)) match
+#: too via the optional leading "!".
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Fenced code blocks with their info string. Tolerates indentation
+#: (fences inside list items) and attribute-carrying info strings
+#: (```python title="x") — a stricter pattern would desync the
+#: open/close toggle and silently invert link checking.
+_FENCE = re.compile(r"^\s*```+\s*(\S*)")
+
+_SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+#: Info strings whose fenced blocks must compile as Python.
+_PYTHON_INFOS = ("python", "py", "python3")
+
+
+def iter_markdown_files(roots: list[Path]) -> list[Path]:
+    """Every markdown file under ``roots`` (files listed verbatim)."""
+    files: list[Path] = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+        elif root.is_dir():
+            files.extend(sorted(root.rglob("*.md")))
+    return files
+
+
+def check_links(path: Path, text: str) -> list[str]:
+    """Flag relative link targets that do not resolve to a file."""
+    problems = []
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue  # code samples legitimately contain [x](y)-like text
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path}:{lineno}: broken link {target!r} "
+                    f"(resolved to {resolved})"
+                )
+    return problems
+
+
+def python_blocks(text: str) -> list[tuple[int, str]]:
+    """``(starting line, source)`` of every fenced python block."""
+    blocks: list[tuple[int, str]] = []
+    lines = text.splitlines()
+    inside = False
+    info = ""
+    start = 0
+    body: list[str] = []
+    for lineno, line in enumerate(lines, start=1):
+        fence = _FENCE.match(line)
+        if fence and not inside:
+            inside = True
+            info = fence.group(1).lower()
+            start = lineno + 1
+            body = []
+        elif fence and inside:
+            inside = False
+            if info in _PYTHON_INFOS:
+                blocks.append((start, "\n".join(body)))
+        elif inside:
+            body.append(line)
+    return blocks
+
+
+def check_python_blocks(path: Path, text: str) -> list[str]:
+    """Flag fenced python blocks that fail to compile."""
+    problems = []
+    for start, source in python_blocks(text):
+        try:
+            compile(source, f"{path}:{start}", "exec")
+        except SyntaxError as error:
+            line = start + (error.lineno or 1) - 1
+            problems.append(
+                f"{path}:{line}: python doc block does not compile: "
+                f"{error.msg}"
+            )
+    return problems
+
+
+def check_file(path: Path) -> list[str]:
+    """All problems of one markdown file."""
+    text = path.read_text()
+    return check_links(path, text) + check_python_blocks(path, text)
+
+
+def main(argv: list[str]) -> int:
+    """CLI entry: check the given paths (default README.md + docs/)."""
+    roots = [Path(arg) for arg in argv] if argv else [
+        Path(name) for name in DEFAULT_PATHS
+    ]
+    missing_roots = [str(r) for r in roots if not r.exists()]
+    problems = [f"{name}: path does not exist" for name in missing_roots]
+    files = iter_markdown_files([r for r in roots if r.exists()])
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    print(f"check_docs: {len(files)} files checked, {len(problems)} problems")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
