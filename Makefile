@@ -1,20 +1,28 @@
 # Developer entry points. The container has no ruff/flake8; `lint` uses
-# the repo's own AST-based checker (tools/lint.py) and falls through to
-# ruff when one is installed. `test` runs lint first so dead imports
+# the repo's own AST-based checker (tools/lint.py, now a shim over
+# tools/staticcheck) and falls through to ruff when one is installed.
+# `staticcheck` runs the full framework: lock-discipline,
+# blocking-while-locked, determinism, error-taxonomy, plus the legacy
+# rules (docs/staticcheck.md). `test` runs lint first so dead imports
 # fail fast. `bench`/`bench-quick` go through the scenario registry
 # (`repro bench`, docs/benchmarks.md); `ci` mirrors the GitHub Actions
-# workflow: lint -> tier-1 tests -> quick bench smoke -> regression
-# guard against the committed baselines.
+# workflow: lint -> staticcheck -> tier-1 tests -> quick bench smoke ->
+# regression guard against the committed baselines.
 
 PYTHON ?= python
 BENCH_OUT ?= .
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: lint check-docs test test-slow bench bench-quick bench-baselines ci serve example-batch
+.PHONY: lint staticcheck check-docs test test-slow bench bench-quick bench-baselines ci serve example-batch
 
 lint:
 	$(PYTHON) tools/lint.py
 	@command -v ruff >/dev/null 2>&1 && ruff check src tests benchmarks examples tools || true
+
+# The full static-analysis gate (superset of `lint`): concurrency,
+# determinism, and error-taxonomy rules with the committed baseline.
+staticcheck:
+	$(PYTHON) tools/staticcheck --jobs 0
 
 # Intra-repo markdown links must resolve; fenced python doc blocks
 # must compile (README.md + docs/, see tools/check_docs.py).
@@ -62,7 +70,7 @@ bench-baselines:
 # stale BENCH_*.json from a previous invocation. The HTTP smoke boots
 # `repro serve` on an ephemeral port and drives it from a second
 # process (tools/http_smoke.py).
-ci: test check-docs
+ci: staticcheck test check-docs
 	$(PYTHON) tools/http_smoke.py
 	rm -rf bench-artifacts
 	$(PYTHON) -m repro bench --quick --output-dir bench-artifacts

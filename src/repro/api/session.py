@@ -102,6 +102,9 @@ class Session:
 
     def _finish_init(self) -> None:
         config = self._config
+        # staticcheck: disable=lock-discipline — construction path: runs
+        # before the session object is published to any other thread, so
+        # these writes happen-before every locked access.
         self._service = PredictionService(
             self._database,
             self._units,
@@ -115,7 +118,7 @@ class Session:
             sampling_engine_bytes=config.sampling_engine_bytes,
         )
         self._lock = threading.RLock()
-        self._closed = False
+        self._closed = False  # staticcheck: disable=lock-discipline — construction happens-before sharing
 
     # -- introspection -----------------------------------------------------
     @property

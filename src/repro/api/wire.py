@@ -77,10 +77,15 @@ _CACHE_FIELDS = ("hits", "misses", "evictions", "oversized")
 # envelope helpers
 
 
-def dumps(record: dict) -> str:
-    """Serialize a wire dict as strict JSON (no NaN/inf extension tokens)."""
+def dumps(record: dict, *, indent: int | None = None) -> str:
+    """Serialize a wire dict as strict JSON (no NaN/inf extension tokens).
+
+    ``indent`` pretty-prints for human-facing surfaces (the CLI's
+    ``--json`` output) while keeping the same NaN/inf rejection as the
+    compact wire form.
+    """
     try:
-        return json.dumps(record, allow_nan=False, sort_keys=True)
+        return json.dumps(record, allow_nan=False, sort_keys=True, indent=indent)
     except ValueError as error:
         raise WireError(f"payload is not strict-JSON serializable: {error}") from None
 

@@ -270,6 +270,19 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", default=None)
     report.add_argument("--seed", type=int, default=0)
 
+    staticcheck = sub.add_parser(
+        "staticcheck",
+        help="run the repo's concurrency/determinism static analysis",
+        description="Thin launcher for tools/staticcheck; every argument "
+        "after the subcommand is passed through unchanged "
+        "(--select, --jobs, --format, --baseline, ...).",
+    )
+    staticcheck.add_argument(
+        "staticcheck_args",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to tools/staticcheck",
+    )
+
     return parser
 
 
@@ -578,9 +591,11 @@ def _cmd_replay(args, out) -> int:
         calibration = calibration_under_load(run, session)
     report = ReplayReport.from_run(run, calibration=calibration)
     if args.as_json:
-        import json
+        # wire.dumps rejects NaN/inf: a poisoned latency estimate fails
+        # loudly here instead of emitting invalid JSON to a pipeline.
+        from .api import wire
 
-        print(json.dumps(report.to_dict(), indent=2, sort_keys=True), file=out)
+        print(wire.dumps(report.to_dict(), indent=2), file=out)
     else:
         print(report.render(), file=out)
     return 1 if report.requests_failed else 0
@@ -750,6 +765,36 @@ def _cmd_report(args, out) -> int:
     return 0
 
 
+def _cmd_staticcheck(args, out) -> int:
+    """Run ``tools/staticcheck`` in-process against the source checkout.
+
+    The tool lives in the repo, not the installed package: locate it
+    relative to this file and forward the remaining argv unchanged, so
+    ``repro staticcheck --select lock-discipline --jobs 4`` behaves
+    exactly like ``python tools/staticcheck ...``.
+    """
+    from pathlib import Path
+
+    repo_root = Path(__file__).resolve().parents[2]
+    tools_dir = repo_root / "tools"
+    if not (tools_dir / "staticcheck" / "__init__.py").is_file():
+        print(
+            f"repro staticcheck: tools/staticcheck not found under "
+            f"{repo_root}; a source checkout is required",
+            file=out,
+        )
+        return 2
+    sys.path.insert(0, str(tools_dir))
+    try:
+        from staticcheck.runner import main as staticcheck_main
+    finally:
+        sys.path.remove(str(tools_dir))
+    forwarded = list(args.staticcheck_args)
+    if forwarded[:1] == ["--"]:
+        forwarded = forwarded[1:]
+    return staticcheck_main(forwarded)
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "explain": _cmd_explain,
@@ -759,6 +804,7 @@ _COMMANDS = {
     "replay": _cmd_replay,
     "bench": _cmd_bench,
     "report": _cmd_report,
+    "staticcheck": _cmd_staticcheck,
 }
 
 

@@ -2,10 +2,10 @@
 
 CI definitions rot silently — a bad indent or a renamed Make target
 only surfaces once a PR is already red. This parses the YAML and pins
-the contract: lint, tier-1 tests, the HTTP serving smoke, the quick
-bench smoke, the regression guard, and the artifact upload, on both
-push and pull_request. The Makefile's `ci` target must mirror the
-same HTTP smoke stage.
+the contract: lint, staticcheck, tier-1 tests, the HTTP serving smoke,
+the quick bench smoke, the regression guard, and the artifact uploads,
+on both push and pull_request. The Makefile's `ci` target must mirror
+the same HTTP smoke and staticcheck stages.
 """
 
 from pathlib import Path
@@ -55,12 +55,13 @@ def test_gates_in_order(workflow):
         return matches[0]
 
     lint = index_of("make lint")
+    staticcheck = index_of("tools/staticcheck")
     docs = index_of("check_docs.py")
     tests = index_of("pytest -x -q")
     http_smoke = index_of("http_smoke.py")
     bench = index_of("repro bench --quick")
     guard = index_of("benchguard.py")
-    assert lint < docs < tests < http_smoke < bench < guard
+    assert lint < staticcheck < docs < tests < http_smoke < bench < guard
 
 
 def test_http_smoke_stage(workflow):
@@ -88,15 +89,39 @@ def test_check_docs_stage(workflow):
     assert "check-docs" in ci_target or "check_docs.py" in ci_target
 
 
+def test_staticcheck_stage(workflow):
+    """Concurrency/determinism analysis annotates the PR diff."""
+    (check,) = [
+        cmd for cmd in run_commands(workflow) if "tools/staticcheck" in cmd
+    ]
+    assert "--format github" in check
+    assert "--json-output staticcheck-findings.json" in check
+
+
+def test_make_ci_mirrors_staticcheck():
+    makefile = (REPO_ROOT / "Makefile").read_text()
+    assert "\nstaticcheck:" in makefile
+    ci_line = [
+        line for line in makefile.splitlines() if line.startswith("ci:")
+    ]
+    assert ci_line and "staticcheck" in ci_line[0]
+
+
 def test_bench_artifacts_uploaded(workflow):
     uploads = [
         step for step in steps(workflow)
         if "upload-artifact" in step.get("uses", "")
     ]
-    assert len(uploads) == 1
-    assert "BENCH_summary.json" in uploads[0]["with"]["path"]
-    # uploaded even when the guard fails — that's when you want them
-    assert uploads[0]["if"] == "always()"
+    assert len(uploads) == 2
+    by_name = {step["with"]["name"]: step for step in uploads}
+    assert "BENCH_summary.json" in by_name["bench-results"]["with"]["path"]
+    assert (
+        "staticcheck-findings.json"
+        in by_name["staticcheck-findings"]["with"]["path"]
+    )
+    # uploaded even when a gate fails — that's when you want them
+    for step in uploads:
+        assert step["if"] == "always()"
 
 
 def test_pip_cache_enabled(workflow):

@@ -1,0 +1,645 @@
+"""The staticcheck framework: suppressions, baseline, each rule, formats.
+
+The rule fixtures deliberately reproduce the three concurrency bugs
+PR 5's replay harness had to catch at runtime — torn cache-stat reads,
+an admission slot held across blocking work, and non-deterministic
+retry jitter — because catching exactly those shapes *before* runtime
+is the reason the framework exists.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from staticcheck import (  # noqa: E402
+    ALL_CHECKS,
+    Baseline,
+    FileContext,
+    Finding,
+    apply_suppressions,
+    check_file,
+    parse_suppressions,
+)
+from staticcheck.runner import _format_github, discover_files  # noqa: E402
+
+
+def ctx_for(source, path="pkg/mod.py"):
+    return FileContext(Path(path), source=source)
+
+
+def run_rule(rule, source, path="pkg/mod.py"):
+    ctx = ctx_for(source, path)
+    check = ALL_CHECKS[rule]
+    if not check.applies(ctx):
+        return []
+    return check.run(ctx)
+
+
+# ---------------------------------------------------------------------------
+# suppressions
+
+
+class TestSuppressions:
+    def test_trailing_comment_suppresses_own_line(self):
+        source = "x = 1  # staticcheck: disable=demo-rule\n"
+        (supp,) = parse_suppressions(source)
+        assert supp.target == 1
+        assert supp.rules == frozenset({"demo-rule"})
+
+    def test_standalone_comment_targets_next_statement(self):
+        source = (
+            "a = 1\n"
+            "# staticcheck: disable=lock-discipline — justified\n"
+            "\n"
+            "b = 2\n"
+        )
+        (supp,) = parse_suppressions(source)
+        assert supp.line == 2
+        assert supp.target == 4
+
+    def test_multiple_rules_and_all(self):
+        source = "x = 1  # staticcheck: disable=rule-a, rule-b\ny = 2  # staticcheck: disable=all\n"
+        first, second = parse_suppressions(source)
+        assert first.rules == frozenset({"rule-a", "rule-b"})
+        assert second.rules == frozenset({"all"})
+
+    def test_docstring_mention_is_not_a_suppression(self):
+        source = '"""Docs show the idiom:\n\n    # staticcheck: disable=demo\n"""\nx = 1\n'
+        assert parse_suppressions(source) == []
+
+    def test_matching_finding_is_dropped(self):
+        source = "x = 1  # staticcheck: disable=demo\n"
+        ctx = ctx_for(source)
+        findings = [ctx.finding(1, "demo", "boom")]
+        kept = apply_suppressions(ctx, findings, parse_suppressions(source))
+        assert kept == []
+
+    def test_unused_suppression_reported_on_full_run(self):
+        source = "x = 1  # staticcheck: disable=demo\n"
+        ctx = ctx_for(source)
+        kept = apply_suppressions(ctx, [], parse_suppressions(source))
+        (finding,) = kept
+        assert finding.rule == "unused-suppression"
+        assert "matched no finding" in finding.message
+
+    def test_unused_suppression_silent_under_select(self):
+        source = "x = 1  # staticcheck: disable=demo\n"
+        ctx = ctx_for(source)
+        kept = apply_suppressions(
+            ctx, [], parse_suppressions(source), selected={"other"}
+        )
+        assert kept == []
+
+
+# ---------------------------------------------------------------------------
+# baseline
+
+
+class TestBaseline:
+    def finding(self, message="torn read"):
+        return Finding(path="src/x.py", line=3, rule="lock-discipline", message=message)
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([self.finding()]).write(path)
+        loaded = Baseline.load(path)
+        fresh, expired = loaded.apply([self.finding()])
+        assert fresh == []
+        assert expired == []
+
+    def test_new_finding_not_filtered(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([self.finding()]).write(path)
+        other = self.finding(message="different problem")
+        fresh, expired = Baseline.load(path).apply([other, self.finding()])
+        assert fresh == [other]
+        assert expired == []
+
+    def test_fixed_finding_expires(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([self.finding()]).write(path)
+        fresh, expired = Baseline.load(path).apply([])
+        assert fresh == []
+        (entry,) = expired
+        assert entry["message"] == "torn read"
+
+    def test_fingerprint_ignores_line_number(self):
+        moved = Finding(
+            path="src/x.py", line=99, rule="lock-discipline", message="torn read"
+        )
+        assert moved.fingerprint == self.finding().fingerprint
+
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "nope.json")
+        assert baseline.entries == {}
+
+
+# ---------------------------------------------------------------------------
+# lock-discipline
+
+
+# The torn cache-stat shape from PR 5: `hits` is maintained under the
+# lock in get() but bumped bare in record() — exactly what tore the
+# stats() snapshot at runtime.
+TORN_STATS = """
+import threading
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+
+    def get(self, key):
+        with self._lock:
+            self.hits += 1
+            return key
+
+    def record(self):
+        self.hits += 1
+"""
+
+
+class TestLockDiscipline:
+    def test_torn_stat_mutation_flagged(self):
+        (finding,) = run_rule("lock-discipline", TORN_STATS)
+        assert finding.rule == "lock-discipline"
+        assert "self.hits" in finding.message
+        assert "self._lock" in finding.message
+
+    def test_mutation_under_lock_clean(self):
+        source = TORN_STATS.replace(
+            "    def record(self):\n        self.hits += 1",
+            "    def record(self):\n        with self._lock:\n            self.hits += 1",
+        )
+        assert run_rule("lock-discipline", source) == []
+
+    def test_init_is_exempt(self):
+        # __init__ writes guarded attrs bare by design; no finding for it.
+        findings = run_rule("lock-discipline", TORN_STATS)
+        assert all("__init__" not in f.message for f in findings)
+
+    def test_mutator_method_call_flagged(self):
+        source = """
+import threading
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+
+    def get(self, key):
+        with self._lock:
+            return self._entries.get(key)
+
+    def put(self, key, value):
+        self._entries[key] = value
+        self._entries.update({key: value})
+"""
+        findings = run_rule("lock-discipline", source)
+        assert len(findings) == 2
+
+    def test_read_outside_lock_not_flagged(self):
+        source = TORN_STATS.replace(
+            "    def record(self):\n        self.hits += 1",
+            "    def record(self):\n        return self.hits",
+        )
+        assert run_rule("lock-discipline", source) == []
+
+    def test_double_acquire_nonreentrant_flagged(self):
+        source = """
+import threading
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def work(self):
+        with self._lock:
+            with self._lock:
+                pass
+"""
+        (finding,) = run_rule("lock-discipline", source)
+        assert "not reentrant" in finding.message
+
+    def test_double_acquire_rlock_clean(self):
+        source = """
+import threading
+
+class Box:
+    def __init__(self):
+        self._lock = threading.RLock()
+
+    def work(self):
+        with self._lock:
+            with self._lock:
+                pass
+"""
+        assert run_rule("lock-discipline", source) == []
+
+    def test_nested_function_does_not_inherit_held_lock(self):
+        # The closure runs later on another stack: its bare mutation is
+        # NOT protected by the enclosing with-block.
+        source = """
+import threading
+
+class Box:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+    def deferred(self):
+        with self._lock:
+            def later():
+                self.count += 1
+            return later
+"""
+        (finding,) = run_rule("lock-discipline", source)
+        assert "deferred" in finding.message
+
+    def test_inline_suppression_silences(self):
+        source = TORN_STATS.replace(
+            "    def record(self):\n        self.hits += 1",
+            "    def record(self):\n"
+            "        self.hits += 1  # staticcheck: disable=lock-discipline — test",
+        )
+        assert source != TORN_STATS
+        findings = check_file_from_source(source)
+        assert [f for f in findings if f.rule == "lock-discipline"] == []
+
+
+def check_file_from_source(source, tmp_path=None, name="mod.py"):
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / name
+        path.write_text(source)
+        return check_file(path, root=Path(tmp))
+
+
+# ---------------------------------------------------------------------------
+# blocking-while-locked
+
+
+# The admission shape from PR 5: backoff sleep while the slot/lock is
+# held — every other thread queues behind a timer.
+HELD_SLEEP = """
+import threading
+import time
+
+class Client:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def request(self):
+        with self._lock:
+            time.sleep(0.2)
+"""
+
+
+class TestBlockingWhileLocked:
+    def test_sleep_under_lock_flagged(self):
+        (finding,) = run_rule("blocking-while-locked", HELD_SLEEP)
+        assert "time.sleep" in finding.message
+        assert "self._lock" in finding.message
+
+    def test_sleep_outside_lock_clean(self):
+        source = """
+import threading
+import time
+
+class Client:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def request(self):
+        with self._lock:
+            attempt = 1
+        time.sleep(0.2)
+"""
+        assert run_rule("blocking-while-locked", source) == []
+
+    def test_lock_named_variable_recognized(self):
+        source = """
+import time
+
+def work(cache_lock):
+    with cache_lock:
+        time.sleep(1)
+"""
+        (finding,) = run_rule("blocking-while-locked", source)
+        assert "cache_lock" in finding.message
+
+    def test_urlopen_via_alias_flagged(self):
+        source = """
+import threading
+from urllib.request import urlopen
+
+class Client:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def fetch(self, url):
+        with self._lock:
+            return urlopen(url)
+"""
+        (finding,) = run_rule("blocking-while-locked", source)
+        assert "urllib.request.urlopen" in finding.message
+
+    def test_semaphore_context_flagged(self):
+        source = """
+import threading
+import time
+
+def work():
+    with threading.BoundedSemaphore(4):
+        time.sleep(1)
+"""
+        (finding,) = run_rule("blocking-while-locked", source)
+        assert "threading.BoundedSemaphore()" in finding.message
+
+    def test_nested_function_resets_held_state(self):
+        source = """
+import threading
+import time
+
+class Client:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def plan(self):
+        with self._lock:
+            def retry():
+                time.sleep(1)
+            return retry
+"""
+        assert run_rule("blocking-while-locked", source) == []
+
+    def test_hot_paths_are_clean(self):
+        # Satellite audit: the client backoff and replay runner must
+        # never sleep or do socket I/O while holding a lock.
+        for rel in ("src/repro/api/client.py", "src/repro/replay/runner.py"):
+            ctx = FileContext(REPO_ROOT / rel, root=REPO_ROOT)
+            assert ALL_CHECKS["blocking-while-locked"].run(ctx) == []
+
+
+# ---------------------------------------------------------------------------
+# determinism
+
+
+# The retry shape from PR 5: unseeded jitter in replay-path retry logic
+# makes the 503-retry schedule irreproducible.
+JITTER = """
+import random
+
+def backoff(attempt):
+    return (2 ** attempt) + random.random()
+"""
+
+
+class TestDeterminism:
+    def test_replay_path_global_rng_flagged(self):
+        findings = run_rule("determinism", JITTER, path="src/repro/replay/retry.py")
+        (finding,) = findings
+        assert "process-global" in finding.message
+        assert "replay/datagen/experiments" in finding.message
+
+    def test_benchmark_noun_preserved(self):
+        (finding,) = run_rule(
+            "determinism", JITTER, path="benchmarks/bench_retry.py"
+        )
+        assert "a benchmark" in finding.message
+
+    def test_outside_scoped_trees_not_applicable(self):
+        assert run_rule("determinism", JITTER, path="src/repro/service/service.py") == []
+        assert run_rule("determinism", JITTER, path="tests/test_retry.py") == []
+
+    def test_seeded_rng_clean(self):
+        source = "import random\nrng = random.Random(7)\n"
+        assert run_rule("determinism", source, path="src/repro/datagen/gen.py") == []
+
+    def test_unseeded_constructor_flagged(self):
+        source = "import numpy as np\nrng = np.random.default_rng()\n"
+        (finding,) = run_rule(
+            "determinism", source, path="src/repro/experiments/lab.py"
+        )
+        assert "without an explicit seed" in finding.message
+
+    def test_builtin_hash_flagged(self):
+        source = "key = hash('q')\n"
+        (finding,) = run_rule("determinism", source, path="src/repro/replay/key.py")
+        assert "crc32" in finding.message
+
+
+# ---------------------------------------------------------------------------
+# error-taxonomy
+
+
+class TestErrorTaxonomy:
+    PATH = "src/repro/api/handlers.py"
+
+    def test_unregistered_raise_flagged(self):
+        source = "def f():\n    raise ValueError('bad')\n"
+        (finding,) = run_rule("error-taxonomy", source, path=self.PATH)
+        assert "ValueError" in finding.message
+        assert "ERROR_CODES" in finding.message
+
+    def test_registered_class_clean(self):
+        source = "from repro.errors import WireError\n\ndef f():\n    raise WireError('bad')\n"
+        assert run_rule("error-taxonomy", source, path=self.PATH) == []
+
+    def test_local_subclass_clean(self):
+        source = (
+            "from repro.errors import ReproError\n\n"
+            "class ApiError(ReproError):\n    pass\n\n"
+            "class DeepError(ApiError):\n    pass\n\n"
+            "def f():\n    raise DeepError('bad')\n"
+        )
+        assert run_rule("error-taxonomy", source, path=self.PATH) == []
+
+    def test_control_flow_builtins_allowed(self):
+        source = "def f():\n    raise SystemExit(2)\n"
+        assert run_rule("error-taxonomy", source, path=self.PATH) == []
+
+    def test_factory_method_not_judged(self):
+        source = "def f(self):\n    raise self._structured('oops')\n"
+        assert run_rule("error-taxonomy", source, path=self.PATH) == []
+
+    def test_reraise_not_judged(self):
+        source = "def f():\n    try:\n        pass\n    except Exception:\n        raise\n"
+        assert run_rule("error-taxonomy", source, path=self.PATH) == []
+
+    def test_json_dumps_flagged_outside_wire(self):
+        source = "import json\n\ndef f(d):\n    return json.dumps(d)\n"
+        (finding,) = run_rule("error-taxonomy", source, path=self.PATH)
+        assert "allow_nan" in finding.message
+
+    def test_wire_module_is_the_guard(self):
+        source = "import json\n\ndef dumps(d):\n    return json.dumps(d, allow_nan=False)\n"
+        assert run_rule("error-taxonomy", source, path="src/repro/api/wire.py") == []
+
+    def test_not_applicable_outside_wire_facing_code(self):
+        source = "def f():\n    raise ValueError('bad')\n"
+        assert run_rule("error-taxonomy", source, path="src/repro/core/units.py") == []
+
+
+# ---------------------------------------------------------------------------
+# output formats & runner integration
+
+
+class TestFormatsAndRunner:
+    def finding(self):
+        return Finding(path="src/x.py", line=3, rule="lock-discipline", message="m")
+
+    def test_github_format(self):
+        (line,) = _format_github([self.finding()])
+        assert line == (
+            "::error file=src/x.py,line=3,title=staticcheck lock-discipline::m"
+        )
+
+    def test_finding_to_dict_round_trips_through_json(self):
+        payload = json.loads(json.dumps(self.finding().to_dict()))
+        assert payload["rule"] == "lock-discipline"
+        assert payload["fingerprint"] == self.finding().fingerprint
+
+    def test_discovery_skips_hidden_and_cache_dirs(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "ok.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "skip.py").write_text("x = 1\n")
+        (tmp_path / ".git").mkdir()
+        (tmp_path / ".git" / "hook.py").write_text("x = 1\n")
+        files = discover_files([tmp_path], tmp_path)
+        assert [f.name for f in files] == ["ok.py"]
+
+    def test_jobs_parity(self, tmp_path):
+        # Fan-out must not change results: same findings with 1 or 4 workers.
+        target = tmp_path / "src" / "repro" / "replay"
+        target.mkdir(parents=True)
+        (target / "a.py").write_text(JITTER)
+        (target / "b.py").write_text(HELD_SLEEP)
+        outputs = {}
+        for jobs in ("1", "4"):
+            result = self.run_tool(tmp_path, "--jobs", jobs, "src")
+            assert result.returncode == 1
+            outputs[jobs] = [
+                line for line in result.stdout.splitlines() if "[" in line
+            ]
+        assert outputs["1"] == outputs["4"]
+
+    @staticmethod
+    def run_tool(root, *argv):
+        return subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "tools" / "staticcheck"),
+                "--root",
+                str(root),
+                "--no-baseline",
+                *argv,
+            ],
+            capture_output=True,
+            text=True,
+        )
+
+    def test_repo_is_clean_with_committed_baseline(self):
+        result = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "staticcheck")],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, f"staticcheck findings:\n{result.stdout}"
+        assert "0 finding(s)" in result.stdout
+
+    def test_unknown_rule_is_usage_error(self, tmp_path):
+        result = self.run_tool(tmp_path, "--select", "nope")
+        assert result.returncode == 2
+
+    def test_json_output_artifact(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "replay"
+        target.mkdir(parents=True)
+        (target / "a.py").write_text(JITTER)
+        out = tmp_path / "report.json"
+        result = self.run_tool(
+            tmp_path, "--format", "json", "--json-output", str(out), "src"
+        )
+        assert result.returncode == 1
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro.staticcheck/1"
+        assert payload["findings"][0]["rule"] == "determinism"
+        assert json.loads(result.stdout) == payload
+
+    def test_pr5_bug_fixtures_fail_the_gate(self, tmp_path):
+        """One tree holding all three PR 5 bug shapes exits 1 and names
+        each responsible rule."""
+        api = tmp_path / "src" / "repro" / "api"
+        replay = tmp_path / "src" / "repro" / "replay"
+        api.mkdir(parents=True)
+        replay.mkdir(parents=True)
+        (api / "cache.py").write_text(TORN_STATS)  # torn cache-stat reads
+        (api / "http.py").write_text(HELD_SLEEP)  # slot held across backoff
+        (replay / "retry.py").write_text(JITTER)  # irreproducible 503 retry
+        result = self.run_tool(tmp_path, "src")
+        assert result.returncode == 1
+        for rule in ("lock-discipline", "blocking-while-locked", "determinism"):
+            assert f"[{rule}]" in result.stdout
+
+    def test_baseline_accepts_then_expires(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "replay"
+        target.mkdir(parents=True)
+        fixture = target / "a.py"
+        fixture.write_text(JITTER)
+        baseline = tmp_path / "baseline.json"
+
+        def run(*argv):
+            return subprocess.run(
+                [
+                    sys.executable,
+                    str(REPO_ROOT / "tools" / "staticcheck"),
+                    "--root",
+                    str(tmp_path),
+                    "--baseline",
+                    str(baseline),
+                    *argv,
+                ],
+                capture_output=True,
+                text=True,
+            )
+
+        assert run("src").returncode == 1
+        assert run("--write-baseline", "src").returncode == 0
+        assert run("src").returncode == 0  # accepted
+        fixture.write_text("import random\nrng = random.Random(7)\n")
+        result = run("src")  # fixed -> the stale entry must expire
+        assert result.returncode == 1
+        assert "baseline-expired" in result.stdout
+
+
+class TestLegacyShimEquivalence:
+    def test_shim_and_framework_agree_on_unused_import(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text("import os\nimport sys\n\nprint(sys.argv)\n")
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "lint_shim_under_test", REPO_ROOT / "tools" / "lint.py"
+        )
+        lint = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(lint)
+        (problem,) = lint.check_file(path)
+        assert problem == f"{path}:1: unused import 'os'"
+        framework = [
+            f
+            for f in check_file(path, root=tmp_path)
+            if f.rule == "unused-import"
+        ]
+        assert len(framework) == 1
+        assert framework[0].line == 1

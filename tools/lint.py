@@ -1,32 +1,24 @@
-"""Dependency-free lint: dead imports and stale ``__all__`` exports.
+"""Legacy lint entry point — now a shim over ``tools/staticcheck``.
 
-The container has no ruff/flake8, so this AST-based checker covers the
-two classes of rot that bite a growing multi-package repo the hardest:
+The rules that used to live here (dead imports, stale ``__all__``
+exports, unseeded randomness in benchmarks) migrated into the
+pluggable framework in ``tools/staticcheck/`` along with the new
+concurrency and taxonomy rules. This module keeps the original
+command-line contract and public functions alive for callers and
+tests that pin them:
 
-* module-level imports that nothing in the module uses;
-* ``__all__`` entries that name nothing defined in the module.
+* ``python tools/lint.py [paths...]`` — same defaults, same message
+  texts, same ``lint: N files checked, M problems`` summary, same
+  exit status;
+* ``check_file(path) -> list[str]`` and
+  ``check_benchmark_rng(path, tree) -> list[str]`` — same legacy
+  message strings.
 
-Conventions honored:
-
-* ``__init__.py`` imports are re-exports; they are only flagged when the
-  module has an ``__all__`` and the name is missing from it.
-* ``import x as x`` / ``from m import x as x`` is the explicit
-  re-export idiom and is never flagged.
-* ``from __future__ import ...`` is ignored.
-* names referenced only inside quoted (forward-reference) annotations
-  count as used — the ``if TYPE_CHECKING:`` import idiom.
-
-Benchmark files (any path containing a ``benchmarks`` directory) get
-one extra check: no process-global randomness. Benchmarks must be
-bitwise-reproducible across runs and machines, so calls into the
-module-level ``random`` / ``numpy.random`` state (or constructing a
-generator without an explicit seed) are flagged, as is builtin
-``hash()`` (randomized per process for strings — the flakiness that
-once made metric benches drift across runs). Use ``random.Random(seed)``
-/ ``np.random.default_rng(seed)`` / ``zlib.crc32`` instead.
-
-Usage: ``python tools/lint.py [paths...]`` (defaults to src, tests,
-benchmarks, examples, tools). Exit status 1 when problems were found.
+New code should run ``python tools/staticcheck`` (or ``repro
+staticcheck``) directly: it adds lock-discipline,
+blocking-while-locked, wider determinism coverage, error-taxonomy,
+suppressions, a baseline, and parallel fan-out. See
+``docs/staticcheck.md``.
 """
 
 from __future__ import annotations
@@ -35,221 +27,59 @@ import ast
 import sys
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from staticcheck.checks.determinism import rng_findings  # noqa: E402
+from staticcheck.checks.imports import (  # noqa: E402
+    export_findings,
+    import_findings,
+)
+from staticcheck.core import (  # noqa: E402
+    FileContext,
+    apply_suppressions,
+    parse_suppressions,
+)
+
 DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples", "tools")
 
-#: RNG constructors that are fine *when given an explicit seed*.
-SEEDED_RNG_CONSTRUCTORS = {
-    "random.Random",
-    "random.SystemRandom",  # never reproducible, but also never silent drift
-    "numpy.random.default_rng",
-    "numpy.random.Generator",
-    "numpy.random.RandomState",
-    "numpy.random.SeedSequence",
-    "numpy.random.PCG64",
-    "numpy.random.MT19937",
-    "numpy.random.Philox",
-    "numpy.random.SFC64",
-}
-
-_RNG_MODULES = ("random", "numpy.random")
+#: rules this legacy surface runs; passing the set to apply_suppressions
+#: also turns off unused-suppression reporting (staticcheck's job).
+_LEGACY_RULES = {"unused-import", "undefined-export", "determinism"}
 
 
-def _imported_names(tree: ast.AST):
-    """Yield (local name, node, explicit_reexport) for every import."""
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                local = alias.asname or alias.name.split(".")[0]
-                explicit = alias.asname is not None and alias.asname == alias.name
-                yield local, node, explicit
-        elif isinstance(node, ast.ImportFrom):
-            if node.module == "__future__":
-                continue
-            for alias in node.names:
-                if alias.name == "*":
-                    continue
-                local = alias.asname or alias.name
-                explicit = alias.asname is not None and alias.asname == alias.name
-                yield local, node, explicit
-
-
-def _annotation_nodes(tree: ast.AST):
-    for node in ast.walk(tree):
-        if isinstance(node, ast.AnnAssign) and node.annotation is not None:
-            yield node.annotation
-        elif isinstance(node, ast.arg) and node.annotation is not None:
-            yield node.annotation
-        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            if node.returns is not None:
-                yield node.returns
-
-
-def _used_names(tree: ast.AST) -> set[str]:
-    used: set[str] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Name):
-            used.add(node.id)
-        elif isinstance(node, ast.Attribute):
-            # the root of a dotted chain is an ast.Name, already covered
-            continue
-    # Quoted forward references ("ClassName", 'pkg.Cls | None') hide their
-    # names in string constants; parse every string found in an
-    # annotation position and count its names as used.
-    for annotation in _annotation_nodes(tree):
-        for node in ast.walk(annotation):
-            if not (isinstance(node, ast.Constant) and isinstance(node.value, str)):
-                continue
-            try:
-                parsed = ast.parse(node.value, mode="eval")
-            except SyntaxError:
-                continue
-            for name in ast.walk(parsed):
-                if isinstance(name, ast.Name):
-                    used.add(name.id)
-    return used
-
-
-def _dunder_all(tree: ast.AST) -> list[str] | None:
-    """The union of every ``__all__ = [...]`` / ``__all__ += [...]``.
-
-    Returns None when the module declares no ``__all__`` or when any of
-    its parts is not a literal (dynamic exports: don't guess).
-    """
-    names: list[str] = []
-    found = False
-    for node in ast.walk(tree):
-        if not isinstance(node, (ast.Assign, ast.AugAssign)):
-            continue
-        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
-        for target in targets:
-            if isinstance(target, ast.Name) and target.id == "__all__":
-                found = True
-                try:
-                    value = ast.literal_eval(node.value)
-                except ValueError:
-                    return None
-                names.extend(str(name) for name in value)
-    return names if found else None
-
-
-def _defined_names(tree: ast.Module) -> set[str]:
-    defined: set[str] = set()
-    for node in tree.body:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-            defined.add(node.name)
-        elif isinstance(node, ast.Assign):
-            for target in node.targets:
-                if isinstance(target, ast.Name):
-                    defined.add(target.id)
-        elif isinstance(node, ast.AnnAssign):
-            if isinstance(node.target, ast.Name):
-                defined.add(node.target.id)
-    defined.update(local for local, _, _ in _imported_names(tree))
-    return defined
-
-
-def _rng_aliases(tree: ast.AST) -> dict[str, str]:
-    """Local name -> dotted module for random / numpy(.random) imports."""
-    aliases: dict[str, str] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                if alias.name in ("random", "numpy", "numpy.random"):
-                    if alias.asname:
-                        aliases[alias.asname] = alias.name
-                    else:
-                        # `import numpy.random` binds the name `numpy`.
-                        root = alias.name.split(".")[0]
-                        aliases[root] = root
-        elif isinstance(node, ast.ImportFrom):
-            if node.module in ("random", "numpy", "numpy.random"):
-                for alias in node.names:
-                    if alias.name == "*":
-                        continue
-                    local = alias.asname or alias.name
-                    aliases[local] = f"{node.module}.{alias.name}"
-    return aliases
-
-
-def _resolve_dotted(node: ast.AST, aliases: dict[str, str]) -> str | None:
-    """``np.random.default_rng`` -> ``numpy.random.default_rng``."""
-    parts: list[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name) and node.id in aliases:
-        return ".".join([aliases[node.id], *reversed(parts)])
-    return None
+def _legacy_line(finding) -> str:
+    """Render a Finding in the original lint.py message format."""
+    if finding.rule == "undefined-export":
+        # the legacy message carried no line number
+        return f"{finding.path}: {finding.message}"
+    return f"{finding.path}:{finding.line}: {finding.message}"
 
 
 def check_benchmark_rng(path: Path, tree: ast.AST) -> list[str]:
     """Flag process-global / unseeded randomness in benchmark files."""
-    aliases = _rng_aliases(tree)
-    problems: list[str] = []
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
-        if isinstance(node.func, ast.Name) and node.func.id == "hash":
-            problems.append(
-                f"{path}:{node.lineno}: hash() in a benchmark is randomized "
-                "per process for strings; use zlib.crc32 or a seeded RNG"
-            )
-            continue
-        dotted = _resolve_dotted(node.func, aliases)
-        if dotted is None or not any(
-            dotted.startswith(module + ".") for module in _RNG_MODULES
-        ):
-            continue
-        if dotted in SEEDED_RNG_CONSTRUCTORS:
-            if node.args or node.keywords:
-                continue
-            problems.append(
-                f"{path}:{node.lineno}: {dotted}() without an explicit seed "
-                "in a benchmark; pass one so runs are reproducible"
-            )
-        else:
-            problems.append(
-                f"{path}:{node.lineno}: {dotted}() uses process-global "
-                "random state in a benchmark; use random.Random(seed) / "
-                "np.random.default_rng(seed)"
-            )
-    return problems
+    ctx = FileContext(path)
+    ctx._tree = tree
+    return [
+        _legacy_line(finding)
+        for finding in rng_findings(ctx, noun="a benchmark")
+    ]
 
 
 def check_file(path: Path) -> list[str]:
-    source = path.read_text()
+    path = Path(path)
+    ctx = FileContext(path)
     try:
-        tree = ast.parse(source, filename=str(path))
+        ctx.tree
     except SyntaxError as error:
         return [f"{path}:{error.lineno}: syntax error: {error.msg}"]
 
-    problems: list[str] = []
-    exported = _dunder_all(tree)
-    used = _used_names(tree)
-    is_package_init = path.name == "__init__.py"
-
-    for local, node, explicit_reexport in _imported_names(tree):
-        if explicit_reexport:
-            continue
-        if local in used:
-            continue
-        if exported is not None and local in exported:
-            continue
-        if is_package_init and exported is None:
-            continue  # bare re-export package with no declared surface
-        problems.append(f"{path}:{node.lineno}: unused import {local!r}")
-
-    if exported is not None:
-        defined = _defined_names(tree)
-        for name in exported:
-            if name not in defined:
-                problems.append(
-                    f"{path}: __all__ names {name!r} which is not defined"
-                )
-
+    findings = [*import_findings(ctx), *export_findings(ctx)]
     if "benchmarks" in path.parts:
-        problems.extend(check_benchmark_rng(path, tree))
-    return problems
+        findings.extend(rng_findings(ctx, noun="a benchmark"))
+    findings = apply_suppressions(
+        ctx, findings, parse_suppressions(ctx.source), selected=_LEGACY_RULES
+    )
+    return [_legacy_line(finding) for finding in findings]
 
 
 def main(argv: list[str]) -> int:

@@ -1,0 +1,16 @@
+"""Directory entry point: ``python tools/staticcheck [args]``.
+
+Running a package directory puts the *package dir* on ``sys.path``, not
+its parent, so relative imports inside the package would fail; insert
+the parent (``tools/``) and import ourselves absolutely.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from staticcheck.runner import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""Committed-baseline support: accept known findings, expire fixed ones.
+
+The baseline file (``tools/staticcheck_baseline.json``) is a sorted
+JSON list of finding fingerprints plus a human-readable echo of each
+entry. A finding whose fingerprint appears in the baseline is filtered
+from the run's output; a baseline entry matching no current finding is
+*expired* and reported (exit 1) so the file shrinks monotonically — the
+baseline is a ratchet for burning down debt, not a dumping ground.
+
+Fingerprints hash ``path::rule::message`` (no line number), so edits
+elsewhere in a file do not churn the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .core import Finding
+
+__all__ = ["Baseline"]
+
+
+class Baseline:
+    """The set of accepted finding fingerprints."""
+
+    def __init__(self, entries: dict[str, dict] | None = None):
+        self.entries: dict[str, dict] = dict(entries or {})
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not Path(path).is_file():
+            return cls()
+        data = json.loads(Path(path).read_text())
+        entries = {
+            entry["fingerprint"]: entry for entry in data.get("findings", [])
+        }
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls({f.fingerprint: _entry(f) for f in findings})
+
+    def write(self, path: Path) -> None:
+        payload = {
+            "note": (
+                "Accepted staticcheck findings. Regenerate with "
+                "`python tools/staticcheck --write-baseline`; entries "
+                "matching no current finding fail the run as expired."
+            ),
+            "findings": sorted(
+                self.entries.values(),
+                key=lambda entry: (entry["path"], entry["rule"], entry["message"]),
+            ),
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    # -- application --------------------------------------------------
+
+    def apply(self, findings: list[Finding]) -> tuple[list[Finding], list[dict]]:
+        """(new findings not in baseline, expired baseline entries)."""
+        seen: set[str] = set()
+        fresh: list[Finding] = []
+        for finding in findings:
+            fingerprint = finding.fingerprint
+            if fingerprint in self.entries:
+                seen.add(fingerprint)
+            else:
+                fresh.append(finding)
+        expired = [
+            entry
+            for fingerprint, entry in sorted(self.entries.items())
+            if fingerprint not in seen
+        ]
+        return fresh, expired
+
+
+def _entry(finding: Finding) -> dict:
+    return {
+        "fingerprint": finding.fingerprint,
+        "path": finding.path,
+        "rule": finding.rule,
+        "message": finding.message,
+    }

@@ -1,0 +1,10 @@
+"""Check modules; importing this package populates the registry.
+
+Each module registers its rules with :func:`staticcheck.core.register`
+at import time, so the registry is complete once this package is
+imported (the runner does so before selecting rules).
+"""
+
+from . import determinism, imports, locks, taxonomy
+
+__all__ = ["determinism", "imports", "locks", "taxonomy"]

@@ -1,0 +1,127 @@
+"""Repo-wide determinism: no process-global RNG, no builtin ``hash()``.
+
+The legacy benchmark-only unseeded-RNG rule, extended to every
+subsystem whose outputs must be bitwise-reproducible across runs and
+machines: ``benchmarks/`` (the regression-guarded scenarios),
+``src/repro/replay/`` (byte-identical schedules per seed is the
+subsystem's core contract), ``src/repro/datagen/`` (deterministic
+database generation is what makes sessions reproducible), and
+``src/repro/experiments/`` (the paper's tables and figures).
+
+Flagged:
+
+* calls into the module-level ``random`` / ``numpy.random`` state
+  (``random.random()``, ``np.random.rand()``, ``random.seed()`` — the
+  process-global generator is shared, order-dependent state);
+* RNG constructors without an explicit seed (``random.Random()``,
+  ``np.random.default_rng()``);
+* builtin ``hash()`` — randomized per process for strings.
+
+Use ``random.Random(seed)`` / ``np.random.default_rng(seed)`` /
+``zlib.crc32`` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import (
+    Check,
+    FileContext,
+    Finding,
+    import_aliases,
+    register,
+    resolve_dotted,
+)
+
+__all__ = ["DeterminismCheck", "rng_findings"]
+
+#: RNG constructors that are fine *when given an explicit seed*.
+SEEDED_RNG_CONSTRUCTORS = {
+    "random.Random",
+    "random.SystemRandom",  # never reproducible, but also never silent drift
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.RandomState",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.MT19937",
+    "numpy.random.Philox",
+    "numpy.random.SFC64",
+}
+
+_RNG_MODULES = ("random", "numpy.random")
+
+#: ``src/repro/<dir>`` trees held to the same bar as ``benchmarks/``.
+DETERMINISTIC_SUBSYSTEMS = ("replay", "datagen", "experiments")
+
+
+def _noun(ctx: FileContext) -> str:
+    """Where the determinism requirement comes from, for messages."""
+    if "benchmarks" in ctx.path.parts:
+        return "a benchmark"
+    return "replay/datagen/experiments code"
+
+
+def rng_findings(ctx: FileContext, noun: str | None = None) -> list[Finding]:
+    """Flag process-global / unseeded randomness and builtin ``hash()``."""
+    tree = ctx.tree
+    noun = noun or _noun(ctx)
+    aliases = import_aliases(tree)
+    findings: list[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Name) and node.func.id == "hash":
+            findings.append(
+                ctx.finding(
+                    node.lineno,
+                    "determinism",
+                    f"hash() in {noun} is randomized per process for "
+                    "strings; use zlib.crc32 or a seeded RNG",
+                )
+            )
+            continue
+        dotted = resolve_dotted(node.func, aliases)
+        if dotted is None or not any(
+            dotted.startswith(module + ".") for module in _RNG_MODULES
+        ):
+            continue
+        if dotted in SEEDED_RNG_CONSTRUCTORS:
+            if node.args or node.keywords:
+                continue
+            findings.append(
+                ctx.finding(
+                    node.lineno,
+                    "determinism",
+                    f"{dotted}() without an explicit seed in {noun}; "
+                    "pass one so runs are reproducible",
+                )
+            )
+        else:
+            findings.append(
+                ctx.finding(
+                    node.lineno,
+                    "determinism",
+                    f"{dotted}() uses process-global random state in "
+                    f"{noun}; use random.Random(seed) / "
+                    "np.random.default_rng(seed)",
+                )
+            )
+    return findings
+
+
+@register
+class DeterminismCheck(Check):
+    name = "determinism"
+
+    def applies(self, ctx: FileContext) -> bool:
+        parts = ctx.path.parts
+        if "benchmarks" in parts:
+            return True
+        return "repro" in parts and any(
+            subsystem in parts for subsystem in DETERMINISTIC_SUBSYSTEMS
+        )
+
+    def run(self, ctx: FileContext) -> list[Finding]:
+        return rng_findings(ctx)

@@ -1,0 +1,394 @@
+"""Lock discipline and blocking-while-locked.
+
+These two rules target the exact bug shapes PR 5's replay harness had
+to catch at runtime:
+
+* **lock-discipline** — per class, infer which attributes a lock
+  guards (any attribute read or written inside a ``with self._lock:``
+  block of any method) and flag *mutations* of those attributes on
+  paths that do not hold the lock (the torn cache-stat bug: counters
+  bumped under the lock in ``get()`` but incremented bare elsewhere).
+  Also flags lexically re-acquiring a non-reentrant ``threading.Lock``
+  already held — a guaranteed deadlock.
+
+  Reads outside the lock are *not* flagged: single-attribute loads are
+  atomic under the GIL and monitoring code legitimately does them; it
+  is interleaved read-modify-write and multi-field invariants that
+  tear, and those require a mutation.
+
+  ``__init__`` (and friends) are exempt — construction happens-before
+  any sharing. Other init-path methods that assign guarded attributes
+  need an explicit ``# staticcheck: disable=lock-discipline`` with a
+  justification, which is the convention this repo adopts.
+
+* **blocking-while-locked** — ``time.sleep``, socket/HTTP client
+  calls, or ``subprocess`` invocations inside a held-lock block (the
+  admission bug's shape: a slot held across backoff stalls every other
+  thread behind work that isn't compute). Locks are recognized by
+  class inference (attributes assigned ``threading.Lock()`` /
+  ``RLock()``), by inline ``with threading.Lock():`` constructions,
+  and by name (any context-manager expression whose terminal
+  identifier contains ``lock``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import (
+    Check,
+    FileContext,
+    Finding,
+    import_aliases,
+    register,
+    resolve_dotted,
+    self_root_attr,
+)
+
+__all__ = ["BlockingWhileLockedCheck", "LockDisciplineCheck"]
+
+_LOCK_CONSTRUCTORS = {
+    "threading.Lock": "Lock",
+    "threading.RLock": "RLock",
+}
+
+#: with-capable synchronization constructors beyond plain locks — holding
+#: any of them while blocking has the same starvation shape.
+_HELD_CONSTRUCTORS = {
+    *_LOCK_CONSTRUCTORS,
+    "threading.Condition",
+    "threading.Semaphore",
+    "threading.BoundedSemaphore",
+}
+
+#: construction-path methods where unguarded writes are happens-before
+#: any concurrent access by definition.
+_INIT_METHODS = {"__init__", "__new__", "__post_init__", "__init_subclass__"}
+
+#: method names that mutate their receiver in place.
+_MUTATOR_METHODS = {
+    "add",
+    "append",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "move_to_end",
+    "pop",
+    "popitem",
+    "remove",
+    "setdefault",
+    "sort",
+    "update",
+}
+
+#: dotted callables that block on time or I/O.
+_BLOCKING_CALLS = {
+    "time.sleep",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "urllib.request.urlopen",
+    "socket.create_connection",
+    "http.client.HTTPConnection",
+    "http.client.HTTPSConnection",
+    "requests.get",
+    "requests.post",
+    "requests.put",
+    "requests.delete",
+    "requests.head",
+    "requests.request",
+}
+
+
+def _terminal_name(node: ast.AST) -> str | None:
+    """The last identifier of a Name/Attribute chain (``self.a.b`` -> b)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _expr_text(node: ast.AST) -> str:
+    """A compact dotted rendering for messages (best effort)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts)) or "<lock>"
+
+
+class _ClassLocks:
+    """Per-class lock inventory: ``self.X = threading.Lock()`` attrs."""
+
+    def __init__(self, cls: ast.ClassDef, aliases: dict[str, str]):
+        self.attrs: dict[str, str] = {}  # attr -> "Lock" | "RLock"
+        for node in ast.walk(cls):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            dotted = resolve_dotted(node.value.func, aliases)
+            kind = _LOCK_CONSTRUCTORS.get(dotted or "")
+            if kind is None:
+                continue
+            for target in node.targets:
+                attr = self_root_attr(target)
+                if attr is not None:
+                    self.attrs[attr] = kind
+
+    def held_in_with(self, item: ast.withitem) -> str | None:
+        """The lock attr a ``with self.X:`` item acquires, if any."""
+        attr = self_root_attr(item.context_expr)
+        if attr in self.attrs:
+            return attr
+        return None
+
+
+def _methods(cls: ast.ClassDef) -> list[ast.FunctionDef | ast.AsyncFunctionDef]:
+    return [
+        node
+        for node in cls.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+def _guarded_attrs(
+    cls: ast.ClassDef, locks: _ClassLocks, method_names: set[str]
+) -> dict[str, str]:
+    """attr -> guarding lock, for attrs touched under any with-lock block."""
+    guarded: dict[str, str] = {}
+    for method in _methods(cls):
+        for node in ast.walk(method):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            held = [
+                attr
+                for attr in (locks.held_in_with(item) for item in node.items)
+                if attr is not None
+            ]
+            if not held:
+                continue
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.Attribute):
+                    continue
+                if not (
+                    isinstance(sub.value, ast.Name) and sub.value.id == "self"
+                ):
+                    continue
+                attr = sub.attr
+                if attr in locks.attrs or attr in method_names:
+                    continue
+                guarded.setdefault(attr, held[0])
+    return guarded
+
+
+def _mutated_roots(node: ast.AST) -> list[str]:
+    """Guardable self-attrs this statement/expression mutates."""
+    roots: list[str] = []
+    if isinstance(node, ast.Assign):
+        targets = node.targets
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target] if getattr(node, "value", None) is not None else []
+    elif isinstance(node, ast.Delete):
+        targets = node.targets
+    elif isinstance(node, ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATOR_METHODS
+        ):
+            root = self_root_attr(func.value)
+            if root is not None:
+                return [root]
+        return []
+    else:
+        return []
+    for target in targets:
+        nodes = target.elts if isinstance(target, (ast.Tuple, ast.List)) else [target]
+        for sub in nodes:
+            root = self_root_attr(sub)
+            if root is not None:
+                roots.append(root)
+    return roots
+
+
+@register
+class LockDisciplineCheck(Check):
+    """Unguarded mutation of lock-guarded attributes; double acquire."""
+
+    name = "lock-discipline"
+
+    def run(self, ctx: FileContext) -> list[Finding]:
+        aliases = import_aliases(ctx.tree)
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(ctx, node, aliases))
+        return findings
+
+    def _check_class(
+        self, ctx: FileContext, cls: ast.ClassDef, aliases: dict[str, str]
+    ) -> list[Finding]:
+        locks = _ClassLocks(cls, aliases)
+        if not locks.attrs:
+            return []
+        method_names = {method.name for method in _methods(cls)}
+        guarded = _guarded_attrs(cls, locks, method_names)
+        findings: list[Finding] = []
+        for method in _methods(cls):
+            exempt = method.name in _INIT_METHODS
+            self._walk(
+                ctx, cls, locks, guarded, method, method.body,
+                held=frozenset(), findings=findings, exempt=exempt,
+            )
+        return findings
+
+    def _walk(
+        self,
+        ctx: FileContext,
+        cls: ast.ClassDef,
+        locks: _ClassLocks,
+        guarded: dict[str, str],
+        method,
+        body: list[ast.stmt],
+        held: frozenset,
+        findings: list[Finding],
+        exempt: bool,
+    ) -> None:
+        for node in body:
+            self._visit(ctx, cls, locks, guarded, method, node, held, findings, exempt)
+
+    def _visit(
+        self, ctx, cls, locks, guarded, method, node, held, findings, exempt
+    ) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested def runs later, on its own call stack: the
+            # enclosing with-block's lock is NOT held when it executes.
+            self._walk(
+                ctx, cls, locks, guarded, method, node.body,
+                held=frozenset(), findings=findings, exempt=exempt,
+            )
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = set()
+            for item in node.items:
+                attr = locks.held_in_with(item)
+                if attr is None:
+                    continue
+                if attr in held and locks.attrs[attr] == "Lock":
+                    findings.append(
+                        ctx.finding(
+                            node.lineno,
+                            self.name,
+                            f"{cls.name}.{method.name} re-acquires "
+                            f"self.{attr} while already holding it; "
+                            "threading.Lock is not reentrant — this "
+                            "deadlocks",
+                        )
+                    )
+                acquired.add(attr)
+            self._walk(
+                ctx, cls, locks, guarded, method, node.body,
+                held=held | acquired, findings=findings, exempt=exempt,
+            )
+            return
+        if not held and not exempt:
+            for root in _mutated_roots(node):
+                lock = guarded.get(root)
+                if lock is not None:
+                    findings.append(
+                        ctx.finding(
+                            node.lineno,
+                            self.name,
+                            f"{cls.name}.{method.name} mutates "
+                            f"self.{root} without holding self.{lock} "
+                            "(the attribute is accessed under that lock "
+                            "elsewhere in the class) — concurrent "
+                            "updates can tear",
+                        )
+                    )
+        for child in ast.iter_child_nodes(node):
+            self._visit(
+                ctx, cls, locks, guarded, method, child, held, findings, exempt
+            )
+
+
+def _held_by_item(
+    item: ast.withitem, lock_attrs: dict[str, str], aliases: dict[str, str]
+) -> str | None:
+    """A human-readable description of the lock this with-item holds."""
+    expr = item.context_expr
+    attr = self_root_attr(expr)
+    if attr is not None and attr in lock_attrs:
+        return f"self.{attr}"
+    if isinstance(expr, ast.Call):
+        dotted = resolve_dotted(expr.func, aliases)
+        if dotted in _HELD_CONSTRUCTORS:
+            return f"{dotted}()"
+        return None
+    name = _terminal_name(expr)
+    if name is not None and "lock" in name.lower():
+        return _expr_text(expr)
+    return None
+
+
+@register
+class BlockingWhileLockedCheck(Check):
+    """``time.sleep`` / I/O / subprocess calls under a held lock."""
+
+    name = "blocking-while-locked"
+
+    def run(self, ctx: FileContext) -> list[Finding]:
+        tree = ctx.tree
+        aliases = import_aliases(tree)
+        findings: list[Finding] = []
+        # Class lock inventories make `with self._admission_lock:` et al.
+        # recognizable even when the attribute name alone would not be.
+        lock_attrs: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                lock_attrs.update(_ClassLocks(node, aliases).attrs)
+        self._walk(ctx, tree.body, aliases, lock_attrs, None, findings)
+        return findings
+
+    def _walk(self, ctx, body, aliases, lock_attrs, held, findings) -> None:
+        for node in body:
+            self._visit(ctx, node, aliases, lock_attrs, held, findings)
+
+    def _visit(self, ctx, node, aliases, lock_attrs, held, findings) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            body = node.body if isinstance(node.body, list) else [node.body]
+            self._walk(ctx, body, aliases, lock_attrs, None, findings)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            descriptions = [
+                description
+                for description in (
+                    _held_by_item(item, lock_attrs, aliases) for item in node.items
+                )
+                if description is not None
+            ]
+            inner = held if not descriptions else (held or descriptions[0])
+            self._walk(ctx, node.body, aliases, lock_attrs, inner, findings)
+            return
+        if held is not None and isinstance(node, ast.Call):
+            dotted = resolve_dotted(node.func, aliases)
+            if dotted in _BLOCKING_CALLS:
+                findings.append(
+                    ctx.finding(
+                        node.lineno,
+                        self.name,
+                        f"{dotted}() while holding {held}: the lock is "
+                        "pinned for the full sleep/IO — every other "
+                        "thread needing it stalls; release before "
+                        "blocking",
+                    )
+                )
+        for child in ast.iter_child_nodes(node):
+            self._visit(ctx, child, aliases, lock_attrs, held, findings)

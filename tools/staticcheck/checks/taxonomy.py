@@ -1,0 +1,214 @@
+"""Error taxonomy and wire-safety for the serving surface.
+
+Two sub-rules, both scoped to the code whose failures cross a process
+boundary — ``src/repro/api/``, ``src/repro/cli.py`` and
+``src/repro/replay/``:
+
+* **error-taxonomy** — every exception raised there must map to a
+  stable machine-readable code via ``repro.errors.ERROR_CODES``
+  (clients dispatch on ``error.code``, not on message text). A raise of
+  a bare ``ValueError`` would reach the wire as the catch-all
+  ``"error"`` code and clients lose the ability to distinguish a bad
+  request from an internal fault. Raising a *registered* class, a local
+  subclass of one, or a tiny allowlist of control-flow builtins
+  (``SystemExit`` etc.) is fine; re-raising a caught name (``raise
+  err``) and lowercase factory helpers (``raise self._structured(...)``)
+  are not judged — only direct CapWord constructions are.
+
+* **error-taxonomy** (wire floats) — ``json.dumps`` / ``json.dump``
+  called outside ``repro.api.wire`` bypasses the schema's
+  ``allow_nan=False`` guard: a NaN latency estimate would serialize as
+  the *invalid-JSON* token ``NaN`` and break strict parsers downstream.
+  All wire-facing serialization must route through ``wire.dumps``.
+
+The registered-class set is parsed from ``src/repro/errors.py`` when
+the file is visible from the analysis root, so the rule tracks the
+taxonomy without a hand-maintained list; a snapshot fallback keeps the
+check meaningful for fixture trees that have no ``errors.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from ..core import (
+    Check,
+    FileContext,
+    Finding,
+    import_aliases,
+    register,
+    resolve_dotted,
+)
+
+__all__ = ["ErrorTaxonomyCheck", "registered_error_classes"]
+
+#: Snapshot of ``repro.errors`` class names, used when the real module
+#: is not under the analysis root (tmp-dir fixtures, tests).
+_FALLBACK_CLASSES = frozenset(
+    {
+        "ReproError",
+        "SchemaError",
+        "CatalogError",
+        "SqlError",
+        "SqlLexError",
+        "SqlParseError",
+        "PlanError",
+        "OptimizerError",
+        "ExecutionError",
+        "SamplingError",
+        "CalibrationError",
+        "FittingError",
+        "PredictionError",
+        "SessionError",
+        "WireError",
+    }
+)
+
+#: Builtins whose raise is control flow / contract, not a wire error.
+_ALLOWED_BUILTINS = frozenset(
+    {"SystemExit", "KeyboardInterrupt", "StopIteration", "NotImplementedError"}
+)
+
+#: Subsystems whose raises and serialization cross the wire.
+_WIRE_FACING = ("api", "replay")
+
+
+def registered_error_classes(root: Path | None) -> frozenset[str]:
+    """Class names defined in ``src/repro/errors.py`` under ``root``."""
+    if root is not None:
+        errors_py = Path(root) / "src" / "repro" / "errors.py"
+        if errors_py.is_file():
+            try:
+                tree = ast.parse(errors_py.read_text())
+            except (OSError, SyntaxError):
+                return _FALLBACK_CLASSES
+            names = {
+                node.name
+                for node in ast.walk(tree)
+                if isinstance(node, ast.ClassDef)
+            }
+            if names:
+                return frozenset(names)
+    return _FALLBACK_CLASSES
+
+
+def _local_taxonomy_subclasses(
+    tree: ast.Module, registered: frozenset[str]
+) -> set[str]:
+    """Classes in this module that (transitively) extend a registered one."""
+    bases: dict[str, set[str]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        names = set()
+        for base in node.bases:
+            if isinstance(base, ast.Name):
+                names.add(base.id)
+            elif isinstance(base, ast.Attribute):
+                names.add(base.attr)
+        bases[node.name] = names
+    members = set(registered)
+    changed = True
+    while changed:
+        changed = False
+        for name, parents in bases.items():
+            if name not in members and parents & members:
+                members.add(name)
+                changed = True
+    return members - set(registered)
+
+
+def _raised_class_name(node: ast.Raise) -> tuple[str | None, bool]:
+    """(class name of a direct ``raise Cls(...)``/``raise Cls``, is_attr).
+
+    Returns (None, False) for re-raises, raised variables, and
+    lowercase callees (factory helpers construct taxonomy members —
+    their return type is not statically visible and not our problem).
+    """
+    exc = node.exc
+    if exc is None:  # bare re-raise
+        return None, False
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Attribute):
+        name = exc.attr
+        return (name, True) if name[:1].isupper() else (None, False)
+    if isinstance(exc, ast.Name):
+        name = exc.id
+        return (name, False) if name[:1].isupper() else (None, False)
+    return None, False
+
+
+@register
+class ErrorTaxonomyCheck(Check):
+    """Unregistered raises and unguarded JSON on the serving surface."""
+
+    name = "error-taxonomy"
+
+    def applies(self, ctx: FileContext) -> bool:
+        parts = ctx.path.parts
+        if "repro" not in parts:
+            return False
+        if ctx.path.name == "cli.py":
+            return True
+        return any(part in _WIRE_FACING for part in parts)
+
+    def run(self, ctx: FileContext) -> list[Finding]:
+        tree = ctx.tree
+        registered = registered_error_classes(ctx.root)
+        allowed = (
+            registered
+            | _local_taxonomy_subclasses(tree, registered)
+            | _ALLOWED_BUILTINS
+        )
+        findings = [
+            *self._raise_findings(ctx, tree, allowed),
+            *self._json_findings(ctx, tree),
+        ]
+        return findings
+
+    def _raise_findings(
+        self, ctx: FileContext, tree: ast.Module, allowed: frozenset[str] | set[str]
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Raise):
+                continue
+            name, _is_attr = _raised_class_name(node)
+            if name is None or name in allowed:
+                continue
+            findings.append(
+                ctx.finding(
+                    node.lineno,
+                    self.name,
+                    f"raise {name} in wire-facing code: the class carries "
+                    "no code in repro.errors.ERROR_CODES, so clients see "
+                    'the catch-all "error" code; raise a registered '
+                    "taxonomy class (or subclass one)",
+                )
+            )
+        return findings
+
+    def _json_findings(self, ctx: FileContext, tree: ast.Module) -> list[Finding]:
+        # wire.py IS the guard; everything else must call through it.
+        if ctx.path.name == "wire.py" and "api" in ctx.path.parts:
+            return []
+        aliases = import_aliases(tree)
+        findings: list[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = resolve_dotted(node.func, aliases)
+            if dotted not in ("json.dumps", "json.dump"):
+                continue
+            findings.append(
+                ctx.finding(
+                    node.lineno,
+                    self.name,
+                    f"{dotted}() in wire-facing code bypasses the "
+                    "allow_nan=False guard — a NaN float serializes as "
+                    "invalid JSON; route through repro.api.wire.dumps",
+                )
+            )
+        return findings

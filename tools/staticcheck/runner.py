@@ -1,0 +1,289 @@
+"""Driving loop: discovery, fan-out, baseline, output formats.
+
+``python tools/staticcheck`` (or ``repro staticcheck``) runs every
+registered rule over the repo's Python files, applies inline
+suppressions and the committed baseline, and reports what's left in
+one of three formats: human ``text``, machine ``json``, or GitHub
+workflow ``github`` annotations. Exit status is 1 when any new finding
+or expired baseline entry remains, else 0.
+
+``--jobs N`` fans file analysis out over N worker processes; each file
+is parsed once and every applicable rule runs against the shared tree,
+so the unit of work is the file, not the (file, rule) pair.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import sys
+from pathlib import Path
+
+from . import checks as _checks  # staticcheck: disable=unused-import — imported for its registration side effect
+from .baseline import Baseline
+from .core import ALL_CHECKS, FileContext, Finding, apply_suppressions, parse_suppressions
+
+__all__ = ["check_file", "discover_files", "main", "run_checks"]
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules", ".venv"}
+
+#: Default analysis targets, relative to the root.
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples", "tools")
+
+
+def discover_files(paths: list[Path], root: Path) -> list[Path]:
+    """Every ``.py`` file under ``paths`` (files taken verbatim), sorted."""
+    found: set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_file():
+            found.add(path)
+            continue
+        if not path.is_dir():
+            continue
+        for current, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                name
+                for name in dirnames
+                if name not in _SKIP_DIRS and not name.startswith(".")
+            )
+            for filename in filenames:
+                if filename.endswith(".py"):
+                    found.add(Path(current) / filename)
+    return sorted(found)
+
+
+def run_checks(ctx: FileContext, selected: set[str] | None = None) -> list[Finding]:
+    """All applicable rules against one parsed file, pre-suppression."""
+    findings: list[Finding] = []
+    for name, check in sorted(ALL_CHECKS.items()):
+        if selected is not None and name not in selected:
+            continue
+        if not check.applies(ctx):
+            continue
+        findings.extend(check.run(ctx))
+    return findings
+
+
+def check_file(
+    path, root: Path | None = None, selected: set[str] | None = None
+) -> list[Finding]:
+    """One file end to end: parse, run rules, apply suppressions."""
+    ctx = FileContext(path, root=root)
+    try:
+        ctx.tree
+    except SyntaxError as exc:
+        return [
+            ctx.finding(
+                exc.lineno or 0, "syntax-error", f"cannot parse: {exc.msg}"
+            )
+        ]
+    findings = run_checks(ctx, selected)
+    suppressions = parse_suppressions(ctx.source)
+    findings = apply_suppressions(ctx, findings, suppressions, selected)
+    return sorted(findings, key=Finding.sort_key)
+
+
+def _check_file_worker(job: tuple[str, str | None, tuple[str, ...] | None]):
+    path, root, selected = job
+    return check_file(
+        Path(path),
+        root=Path(root) if root else None,
+        selected=set(selected) if selected is not None else None,
+    )
+
+
+def _analyze(
+    files: list[Path], root: Path, selected: set[str] | None, jobs: int
+) -> list[Finding]:
+    if jobs <= 1 or len(files) < 2:
+        results = [check_file(path, root=root, selected=selected) for path in files]
+    else:
+        payload = [
+            (str(path), str(root), tuple(sorted(selected)) if selected else None)
+            for path in files
+        ]
+        with multiprocessing.Pool(processes=min(jobs, len(files))) as pool:
+            results = pool.map(_check_file_worker, payload)
+    findings = [finding for batch in results for finding in batch]
+    return sorted(findings, key=Finding.sort_key)
+
+
+# ---------------------------------------------------------------------------
+# output
+
+
+def _format_text(findings: list[Finding]) -> list[str]:
+    return [f"{f.path}:{f.line}: [{f.rule}] {f.message}" for f in findings]
+
+
+def _format_github(findings: list[Finding]) -> list[str]:
+    return [
+        f"::error file={f.path},line={f.line},"
+        f"title=staticcheck {f.rule}::{f.message}"
+        for f in findings
+    ]
+
+
+def _report_payload(
+    findings: list[Finding], expired: list[dict], files_checked: int
+) -> dict:
+    return {
+        "schema": "repro.staticcheck/1",
+        "files_checked": files_checked,
+        "findings": [f.to_dict() for f in findings],
+        "expired_baseline": expired,
+    }
+
+
+# ---------------------------------------------------------------------------
+# entry point
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="staticcheck",
+        description="Concurrency & determinism static analysis for this repo.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files or directories to analyze (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repo root for relative paths and the baseline (default: "
+        "the tree containing this tool)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule names to run (repeatable); default all",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (0 = one per CPU; default 1)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="output format (default text)",
+    )
+    parser.add_argument(
+        "--json-output",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write the JSON report to PATH (any --format)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="baseline file (default <root>/tools/staticcheck_baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file entirely",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print registered rule names and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for name in sorted(ALL_CHECKS):
+            print(name)
+        return 0
+
+    root = args.root or Path(__file__).resolve().parents[2]
+    root = root.resolve()
+    paths = [Path(p) for p in args.paths] if args.paths else list(DEFAULT_PATHS)
+
+    selected: set[str] | None = None
+    if args.select:
+        selected = {
+            rule.strip()
+            for chunk in args.select
+            for rule in chunk.split(",")
+            if rule.strip()
+        }
+        unknown = selected - set(ALL_CHECKS)
+        if unknown:
+            print(
+                f"staticcheck: unknown rule(s): {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return 2
+
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    files = discover_files(paths, root)
+    findings = _analyze(files, root, selected, jobs)
+
+    baseline_path = args.baseline or root / "tools" / "staticcheck_baseline.json"
+    if args.write_baseline:
+        Baseline.from_findings(findings).write(baseline_path)
+        print(
+            f"staticcheck: wrote {len(findings)} finding(s) to {baseline_path}"
+        )
+        return 0
+
+    expired: list[dict] = []
+    if not args.no_baseline:
+        findings, expired = Baseline.load(baseline_path).apply(findings)
+
+    payload = _report_payload(findings, expired, len(files))
+    if args.json_output is not None:
+        args.json_output.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        lines = (
+            _format_github(findings)
+            if args.format == "github"
+            else _format_text(findings)
+        )
+        for line in lines:
+            print(line)
+        for entry in expired:
+            print(
+                f"{entry['path']}: [baseline-expired] {entry['rule']} entry "
+                f"matches no current finding: {entry['message']!r} — "
+                "regenerate the baseline"
+            )
+        print(
+            f"staticcheck: {len(files)} files checked, "
+            f"{len(findings)} finding(s), {len(expired)} expired "
+            "baseline entr" + ("y" if len(expired) == 1 else "ies")
+        )
+
+    return 1 if findings or expired else 0
