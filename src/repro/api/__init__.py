@@ -11,10 +11,14 @@ This package is the front door everything else is built against:
   server (``repro serve``) and the matching :class:`HttpClient`.
 """
 
+from typing import TYPE_CHECKING
+
 from .client import ApiError, HttpClient
 from .config import ESTIMATOR_BACKENDS, SessionConfig
-from .http import ApiHTTPServer, build_server
 from .session import Session
+
+if TYPE_CHECKING:  # resolved lazily at runtime — see __getattr__ below
+    from .http import ApiHTTPServer, build_server
 from .wire import (
     SCHEMA_VERSION,
     BatchRequest,
@@ -41,3 +45,19 @@ __all__ = [
     "SessionConfig",
     "build_server",
 ]
+
+
+def __getattr__(name: str):
+    # The HTTP server names resolve lazily: repro.api.http composes the
+    # repro.serving layers, and those import the wire schema from this
+    # package — an eager import here would be a circular import. Lazy
+    # resolution keeps ``from repro.api import build_server`` working
+    # whatever the import order.
+    if name in ("ApiHTTPServer", "build_server"):
+        from . import http
+
+        return getattr(http, name)
+    # staticcheck: disable=error-taxonomy — the module-__getattr__
+    # protocol requires AttributeError (hasattr/getattr semantics);
+    # this never crosses the wire.
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -19,9 +19,11 @@ construction — the server sheds load instead of queueing, and
 predictions are pure reads — so the client can absorb them:
 ``retries_503=N`` re-sends a refused request up to N times behind a
 jittered exponential backoff drawn from a **seeded** generator
-(deterministic delay sequences; replay runs stay reproducible). The
-default is 0 retries: surfacing the 503 is the honest default for
-load tests measuring shed traffic.
+(deterministic delay sequences; replay runs stay reproducible). When
+the refusal carries the server's ``Retry-After`` hint, the backoff
+base is raised to honor it (capped at
+:data:`RETRY_AFTER_CAP_SECONDS`). The default is 0 retries: surfacing
+the 503 is the honest default for load tests measuring shed traffic.
 """
 
 from __future__ import annotations
@@ -45,17 +47,33 @@ from .wire import (
     service_report_from_dict,
 )
 
-__all__ = ["ApiError", "HttpClient"]
+__all__ = ["RETRY_AFTER_CAP_SECONDS", "ApiError", "HttpClient"]
+
+#: Upper bound on a server-suggested retry delay. An aggressive or
+#: buggy ``Retry-After`` must not park a replay client for minutes.
+RETRY_AFTER_CAP_SECONDS = 5.0
 
 
 class ApiError(ReproError):
-    """A structured error answer from the serving front-end."""
+    """A structured error answer from the serving front-end.
 
-    def __init__(self, status: int, code: str, message: str):
+    ``retry_after`` carries the server's ``Retry-After`` hint in
+    seconds when the refusal had one (admission 503s do), ``None``
+    otherwise.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        retry_after: float | None = None,
+    ):
         super().__init__(f"[{status}/{code}] {message}")
         self.status = status
         self.code = code
         self.remote_message = message
+        self.retry_after = retry_after
 
 
 class HttpClient:
@@ -122,17 +140,25 @@ class HttpClient:
                 retryable = error.status == 503 and error.code == "over-capacity"
                 if not retryable or attempt >= self._retries_503:
                     raise
-                time.sleep(self._backoff_delay(attempt))
+                time.sleep(self._backoff_delay(attempt, error.retry_after))
                 attempt += 1
 
-    def _backoff_delay(self, attempt: int) -> float:
+    def _backoff_delay(
+        self, attempt: int, retry_after: float | None = None
+    ) -> float:
         """Exponential base doubled per attempt, jittered to 50–100%.
 
-        The draw and the retry counter update are one atomic step, so
-        threads sharing a client neither lose counter increments nor
-        tear the generator's state.
+        A server ``Retry-After`` hint raises the base to at least the
+        suggested delay (capped at :data:`RETRY_AFTER_CAP_SECONDS`) —
+        the server knows its queue depth better than our schedule does —
+        but never shortens an already-longer exponential base, so
+        repeated refusals still back off. The jitter draw and the retry
+        counter update are one atomic step, so threads sharing a client
+        neither lose counter increments nor tear the generator's state.
         """
         base = self._backoff_seconds * (2.0 ** attempt)
+        if retry_after is not None:
+            base = min(max(base, retry_after), RETRY_AFTER_CAP_SECONDS)
         with self._backoff_lock:
             self._retries_performed += 1
             return base * (0.5 + 0.5 * self._backoff_rng.random())
@@ -156,12 +182,23 @@ class HttpClient:
 
     @staticmethod
     def _structured(error: urllib.error.HTTPError) -> ApiError:
+        retry_after = None
+        try:
+            retry_after = float(error.headers.get("Retry-After"))
+        except (TypeError, ValueError):
+            pass  # absent or non-numeric (HTTP dates are not sent by us)
         try:
             record = loads(error.read())
             body = record["error"]
-            return ApiError(error.code, str(body["code"]), str(body["message"]))
+            return ApiError(
+                error.code, str(body["code"]), str(body["message"]),
+                retry_after=retry_after,
+            )
         except Exception:  # noqa: BLE001 — non-JSON error page
-            return ApiError(error.code, "http", f"{error.code} {error.reason}")
+            return ApiError(
+                error.code, "http", f"{error.code} {error.reason}",
+                retry_after=retry_after,
+            )
 
     # -- endpoints ---------------------------------------------------------
     def healthz(self) -> dict:

@@ -9,6 +9,16 @@ threaded HTTP server speaking the versioned wire schema
 * ``GET  /v1/healthz``        — liveness + schema version
 * ``GET  /v1/stats``          — the serving :class:`ServiceReport`
 
+Since the layered-serving refactor this module is the single-process
+*composition* of the :mod:`repro.serving` layers — a
+:class:`~repro.serving.transport.HttpTransport` dispatching into
+``AdmissionGate(SessionApp(session))`` — kept as the stable import
+surface (``build_server`` / :class:`ApiHTTPServer`) and bitwise
+response-compatible with the pre-refactor monolithic server. The
+layers themselves (transport, admission policies, consistent-hash
+routing, the pre-fork :class:`~repro.serving.pool.WorkerPool`) are
+documented in ``docs/serving.md``.
+
 Error taxonomy: library errors map to structured JSON bodies with a
 stable ``code`` field (:func:`repro.errors.error_code`). Malformed SQL
 is a **400** carrying the parser's message, other library failures are
@@ -18,49 +28,42 @@ a bare traceback.
 
 Admission is bounded: at most ``max_in_flight`` predictions may be in
 progress at once; excess requests are refused immediately with 503
-(code ``"over-capacity"``) rather than queued without bound. A slot
-covers reading the body and computing the prediction, and is released
-*before* the response is written — so N serial (closed-loop) clients
-are never spuriously refused under an N-slot cap. Health/stats probes
-are never metered.
+(code ``"over-capacity"``) and a queue-depth-derived ``Retry-After``
+header rather than queued without bound. A slot covers reading the
+body and computing the prediction, and is released *before* the
+response is written — so N serial (closed-loop) clients are never
+spuriously refused under an N-slot cap. Health/stats probes are never
+metered.
 """
 
 from __future__ import annotations
 
-import threading
-import time
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-
-from ..errors import ReproError, SqlError, WireError
-from .session import Session
-from .wire import (
-    SCHEMA_VERSION,
-    BatchRequest,
-    PredictRequest,
-    dumps,
-    error_body,
-    loads,
-    service_report_to_dict,
+from ..serving.admission import (
+    DEFAULT_MAX_IN_FLIGHT,
+    AdmissionGate,
+    BoundedInFlight,
 )
+from ..serving.app import SessionApp
+from ..serving.transport import HttpTransport, status_for_error
+from .session import Session
 
-__all__ = ["ApiHTTPServer", "build_server", "status_for_error"]
-
-DEFAULT_MAX_IN_FLIGHT = 8
-
-
-def status_for_error(error: BaseException) -> int:
-    """The HTTP status for a failed request, per the error taxonomy."""
-    if isinstance(error, (SqlError, WireError)):
-        return 400
-    if isinstance(error, ReproError):
-        return 422
-    return 500
+__all__ = [
+    "DEFAULT_MAX_IN_FLIGHT",
+    "ApiHTTPServer",
+    "build_server",
+    "status_for_error",
+]
 
 
-class ApiHTTPServer(ThreadingHTTPServer):
-    """A threaded HTTP server bound to one session, with admission."""
+class ApiHTTPServer(HttpTransport):
+    """A threaded HTTP server bound to one session, with admission.
 
-    daemon_threads = True
+    The single-process serving stack: ``AdmissionGate(SessionApp)``
+    behind one :class:`~repro.serving.transport.HttpTransport`. The
+    pre-refactor server's surface — ``session``, ``max_in_flight``,
+    :meth:`admit`/:meth:`release`, :meth:`health`, ``url`` — is
+    preserved for callers and tests that poke the layers directly.
+    """
 
     def __init__(
         self,
@@ -68,39 +71,24 @@ class ApiHTTPServer(ThreadingHTTPServer):
         address: tuple[str, int] = ("127.0.0.1", 0),
         max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
     ):
-        if max_in_flight < 1:
-            raise WireError(
-                f"max_in_flight must be >= 1, got {max_in_flight}"
-            )
-        super().__init__(address, _ApiRequestHandler)
         self.session = session
         self.max_in_flight = max_in_flight
-        self._admission = threading.BoundedSemaphore(max_in_flight)
-        self._started = time.monotonic()
-
-    @property
-    def url(self) -> str:
-        """The base URL the server is reachable at."""
-        host, port = self.server_address[:2]
-        return f"http://{host}:{port}"
+        self._policy = BoundedInFlight(max_in_flight)
+        super().__init__(
+            AdmissionGate(SessionApp(session), self._policy), address
+        )
 
     def admit(self) -> bool:
         """Try to claim one in-flight slot; False when at capacity."""
-        return self._admission.acquire(blocking=False)
+        return self._policy.admit()
 
     def release(self) -> None:
         """Give back an in-flight slot claimed by :meth:`admit`."""
-        self._admission.release()
+        self._policy.release()
 
     def health(self) -> dict:
         """The liveness payload: schema version, uptime, traffic counter."""
-        return {
-            "schema_version": SCHEMA_VERSION,
-            "status": "ok",
-            "uptime_seconds": round(time.monotonic() - self._started, 3),
-            "queries_served": self.session.service.stats.queries_served,
-            "max_in_flight": self.max_in_flight,
-        }
+        return self.app.health()
 
 
 def build_server(
@@ -115,132 +103,3 @@ def build_server(
     thread) and ``shutdown()`` + ``server_close()`` to stop.
     """
     return ApiHTTPServer(session, (host, port), max_in_flight=max_in_flight)
-
-
-class _ApiRequestHandler(BaseHTTPRequestHandler):
-    """Routes the four ``/v1`` endpoints onto the bound session."""
-
-    server_version = "repro-serve"
-    protocol_version = "HTTP/1.1"
-    # Bounds every socket read/write. Without it a client declaring a
-    # Content-Length it never delivers would block rfile.read() forever
-    # *while holding an admission slot* — max_in_flight such clients
-    # would wedge the server permanently.
-    timeout = 60
-
-    # The default handler logs every request line to stderr; serving
-    # benchmarks would drown in it.
-    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
-        pass
-
-    # -- plumbing ----------------------------------------------------------
-    def _send_json(self, status: int, record: dict, retry_after: bool = False):
-        body = dumps(record).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        if retry_after:
-            self.send_header("Retry-After", "1")
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _send_error_body(self, error: BaseException):
-        # Any error path may leave declared body bytes unread; under
-        # HTTP/1.1 keep-alive those would be parsed as the next request
-        # line and desync the connection. Closing is always safe.
-        self.close_connection = True
-        self._send_json(status_for_error(error), error_body(error))
-
-    def _read_body(self) -> dict:
-        length = int(self.headers.get("Content-Length") or 0)
-        if length <= 0:
-            raise WireError("request needs a JSON body with Content-Length")
-        return loads(self.rfile.read(length))
-
-    def _not_found(self):
-        self.close_connection = True  # request body (if any) was not drained
-        self._send_json(404, {
-            "schema_version": SCHEMA_VERSION,
-            "error": {
-                "code": "not-found",
-                "type": "NotFound",
-                "message": f"unknown endpoint {self.path!r}; known: "
-                "/v1/predict, /v1/predict-batch, /v1/healthz, /v1/stats",
-            },
-        })
-
-    def _over_capacity(self):
-        self.close_connection = True  # refused before reading the body
-        self._send_json(503, {
-            "schema_version": SCHEMA_VERSION,
-            "error": {
-                "code": "over-capacity",
-                "type": "OverCapacity",
-                "message": f"server is at its in-flight limit "
-                f"({self.server.max_in_flight}); retry shortly",
-            },
-        }, retry_after=True)
-
-    # -- routes ------------------------------------------------------------
-    def do_GET(self):  # noqa: N802 — stdlib naming
-        try:
-            if self.path == "/v1/healthz":
-                self._send_json(200, self.server.health())
-            elif self.path == "/v1/stats":
-                report = self.server.session.stats()
-                self._send_json(200, service_report_to_dict(report))
-            else:
-                self._not_found()
-        except Exception as error:  # noqa: BLE001 — HTTP boundary
-            self._send_error_body(error)
-
-    def do_POST(self):  # noqa: N802 — stdlib naming
-        if self.path not in ("/v1/predict", "/v1/predict-batch"):
-            self._not_found()
-            return
-        if not self.server.admit():
-            self._over_capacity()
-            return
-        # The slot covers body read + prediction, and is released
-        # *before* the response is written: a client cannot issue its
-        # next request until it has read this response, so releasing
-        # first guarantees N serial clients never see a spurious 503
-        # under an N-slot cap. Releasing after the write (the old
-        # order) left a window where the finished handler still held
-        # the slot while the client's next request was already being
-        # admitted — closed-loop replay at clients == max_in_flight
-        # flushed that race out.
-        try:
-            try:
-                record = self._read_body()
-                if self.path == "/v1/predict":
-                    response = self.server.session.predict(
-                        PredictRequest.from_dict(record)
-                    )
-                else:
-                    response = self.server.session.predict_batch(
-                        BatchRequest.from_dict(record)
-                    )
-            finally:
-                self.server.release()
-            self._send_json(200, response.to_dict())
-        except Exception as error:  # noqa: BLE001 — HTTP boundary
-            self._send_error_body(error)
-
-    def do_PUT(self):  # noqa: N802 — stdlib naming
-        self._method_not_allowed()
-
-    def do_DELETE(self):  # noqa: N802 — stdlib naming
-        self._method_not_allowed()
-
-    def _method_not_allowed(self):
-        self.close_connection = True  # request body (if any) was not drained
-        self._send_json(405, {
-            "schema_version": SCHEMA_VERSION,
-            "error": {
-                "code": "method-not-allowed",
-                "type": "MethodNotAllowed",
-                "message": f"{self.command} is not supported on {self.path!r}",
-            },
-        })
-

@@ -149,6 +149,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--warmup", action="store_true",
         help="pre-serve one instantiation of every TPC-H template at startup",
     )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="pre-fork worker processes sharing the port, each with its "
+        "own session and cache shard (default: 1 — single-process)",
+    )
+    serve.add_argument(
+        "--serving-mode", choices=("auto", "reuseport", "handoff"),
+        default="auto",
+        help="how workers share the port: kernel SO_REUSEPORT balancing "
+        "or parent-socket handoff (default: auto-detect)",
+    )
 
     replay = sub.add_parser(
         "replay",
@@ -459,13 +470,34 @@ def _cmd_predict_batch(args, out) -> int:
     return 0
 
 
+def _install_drain_handlers(handler) -> None:
+    """Route SIGTERM/SIGINT to ``handler`` when running on the main thread.
+
+    Signal delivery is a main-thread privilege; test harnesses driving
+    the serve command from a worker thread keep the default disposition
+    (and exercise graceful drain through the worker pool instead).
+    """
+    import signal
+
+    try:
+        signal.signal(signal.SIGTERM, handler)
+        signal.signal(signal.SIGINT, handler)
+    except ValueError:
+        pass
+
+
 def _cmd_serve(args, out) -> int:
     """Expose a session over the versioned HTTP/JSON wire schema.
 
     Binds the threaded front-end (``docs/api.md``) on ``--host/--port``
     with bounded admission (``--max-in-flight``); the printed
-    "listening on" line is the startup contract tools parse.
+    "listening on" line is the startup contract tools parse. With
+    ``--workers N > 1``, pre-forks N processes sharing the port (see
+    ``docs/serving.md``), each with its own session and cache shard.
+    Both paths drain in-flight requests on SIGTERM/SIGINT.
     """
+    import threading
+
     from .api.http import build_server
     from .api.wire import SCHEMA_VERSION
 
@@ -477,6 +509,8 @@ def _cmd_serve(args, out) -> int:
         default_variants=variants,
         default_mpls=mpls,
     )
+    if args.workers != 1:
+        return _serve_pool(args, out, config)
     print(
         f"building session (scale {args.scale}, machine {args.machine}, "
         f"estimator {args.estimator}) ...",
@@ -497,14 +531,65 @@ def _cmd_serve(args, out) -> int:
         f"(wire schema v{SCHEMA_VERSION}, max in-flight {args.max_in_flight})",
         file=out, flush=True,
     )
+
+    def _drain(signum, frame):
+        print("shutting down", file=out, flush=True)
+        # shutdown() blocks until serve_forever exits; this (main)
+        # thread is inside serve_forever, so it must run elsewhere.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    _install_drain_handlers(_drain)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down", file=out)
     finally:
+        # server_close joins in-flight handler threads: admitted
+        # requests finish before the process exits.
         server.server_close()
         session.close()
     return 0
+
+
+def _serve_pool(args, out, config) -> int:
+    """The ``--workers N`` serve path: pre-fork pool, drain on signal."""
+    import threading
+
+    from .api.wire import SCHEMA_VERSION
+    from .serving import WorkerPool
+
+    print(
+        f"starting {args.workers} workers (scale {args.scale}, machine "
+        f"{args.machine}, estimator {args.estimator}, mode "
+        f"{args.serving_mode}) ...",
+        file=out, flush=True,
+    )
+    pool = WorkerPool(
+        args.workers,
+        config=config,
+        host=args.host,
+        port=args.port,
+        max_in_flight=args.max_in_flight,
+        mode=args.serving_mode,
+        warmup=args.warmup,
+    )
+    pool.start()
+    print(
+        f"repro serve listening on {pool.url} "
+        f"(wire schema v{SCHEMA_VERSION}, max in-flight "
+        f"{args.max_in_flight} per worker, workers {args.workers}, "
+        f"mode {pool.mode})",
+        file=out, flush=True,
+    )
+    stop = threading.Event()
+    _install_drain_handlers(lambda signum, frame: stop.set())
+    try:
+        stop.wait()
+    except KeyboardInterrupt:
+        pass
+    print("shutting down", file=out, flush=True)
+    codes = pool.stop()
+    return 0 if all(code == 0 for code in codes) else 1
 
 
 def _replay_load_model(args):

@@ -66,6 +66,10 @@ class SessionError(ReproError):
     """A session facade was misconfigured or used after close()."""
 
 
+class ServingError(ReproError):
+    """The multi-worker serving tier was misconfigured or a worker died."""
+
+
 class WireError(ReproError):
     """A wire-schema payload is malformed or has an unsupported version.
 
@@ -95,6 +99,7 @@ ERROR_CODES = {
     FittingError: "fitting",
     PredictionError: "prediction",
     SessionError: "session",
+    ServingError: "serving",
     WireError: "bad-request",
     ReproError: "error",
 }

@@ -1,0 +1,73 @@
+"""The layered serving tier: transport / admission / routing / workers.
+
+This package decomposes the old monolithic HTTP server into four
+separately pluggable layers (bottom up; see ``docs/serving.md``):
+
+* :mod:`~repro.serving.transport` — a worker-agnostic threaded HTTP
+  server (:class:`HttpTransport`) that dispatches to a wire app and
+  knows how to share a port across processes.
+* :mod:`~repro.serving.app` — the :class:`WireApp` interface layers
+  implement, and :class:`SessionApp`, the innermost layer binding one
+  :class:`~repro.api.session.Session` to the ``/v1`` endpoints.
+* :mod:`~repro.serving.admission` — :class:`AdmissionPolicy` and the
+  :class:`AdmissionGate` app applying it (bounded in-flight with
+  queue-depth-derived ``Retry-After`` on 503).
+* :mod:`~repro.serving.routing` — :class:`ConsistentHashRouter` over
+  plan signatures plus :class:`RoutedApp`, keeping each recurring
+  plan's cache artifacts on one worker as the pool fans out.
+* :mod:`~repro.serving.pool` — :class:`WorkerPool`, pre-fork
+  multi-process serving behind one shared port (``SO_REUSEPORT`` or
+  parent-socket handoff), with graceful SIGTERM/SIGINT drain.
+* :mod:`~repro.serving.stats` — cross-worker ``/v1/stats``
+  aggregation (summed counters, recombined hit rates).
+
+``repro.api.http`` remains the single-process composition of these
+layers and is unchanged on the wire.
+"""
+
+from .admission import (
+    DEFAULT_MAX_IN_FLIGHT,
+    AdmissionGate,
+    AdmissionPolicy,
+    BoundedInFlight,
+)
+from .app import METERED_PATHS, SessionApp, WireApp
+from .pool import POOL_MODES, WorkerPool, resolve_mode
+from .routing import ROUTED_HEADER, ConsistentHashRouter, RoutedApp, Router
+from .stats import (
+    aggregate_cache_records,
+    aggregate_report_records,
+    aggregate_stats_records,
+)
+from .transport import (
+    HttpTransport,
+    ServingHandler,
+    WireResponse,
+    reuseport_available,
+    status_for_error,
+)
+
+__all__ = [
+    "DEFAULT_MAX_IN_FLIGHT",
+    "METERED_PATHS",
+    "POOL_MODES",
+    "ROUTED_HEADER",
+    "AdmissionGate",
+    "AdmissionPolicy",
+    "BoundedInFlight",
+    "ConsistentHashRouter",
+    "HttpTransport",
+    "RoutedApp",
+    "Router",
+    "ServingHandler",
+    "SessionApp",
+    "WireApp",
+    "WireResponse",
+    "WorkerPool",
+    "aggregate_cache_records",
+    "aggregate_report_records",
+    "aggregate_stats_records",
+    "resolve_mode",
+    "reuseport_available",
+    "status_for_error",
+]

@@ -1,0 +1,145 @@
+"""Admission policies: who gets a prediction slot, who gets a 503.
+
+An :class:`AdmissionPolicy` decides, per request, whether the worker
+takes on more prediction work. The :class:`AdmissionGate` wire app
+applies one policy at the public edge of a worker's stack: metered
+POSTs claim a slot before their body is read and release it before the
+response is written; health and stats probes are never metered, so the
+server stays observable at capacity.
+
+Refusals are immediate 503s (code ``"over-capacity"``) with a
+``Retry-After`` header derived from the policy's current queue depth —
+shedding load beats queuing without bound, and the header tells
+well-behaved clients (:class:`repro.api.client.HttpClient` honors it)
+when it is worth coming back.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections.abc import Callable
+
+from ..errors import WireError
+from .app import METERED_PATHS, WireApp
+from .transport import WireResponse, over_capacity_response
+
+__all__ = [
+    "DEFAULT_MAX_IN_FLIGHT",
+    "AdmissionGate",
+    "AdmissionPolicy",
+    "BoundedInFlight",
+]
+
+DEFAULT_MAX_IN_FLIGHT = 8
+
+
+class AdmissionPolicy:
+    """Decides whether one more prediction may enter the worker."""
+
+    #: Nominal concurrent capacity, for health reporting and refusals.
+    capacity: int = 0
+
+    def admit(self) -> bool:
+        """Try to claim one in-flight slot; False means refuse with 503."""
+        raise NotImplementedError
+
+    def release(self) -> None:
+        """Give back a slot claimed by :meth:`admit`."""
+        raise NotImplementedError
+
+    def in_flight(self) -> int:
+        """How many admitted requests are currently in progress."""
+        raise NotImplementedError
+
+    def retry_after_seconds(self) -> int:
+        """The backoff hint sent with a refusal, from current queue depth.
+
+        At least 1 second; grows with the in-flight backlog relative to
+        capacity, so a saturated-but-draining server suggests a shorter
+        wait than one buried several capacities deep.
+        """
+        return max(1, math.ceil(self.in_flight() / max(self.capacity, 1)))
+
+
+class BoundedInFlight(AdmissionPolicy):
+    """At most ``max_in_flight`` concurrent predictions; refuse the rest.
+
+    The pre-refactor server's semaphore policy, unchanged: admission is
+    non-blocking, so an over-capacity request costs one failed acquire,
+    not a queue slot.
+    """
+
+    def __init__(self, max_in_flight: int = DEFAULT_MAX_IN_FLIGHT):
+        if max_in_flight < 1:
+            raise WireError(
+                f"max_in_flight must be >= 1, got {max_in_flight}"
+            )
+        self.capacity = max_in_flight
+        self._slots = threading.BoundedSemaphore(max_in_flight)
+        self._count_lock = threading.Lock()
+        self._in_flight = 0
+
+    def admit(self) -> bool:
+        """Claim a semaphore slot without blocking."""
+        if not self._slots.acquire(blocking=False):
+            return False
+        with self._count_lock:
+            self._in_flight += 1
+        return True
+
+    def release(self) -> None:
+        """Return a slot; raises if released more often than admitted."""
+        with self._count_lock:
+            self._in_flight -= 1
+        self._slots.release()
+
+    def in_flight(self) -> int:
+        """The number of currently-admitted predictions."""
+        with self._count_lock:
+            return self._in_flight
+
+
+class AdmissionGate(WireApp):
+    """The wire app applying one admission policy around an inner app.
+
+    Sits at the public edge of a worker's stack — requests a router
+    forwards between workers cross only private transports and are
+    *not* re-metered, so one request can never consume two slots.
+    """
+
+    def __init__(self, inner: WireApp, policy: AdmissionPolicy):
+        self.inner = inner
+        self.policy = policy
+
+    def health(self) -> dict:
+        """The inner health payload plus this gate's capacity."""
+        return {**self.inner.health(), "max_in_flight": self.policy.capacity}
+
+    def handle_get(self, path: str) -> WireResponse:
+        """Pass GETs through unmetered; healthz gains the capacity field."""
+        if path == "/v1/healthz":
+            return WireResponse(200, self.health())
+        return self.inner.handle_get(path)
+
+    def handle_post(
+        self, path: str, read_body: Callable[[], dict]
+    ) -> WireResponse:
+        """Meter prediction POSTs; refuse with 503 + Retry-After when full.
+
+        The slot covers body read + prediction, and is released
+        *before* the response is written: a client cannot issue its
+        next request until it has read this response, so releasing
+        first guarantees N serial clients never see a spurious 503
+        under an N-slot cap.
+        """
+        if path not in METERED_PATHS:
+            return self.inner.handle_post(path, read_body)
+        if not self.policy.admit():
+            return over_capacity_response(
+                self.policy.capacity, self.policy.retry_after_seconds()
+            )
+        try:
+            return self.inner.handle_post(path, read_body)
+        finally:
+            self.policy.release()

@@ -1,0 +1,98 @@
+"""Wire apps: the request-handling interface the transport dispatches to.
+
+A :class:`WireApp` is one layer of the serving stack — it receives the
+request path (plus, for POSTs, a callable that reads and parses the
+body on demand) and returns a :class:`~repro.serving.transport.WireResponse`.
+Layers compose by wrapping: the admission gate and the router are both
+``WireApp``\\ s around an inner app, and the innermost layer is always
+:class:`SessionApp`, which binds one :class:`~repro.api.session.Session`
+to the four ``/v1`` endpoints.
+
+Raised exceptions propagate to the transport, which maps them onto the
+error taxonomy — apps only raise, they never format error bodies for
+library failures.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+from ..api.session import Session
+from ..api.wire import (
+    SCHEMA_VERSION,
+    BatchRequest,
+    PredictRequest,
+    service_report_to_dict,
+)
+from .transport import WireResponse, not_found_response
+
+__all__ = ["METERED_PATHS", "SessionApp", "WireApp"]
+
+#: The prediction endpoints — the only paths admission ever meters;
+#: health/stats probes must keep answering at capacity.
+METERED_PATHS = ("/v1/predict", "/v1/predict-batch")
+
+
+class WireApp:
+    """One layer of the serving stack: paths in, wire responses out."""
+
+    def health(self) -> dict:
+        """The liveness payload served at ``/v1/healthz``."""
+        raise NotImplementedError
+
+    def handle_get(self, path: str) -> WireResponse:
+        """Answer a GET for ``path``."""
+        raise NotImplementedError
+
+    def handle_post(
+        self, path: str, read_body: Callable[[], dict]
+    ) -> WireResponse:
+        """Answer a POST for ``path``; call ``read_body()`` at most once.
+
+        The body is passed as a thunk, not a dict, so outer layers can
+        refuse (admission) or re-route (router) without consuming it.
+        """
+        raise NotImplementedError
+
+
+class SessionApp(WireApp):
+    """The innermost layer: one session behind the four ``/v1`` routes."""
+
+    def __init__(self, session: Session):
+        self.session = session
+        self._started = time.monotonic()
+
+    def health(self) -> dict:
+        """The liveness payload: schema version, uptime, traffic counter."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "status": "ok",
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "queries_served": self.session.service.stats.queries_served,
+        }
+
+    def handle_get(self, path: str) -> WireResponse:
+        """Serve ``/v1/healthz`` and ``/v1/stats``; 404 anything else."""
+        if path == "/v1/healthz":
+            return WireResponse(200, self.health())
+        if path == "/v1/stats":
+            report = self.session.stats()
+            return WireResponse(200, service_report_to_dict(report))
+        return not_found_response(path)
+
+    def handle_post(
+        self, path: str, read_body: Callable[[], dict]
+    ) -> WireResponse:
+        """Serve the two prediction endpoints; 404 anything else."""
+        if path == "/v1/predict":
+            response = self.session.predict(
+                PredictRequest.from_dict(read_body())
+            )
+        elif path == "/v1/predict-batch":
+            response = self.session.predict_batch(
+                BatchRequest.from_dict(read_body())
+            )
+        else:
+            return not_found_response(path)
+        return WireResponse(200, response.to_dict())

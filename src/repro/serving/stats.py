@@ -1,0 +1,108 @@
+"""Cross-worker stats aggregation for sharded ``/v1/stats``.
+
+Each pre-fork worker owns a private session, so its service report
+covers only its own shard of the traffic. The public ``/v1/stats``
+contract is a *pool-wide* report: the serving worker collects every
+peer's wire-form report and sums them here.
+
+Counters add; derived rates do not. ``prepare_hit_rate`` and the cache
+``hit_rate`` fields are recomputed from the *summed* numerators and
+denominators — averaging per-worker rates would weight an idle worker
+the same as a busy one — and stay ``None`` when the summed traffic is
+zero, exactly like a single quiet server. The aggregate of one report
+is byte-identical to that report under :func:`repro.api.wire.dumps`,
+which is what keeps ``--workers 1`` indistinguishable from the
+pre-refactor server on this endpoint.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..api.wire import SCHEMA_VERSION
+from ..errors import ServingError
+
+__all__ = [
+    "aggregate_cache_records",
+    "aggregate_report_records",
+    "aggregate_stats_records",
+]
+
+_COUNTER_FIELDS = (
+    "queries_served",
+    "queries_failed",
+    "plans_built",
+    "prepares_run",
+    "prepare_cache_hits",
+    "assemblies",
+)
+
+_CACHE_FIELDS = ("hits", "misses", "evictions", "oversized")
+
+_GAUGE_FIELDS = (
+    "prepared_entries",
+    "sampling_entries",
+    "sampling_bytes_used",
+    "sampling_bytes_budget",
+)
+
+
+def _summed(records: Sequence[dict], fields: Sequence[str]) -> dict:
+    return {
+        field: sum(int(record.get(field, 0)) for record in records)
+        for field in fields
+    }
+
+
+def aggregate_stats_records(records: Sequence[dict]) -> dict:
+    """Sum wire-form service-stats dicts; recompute ``prepare_hit_rate``.
+
+    The rate comes from the summed hit and run counters — ``None`` when
+    the pool saw no prepare traffic at all.
+    """
+    summed = _summed(records, _COUNTER_FIELDS)
+    lookups = summed["prepares_run"] + summed["prepare_cache_hits"]
+    summed["prepare_hit_rate"] = (
+        summed["prepare_cache_hits"] / lookups if lookups else None
+    )
+    return summed
+
+
+def aggregate_cache_records(records: Sequence[dict]) -> dict:
+    """Sum wire-form cache-stats dicts; recompute ``hit_rate``.
+
+    ``None`` when no worker's cache was ever consulted.
+    """
+    summed = _summed(records, _CACHE_FIELDS)
+    lookups = summed["hits"] + summed["misses"]
+    summed["hit_rate"] = summed["hits"] / lookups if lookups else None
+    return summed
+
+
+def aggregate_report_records(records: Sequence[dict]) -> dict:
+    """Sum wire-form service reports into one pool-wide report.
+
+    The result has exactly the single-server report schema (so
+    :func:`repro.api.wire.service_report_from_dict` parses it), with
+    every counter and gauge summed across workers and every hit rate
+    recomputed from the summed counters.
+    """
+    if not records:
+        raise ServingError("cannot aggregate zero service reports")
+    gauges = _summed(records, _GAUGE_FIELDS)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "stats": aggregate_stats_records(
+            [record.get("stats", {}) for record in records]
+        ),
+        "prepared_cache": aggregate_cache_records(
+            [record.get("prepared_cache", {}) for record in records]
+        ),
+        "prepared_entries": gauges["prepared_entries"],
+        "sampling_cache": aggregate_cache_records(
+            [record.get("sampling_cache", {}) for record in records]
+        ),
+        "sampling_entries": gauges["sampling_entries"],
+        "sampling_bytes_used": gauges["sampling_bytes_used"],
+        "sampling_bytes_budget": gauges["sampling_bytes_budget"],
+    }

@@ -1,0 +1,324 @@
+"""Unit tests for the layered serving tier (repro.serving).
+
+Covers the layers in isolation: admission policies and their
+``Retry-After`` derivation, consistent-hash routing determinism,
+cross-worker stats aggregation (sums, hit-rate recombination,
+None-on-zero-traffic), the SO_REUSEPORT-unavailable fallback, and the
+client side of the ``Retry-After`` contract. The multi-process
+integration paths live in ``test_serving_pool.py``.
+"""
+
+import random
+import zlib
+
+import pytest
+
+from repro.api.client import RETRY_AFTER_CAP_SECONDS, ApiError, HttpClient
+from repro.api.wire import (
+    SCHEMA_VERSION,
+    dumps,
+    service_report_from_dict,
+)
+from repro.errors import ServingError, WireError, error_code
+from repro.serving import (
+    BoundedInFlight,
+    ConsistentHashRouter,
+    aggregate_report_records,
+    aggregate_stats_records,
+    resolve_mode,
+)
+from repro.serving import pool as pool_module
+
+
+# ---------------------------------------------------------------------------
+# admission
+
+
+class TestBoundedInFlight:
+    def test_admits_up_to_capacity_then_refuses(self):
+        policy = BoundedInFlight(2)
+        assert policy.admit()
+        assert policy.admit()
+        assert not policy.admit()
+        policy.release()
+        assert policy.admit()
+        for _ in range(2):
+            policy.release()
+
+    def test_in_flight_tracks_admissions(self):
+        policy = BoundedInFlight(3)
+        assert policy.in_flight() == 0
+        policy.admit()
+        policy.admit()
+        assert policy.in_flight() == 2
+        policy.release()
+        assert policy.in_flight() == 1
+        policy.release()
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(WireError, match="max_in_flight must be >= 1"):
+            BoundedInFlight(0)
+
+    def test_retry_after_is_one_second_at_refusal(self):
+        # The wire contract: the pre-refactor server always sent
+        # ``Retry-After: 1``; a full-but-not-overcommitted semaphore
+        # must keep producing exactly that.
+        policy = BoundedInFlight(4)
+        for _ in range(4):
+            policy.admit()
+        assert not policy.admit()
+        assert policy.retry_after_seconds() == 1
+        for _ in range(4):
+            policy.release()
+
+    def test_retry_after_floor_is_one_when_idle(self):
+        assert BoundedInFlight(8).retry_after_seconds() == 1
+
+
+# ---------------------------------------------------------------------------
+# routing
+
+
+class TestConsistentHashRouter:
+    def test_owner_is_deterministic_and_in_range(self):
+        router = ConsistentHashRouter(4)
+        keys = [f"plan-{i}" for i in range(200)]
+        owners = [router.owner(key) for key in keys]
+        assert owners == [ConsistentHashRouter(4).owner(k) for k in keys]
+        assert set(owners) <= set(range(4))
+
+    def test_single_worker_owns_everything(self):
+        router = ConsistentHashRouter(1)
+        assert {router.owner(f"k{i}") for i in range(50)} == {0}
+
+    def test_ring_is_reasonably_balanced(self):
+        router = ConsistentHashRouter(4)
+        rng = random.Random(7)
+        counts = [0, 0, 0, 0]
+        for _ in range(2000):
+            counts[router.owner(f"key-{rng.random()}")] += 1
+        # 64 virtual nodes per worker: no worker should starve or hog.
+        assert min(counts) > 2000 / 4 * 0.4
+        assert max(counts) < 2000 / 4 * 2.0
+
+    def test_hash_is_crc32_not_process_seeded(self):
+        # Every worker process must compute the same owner; builtin
+        # hash() is per-process randomized and must not be involved.
+        router = ConsistentHashRouter(3)
+        key = "SELECT * FROM orders"
+        point = zlib.crc32(key.encode("utf-8"))
+        assert router.owner(key) == router._owners[
+            min(
+                (i for i, p in enumerate(router._points) if p > point),
+                default=0,
+            )
+        ]
+
+    def test_scaling_preserves_most_placements(self):
+        # The consistent-hashing property: growing the pool moves only
+        # ~1/new_workers of the keys, not all of them.
+        before = ConsistentHashRouter(3)
+        after = ConsistentHashRouter(4)
+        keys = [f"plan-{i}" for i in range(1000)]
+        moved = sum(before.owner(k) != after.owner(k) for k in keys)
+        assert moved < 600
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ServingError):
+            ConsistentHashRouter(0)
+        with pytest.raises(ServingError):
+            ConsistentHashRouter(2, replicas=0)
+
+
+# ---------------------------------------------------------------------------
+# stats aggregation
+
+
+def _report_record(
+    served=0, failed=0, plans=0, prepares=0, prepare_hits=0, assemblies=0,
+    cache_hits=0, cache_misses=0, entries=0,
+):
+    lookups = prepares + prepare_hits
+    cache_lookups = cache_hits + cache_misses
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "stats": {
+            "queries_served": served,
+            "queries_failed": failed,
+            "plans_built": plans,
+            "prepares_run": prepares,
+            "prepare_cache_hits": prepare_hits,
+            "assemblies": assemblies,
+            "prepare_hit_rate": prepare_hits / lookups if lookups else None,
+        },
+        "prepared_cache": {
+            "hits": cache_hits,
+            "misses": cache_misses,
+            "evictions": 0,
+            "oversized": 0,
+            "hit_rate": (
+                cache_hits / cache_lookups if cache_lookups else None
+            ),
+        },
+        "prepared_entries": entries,
+        "sampling_cache": {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "oversized": 0,
+            "hit_rate": None,
+        },
+        "sampling_entries": 0,
+        "sampling_bytes_used": 0,
+        "sampling_bytes_budget": 1024,
+    }
+
+
+class TestStatsAggregation:
+    def test_aggregate_of_one_record_is_identity(self):
+        # workers=1 must be indistinguishable from the pre-refactor
+        # server on /v1/stats — byte-identical under the wire encoder.
+        record = _report_record(
+            served=5, plans=5, prepares=2, prepare_hits=3,
+            cache_hits=3, cache_misses=2, entries=2,
+        )
+        assert dumps(aggregate_report_records([record])) == dumps(record)
+
+    def test_counters_sum_and_rates_recombine(self):
+        a = _report_record(
+            served=8, failed=1, plans=9, prepares=4, prepare_hits=4,
+            cache_hits=4, cache_misses=4, entries=4,
+        )
+        b = _report_record(
+            served=2, failed=0, plans=2, prepares=2, prepare_hits=0,
+            cache_hits=0, cache_misses=2, entries=2,
+        )
+        merged = aggregate_report_records([a, b])
+        assert merged["stats"]["queries_served"] == 10
+        assert merged["stats"]["queries_failed"] == 1
+        assert merged["stats"]["plans_built"] == 11
+        # 4 hits over 10 lookups — NOT the mean of 0.5 and 0.0.
+        assert merged["stats"]["prepare_hit_rate"] == pytest.approx(0.4)
+        assert merged["prepared_cache"]["hits"] == 4
+        assert merged["prepared_cache"]["misses"] == 6
+        assert merged["prepared_cache"]["hit_rate"] == pytest.approx(0.4)
+        assert merged["prepared_entries"] == 6
+        assert merged["sampling_bytes_budget"] == 2048
+
+    def test_zero_traffic_pool_reports_none_rates(self):
+        merged = aggregate_report_records(
+            [_report_record(), _report_record(), _report_record()]
+        )
+        assert merged["stats"]["prepare_hit_rate"] is None
+        assert merged["prepared_cache"]["hit_rate"] is None
+        assert merged["sampling_cache"]["hit_rate"] is None
+
+    def test_aggregate_parses_as_service_report(self):
+        merged = aggregate_report_records(
+            [_report_record(served=3, plans=3), _report_record(served=4, plans=4)]
+        )
+        report = service_report_from_dict(merged)
+        assert report.stats.queries_served == 7
+
+    def test_empty_input_raises_serving_error(self):
+        with pytest.raises(ServingError):
+            aggregate_report_records([])
+
+    def test_stats_records_missing_fields_default_to_zero(self):
+        merged = aggregate_stats_records([{}, {"queries_served": 3}])
+        assert merged["queries_served"] == 3
+        assert merged["prepare_hit_rate"] is None
+
+
+# ---------------------------------------------------------------------------
+# pool mode resolution (the SO_REUSEPORT-unavailable fallback)
+
+
+class TestResolveMode:
+    def test_explicit_modes_pass_through(self, monkeypatch):
+        monkeypatch.setattr(pool_module, "reuseport_available", lambda: True)
+        assert resolve_mode("handoff") == "handoff"
+        assert resolve_mode("reuseport") == "reuseport"
+
+    def test_auto_prefers_reuseport_when_available(self, monkeypatch):
+        monkeypatch.setattr(pool_module, "reuseport_available", lambda: True)
+        assert resolve_mode("auto") == "reuseport"
+
+    def test_auto_falls_back_to_handoff_without_reuseport(self, monkeypatch):
+        monkeypatch.setattr(pool_module, "reuseport_available", lambda: False)
+        assert resolve_mode("auto") == "handoff"
+
+    def test_explicit_reuseport_errors_when_unavailable(self, monkeypatch):
+        monkeypatch.setattr(pool_module, "reuseport_available", lambda: False)
+        with pytest.raises(ServingError, match="SO_REUSEPORT"):
+            resolve_mode("reuseport")
+
+    def test_unknown_mode_is_a_serving_error(self):
+        with pytest.raises(ServingError, match="unknown serving mode"):
+            resolve_mode("round-robin")
+
+    def test_serving_error_carries_wire_code(self):
+        assert error_code(ServingError("boom")) == "serving"
+
+
+# ---------------------------------------------------------------------------
+# client Retry-After honoring
+
+
+class TestClientRetryAfter:
+    def test_structured_error_carries_retry_after(self):
+        error = ApiError(503, "over-capacity", "full", retry_after=1.0)
+        assert error.retry_after == 1.0
+        # And stays optional: taxonomy tests construct it without one.
+        assert ApiError(400, "sql-parse", "bad").retry_after is None
+
+    def test_hint_raises_base_to_retry_after(self):
+        client = HttpClient(
+            "http://127.0.0.1:1", retries_503=3, backoff_seconds=0.05,
+            backoff_seed=42,
+        )
+        # Same jitter stream as the pure-exponential schedule, but the
+        # base for attempt 0 is lifted from 0.05s to the server's 1s.
+        expected = 1.0 * (0.5 + 0.5 * random.Random(42).random())
+        assert client._backoff_delay(0, retry_after=1.0) == pytest.approx(
+            expected
+        )
+        assert client.retries_performed == 1
+
+    def test_longer_exponential_base_is_not_shortened(self):
+        client = HttpClient(
+            "http://127.0.0.1:1", retries_503=8, backoff_seconds=0.05,
+            backoff_seed=7,
+        )
+        # At attempt 6 the exponential base (3.2s) exceeds the 1s hint;
+        # the server hint must not make the client retry *sooner*.
+        jitter = random.Random(7).random()
+        expected = 0.05 * 2.0**6 * (0.5 + 0.5 * jitter)
+        assert client._backoff_delay(6, retry_after=1.0) == pytest.approx(
+            expected
+        )
+
+    def test_hint_is_capped(self):
+        client = HttpClient(
+            "http://127.0.0.1:1", retries_503=1, backoff_seconds=0.05,
+            backoff_seed=3,
+        )
+        jitter = random.Random(3).random()
+        expected = RETRY_AFTER_CAP_SECONDS * (0.5 + 0.5 * jitter)
+        assert client._backoff_delay(0, retry_after=3600.0) == pytest.approx(
+            expected
+        )
+
+    def test_no_hint_keeps_exponential_schedule(self):
+        client = HttpClient(
+            "http://127.0.0.1:1", retries_503=2, backoff_seconds=0.05,
+            backoff_seed=42,
+        )
+        rng = random.Random(42)
+        expected = [
+            0.05 * 2.0**attempt * (0.5 + 0.5 * rng.random())
+            for attempt in range(2)
+        ]
+        got = [client._backoff_delay(attempt) for attempt in range(2)]
+        assert got == pytest.approx(expected)
+        assert client.retries_performed == 2

@@ -1,0 +1,194 @@
+"""Integration tests for the pre-fork worker pool (socket-handoff path).
+
+Everything here runs through ``mode="handoff"`` so the suite passes on
+platforms without ``SO_REUSEPORT`` — the reuseport-specific pieces
+(availability resolution) are unit-tested in ``test_serving.py``, and
+the handoff path is exactly the one the graceful-shutdown satellite
+must pin down.
+
+The pool is built from a *prebuilt* session (inherited copy-on-write
+across ``fork()``), so the whole multi-process suite pays the session
+build cost once.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.api import HttpClient, Session, SessionConfig
+from repro.api.wire import SCHEMA_VERSION
+from repro.serving import WorkerPool
+from repro.util import ensure_rng
+from repro.workloads.tpch_templates import TPCH_TEMPLATES
+
+SQL = "SELECT COUNT(*) FROM orders WHERE o_totalprice > 100000"
+
+
+def template_queries(count=8):
+    rng = ensure_rng(17)
+    return [
+        TPCH_TEMPLATES[i % len(TPCH_TEMPLATES)].instantiate(rng)
+        for i in range(count)
+    ]
+
+
+@pytest.fixture(scope="module")
+def session(tpch_db, calibrated_units):
+    return Session.from_components(
+        tpch_db,
+        calibrated_units,
+        SessionConfig(sampling_ratio=0.05, sampling_seed=3),
+    )
+
+
+@pytest.fixture(scope="module")
+def pool(session):
+    with WorkerPool(
+        2, session=session, mode="handoff", max_in_flight=4
+    ) as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def client(pool):
+    return HttpClient(pool.url, timeout=30.0)
+
+
+class TestPoolEndpoints:
+    def test_healthz_reports_pool_coordinates(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["schema_version"] == SCHEMA_VERSION
+        assert health["max_in_flight"] == 4
+        assert health["workers"] == 2
+        assert health["worker"] in (0, 1)
+
+    def test_predict_matches_in_process_session_bitwise(
+        self, client, session
+    ):
+        # Whichever worker serves (or forwards) the request, every
+        # predicted quantity must be exactly equal to the in-process
+        # session's — == on the frozen payloads is exact float equality.
+        expected = session.predict(SQL)
+        got = client.predict(SQL)
+        assert got.sql == expected.sql
+        assert got.results == expected.results
+
+    def test_batch_matches_in_process_session_bitwise(
+        self, client, session
+    ):
+        queries = template_queries(6)
+        expected = session.predict_batch(queries)
+        got = client.predict_batch(queries)
+        assert not got.failures
+        for remote, local in zip(got, expected):
+            assert remote.sql == local.sql
+            assert remote.results == local.results
+
+    def test_every_worker_answers_healthz(self, pool, client):
+        # The kernel decides which worker accepts each connection; a
+        # fresh connection per probe eventually reaches both workers.
+        seen = set()
+        for _ in range(40):
+            seen.add(client.healthz()["worker"])
+            if seen == {0, 1}:
+                break
+        assert seen == {0, 1}
+
+    def test_stats_aggregate_across_workers(self, client):
+        before = client.stats()
+        queries = template_queries(10)
+        for sql in queries:
+            client.predict(sql)
+        after = client.stats()
+        # Wherever routing placed each query, the pool-wide aggregate
+        # must account for every one of them exactly once.
+        assert (
+            after.stats.queries_served - before.stats.queries_served
+            == len(queries)
+        )
+
+    def test_stats_parse_as_service_report(self, client):
+        report = client.stats()
+        assert report.stats.queries_served >= 0
+        assert report.sampling_bytes_budget >= 0
+
+
+class TestPoolLifecycle:
+    def test_graceful_sigterm_drains_in_flight_requests(self, session):
+        # The shutdown-satellite regression: a request admitted before
+        # SIGTERM must complete, and every worker must exit 0.
+        pool = WorkerPool(
+            2, session=session, mode="handoff", max_in_flight=4
+        ).start()
+        client = HttpClient(pool.url, timeout=30.0)
+        queries = template_queries(12)
+        results = {}
+
+        def drive():
+            results["batch"] = client.predict_batch(queries)
+
+        try:
+            thread = threading.Thread(target=drive)
+            thread.start()
+            # Let the batch get admitted, then pull the plug mid-flight.
+            time.sleep(0.05)
+        finally:
+            codes = pool.stop()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert codes == [0, 0]
+        assert "batch" in results, "in-flight batch was dropped on SIGTERM"
+        assert len(results["batch"]) == len(queries)
+
+    def test_stop_is_idempotent(self, session):
+        pool = WorkerPool(1, session=session, mode="handoff").start()
+        assert pool.stop() == [0]
+        assert pool.stop() == []
+
+    def test_single_worker_pool_serves(self, session):
+        with WorkerPool(1, session=session, mode="handoff") as pool:
+            client = HttpClient(pool.url, timeout=30.0)
+            health = client.healthz()
+            assert health["workers"] == 1
+            assert client.predict(SQL).results == session.predict(SQL).results
+
+    def test_bind_conflict_is_a_serving_error(self, session):
+        from repro.errors import ServingError
+
+        # Binding a worker pool on an already-claimed non-reuse port
+        # cannot work; the parent must fail loudly, not hang.
+        with WorkerPool(1, session=session, mode="handoff") as first:
+            with pytest.raises(ServingError, match="cannot bind"):
+                WorkerPool(
+                    1, session=session, mode="handoff",
+                    port=first.port,
+                ).start()
+
+    def test_startup_failure_surfaces_worker_traceback(
+        self, tpch_db, calibrated_units
+    ):
+        from repro.errors import ServingError
+
+        # A session that dies inside the forked worker (here: warmup on
+        # a closed session) must surface its traceback in the parent's
+        # error instead of hanging the startup rendezvous.
+        doomed = Session.from_components(tpch_db, calibrated_units)
+        doomed.close()
+        pool = WorkerPool(
+            1, session=doomed, mode="handoff", warmup=True
+        )
+        try:
+            with pytest.raises(ServingError, match="session is closed"):
+                pool.start()
+        finally:
+            pool.stop()
+
+    def test_rejects_bad_construction(self, session):
+        from repro.errors import ServingError
+
+        with pytest.raises(ServingError, match="workers must be >= 1"):
+            WorkerPool(0, session=session)
+        with pytest.raises(ServingError, match="config or a session"):
+            WorkerPool(2)

@@ -383,11 +383,42 @@ class Client:
         assert run_rule("blocking-while-locked", source) == []
 
     def test_hot_paths_are_clean(self):
-        # Satellite audit: the client backoff and replay runner must
-        # never sleep or do socket I/O while holding a lock.
-        for rel in ("src/repro/api/client.py", "src/repro/replay/runner.py"):
+        # Satellite audit: the client backoff, replay runner, and the
+        # serving tier (admission gate, router forwards, worker pool)
+        # must never sleep or do socket I/O while holding a lock.
+        for rel in (
+            "src/repro/api/client.py",
+            "src/repro/replay/runner.py",
+            "src/repro/serving/admission.py",
+            "src/repro/serving/routing.py",
+            "src/repro/serving/pool.py",
+            "src/repro/serving/transport.py",
+        ):
             ctx = FileContext(REPO_ROOT / rel, root=REPO_ROOT)
             assert ALL_CHECKS["blocking-while-locked"].run(ctx) == []
+
+    def test_serving_forward_under_lock_flagged(self):
+        # The routing layer's trap shape: relaying a request to a peer
+        # worker while holding the admission counter lock would
+        # serialize every forwarded request behind one mutex.
+        source = """
+import threading
+import urllib.request
+
+class Gate:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def forward(self, url):
+        with self._lock:
+            return urllib.request.urlopen(url)
+"""
+        findings = run_rule(
+            "blocking-while-locked", source,
+            path="src/repro/serving/routing.py",
+        )
+        assert len(findings) == 1
+        assert "urlopen" in findings[0].message
 
 
 # ---------------------------------------------------------------------------
@@ -488,6 +519,33 @@ class TestErrorTaxonomy:
     def test_not_applicable_outside_wire_facing_code(self):
         source = "def f():\n    raise ValueError('bad')\n"
         assert run_rule("error-taxonomy", source, path="src/repro/core/units.py") == []
+
+    def test_serving_package_is_wire_facing(self):
+        # The layered serving tier crosses the wire exactly like api/:
+        # bare raises and unguarded json.dumps are flagged there too.
+        source = "def f():\n    raise ValueError('bad')\n"
+        (finding,) = run_rule(
+            "error-taxonomy", source, path="src/repro/serving/pool.py"
+        )
+        assert "ValueError" in finding.message
+        dumped = "import json\n\ndef f(d):\n    return json.dumps(d)\n"
+        (finding,) = run_rule(
+            "error-taxonomy", dumped, path="src/repro/serving/stats.py"
+        )
+        assert "allow_nan" in finding.message
+
+    def test_serving_error_is_registered(self):
+        source = (
+            "from repro.errors import ServingError\n\n"
+            "def f():\n    raise ServingError('worker died')\n"
+        )
+        assert (
+            run_rule(
+                "error-taxonomy", source,
+                path="src/repro/serving/pool.py",
+            )
+            == []
+        )
 
 
 # ---------------------------------------------------------------------------

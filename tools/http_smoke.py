@@ -1,8 +1,10 @@
 """HTTP serving smoke for CI: boot ``repro serve``, drive it, shut down.
 
-Starts ``python -m repro serve`` on an **ephemeral port** as a child
-process, parses the bound address from the startup "listening on" line,
-then from this (second) process:
+Two stages, each booting ``python -m repro serve`` on an **ephemeral
+port** as a child process and parsing the bound address from the
+startup "listening on" line.
+
+Stage 1 — single worker (the pre-fork-identical path):
 
 * ``GET /v1/healthz`` — must report ``status: ok`` and the exact wire
   ``schema_version`` this checkout speaks;
@@ -10,7 +12,13 @@ then from this (second) process:
   mean, a declared ``schema_version``, and interval bounds;
 * a malformed statement must be a structured 400 (``sql-parse``).
 
-Exit status 0 on success; any failure kills the child and exits 1.
+Stage 2 — ``--workers 2`` (the pre-fork pool, ``docs/serving.md``):
+
+* healthz must answer from **each** worker (``worker`` 0 and 1 both
+  observed) with ``status: ok`` and the same ``schema_version``;
+* a prediction must round-trip through the sharded pool.
+
+Exit status 0 on success; any failure kills the children and exits 1.
 Wired into ``.github/workflows/ci.yml`` and ``make ci`` (pinned by
 ``tests/test_ci_workflow.py``).
 
@@ -39,16 +47,19 @@ SQL = "SELECT COUNT(*) FROM orders WHERE o_totalprice > 100000"
 _LISTENING = re.compile(r"listening on (http://[0-9.]+:\d+)")
 
 
-def _spawn(scale: float) -> subprocess.Popen:
+def _spawn(scale: float, workers: int = 1) -> subprocess.Popen:
     env = dict(os.environ)
     src = str(REPO_ROOT / "src")
     existing = env.get("PYTHONPATH")
     env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    command = [
+        sys.executable, "-m", "repro", "serve",
+        "--port", "0", "--scale", str(scale),
+    ]
+    if workers != 1:
+        command += ["--workers", str(workers)]
     return subprocess.Popen(
-        [
-            sys.executable, "-m", "repro", "serve",
-            "--port", "0", "--scale", str(scale),
-        ],
+        command,
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
@@ -87,16 +98,19 @@ def _wait_for_url(proc: subprocess.Popen, deadline: float) -> str:
     )
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--scale", type=float, default=0.01)
-    parser.add_argument("--timeout", type=float, default=180.0)
-    args = parser.parse_args(argv)
-
-    proc = _spawn(args.scale)
+def _stop(proc: subprocess.Popen) -> None:
+    proc.terminate()
     try:
-        url = _wait_for_url(proc, time.monotonic() + args.timeout)
-        client = HttpClient(url, timeout=args.timeout)
+        proc.wait(timeout=10)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+
+
+def _single_worker_stage(scale: float, timeout: float) -> None:
+    proc = _spawn(scale)
+    try:
+        url = _wait_for_url(proc, time.monotonic() + timeout)
+        client = HttpClient(url, timeout=timeout)
 
         health = client.healthz()
         assert health["status"] == "ok", health
@@ -120,13 +134,51 @@ def main(argv: list[str] | None = None) -> int:
             f"http smoke ok: {url} schema v{health['schema_version']}, "
             f"mean {result['mean']:.4f}s"
         )
-        return 0
     finally:
-        proc.terminate()
-        try:
-            proc.wait(timeout=10)
-        except subprocess.TimeoutExpired:
-            proc.kill()
+        _stop(proc)
+
+
+def _worker_pool_stage(scale: float, timeout: float) -> None:
+    proc = _spawn(scale, workers=2)
+    try:
+        url = _wait_for_url(proc, time.monotonic() + timeout)
+        client = HttpClient(url, timeout=timeout)
+
+        # The kernel picks which worker accepts each fresh connection;
+        # probe until both have answered (or the deadline passes).
+        seen: dict[int, dict] = {}
+        deadline = time.monotonic() + timeout
+        while set(seen) != {0, 1} and time.monotonic() < deadline:
+            health = client.healthz()
+            seen[health["worker"]] = health
+        assert set(seen) == {0, 1}, f"workers seen: {sorted(seen)}"
+        for worker, health in sorted(seen.items()):
+            assert health["status"] == "ok", (worker, health)
+            assert health["schema_version"] == SCHEMA_VERSION, (worker, health)
+            assert health["workers"] == 2, (worker, health)
+
+        body = client.request_json("POST", "/v1/predict", {"sql": SQL})
+        assert body["schema_version"] == SCHEMA_VERSION, body
+        (result,) = body["results"]
+        assert result["mean"] > 0, result
+
+        print(
+            f"http smoke ok: {url} workers {sorted(seen)} "
+            f"schema v{SCHEMA_VERSION}, mean {result['mean']:.4f}s"
+        )
+    finally:
+        _stop(proc)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.01)
+    parser.add_argument("--timeout", type=float, default=180.0)
+    args = parser.parse_args(argv)
+
+    _single_worker_stage(args.scale, args.timeout)
+    _worker_pool_stage(args.scale, args.timeout)
+    return 0
 
 
 if __name__ == "__main__":

@@ -1,8 +1,8 @@
 """Error taxonomy and wire-safety for the serving surface.
 
 Two sub-rules, both scoped to the code whose failures cross a process
-boundary — ``src/repro/api/``, ``src/repro/cli.py`` and
-``src/repro/replay/``:
+boundary — ``src/repro/api/``, ``src/repro/serving/``,
+``src/repro/cli.py`` and ``src/repro/replay/``:
 
 * **error-taxonomy** — every exception raised there must map to a
   stable machine-readable code via ``repro.errors.ERROR_CODES``
@@ -61,6 +61,7 @@ _FALLBACK_CLASSES = frozenset(
         "FittingError",
         "PredictionError",
         "SessionError",
+        "ServingError",
         "WireError",
     }
 )
@@ -71,7 +72,7 @@ _ALLOWED_BUILTINS = frozenset(
 )
 
 #: Subsystems whose raises and serialization cross the wire.
-_WIRE_FACING = ("api", "replay")
+_WIRE_FACING = ("api", "replay", "serving")
 
 
 def registered_error_classes(root: Path | None) -> frozenset[str]:
