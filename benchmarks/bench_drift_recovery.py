@@ -1,0 +1,152 @@
+"""Drift recovery: the online feedback loop re-forms interval coverage.
+
+The v2 observation API exists for one reason: a calibration profile
+goes stale the moment the hardware (or the co-located load) changes,
+and the paper's uncertainty guarantees are only worth shipping if the
+served intervals *recover* without a recalibration outage. This bench
+replays one deterministic schedule through the full feedback loop
+(:func:`repro.replay.run_feedback_loop`) with a hardware shift injected
+mid-replay — every simulated actual runtime is multiplied by
+``SHIFT_FACTOR`` from 40% of the schedule onward — and measures both
+arms:
+
+* the **online** arm serves through a session that receives every
+  ground-truth observation; its windowed conformal scaling plus the
+  Page–Hinkley drift reset must restore 90%-interval coverage within
+  ``RECOVERY_BUDGET`` post-shift observations (hard floor);
+* the **static** arm is an observation-free mirror of the same
+  configuration; its post-shift coverage must stay degraded (hard
+  floor) — proving recovery is the feedback loop's doing, not the
+  workload drifting back.
+
+``observe_free_bitwise`` is the API-redesign contract: before any
+observation is fed, the feedback-enabled session's wire responses are
+byte-identical (under ``dumps``) to the mirror's — enabling the loop
+costs nothing until it is actually used.
+"""
+
+from repro.api import Session, SessionConfig
+from repro.api.wire import PredictRequest, dumps
+from repro.benchreport import Metric, register
+from repro.replay import (
+    ClosedLoop,
+    InProcessTarget,
+    build_schedule,
+    parse_mix,
+    run_feedback_loop,
+)
+
+SETUP_CONFIG = SessionConfig(
+    scale_factor=0.01,
+    db_seed=11,
+    calibration_seed=0,
+    calibration_repetitions=6,
+    sampling_ratio=0.05,
+    sampling_seed=1,
+    feedback_window=64,
+    feedback_min_observations=12,
+    feedback_fast_window=12,
+)
+SCHEDULE_SEED = 37
+SHIFT_AT = 0.4
+SHIFT_FACTOR = 3.0
+CONFIDENCE = 0.9
+#: Post-shift observations the online arm gets to re-form coverage
+#: (rolling window of RECOVERY_WINDOW at >= RECOVERY_TARGET).
+RECOVERY_BUDGET = 40
+RECOVERY_WINDOW = 15
+RECOVERY_TARGET = 0.85
+
+
+def _sessions_and_schedule(requests_total: int):
+    online = Session(SETUP_CONFIG)
+    mirror = Session(SETUP_CONFIG)
+    schedule = build_schedule(
+        parse_mix("mixed"),
+        online.database,
+        ClosedLoop(clients=1, requests_per_client=requests_total),
+        seed=SCHEDULE_SEED,
+    )
+    return online, mirror, schedule
+
+
+def _observe_free_bitwise(online, mirror, schedule) -> bool:
+    """Feedback-enabled serving with zero observations is byte-identical."""
+    for request in schedule.requests:
+        wire = PredictRequest(
+            sql=request.sql,
+            variants=request.variants,
+            mpls=request.mpls,
+            confidences=request.confidences,
+        )
+        if dumps(online.predict(wire).to_dict()) != dumps(
+            mirror.predict(wire).to_dict()
+        ):
+            return False
+    return True
+
+
+@register("drift_recovery", tags=("feedback", "replay", "calibration"))
+def scenario(ctx):
+    """Online recalibration recovers post-shift coverage; static arm stays degraded."""
+    requests_total = ctx.pick(quick=80, full=200)
+    online, mirror, schedule = _sessions_and_schedule(requests_total)
+
+    observe_free = _observe_free_bitwise(online, mirror, schedule)
+
+    loop_seconds, trajectory = ctx.best_of(
+        lambda: run_feedback_loop(
+            schedule,
+            InProcessTarget(online),
+            mirror,
+            confidence=CONFIDENCE,
+            shift_at=SHIFT_AT,
+            shift_factor=SHIFT_FACTOR,
+        ),
+        1,
+    )
+    recovery = trajectory.recovery_observations(
+        window=RECOVERY_WINDOW, target=RECOVERY_TARGET
+    )
+    recovered = recovery is not None and recovery <= RECOVERY_BUDGET
+    pre_online = trajectory.coverage(end=trajectory.shift_index) or 0.0
+    post_online = trajectory.post_shift_coverage() or 0.0
+    post_static = trajectory.post_shift_coverage(static=True)
+    post_static = 0.0 if post_static is None else post_static
+    static_degraded = post_static <= 0.3
+
+    return [
+        Metric("feedback_loop_seconds", loop_seconds, kind="timing", unit="s"),
+        Metric("pre_shift_coverage_online", pre_online),
+        Metric("post_shift_coverage_online", post_online, kind="ratio", floor=0.5),
+        Metric("post_shift_coverage_static", post_static),
+        Metric(
+            "recovery_observations",
+            float(RECOVERY_BUDGET if recovery is None else recovery),
+            kind="ratio",
+        ),
+        Metric(
+            "recovered_within_budget",
+            1.0 if recovered else 0.0,
+            kind="ratio",
+            floor=1.0,
+        ),
+        Metric(
+            "static_stays_degraded",
+            1.0 if static_degraded else 0.0,
+            kind="ratio",
+            floor=1.0,
+        ),
+        Metric(
+            "drift_detected",
+            1.0 if trajectory.drifts_detected >= 1 else 0.0,
+            kind="ratio",
+            floor=1.0,
+        ),
+        Metric(
+            "observe_free_bitwise",
+            1.0 if observe_free else 0.0,
+            kind="ratio",
+            floor=1.0,
+        ),
+    ]

@@ -6,43 +6,58 @@ This package is the front door everything else is built against:
   facade owning the whole predictor stack
   (:class:`~repro.service.PredictionService` is the engine behind it);
 * :mod:`repro.api.wire` — the versioned JSON wire schema
-  (:data:`SCHEMA_VERSION`, typed requests/responses, error bodies);
+  (:data:`SCHEMA_VERSION`, typed requests/responses, error bodies,
+  the v2 observation vocabulary and sectioned stats snapshot);
 * :mod:`repro.api.http` / :mod:`repro.api.client` — the stdlib HTTP
-  server (``repro serve``) and the matching :class:`HttpClient`.
+  server (``repro serve``) and the matching :class:`HttpClient`
+  (configured by one declarative :class:`ClientConfig`).
 """
 
 from typing import TYPE_CHECKING
 
 from .client import ApiError, HttpClient
-from .config import ESTIMATOR_BACKENDS, SessionConfig
+from .config import ESTIMATOR_BACKENDS, ClientConfig, SessionConfig
 from .session import Session
 
 if TYPE_CHECKING:  # resolved lazily at runtime — see __getattr__ below
     from .http import ApiHTTPServer, build_server
 from .wire import (
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
+    AdmissionStats,
     BatchRequest,
     BatchResponse,
+    FeedbackApplied,
     IntervalPayload,
+    Observation,
+    ObserveResponse,
     PredictRequest,
     PredictResponse,
     ResultPayload,
+    StatsSnapshot,
 )
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "ESTIMATOR_BACKENDS",
+    "AdmissionStats",
     "ApiError",
     "ApiHTTPServer",
     "BatchRequest",
     "BatchResponse",
+    "ClientConfig",
+    "FeedbackApplied",
     "HttpClient",
     "IntervalPayload",
+    "Observation",
+    "ObserveResponse",
     "PredictRequest",
     "PredictResponse",
     "ResultPayload",
     "Session",
     "SessionConfig",
+    "StatsSnapshot",
     "build_server",
 ]
 

@@ -24,6 +24,12 @@ the refusal carries the server's ``Retry-After`` hint, the backoff
 base is raised to honor it (capped at
 :data:`RETRY_AFTER_CAP_SECONDS`). The default is 0 retries: surfacing
 the 503 is the honest default for load tests measuring shed traffic.
+
+All client knobs live on one declarative
+:class:`~repro.api.config.ClientConfig` (``HttpClient(url,
+config=ClientConfig(retries_503=3))``). The pre-v2 keyword arguments
+(``retries_503``/``backoff_seconds``/``backoff_seed``) keep working as
+deprecation shims that fold into the config.
 """
 
 from __future__ import annotations
@@ -33,18 +39,21 @@ import threading
 import time
 import urllib.error
 import urllib.request
+import warnings
 from typing import Sequence
 
-from ..errors import ReproError
-from ..service.service import ServiceReport
+from ..errors import ReproError, SessionError
+from .config import ClientConfig
 from .wire import (
     BatchRequest,
     BatchResponse,
+    Observation,
+    ObserveResponse,
     PredictRequest,
     PredictResponse,
+    StatsSnapshot,
     dumps,
     loads,
-    service_report_from_dict,
 )
 
 __all__ = ["RETRY_AFTER_CAP_SECONDS", "ApiError", "HttpClient"]
@@ -93,30 +102,66 @@ class HttpClient:
     def __init__(
         self,
         base_url: str,
-        timeout: float = 60.0,
+        timeout: float | None = None,
         *,
-        retries_503: int = 0,
-        backoff_seconds: float = 0.05,
-        backoff_seed: int = 0,
+        config: ClientConfig | None = None,
+        retries_503: int | None = None,
+        backoff_seconds: float | None = None,
+        backoff_seed: int | None = None,
     ):
-        if retries_503 < 0:
-            raise ApiError(0, "bad-request", f"retries_503 must be >= 0, got {retries_503}")
-        if backoff_seconds <= 0:
+        legacy = {
+            name: value
+            for name, value in (
+                ("retries_503", retries_503),
+                ("backoff_seconds", backoff_seconds),
+                ("backoff_seed", backoff_seed),
+            )
+            if value is not None
+        }
+        if legacy and config is not None:
             raise ApiError(
                 0, "bad-request",
-                f"backoff_seconds must be positive, got {backoff_seconds}",
+                "pass either config=ClientConfig(...) or the legacy "
+                f"keyword arguments, not both ({', '.join(sorted(legacy))})",
             )
+        if legacy:
+            warnings.warn(
+                f"HttpClient({', '.join(sorted(legacy))}=...) is deprecated; "
+                "pass config=ClientConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        if config is None:
+            config = ClientConfig()
+        changes = dict(legacy)
+        if timeout is not None:
+            changes["timeout"] = timeout
+        try:
+            if changes:
+                config = config.replace(**changes)
+        except SessionError as error:
+            # The pre-ClientConfig constructor reported bad knobs as
+            # ApiError(bad-request); keep that contract for the shims.
+            raise ApiError(0, "bad-request", str(error)) from None
+        self._config = config
         self._base_url = base_url.rstrip("/")
-        self._timeout = timeout
-        self._retries_503 = retries_503
-        self._backoff_seconds = backoff_seconds
-        self._backoff_rng = random.Random(backoff_seed)
+        self._timeout = config.timeout
+        self._retries_503 = config.retries_503
+        self._backoff_seconds = config.backoff_seconds
+        self._retry_after_cap = config.retry_after_cap_seconds
+        self._wire_version = config.wire_version
+        self._backoff_rng = random.Random(config.backoff_seed)
         self._backoff_lock = threading.Lock()
         self._retries_performed = 0
 
     @property
     def base_url(self) -> str:
         return self._base_url
+
+    @property
+    def config(self) -> ClientConfig:
+        """The resolved declarative configuration this client runs with."""
+        return self._config
 
     @property
     def retries_performed(self) -> int:
@@ -158,7 +203,7 @@ class HttpClient:
         """
         base = self._backoff_seconds * (2.0 ** attempt)
         if retry_after is not None:
-            base = min(max(base, retry_after), RETRY_AFTER_CAP_SECONDS)
+            base = min(max(base, retry_after), self._retry_after_cap)
         with self._backoff_lock:
             self._retries_performed += 1
             return base * (0.5 + 0.5 * self._backoff_rng.random())
@@ -205,15 +250,26 @@ class HttpClient:
         """``GET /v1/healthz`` — liveness, schema version, uptime."""
         return self.request_json("GET", "/v1/healthz")
 
-    def stats(self) -> ServiceReport:
-        """``GET /v1/stats`` — the serving counters and cache stats."""
-        return service_report_from_dict(self.request_json("GET", "/v1/stats"))
+    def stats(self) -> StatsSnapshot:
+        """``GET /v1/stats`` — the typed stats snapshot.
+
+        Speaking wire v2 the client asks for the sectioned form
+        (``?schema_version=2``: admission + feedback alongside the
+        service report); at v1 it fetches the bare path, whose answer
+        is the flat v1 report, and wraps it in a section-less snapshot.
+        """
+        path = "/v1/stats"
+        if self._wire_version >= 2:
+            path = f"/v1/stats?schema_version={self._wire_version}"
+        return StatsSnapshot.from_dict(self.request_json("GET", path))
 
     def predict(self, request: PredictRequest | str) -> PredictResponse:
         """``POST /v1/predict`` — one query (a bare SQL string is accepted)."""
         if isinstance(request, str):
             request = PredictRequest(sql=request)
-        record = self.request_json("POST", "/v1/predict", request.to_dict())
+        record = self.request_json(
+            "POST", "/v1/predict", request.to_dict(self._wire_version)
+        )
         return PredictResponse.from_dict(record)
 
     def predict_batch(
@@ -222,5 +278,34 @@ class HttpClient:
         """``POST /v1/predict-batch`` — a batch with one shared fan-out."""
         if not isinstance(batch, BatchRequest):
             batch = BatchRequest(queries=tuple(batch))
-        record = self.request_json("POST", "/v1/predict-batch", batch.to_dict())
+        record = self.request_json(
+            "POST", "/v1/predict-batch", batch.to_dict(self._wire_version)
+        )
         return BatchResponse.from_dict(record)
+
+    def observe(
+        self,
+        observation: Observation | str,
+        actual_seconds: float | None = None,
+    ) -> ObserveResponse:
+        """``POST /v1/observe`` — feed one actual runtime back (v2).
+
+        Accepts a full :class:`~repro.api.wire.Observation`, or the
+        ``(sql, actual_seconds)`` convenience pair, attributed to the
+        config's ``observe_tenant``.
+        """
+        if isinstance(observation, str):
+            if actual_seconds is None:
+                raise ApiError(
+                    0, "bad-request",
+                    "observe(sql, actual_seconds) needs the actual runtime",
+                )
+            observation = Observation(
+                sql=observation,
+                actual_seconds=actual_seconds,
+                tenant=self._config.observe_tenant,
+            )
+        # Observations are inherently v2 — a genuine v1 server has no
+        # /v1/observe and answers 404, which is the honest failure.
+        record = self.request_json("POST", "/v1/observe", observation.to_dict(2))
+        return ObserveResponse.from_dict(record)

@@ -12,19 +12,25 @@ not spell their own.
 The config is itself a wire object: :meth:`to_dict`/:meth:`from_dict`
 round-trip through JSON with unknown-field tolerance, so a serving
 deployment can keep its predictor configuration in a plain JSON file.
+
+:class:`ClientConfig` is the client-side twin: one declarative object
+folding :class:`~repro.api.client.HttpClient`'s retry/backoff/observe
+knobs, with the same JSON round-trip policy.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import asdict, dataclass, fields, replace
 
 from ..core.predictor import Variant
 from ..costfuncs.fitting import DEFAULT_GRID_W
-from ..errors import PredictionError, SessionError
+from ..errors import FeedbackError, PredictionError, SessionError
+from ..feedback import DEFAULT_TENANT, FeedbackConfig
 from ..hardware import PROFILES
 from ..sampling.engine import DEFAULT_ENGINE_BUDGET_BYTES
 
-__all__ = ["ESTIMATOR_BACKENDS", "SessionConfig"]
+__all__ = ["ESTIMATOR_BACKENDS", "ClientConfig", "SessionConfig"]
 
 #: The selectivity-estimator backends selectable by name.
 ESTIMATOR_BACKENDS = ("sampling", "histogram")
@@ -56,6 +62,12 @@ class SessionConfig:
     default_variants: tuple[str, ...] = ("all",)
     default_mpls: tuple[int, ...] = (1,)
     default_confidences: tuple[float, ...] = (0.5, 0.9, 0.99)
+    # -- online feedback (docs/feedback.md) ---------------------------
+    feedback_window: int = 128
+    feedback_min_observations: int = 20
+    feedback_fast_window: int = 16
+    feedback_drift_delta: float = 0.25
+    feedback_drift_threshold: float = 12.0
 
     def __post_init__(self):
         if self.scale_factor <= 0:
@@ -100,10 +112,24 @@ class SessionConfig:
                 "default_confidences must all lie in (0, 1); "
                 f"got {self.default_confidences!r}"
             )
+        try:
+            self.feedback()
+        except FeedbackError as error:
+            raise SessionError(str(error)) from None
 
     def variants(self) -> tuple[Variant, ...]:
         """The default variants resolved to :class:`Variant` members."""
         return tuple(Variant.from_name(name) for name in self.default_variants)
+
+    def feedback(self) -> FeedbackConfig:
+        """The ``feedback_*`` fields as one :class:`FeedbackConfig`."""
+        return FeedbackConfig(
+            window=self.feedback_window,
+            min_observations=self.feedback_min_observations,
+            fast_window=self.feedback_fast_window,
+            drift_delta=self.feedback_drift_delta,
+            drift_threshold=self.feedback_drift_threshold,
+        )
 
     def replace(self, **changes) -> "SessionConfig":
         """A copy with ``changes`` applied (dataclasses.replace wrapper)."""
@@ -136,3 +162,80 @@ class SessionConfig:
                 value = tuple(value)
             kwargs[name] = value
         return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    """Everything an :class:`~repro.api.client.HttpClient` needs, declaratively.
+
+    Folds the client's retry/backoff knobs (grown one kwarg at a time)
+    and the v2 behavior — which wire version to speak, and which tenant
+    convenience observations are attributed to — into one JSON
+    round-trippable object, mirroring :class:`SessionConfig`.
+    """
+
+    # -- transport ----------------------------------------------------
+    timeout: float = 60.0
+    # -- 503 retry policy (docs/api.md "Client") ----------------------
+    retries_503: int = 0
+    backoff_seconds: float = 0.05
+    backoff_seed: int = 0
+    retry_after_cap_seconds: float = 5.0
+    # -- v2 behavior --------------------------------------------------
+    wire_version: int = 2
+    observe_tenant: str = DEFAULT_TENANT
+
+    def __post_init__(self):
+        if not (math.isfinite(self.timeout) and self.timeout > 0):
+            raise SessionError(f"timeout must be > 0, got {self.timeout}")
+        if self.retries_503 < 0:
+            raise SessionError(
+                f"retries_503 must be >= 0, got {self.retries_503}"
+            )
+        if not (
+            math.isfinite(self.backoff_seconds) and self.backoff_seconds > 0
+        ):
+            raise SessionError(
+                f"backoff_seconds must be > 0, got {self.backoff_seconds}"
+            )
+        if not (
+            math.isfinite(self.retry_after_cap_seconds)
+            and self.retry_after_cap_seconds > 0
+        ):
+            raise SessionError(
+                "retry_after_cap_seconds must be > 0, "
+                f"got {self.retry_after_cap_seconds}"
+            )
+        # Local import: wire pulls in the service layer, which config
+        # otherwise does not need.
+        from .wire import SUPPORTED_SCHEMA_VERSIONS
+
+        if self.wire_version not in SUPPORTED_SCHEMA_VERSIONS:
+            supported = ", ".join(str(v) for v in SUPPORTED_SCHEMA_VERSIONS)
+            raise SessionError(
+                f"wire_version must be one of {supported}, "
+                f"got {self.wire_version!r}"
+            )
+        if not isinstance(self.observe_tenant, str) or not self.observe_tenant:
+            raise SessionError(
+                "observe_tenant must be a non-empty string, "
+                f"got {self.observe_tenant!r}"
+            )
+
+    def replace(self, **changes) -> "ClientConfig":
+        """A copy with ``changes`` applied (dataclasses.replace wrapper)."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """A JSON-ready mapping of every field."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "ClientConfig":
+        """Rebuild from a mapping, ignoring unknown fields."""
+        if not isinstance(record, dict):
+            raise SessionError(
+                f"client config must be a mapping, got {type(record).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in record.items() if k in known})

@@ -26,23 +26,27 @@ from ..calibration import Calibrator
 from ..calibration.calibrator import CalibratedUnits
 from ..core.predictor import Variant
 from ..datagen import TpchConfig, generate_tpch
-from ..errors import SessionError
+from ..errors import SessionError, WireError
+from ..feedback import DEFAULT_TENANT, FeedbackRecalibrator
 from ..hardware import PROFILES, HardwareSimulator
 from ..service.service import (
     BatchPrediction,
     PredictionService,
     QueryPrediction,
-    ServiceReport,
 )
 from ..storage import Database
 from .config import SessionConfig
 from .wire import (
     BatchRequest,
     BatchResponse,
+    FeedbackApplied,
     IntervalPayload,
+    Observation,
+    ObserveResponse,
     PredictRequest,
     PredictResponse,
     ResultPayload,
+    StatsSnapshot,
     _validate_fanout,
 )
 
@@ -117,6 +121,7 @@ class Session:
             cache_size=config.prepared_cache_size,
             sampling_engine_bytes=config.sampling_engine_bytes,
         )
+        self._feedback = FeedbackRecalibrator(config.feedback())
         self._lock = threading.RLock()
         self._closed = False  # staticcheck: disable=lock-discipline — construction happens-before sharing
 
@@ -177,8 +182,13 @@ class Session:
             )
         return len(batch)
 
-    def stats(self) -> ServiceReport:
+    def stats(self) -> StatsSnapshot:
         """A point-in-time snapshot of serving counters and cache stats.
+
+        Returns the typed :class:`~repro.api.wire.StatsSnapshot`: the
+        engine's :class:`~repro.service.ServiceReport` (whose attribute
+        surface the snapshot delegates, so pre-v2 callers keep working)
+        plus the feedback loop's per-tenant calibration state.
 
         Safe — and non-blocking — to call concurrently with traffic:
         the engine copies each layer's counters atomically under that
@@ -186,8 +196,13 @@ class Session:
         <repro.service.PredictionService.report>`), so a monitoring
         probe neither observes torn :class:`~repro.caching.CacheStats`
         nor waits behind an in-flight batch holding the session lock.
+        The feedback snapshot likewise copies under the recalibrator's
+        own short-held lock.
         """
-        return self._service.report()
+        return StatsSnapshot(
+            report=self._service.report(),
+            feedback=self._feedback.stats(),
+        )
 
     def close(self) -> None:
         """Release cached artifacts; further predictions raise.
@@ -239,7 +254,8 @@ class Session:
             prediction = self._service.predict_query(
                 request.sql, variants=variants, mpls=mpls
             )
-        return self._response(prediction, request.sql, confidences)
+        tenant = request.tenant if request.tenant is not None else DEFAULT_TENANT
+        return self._response(prediction, request.sql, confidences, tenant)
 
     def predict_batch(
         self, batch: BatchRequest | Sequence[str]
@@ -264,18 +280,66 @@ class Session:
                 mpls=mpls,
                 skip_failures=batch.skip_failures,
             )
+        tenant = batch.tenant if batch.tenant is not None else DEFAULT_TENANT
         responses = []
         successes = iter(served.predictions)
         failed_indexes = {failure.index for failure in served.failures}
         for index, sql in enumerate(batch.queries):
             if index in failed_indexes:
                 continue
-            responses.append(self._response(next(successes), sql, confidences))
+            responses.append(
+                self._response(next(successes), sql, confidences, tenant)
+            )
         return BatchResponse(
             responses=tuple(responses),
             failures=tuple(served.failures),
             elapsed_seconds=served.elapsed_seconds,
             stats=served.stats,
+        )
+
+    # -- feedback ----------------------------------------------------------
+    def observe(self, observation: Observation) -> ObserveResponse:
+        """Feed one actual runtime back into the calibration loop.
+
+        When the observation carries ``predicted_mean``/``predicted_std``
+        (the distribution the caller was served) the residual is formed
+        directly; otherwise the session re-predicts ``sql`` at the
+        observation's ``(variant, mpl)`` to recover them — cheap behind
+        the prepared caches, but it does bump the serving counters.
+
+        Observations move only their own tenant's calibration window;
+        a session that never observes serves bitwise-identical responses
+        to the pre-feedback stack.
+        """
+        if not isinstance(observation, Observation):
+            raise WireError(
+                "observe() needs a repro.api.Observation, "
+                f"got {type(observation).__name__}"
+            )
+        mean = observation.predicted_mean
+        std = observation.predicted_std
+        if mean is None:
+            variant = Variant.from_name(observation.variant)
+            with self._lock:
+                self._ensure_open()
+                prediction = self._service.predict_query(
+                    observation.sql,
+                    variants=(variant,),
+                    mpls=(observation.mpl,),
+                )
+            result = prediction.results[(variant, observation.mpl)]
+            mean, std = result.mean, result.std
+        outcome = self._feedback.observe(
+            observation.tenant, mean, std, observation.actual_seconds
+        )
+        return ObserveResponse(
+            tenant=outcome.tenant,
+            observations=outcome.observations,
+            window_fill=outcome.window_fill,
+            active=outcome.active,
+            drift_detected=outcome.drift_detected,
+            drifts_total=outcome.drifts_total,
+            scale=outcome.scale,
         )
 
     # -- internals ---------------------------------------------------------
@@ -303,13 +367,28 @@ class Session:
         prediction: QueryPrediction,
         sql: str,
         confidences: tuple[float, ...],
+        tenant: str,
     ) -> PredictResponse:
+        # The conformal correction: while the tenant's feedback window
+        # is inactive this is None and the static-profile path below is
+        # untouched — observe-free serving stays bitwise-identical to
+        # the pre-feedback stack.
+        correction = self._feedback.scales_for(tenant, confidences)
+        applied = False
         payloads = []
         for (variant, mpl), result in prediction.results.items():
-            intervals = tuple(
-                IntervalPayload(confidence, *result.confidence_interval(confidence))
-                for confidence in confidences
-            )
+            intervals = []
+            for index, confidence in enumerate(confidences):
+                scale = None if correction is None else correction[1][index]
+                if scale is None:
+                    low, high = result.confidence_interval(confidence)
+                else:
+                    # Same clamping contract as confidence_interval():
+                    # predicted times are nonnegative.
+                    low = max(result.mean - scale * result.std, 0.0)
+                    high = max(result.mean + scale * result.std, 0.0)
+                    applied = True
+                intervals.append(IntervalPayload(confidence, low, high))
             payloads.append(
                 ResultPayload(
                     variant=variant.wire_name,
@@ -317,11 +396,19 @@ class Session:
                     mean=result.mean,
                     variance=result.distribution.variance,
                     std=result.std,
-                    intervals=intervals,
+                    intervals=tuple(intervals),
                 )
+            )
+        feedback = None
+        if applied:
+            feedback = FeedbackApplied(
+                tenant=tenant,
+                observations=correction[0],
+                scales=tuple(zip(confidences, correction[1])),
             )
         return PredictResponse(
             sql=sql,
             results=tuple(payloads),
             prepare_was_cached=prediction.prepare_was_cached,
+            feedback=feedback,
         )

@@ -222,6 +222,24 @@ def build_parser() -> argparse.ArgumentParser:
         "(executes each distinct query once for simulated ground truth)",
     )
     replay.add_argument(
+        "--observe", action="store_true",
+        help="after the replay, re-drive the schedule through the online "
+        "feedback loop: each prediction's simulated actual runtime is fed "
+        "back via /v1/observe and online-vs-static interval coverage is "
+        "reported (see docs/feedback.md)",
+    )
+    replay.add_argument(
+        "--shift-at", type=float, default=None, metavar="FRACTION",
+        help="with --observe: inject a hardware/load shift at this "
+        "fraction of the schedule (actual runtimes multiplied by "
+        "--shift-factor from there on)",
+    )
+    replay.add_argument(
+        "--shift-factor", type=float, default=3.0,
+        help="with --observe --shift-at: the post-shift actual-runtime "
+        "multiplier (default: 3.0)",
+    )
+    replay.add_argument(
         "--json", action="store_true", dest="as_json",
         help="print the report as JSON instead of text",
     )
@@ -642,12 +660,15 @@ def _cmd_replay(args, out) -> int:
         target = InProcessTarget(session)
         database = session.database
     elif args.target.startswith(("http://", "https://")):
-        from .api import HttpClient
+        from .api import ClientConfig, HttpClient
 
         target = HttpTarget(
             HttpClient(
-                args.target, retries_503=args.retries_503,
-                backoff_seed=args.replay_seed,
+                args.target,
+                config=ClientConfig(
+                    retries_503=args.retries_503,
+                    backoff_seed=args.replay_seed,
+                ),
             )
         )
         session = None
@@ -665,7 +686,8 @@ def _cmd_replay(args, out) -> int:
         print(schedule.describe(), file=out, flush=True)
     run = ReplayRunner(target, time_scale=args.time_scale).run(schedule)
     calibration = None
-    if args.calibrate:
+    trajectory = None
+    if args.calibrate or args.observe:
         if session is None:
             if not args.as_json:
                 print(
@@ -673,16 +695,33 @@ def _cmd_replay(args, out) -> int:
                     file=out, flush=True,
                 )
             session = Session(config)
+    if args.calibrate:
         calibration = calibration_under_load(run, session)
+    if args.observe:
+        # The mirror session stays observation-free: it is both the
+        # static control arm and the simulated-ground-truth oracle.
+        from .replay import run_feedback_loop
+
+        mirror = Session(config) if target.name == "inproc" else session
+        trajectory = run_feedback_loop(
+            schedule, target, mirror,
+            shift_at=args.shift_at, shift_factor=args.shift_factor,
+        )
     report = ReplayReport.from_run(run, calibration=calibration)
     if args.as_json:
         # wire.dumps rejects NaN/inf: a poisoned latency estimate fails
         # loudly here instead of emitting invalid JSON to a pipeline.
         from .api import wire
 
-        print(wire.dumps(report.to_dict(), indent=2), file=out)
+        record = report.to_dict()
+        if trajectory is not None:
+            record["feedback"] = trajectory.summary()
+        print(wire.dumps(record, indent=2), file=out)
     else:
         print(report.render(), file=out)
+        if trajectory is not None:
+            print("", file=out)
+            print(trajectory.render(), file=out)
     return 1 if report.requests_failed else 0
 
 
@@ -697,7 +736,7 @@ def _cmd_replay_quick(args, out) -> int:
     """
     import threading
 
-    from .api import HttpClient, build_server
+    from .api import ClientConfig, HttpClient, build_server
     from .replay import (
         HttpTarget,
         InProcessTarget,
@@ -742,7 +781,12 @@ def _cmd_replay_quick(args, out) -> int:
     thread.start()
     try:
         http_target = HttpTarget(
-            HttpClient(server.url, retries_503=3, backoff_seed=args.replay_seed)
+            HttpClient(
+                server.url,
+                config=ClientConfig(
+                    retries_503=3, backoff_seed=args.replay_seed
+                ),
+            )
         )
         http_run = ReplayRunner(http_target, time_scale=0.2).run(schedule)
     finally:

@@ -70,6 +70,10 @@ class ServingError(ReproError):
     """The multi-worker serving tier was misconfigured or a worker died."""
 
 
+class FeedbackError(ReproError):
+    """The online-feedback subsystem was misconfigured or fed bad data."""
+
+
 class WireError(ReproError):
     """A wire-schema payload is malformed or has an unsupported version.
 
@@ -100,6 +104,7 @@ ERROR_CODES = {
     PredictionError: "prediction",
     SessionError: "session",
     ServingError: "serving",
+    FeedbackError: "feedback",
     WireError: "bad-request",
     ReproError: "error",
 }

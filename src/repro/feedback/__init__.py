@@ -1,0 +1,47 @@
+"""Online feedback: drift-aware streaming recalibration of intervals.
+
+The calibration profile the paper builds (Section 5) is *static*; the
+cloud-variance related work argues environment drift dominates per-plan
+features. This package closes the loop: it consumes
+``(predicted distribution, actual runtime)`` observations and maintains
+streaming per-tenant calibration state that corrects served intervals
+online —
+
+* :class:`ConformalWindow` — a ring buffer of normalized residual
+  scores per tenant answering split-conformal quantile scales;
+* :class:`DriftDetector` — a two-sided Page–Hinkley test on signed
+  residuals that flags persistent shifts;
+* :class:`FeedbackRecalibrator` — the lock-guarded composition: one
+  window + detector per tenant, drift-triggered fast-window resets,
+  and the :class:`FeedbackStats` surface that ``/v1/stats`` reports.
+
+The loop is surfaced through ``Session.observe()`` / ``POST
+/v1/observe`` (wire schema v2) and exercised end-to-end by
+``repro replay --observe`` and the ``drift_recovery`` bench. See
+``docs/feedback.md``.
+"""
+
+from .drift import DriftDetector, DriftState
+from .recalibrator import (
+    DEFAULT_TENANT,
+    REFERENCE_CONFIDENCE,
+    FeedbackConfig,
+    FeedbackRecalibrator,
+    FeedbackStats,
+    ObserveOutcome,
+    TenantFeedback,
+)
+from .window import ConformalWindow
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "REFERENCE_CONFIDENCE",
+    "ConformalWindow",
+    "DriftDetector",
+    "DriftState",
+    "FeedbackConfig",
+    "FeedbackRecalibrator",
+    "FeedbackStats",
+    "ObserveOutcome",
+    "TenantFeedback",
+]

@@ -1,0 +1,103 @@
+"""Two-sided Page–Hinkley drift detection on normalized residuals.
+
+The conformal window alone recovers from drift, but slowly: a shift
+must *flush* the window before the quantile fully reflects the new
+regime. The detector closes that gap — it watches the stream of
+**signed** z-scores ``z_i = (actual_i − mean_i) / std_i`` and fires the
+moment their running mean departs persistently in either direction,
+letting the recalibrator truncate its window to a small fast window and
+re-form the quantile from post-shift evidence within a handful of
+observations.
+
+Page–Hinkley is the classic sequential change-point test: maintain the
+cumulative sum of deviations from the running mean, allowing slack
+``delta`` per step, and flag drift when the sum's excursion from its
+historical extremum exceeds ``threshold``. Two one-sided tests run in
+parallel — a hardware slowdown pushes z up, a speedup pushes it down —
+and either can fire. After a detection the detector resets and starts
+accumulating evidence afresh.
+
+Knob intuition (z-scores are unit-scaled, so these are dimensionless):
+
+* ``delta`` — slack per observation; deviations smaller than this are
+  treated as noise. 0.25 ignores sub-quarter-sigma wobble.
+* ``threshold`` — total accumulated excess before firing. 12.0 means
+  e.g. ~12 consecutive observations each a full sigma beyond slack, or
+  fewer/larger ones; small enough to fire well inside a fast window
+  after a 3x hardware shift, large enough to stay silent on the
+  in-calibration streams the unit tests replay.
+
+Thread-safety: none — the owning recalibrator serializes access.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import FeedbackError
+
+__all__ = ["DriftDetector", "DriftState"]
+
+
+@dataclass(frozen=True)
+class DriftState:
+    """A point-in-time snapshot of the detector's accumulators."""
+
+    observations: int
+    mean: float
+    positive_excursion: float
+    negative_excursion: float
+
+
+class DriftDetector:
+    """Two-sided Page–Hinkley test over a stream of signed z-scores."""
+
+    def __init__(self, delta: float = 0.25, threshold: float = 12.0):
+        if not (math.isfinite(delta) and delta >= 0):
+            raise FeedbackError(f"delta must be finite and >= 0, got {delta}")
+        if not (math.isfinite(threshold) and threshold > 0):
+            raise FeedbackError(
+                f"threshold must be finite and > 0, got {threshold}"
+            )
+        self.delta = delta
+        self.threshold = threshold
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget all accumulated evidence (called after each detection)."""
+        self._count = 0
+        self._mean = 0.0
+        self._cum_up = 0.0
+        self._min_up = 0.0
+        self._cum_down = 0.0
+        self._max_down = 0.0
+
+    def update(self, value: float) -> bool:
+        """Feed one signed z-score; True when this one triggers drift."""
+        if not (isinstance(value, (int, float)) and math.isfinite(value)):
+            raise FeedbackError(f"drift input must be finite, got {value!r}")
+        self._count += 1
+        self._mean += (value - self._mean) / self._count
+        # Upward test: fires when values run persistently above the mean.
+        self._cum_up += value - self._mean - self.delta
+        self._min_up = min(self._min_up, self._cum_up)
+        # Downward test: mirror image for persistent drops.
+        self._cum_down += value - self._mean + self.delta
+        self._max_down = max(self._max_down, self._cum_down)
+        if (
+            self._cum_up - self._min_up > self.threshold
+            or self._max_down - self._cum_down > self.threshold
+        ):
+            self.reset()
+            return True
+        return False
+
+    def state(self) -> DriftState:
+        """The current accumulators (exposed for tests and stats)."""
+        return DriftState(
+            observations=self._count,
+            mean=self._mean,
+            positive_excursion=self._cum_up - self._min_up,
+            negative_excursion=self._max_down - self._cum_down,
+        )

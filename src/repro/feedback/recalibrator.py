@@ -1,0 +1,254 @@
+"""Per-tenant streaming recalibration: windows + drift, under one lock.
+
+:class:`FeedbackRecalibrator` is the stateful heart of the feedback
+loop. Each tenant owns a :class:`~repro.feedback.window.ConformalWindow`
+of nonconformity scores and a
+:class:`~repro.feedback.drift.DriftDetector` over signed z-scores; one
+``observe()`` call feeds both and, when the detector fires, truncates
+the window to ``fast_window`` so the conformal quantile re-forms from
+post-shift evidence within a handful of observations instead of a full
+window flush.
+
+Tenants are isolated: observations for tenant A never move tenant B's
+intervals, and the default tenant stays byte-for-byte on the static
+profile until *it* has observations. ``scales_for()`` answers ``None``
+outright for an unknown or not-yet-active tenant — that early None is
+the bitwise-identity guarantee for observe-free serving.
+
+Everything is mutated under serving traffic (the HTTP tier calls
+``observe()`` and ``scales_for()`` from concurrent handler threads), so
+all state lives behind one ``threading.Lock``; the windows and
+detectors themselves are lock-free and rely on this class for
+serialization. No blocking work happens under the lock — observe is
+pure arithmetic over a bounded window.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+
+from ..errors import FeedbackError
+from .drift import DriftDetector
+from .window import ConformalWindow
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "REFERENCE_CONFIDENCE",
+    "FeedbackConfig",
+    "FeedbackRecalibrator",
+    "FeedbackStats",
+    "ObserveOutcome",
+    "TenantFeedback",
+]
+
+#: Observations that do not name a tenant land here.
+DEFAULT_TENANT = "default"
+
+#: The confidence whose conformal scale is reported in stats/acks —
+#: the paper's headline 90% interval.
+REFERENCE_CONFIDENCE = 0.9
+
+#: Nonconformity of an actual that contradicts a point-mass (std = 0)
+#: prediction is unbounded; it is clamped here to keep the window and
+#: the detector finite.
+SCORE_CLIP = 1e6
+
+
+@dataclass(frozen=True)
+class FeedbackConfig:
+    """The feedback loop's knobs (surfaced as ``feedback_*`` on
+    :class:`~repro.api.config.SessionConfig`)."""
+
+    window: int = 128
+    min_observations: int = 20
+    fast_window: int = 16
+    drift_delta: float = 0.25
+    drift_threshold: float = 12.0
+
+    def __post_init__(self):
+        if self.window < 1:
+            raise FeedbackError(
+                f"feedback window must be >= 1, got {self.window}"
+            )
+        if not 1 <= self.min_observations <= self.window:
+            raise FeedbackError(
+                "feedback min_observations must be in [1, window]; "
+                f"got {self.min_observations} with window {self.window}"
+            )
+        if not 1 <= self.fast_window <= self.window:
+            raise FeedbackError(
+                "feedback fast_window must be in [1, window]; "
+                f"got {self.fast_window} with window {self.window}"
+            )
+        if not (math.isfinite(self.drift_delta) and self.drift_delta >= 0):
+            raise FeedbackError(
+                f"drift_delta must be finite and >= 0, got {self.drift_delta}"
+            )
+        if not (
+            math.isfinite(self.drift_threshold) and self.drift_threshold > 0
+        ):
+            raise FeedbackError(
+                "drift_threshold must be finite and > 0, "
+                f"got {self.drift_threshold}"
+            )
+
+
+@dataclass(frozen=True)
+class TenantFeedback:
+    """One tenant's calibration state, as reported in stats."""
+
+    tenant: str
+    observations: int
+    window_fill: int
+    active: bool
+    drifts_detected: int
+    last_drift_observation: int | None
+    scale: float | None
+
+
+@dataclass(frozen=True)
+class FeedbackStats:
+    """The feedback section of a stats snapshot (wire form in
+    :mod:`repro.api.wire`)."""
+
+    observations: int
+    drifts_detected: int
+    tenants: tuple[TenantFeedback, ...] = ()
+
+
+@dataclass(frozen=True)
+class ObserveOutcome:
+    """What one ``observe()`` call did (the ``/v1/observe`` ack body)."""
+
+    tenant: str
+    observations: int
+    window_fill: int
+    active: bool
+    drift_detected: bool
+    drifts_total: int
+    scale: float | None
+
+
+class _TenantState:
+    """Mutable per-tenant calibration state (guarded by the owner's lock)."""
+
+    __slots__ = ("window", "detector", "drifts", "last_drift")
+
+    def __init__(self, config: FeedbackConfig):
+        self.window = ConformalWindow(config.window, config.min_observations)
+        self.detector = DriftDetector(config.drift_delta, config.drift_threshold)
+        self.drifts = 0
+        self.last_drift: int | None = None
+
+
+def _normalized_residual(
+    predicted_mean: float, predicted_std: float, actual_seconds: float
+) -> float:
+    """The signed z-score of ``actual`` under its predicted normal."""
+    if predicted_std > 0:
+        z = (actual_seconds - predicted_mean) / predicted_std
+    elif actual_seconds == predicted_mean:
+        z = 0.0
+    else:
+        z = math.copysign(SCORE_CLIP, actual_seconds - predicted_mean)
+    return max(-SCORE_CLIP, min(SCORE_CLIP, z))
+
+
+class FeedbackRecalibrator:
+    """Streaming per-tenant conformal scaling with drift-aware resets."""
+
+    def __init__(self, config: FeedbackConfig | None = None):
+        self.config = config if config is not None else FeedbackConfig()
+        self._lock = threading.Lock()
+        self._tenants: dict[str, _TenantState] = {}
+
+    def observe(
+        self,
+        tenant: str,
+        predicted_mean: float,
+        predicted_std: float,
+        actual_seconds: float,
+    ) -> ObserveOutcome:
+        """Ingest one (prediction, actual) pair for ``tenant``."""
+        if not isinstance(tenant, str) or not tenant:
+            raise FeedbackError(f"tenant must be a non-empty string, got {tenant!r}")
+        for name, value in (
+            ("predicted_mean", predicted_mean),
+            ("predicted_std", predicted_std),
+            ("actual_seconds", actual_seconds),
+        ):
+            if not (isinstance(value, (int, float)) and math.isfinite(value)):
+                raise FeedbackError(f"{name} must be finite, got {value!r}")
+        if predicted_std < 0:
+            raise FeedbackError(f"predicted_std must be >= 0, got {predicted_std}")
+        if actual_seconds < 0:
+            raise FeedbackError(f"actual_seconds must be >= 0, got {actual_seconds}")
+        z = _normalized_residual(predicted_mean, predicted_std, actual_seconds)
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is None:
+                state = _TenantState(self.config)
+                self._tenants[tenant] = state
+            state.window.add(abs(z))
+            drifted = state.detector.update(z)
+            if drifted:
+                state.drifts += 1
+                state.last_drift = state.window.total
+                state.window.truncate(self.config.fast_window)
+            scale = state.window.scale(REFERENCE_CONFIDENCE)
+            return ObserveOutcome(
+                tenant=tenant,
+                observations=state.window.total,
+                window_fill=state.window.fill,
+                active=state.window.fill >= self.config.min_observations,
+                drift_detected=drifted,
+                drifts_total=state.drifts,
+                scale=scale,
+            )
+
+    def scales_for(
+        self, tenant: str, confidences: tuple[float, ...]
+    ) -> tuple[int, tuple[float | None, ...]] | None:
+        """``(observations, scales)`` for ``confidences``, or None.
+
+        The outer None (unknown tenant, or fewer than
+        ``min_observations`` scores) means the caller must serve the
+        static profile untouched — this is the observe-free
+        bitwise-identity path. Individual scale entries may still be
+        None when that confidence is unresolvable from the current
+        fill; callers fall back per-interval. ``observations`` is the
+        tenant's lifetime observation count at snapshot time.
+        """
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is None:
+                return None
+            if state.window.fill < self.config.min_observations:
+                return None
+            return (
+                state.window.total,
+                tuple(state.window.scale(c) for c in confidences),
+            )
+
+    def stats(self) -> FeedbackStats:
+        """A consistent snapshot of every tenant's calibration state."""
+        with self._lock:
+            tenants = tuple(
+                TenantFeedback(
+                    tenant=name,
+                    observations=state.window.total,
+                    window_fill=state.window.fill,
+                    active=state.window.fill >= self.config.min_observations,
+                    drifts_detected=state.drifts,
+                    last_drift_observation=state.last_drift,
+                    scale=state.window.scale(REFERENCE_CONFIDENCE),
+                )
+                for name, state in sorted(self._tenants.items())
+            )
+        return FeedbackStats(
+            observations=sum(t.observations for t in tenants),
+            drifts_detected=sum(t.drifts_detected for t in tenants),
+            tenants=tenants,
+        )

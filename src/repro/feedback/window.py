@@ -1,0 +1,115 @@
+"""The windowed conformal calibrator: a ring buffer of residual scores.
+
+The paper's intervals come from a *static* calibration profile: the
+predictor serves ``mean ± z_c · std`` with ``z_c`` the normal quantile
+for confidence ``c``. That is exactly right while the environment the
+profile was calibrated on holds — and silently miscalibrated the moment
+it drifts (the cloud-variance critique in PAPERS.md).
+
+:class:`ConformalWindow` is the streaming correction: it keeps the last
+``maxlen`` **nonconformity scores** ``s_i = |actual_i − mean_i| / std_i``
+(the absolute z-score of each observed runtime under its own predicted
+distribution) and answers, for any confidence ``c``, the split-conformal
+quantile
+
+    ``q̂_c = k-th smallest score,  k = ⌈(n + 1) · c⌉``
+
+which replaces the static normal quantile in the served interval:
+``mean ± q̂_c · std``. Finite-sample conformal coverage then holds under
+exchangeability of the windowed scores *regardless* of whether the
+predicted distribution's shape is right — a multiplicative hardware
+shift of factor ``f`` simply inflates the scores and ``q̂_c`` tracks it
+within one window.
+
+The window deliberately answers ``None`` (meaning *stay on the static
+profile*) until it is trustworthy: fewer than ``min_observations``
+scores, or ``k > n`` (the requested confidence is not resolvable from
+``n`` samples — e.g. 0.99 needs at least 99 scores). That None is what
+keeps observe-free serving bitwise-identical to the pre-feedback stack.
+
+Thread-safety: none here — the window is plain state; the owning
+:class:`~repro.feedback.recalibrator.FeedbackRecalibrator` serializes
+all access under its lock.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from ..errors import FeedbackError
+
+__all__ = ["ConformalWindow"]
+
+
+class ConformalWindow:
+    """A bounded FIFO of nonconformity scores with conformal quantiles."""
+
+    def __init__(self, maxlen: int, min_observations: int):
+        if maxlen < 1:
+            raise FeedbackError(f"window maxlen must be >= 1, got {maxlen}")
+        if not 1 <= min_observations <= maxlen:
+            raise FeedbackError(
+                "min_observations must be in [1, maxlen]; "
+                f"got {min_observations} with maxlen {maxlen}"
+            )
+        self.maxlen = maxlen
+        self.min_observations = min_observations
+        self._scores: deque[float] = deque(maxlen=maxlen)
+        self._total = 0
+
+    @property
+    def fill(self) -> int:
+        """How many scores the window currently holds (<= maxlen)."""
+        return len(self._scores)
+
+    @property
+    def total(self) -> int:
+        """Lifetime count of scores ever added (never decreases)."""
+        return self._total
+
+    def add(self, score: float) -> None:
+        """Append one nonconformity score, evicting the oldest when full."""
+        if not (isinstance(score, (int, float)) and math.isfinite(score)):
+            raise FeedbackError(f"score must be finite, got {score!r}")
+        if score < 0:
+            raise FeedbackError(f"score must be >= 0, got {score}")
+        self._scores.append(float(score))
+        self._total += 1
+
+    def truncate(self, keep: int) -> None:
+        """Drop the oldest scores so at most ``keep`` recent ones remain.
+
+        This is the drift response: after a detected shift the pre-shift
+        scores describe a world that no longer exists, so the window is
+        cut down to its freshest ``keep`` entries and the conformal
+        quantile re-forms from post-shift evidence only.
+        """
+        if keep < 1:
+            raise FeedbackError(f"truncate keep must be >= 1, got {keep}")
+        while len(self._scores) > keep:
+            self._scores.popleft()
+
+    def scale(self, confidence: float) -> float | None:
+        """The conformal quantile q̂ for ``confidence``, or None.
+
+        None means *not active*: the window has fewer than
+        ``min_observations`` scores, or ⌈(n+1)·confidence⌉ exceeds n so
+        the requested coverage cannot be certified from n samples.
+        Callers fall back to the static profile in that case.
+        """
+        if not 0.0 < confidence < 1.0:
+            raise FeedbackError(
+                f"confidence must lie in (0, 1), got {confidence}"
+            )
+        n = len(self._scores)
+        if n < self.min_observations:
+            return None
+        rank = math.ceil((n + 1) * confidence)
+        if rank > n:
+            return None
+        return sorted(self._scores)[rank - 1]
+
+    def snapshot(self) -> tuple[float, ...]:
+        """The current scores, oldest first (for tests and debugging)."""
+        return tuple(self._scores)

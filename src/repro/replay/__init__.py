@@ -26,6 +26,11 @@ comes back:
   rates, the cache-hit trajectory, and prediction-uncertainty
   calibration measured *under load* against an idle baseline.
 
+* :func:`run_feedback_loop` — the replayed v2 feedback loop:
+  sequential predict -> simulated-ground-truth observe, with an
+  optional mid-replay hardware shift, yielding a
+  :class:`DriftTrajectory` of online-vs-static interval coverage.
+
 ``repro replay`` is the CLI entry point (see ``docs/replay.md``).
 """
 
@@ -36,6 +41,12 @@ from .arrival import (
     PoissonArrivals,
     UniformArrivals,
     parse_arrival,
+)
+from .feedback import (
+    DriftTrajectory,
+    FeedbackPoint,
+    run_feedback_loop,
+    simulated_actuals,
 )
 from .mix import MIX_PRESETS, MixComponent, WorkloadMix, parse_mix
 from .report import CalibrationSummary, LatencySummary, ReplayReport
@@ -48,6 +59,8 @@ __all__ = [
     "BurstyArrivals",
     "CalibrationSummary",
     "ClosedLoop",
+    "DriftTrajectory",
+    "FeedbackPoint",
     "HttpTarget",
     "InProcessTarget",
     "LatencySummary",
@@ -66,4 +79,6 @@ __all__ = [
     "build_schedule",
     "parse_arrival",
     "parse_mix",
+    "run_feedback_loop",
+    "simulated_actuals",
 ]

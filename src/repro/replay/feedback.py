@@ -1,0 +1,304 @@
+"""The replayed feedback loop: simulated ground truth, optional shift.
+
+This module closes the loop the v2 observation API opens. It drives a
+schedule *sequentially* against a target (in-process or HTTP), and
+after every prediction feeds the simulated actual runtime back through
+``observe`` — the same path a production deployment would use with real
+runtimes. Ground truth comes from executing each plan once on the
+session's database and pricing the resource counts on the calibrated
+hardware simulator, exactly like
+:func:`repro.replay.report.calibration_under_load`.
+
+``shift_at`` injects a mid-replay hardware/load shift: from that
+fraction of the schedule onward every actual runtime is multiplied by
+``shift_factor``, modelling a machine that suddenly runs hotter (or a
+co-located load stealing cycles) while the predictor's calibration
+profile goes stale. The resulting :class:`DriftTrajectory` records,
+point by point, whether the *online* (feedback-corrected) interval and
+the *static* (untouched mirror session) interval covered the shifted
+actual — the static mirror is the control arm, so recovery is
+attributable to the feedback loop and not to the workload drifting
+back on its own.
+
+The loop is deliberately closed-loop and single-threaded: observation
+order is the experiment's independent variable, and interleaving would
+make the drift detector's firing point schedule-dependent.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..api.session import Session
+from ..api.wire import Observation as WireObservation
+from ..api.wire import PredictRequest
+from ..errors import ReproError
+from ..executor import Executor
+from ..feedback import DEFAULT_TENANT
+from .schedule import ReplaySchedule
+from .targets import ReplayTarget
+
+__all__ = [
+    "DriftTrajectory",
+    "FeedbackPoint",
+    "run_feedback_loop",
+    "simulated_actuals",
+]
+
+
+@dataclass(frozen=True)
+class FeedbackPoint:
+    """One step of the replayed loop: predict, compare, observe."""
+
+    index: int
+    sql: str
+    actual_seconds: float
+    shifted: bool
+    online_covered: bool | None
+    static_covered: bool | None
+    drift_detected: bool
+    scale: float | None
+
+
+@dataclass(frozen=True)
+class DriftTrajectory:
+    """The point-by-point record of one replayed feedback loop."""
+
+    confidence: float
+    shift_index: int | None
+    shift_factor: float
+    points: tuple[FeedbackPoint, ...]
+    drifts_detected: int
+
+    def coverage(
+        self, start: int = 0, end: int | None = None, static: bool = False
+    ) -> float | None:
+        """Interval coverage over ``points[start:end]``; None if empty.
+
+        ``static=True`` reads the control arm (the observation-free
+        mirror) instead of the online target.
+        """
+        window = self.points[start:end]
+        flags = [
+            p.static_covered if static else p.online_covered
+            for p in window
+        ]
+        flags = [flag for flag in flags if flag is not None]
+        if not flags:
+            return None
+        return sum(flags) / len(flags)
+
+    def post_shift_coverage(self, static: bool = False) -> float | None:
+        """Coverage from the shift onward (whole run when no shift)."""
+        start = self.shift_index if self.shift_index is not None else 0
+        return self.coverage(start=start, static=static)
+
+    def summary(self) -> dict:
+        """A JSON-ready digest of the trajectory (for reports and CLI)."""
+        return {
+            "confidence": self.confidence,
+            "points": len(self.points),
+            "shift_index": self.shift_index,
+            "shift_factor": self.shift_factor,
+            "drifts_detected": self.drifts_detected,
+            "pre_shift_coverage_online": self.coverage(end=self.shift_index),
+            "pre_shift_coverage_static": self.coverage(
+                end=self.shift_index, static=True
+            ),
+            "post_shift_coverage_online": self.post_shift_coverage(),
+            "post_shift_coverage_static": self.post_shift_coverage(static=True),
+            "recovery_observations": self.recovery_observations(),
+        }
+
+    def render(self) -> str:
+        """Human-readable trajectory summary."""
+        digest = self.summary()
+
+        def pct(value):
+            return "n/a" if value is None else f"{value:.1%}"
+
+        lines = [
+            f"feedback loop: {digest['points']} observations at "
+            f"{self.confidence:.0%} confidence, "
+            f"{digest['drifts_detected']} drift(s) detected",
+        ]
+        if self.shift_index is None:
+            lines.append(
+                f"coverage: online {pct(digest['post_shift_coverage_online'])}"
+                f", static {pct(digest['post_shift_coverage_static'])}"
+                " (no shift injected)"
+            )
+        else:
+            recovery = digest["recovery_observations"]
+            lines.append(
+                f"shift at observation {self.shift_index} "
+                f"(actuals x{self.shift_factor:g})"
+            )
+            lines.append(
+                f"pre-shift coverage: online "
+                f"{pct(digest['pre_shift_coverage_online'])}, static "
+                f"{pct(digest['pre_shift_coverage_static'])}"
+            )
+            lines.append(
+                f"post-shift coverage: online "
+                f"{pct(digest['post_shift_coverage_online'])}, static "
+                f"{pct(digest['post_shift_coverage_static'])}"
+            )
+            lines.append(
+                "recovered after "
+                + (
+                    f"{recovery} post-shift observations"
+                    if recovery is not None
+                    else "... never (within this run)"
+                )
+            )
+        return "\n".join(lines)
+
+    def recovery_observations(
+        self, window: int = 20, target: float = 0.8
+    ) -> int | None:
+        """Post-shift observations until online coverage re-forms.
+
+        Scans forward from the shift point keeping a rolling window of
+        the last ``window`` online-coverage flags; returns how many
+        post-shift observations it took for the rolling coverage to
+        reach ``target``. ``None`` means the loop never recovered
+        within this trajectory (or there was no shift to recover from).
+        """
+        if self.shift_index is None:
+            return None
+        if window < 1:
+            raise ReproError(f"window must be >= 1, got {window}")
+        rolling: deque[bool] = deque(maxlen=window)
+        for count, point in enumerate(
+            self.points[self.shift_index:], start=1
+        ):
+            if point.online_covered is None:
+                continue
+            rolling.append(point.online_covered)
+            if (
+                len(rolling) == window
+                and sum(rolling) / window >= target
+            ):
+                return count
+        return None
+
+
+def simulated_actuals(session: Session, queries) -> dict[str, float]:
+    """Ground-truth runtimes for ``queries`` on the session's hardware.
+
+    Each distinct query is planned and executed once against the
+    session's database; the collected resource counts are priced on the
+    calibrated simulator. Deterministic for a fixed session config.
+    """
+    executor = Executor(session.database)
+    actuals: dict[str, float] = {}
+    for sql in queries:
+        if sql not in actuals:
+            executed = executor.execute(session.plan(sql))
+            actuals[sql] = session.simulator.run_repeated(executed.counts)
+    return actuals
+
+
+def run_feedback_loop(
+    schedule: ReplaySchedule,
+    target: ReplayTarget,
+    mirror: Session,
+    confidence: float = 0.9,
+    tenant: str = DEFAULT_TENANT,
+    shift_at: float | None = None,
+    shift_factor: float = 1.0,
+) -> DriftTrajectory:
+    """Replay ``schedule`` through ``target`` with ground-truth feedback.
+
+    ``mirror`` is the observation-free control: a session built from
+    the same configuration as the target that never sees an
+    observation, so its intervals are the static profile throughout.
+    It also provides the simulated ground truth, keeping the oracle
+    identical for both arms.
+
+    ``shift_at`` (a fraction in [0, 1)) marks where the simulated
+    hardware shifts; every subsequent actual is multiplied by
+    ``shift_factor``.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ReproError(f"confidence must lie in (0, 1), got {confidence}")
+    if shift_at is not None and not 0.0 <= shift_at < 1.0:
+        raise ReproError(f"shift_at must lie in [0, 1), got {shift_at}")
+    if shift_factor <= 0:
+        raise ReproError(f"shift_factor must be > 0, got {shift_factor}")
+    requests = schedule.requests
+    shift_index = None
+    if shift_at is not None and requests:
+        shift_index = int(len(requests) * shift_at)
+    actuals = simulated_actuals(mirror, (r.sql for r in requests))
+    points = []
+    drifts = 0
+    for position, request in enumerate(requests):
+        wire = PredictRequest(
+            sql=request.sql,
+            variants=request.variants,
+            mpls=request.mpls,
+            confidences=request.confidences,
+            tenant=tenant,
+        )
+        online = target.predict_wire(wire)
+        static = mirror.predict(
+            PredictRequest(
+                sql=request.sql,
+                variants=request.variants,
+                mpls=request.mpls,
+                confidences=request.confidences,
+            )
+        )
+        shifted = shift_index is not None and position >= shift_index
+        actual = actuals[request.sql] * (shift_factor if shifted else 1.0)
+        online_covered = _covered(online, confidence, actual)
+        static_covered = _covered(static, confidence, actual)
+        result = online.results[0] if online.results else None
+        if result is not None:
+            observation = WireObservation(
+                sql=request.sql,
+                actual_seconds=actual,
+                tenant=tenant,
+                predicted_mean=result.mean,
+                predicted_std=result.std,
+                variant=result.variant,
+                mpl=result.mpl,
+            )
+        else:
+            observation = WireObservation(
+                sql=request.sql, actual_seconds=actual, tenant=tenant
+            )
+        ack = target.observe(observation)
+        drifts = ack.drifts_total
+        points.append(
+            FeedbackPoint(
+                index=request.index,
+                sql=request.sql,
+                actual_seconds=actual,
+                shifted=shifted,
+                online_covered=online_covered,
+                static_covered=static_covered,
+                drift_detected=ack.drift_detected,
+                scale=ack.scale,
+            )
+        )
+    return DriftTrajectory(
+        confidence=confidence,
+        shift_index=shift_index,
+        shift_factor=shift_factor,
+        points=tuple(points),
+        drifts_detected=drifts,
+    )
+
+
+def _covered(response, confidence: float, actual: float) -> bool | None:
+    """Whether the first result's ``confidence`` interval holds ``actual``."""
+    if not response.results:
+        return None
+    for interval in response.results[0].intervals:
+        if interval.confidence == confidence:
+            return interval.low <= actual <= interval.high
+    return None

@@ -19,8 +19,8 @@ from __future__ import annotations
 
 from ..api.client import HttpClient
 from ..api.session import Session
-from ..api.wire import PredictRequest
-from ..service.service import ServiceReport
+from ..api.wire import Observation as WireObservation
+from ..api.wire import ObserveResponse, PredictRequest, StatsSnapshot
 from .schedule import ScheduledRequest
 
 __all__ = ["HttpTarget", "InProcessTarget", "ReplayTarget"]
@@ -44,8 +44,20 @@ class ReplayTarget:
         """Serve one request; returns the typed ``PredictResponse``."""
         raise NotImplementedError
 
-    def stats(self) -> ServiceReport | None:
-        """A point-in-time serving report, or None when unreachable."""
+    def predict_wire(self, request: PredictRequest):
+        """Serve one fully-specified wire request (tenant included).
+
+        The feedback loop uses this to attribute its predictions to the
+        tenant whose calibration window it is feeding.
+        """
+        raise NotImplementedError
+
+    def observe(self, observation: WireObservation) -> ObserveResponse:
+        """Feed one ground-truth observation back (the v2 loop)."""
+        raise NotImplementedError
+
+    def stats(self) -> StatsSnapshot | None:
+        """A point-in-time stats snapshot, or None when unreachable."""
         return None
 
     def describe(self) -> str:
@@ -69,8 +81,16 @@ class InProcessTarget(ReplayTarget):
         """Serve through the session facade (thread-safe by contract)."""
         return self._session.predict(_wire_request(request))
 
-    def stats(self) -> ServiceReport:
-        """The session's serving report (non-blocking under traffic)."""
+    def predict_wire(self, request: PredictRequest):
+        """Serve a fully-specified wire request through the facade."""
+        return self._session.predict(request)
+
+    def observe(self, observation: WireObservation) -> ObserveResponse:
+        """Feed the session's recalibrator directly."""
+        return self._session.observe(observation)
+
+    def stats(self) -> StatsSnapshot:
+        """The session's stats snapshot (non-blocking under traffic)."""
         return self._session.stats()
 
     def describe(self) -> str:
@@ -93,7 +113,15 @@ class HttpTarget(ReplayTarget):
         """POST /v1/predict (503s raise ApiError unless the client retries)."""
         return self._client.predict(_wire_request(request))
 
-    def stats(self) -> ServiceReport | None:
+    def predict_wire(self, request: PredictRequest):
+        """POST /v1/predict with the caller's exact wire request."""
+        return self._client.predict(request)
+
+    def observe(self, observation: WireObservation) -> ObserveResponse:
+        """POST /v1/observe over the wire."""
+        return self._client.observe(observation)
+
+    def stats(self) -> StatsSnapshot | None:
         """GET /v1/stats; None when the endpoint is unreachable."""
         try:
             return self._client.stats()

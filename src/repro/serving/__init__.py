@@ -19,7 +19,8 @@ separately pluggable layers (bottom up; see ``docs/serving.md``):
   multi-process serving behind one shared port (``SO_REUSEPORT`` or
   parent-socket handoff), with graceful SIGTERM/SIGINT drain.
 * :mod:`~repro.serving.stats` — cross-worker ``/v1/stats``
-  aggregation (summed counters, recombined hit rates).
+  aggregation over typed snapshots (summed counters, recombined hit
+  rates, merged feedback/admission sections).
 
 ``repro.api.http`` remains the single-process composition of these
 layers and is unchanged on the wire.
@@ -31,12 +32,19 @@ from .admission import (
     AdmissionPolicy,
     BoundedInFlight,
 )
-from .app import METERED_PATHS, SessionApp, WireApp
+from .app import (
+    METERED_PATHS,
+    SessionApp,
+    WireApp,
+    negotiated_version,
+    split_path,
+)
 from .pool import POOL_MODES, WorkerPool, resolve_mode
 from .routing import ROUTED_HEADER, ConsistentHashRouter, RoutedApp, Router
 from .stats import (
     aggregate_cache_records,
     aggregate_report_records,
+    aggregate_snapshots,
     aggregate_stats_records,
 )
 from .transport import (
@@ -66,8 +74,11 @@ __all__ = [
     "WorkerPool",
     "aggregate_cache_records",
     "aggregate_report_records",
+    "aggregate_snapshots",
     "aggregate_stats_records",
+    "negotiated_version",
     "resolve_mode",
     "reuseport_available",
+    "split_path",
     "status_for_error",
 ]

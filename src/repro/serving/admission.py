@@ -20,8 +20,9 @@ import math
 import threading
 from collections.abc import Callable
 
+from ..api.wire import AdmissionStats, admission_stats_to_dict
 from ..errors import WireError
-from .app import METERED_PATHS, WireApp
+from .app import METERED_PATHS, WireApp, split_path
 from .transport import WireResponse, over_capacity_response
 
 __all__ = [
@@ -61,6 +62,19 @@ class AdmissionPolicy:
         """
         return max(1, math.ceil(self.in_flight() / max(self.capacity, 1)))
 
+    def stats(self) -> AdmissionStats:
+        """This policy's counters as a typed stats section.
+
+        Policies without lifetime counters report zeros for the totals;
+        :class:`BoundedInFlight` overrides with the real ones.
+        """
+        return AdmissionStats(
+            capacity=self.capacity,
+            in_flight=self.in_flight(),
+            admitted_total=0,
+            refused_total=0,
+        )
+
 
 class BoundedInFlight(AdmissionPolicy):
     """At most ``max_in_flight`` concurrent predictions; refuse the rest.
@@ -79,13 +93,18 @@ class BoundedInFlight(AdmissionPolicy):
         self._slots = threading.BoundedSemaphore(max_in_flight)
         self._count_lock = threading.Lock()
         self._in_flight = 0
+        self._admitted_total = 0
+        self._refused_total = 0
 
     def admit(self) -> bool:
         """Claim a semaphore slot without blocking."""
         if not self._slots.acquire(blocking=False):
+            with self._count_lock:
+                self._refused_total += 1
             return False
         with self._count_lock:
             self._in_flight += 1
+            self._admitted_total += 1
         return True
 
     def release(self) -> None:
@@ -98,6 +117,16 @@ class BoundedInFlight(AdmissionPolicy):
         """The number of currently-admitted predictions."""
         with self._count_lock:
             return self._in_flight
+
+    def stats(self) -> AdmissionStats:
+        """One consistent snapshot of every counter."""
+        with self._count_lock:
+            return AdmissionStats(
+                capacity=self.capacity,
+                in_flight=self._in_flight,
+                admitted_total=self._admitted_total,
+                refused_total=self._refused_total,
+            )
 
 
 class AdmissionGate(WireApp):
@@ -117,10 +146,28 @@ class AdmissionGate(WireApp):
         return {**self.inner.health(), "max_in_flight": self.policy.capacity}
 
     def handle_get(self, path: str) -> WireResponse:
-        """Pass GETs through unmetered; healthz gains the capacity field."""
-        if path == "/v1/healthz":
+        """Pass GETs through unmetered; healthz gains the capacity field.
+
+        A v2-shaped ``/v1/stats`` answer gains this gate's ``admission``
+        section on the way out. The gate sits at the public edge — peer
+        stats fetches cross private transports with no gate — so the
+        section always describes *this* worker's front door, and v1
+        answers (which have no sections) pass through untouched.
+        """
+        bare, _ = split_path(path)
+        if bare == "/v1/healthz":
             return WireResponse(200, self.health())
-        return self.inner.handle_get(path)
+        response = self.inner.handle_get(path)
+        if (
+            bare == "/v1/stats"
+            and response.status == 200
+            and isinstance(response.record, dict)
+            and response.record.get("schema_version", 1) >= 2
+        ):
+            record = dict(response.record)
+            record["admission"] = admission_stats_to_dict(self.policy.stats())
+            return WireResponse(200, record)
+        return response
 
     def handle_post(
         self, path: str, read_body: Callable[[], dict]
@@ -133,7 +180,7 @@ class AdmissionGate(WireApp):
         first guarantees N serial clients never see a spurious 503
         under an N-slot cap.
         """
-        if path not in METERED_PATHS:
+        if split_path(path)[0] not in METERED_PATHS:
             return self.inner.handle_post(path, read_body)
         if not self.policy.admit():
             return over_capacity_response(

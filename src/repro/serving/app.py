@@ -16,22 +16,66 @@ library failures.
 from __future__ import annotations
 
 import time
+import urllib.parse
 from collections.abc import Callable
 
 from ..api.session import Session
 from ..api.wire import (
     SCHEMA_VERSION,
     BatchRequest,
+    Observation,
     PredictRequest,
-    service_report_to_dict,
+    check_emit_version,
+    check_schema_version,
 )
+from ..errors import WireError
 from .transport import WireResponse, not_found_response
 
-__all__ = ["METERED_PATHS", "SessionApp", "WireApp"]
+__all__ = ["METERED_PATHS", "SessionApp", "WireApp", "split_path"]
 
-#: The prediction endpoints — the only paths admission ever meters;
-#: health/stats probes must keep answering at capacity.
-METERED_PATHS = ("/v1/predict", "/v1/predict-batch")
+#: The prediction/observation endpoints — the only paths admission ever
+#: meters; health/stats probes must keep answering at capacity.
+METERED_PATHS = ("/v1/predict", "/v1/predict-batch", "/v1/observe")
+
+
+def split_path(path: str) -> tuple[str, dict[str, str]]:
+    """Split a raw request path into ``(bare_path, query_params)``.
+
+    Layers match on the bare path; the only recognized parameter today
+    is ``schema_version`` on ``GET /v1/stats`` (version negotiation for
+    bodiless requests). Unknown parameters are carried but ignored —
+    the same tolerance the wire schema applies to unknown fields.
+    """
+    bare, sep, query = path.partition("?")
+    params: dict[str, str] = {}
+    if sep:
+        for part in query.split("&"):
+            if not part:
+                continue
+            key, _, value = part.partition("=")
+            params[urllib.parse.unquote(key)] = urllib.parse.unquote(value)
+    return bare, params
+
+
+def negotiated_version(params: dict[str, str], default: int) -> int:
+    """The schema version a query string asks for, or ``default``.
+
+    A GET has no body to declare ``schema_version`` in, so ``/v1/stats``
+    negotiates through the query string. The default is v1: a deployed
+    v1 monitor polling the bare path must keep receiving the flat
+    report it was written against.
+    """
+    raw = params.get("schema_version")
+    if raw is None:
+        return default
+    try:
+        version = int(raw)
+    except ValueError:
+        raise WireError(
+            f"schema_version query parameter must be an integer, got {raw!r}",
+            code="schema-version",
+        ) from None
+    return check_emit_version(version)
 
 
 class WireApp:
@@ -57,7 +101,16 @@ class WireApp:
 
 
 class SessionApp(WireApp):
-    """The innermost layer: one session behind the four ``/v1`` routes."""
+    """The innermost layer: one session behind the five ``/v1`` routes.
+
+    Version negotiation happens here, per request: the declared
+    ``schema_version`` of a POST body (or the ``schema_version`` query
+    parameter of a stats GET) decides the **shape of the answer** — a
+    v1-declared request is answered with the exact v1 wire form
+    (down-converted, byte-identical to a v1 server's output), a v2 one
+    gets the full v2 shape. Unversioned POST bodies are assumed current
+    (v2); unversioned stats GETs stay v1 for deployed monitors.
+    """
 
     def __init__(self, session: Session):
         self.session = session
@@ -74,25 +127,33 @@ class SessionApp(WireApp):
 
     def handle_get(self, path: str) -> WireResponse:
         """Serve ``/v1/healthz`` and ``/v1/stats``; 404 anything else."""
-        if path == "/v1/healthz":
+        bare, params = split_path(path)
+        if bare == "/v1/healthz":
             return WireResponse(200, self.health())
-        if path == "/v1/stats":
-            report = self.session.stats()
-            return WireResponse(200, service_report_to_dict(report))
-        return not_found_response(path)
+        if bare == "/v1/stats":
+            version = negotiated_version(params, default=1)
+            return WireResponse(200, self.session.stats().to_dict(version))
+        return not_found_response(bare)
 
     def handle_post(
         self, path: str, read_body: Callable[[], dict]
     ) -> WireResponse:
-        """Serve the two prediction endpoints; 404 anything else."""
-        if path == "/v1/predict":
-            response = self.session.predict(
-                PredictRequest.from_dict(read_body())
-            )
-        elif path == "/v1/predict-batch":
+        """Serve the prediction/observe endpoints; 404 anything else."""
+        bare, _ = split_path(path)
+        if bare == "/v1/predict":
+            record = read_body()
+            version = check_schema_version(record)
+            response = self.session.predict(PredictRequest.from_dict(record))
+        elif bare == "/v1/predict-batch":
+            record = read_body()
+            version = check_schema_version(record)
             response = self.session.predict_batch(
-                BatchRequest.from_dict(read_body())
+                BatchRequest.from_dict(record)
             )
+        elif bare == "/v1/observe":
+            record = read_body()
+            version = check_schema_version(record)
+            response = self.session.observe(Observation.from_dict(record))
         else:
-            return not_found_response(path)
-        return WireResponse(200, response.to_dict())
+            return not_found_response(bare)
+        return WireResponse(200, response.to_dict(version))

@@ -33,7 +33,7 @@ from ..api.session import Session
 from ..api.wire import dumps, loads
 from ..errors import ServingError
 from ..service.cache import plan_signature
-from .app import WireApp
+from .app import METERED_PATHS, WireApp, negotiated_version, split_path
 from .stats import aggregate_report_records
 from .transport import WireResponse
 
@@ -116,10 +116,12 @@ class RoutedApp(WireApp):
 
     def handle_get(self, path: str) -> WireResponse:
         """Serve healthz with pool coordinates; aggregate stats pool-wide."""
-        if path == "/v1/healthz":
+        bare, params = split_path(path)
+        if bare == "/v1/healthz":
             return WireResponse(200, self.health())
-        if path == "/v1/stats":
-            return WireResponse(200, self._aggregate_stats())
+        if bare == "/v1/stats":
+            version = negotiated_version(params, default=1)
+            return WireResponse(200, self._aggregate_stats(version))
         return self.inner.handle_get(path)
 
     def handle_post(
@@ -127,7 +129,7 @@ class RoutedApp(WireApp):
     ) -> WireResponse:
         """Serve locally when this worker owns the plan; else forward."""
         record = read_body()
-        key = self._routing_key(path, record)
+        key = self._routing_key(split_path(path)[0], record)
         if key is not None:
             owner = self.router.owner(key)
             if owner != self.self_index:
@@ -141,15 +143,20 @@ class RoutedApp(WireApp):
 
         A batch routes on its first query — recurring dashboards replay
         whole batches, so first-query affinity captures the common case
-        without planning the entire batch twice. Anything that fails to
-        plan is served locally so error bodies come from the worker the
-        client actually reached, byte-identical to a single worker.
+        without planning the entire batch twice. Observations route on
+        their ``sql`` exactly like predictions, so a tenant's feedback
+        window lives on the same shard that serves that plan's
+        predictions. Anything that fails to plan is served locally so
+        error bodies come from the worker the client actually reached,
+        byte-identical to a single worker.
         """
         try:
-            if path == "/v1/predict":
-                sql = record["sql"]
-            else:
+            if path not in METERED_PATHS:
+                return None
+            if path == "/v1/predict-batch":
                 sql = record["queries"][0]
+            else:
+                sql = record["sql"]
             return plan_signature(self.session.plan(sql))
         except Exception:  # noqa: BLE001 — availability over affinity
             return None
@@ -192,17 +199,28 @@ class RoutedApp(WireApp):
         except (urllib.error.URLError, OSError):
             return None
 
-    def _aggregate_stats(self) -> dict:
-        """Sum this worker's service report with every reachable peer's."""
-        records = [self.inner.handle_get("/v1/stats").record]
+    def _aggregate_stats(self, version: int) -> dict:
+        """Sum this worker's snapshot with every reachable peer's.
+
+        Workers are always fetched at v2 — the sectioned form carries
+        the feedback state the aggregate needs — and the pool answer is
+        re-emitted at the client's negotiated ``version``, so a v1
+        monitor still receives the flat report it was written against.
+        """
+        records = [self.inner.handle_get("/v1/stats?schema_version=2").record]
         for index, url in sorted(self.peers.items()):
             if index == self.self_index:
                 continue
             try:
                 with urllib.request.urlopen(
-                    url + "/v1/stats", timeout=self.timeout
+                    url + "/v1/stats?schema_version=2", timeout=self.timeout
                 ) as raw:
                     records.append(loads(raw.read()))
             except (urllib.error.URLError, OSError):
                 continue  # a dying peer must not fail the probe
-        return aggregate_report_records(records)
+        pool = aggregate_report_records(records)
+        pool["schema_version"] = version
+        if version < 2:
+            pool.pop("admission", None)
+            pool.pop("feedback", None)
+        return pool

@@ -1,30 +1,50 @@
 """Cross-worker stats aggregation for sharded ``/v1/stats``.
 
-Each pre-fork worker owns a private session, so its service report
+Each pre-fork worker owns a private session, so its stats snapshot
 covers only its own shard of the traffic. The public ``/v1/stats``
-contract is a *pool-wide* report: the serving worker collects every
-peer's wire-form report and sums them here.
+contract is a *pool-wide* snapshot: the serving worker collects every
+peer's wire-form snapshot and recombines them here, typed end to end —
+:func:`aggregate_snapshots` is the one aggregation, and the dict-level
+helpers parse to :class:`~repro.api.wire.StatsSnapshot`, aggregate, and
+re-emit.
 
 Counters add; derived rates do not. ``prepare_hit_rate`` and the cache
 ``hit_rate`` fields are recomputed from the *summed* numerators and
 denominators — averaging per-worker rates would weight an idle worker
 the same as a busy one — and stay ``None`` when the summed traffic is
-zero, exactly like a single quiet server. The aggregate of one report
-is byte-identical to that report under :func:`repro.api.wire.dumps`,
-which is what keeps ``--workers 1`` indistinguishable from the
-pre-refactor server on this endpoint.
+zero, exactly like a single quiet server. The v2 sections follow the
+same discipline: admission counters sum, feedback tenants merge by
+name with observation/drift counters summed. A conformal *scale* is a
+window quantile and cannot be recombined from per-worker quantiles, so
+a merged tenant keeps its scale only when exactly one worker reports
+one; otherwise the pool answers ``null`` and clients fall back to the
+per-worker value on the shard that owns the plan.
+
+The aggregate of one snapshot is byte-identical to that snapshot under
+:func:`repro.api.wire.dumps` — at v1 *and* at v2 — which is what keeps
+``--workers 1`` indistinguishable from a single server on this
+endpoint. The emitted ``schema_version`` is the maximum any input
+declared, so a pool of v1-shaped reports aggregates to a v1 report.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 
-from ..api.wire import SCHEMA_VERSION
+from ..api.wire import (
+    AdmissionStats,
+    StatsSnapshot,
+    check_schema_version,
+)
+from ..caching import CacheStats
 from ..errors import ServingError
+from ..feedback import FeedbackStats, TenantFeedback
+from ..service.service import ServiceReport, ServiceStats
 
 __all__ = [
     "aggregate_cache_records",
     "aggregate_report_records",
+    "aggregate_snapshots",
     "aggregate_stats_records",
 ]
 
@@ -79,30 +99,111 @@ def aggregate_cache_records(records: Sequence[dict]) -> dict:
     return summed
 
 
-def aggregate_report_records(records: Sequence[dict]) -> dict:
-    """Sum wire-form service reports into one pool-wide report.
+def _merge_feedback(sections: Sequence[FeedbackStats]) -> FeedbackStats:
+    """Merge per-worker feedback sections tenant-by-tenant.
 
-    The result has exactly the single-server report schema (so
-    :func:`repro.api.wire.service_report_from_dict` parses it), with
-    every counter and gauge summed across workers and every hit rate
-    recomputed from the summed counters.
+    Counters and gauges sum; ``active`` is true when any shard is
+    active; ``last_drift_observation`` is the latest any shard saw. The
+    conformal scale survives only when exactly one shard reports one —
+    quantiles of disjoint windows do not combine, and pretending they
+    do would report an interval no worker actually serves.
+    """
+    shards: dict[str, list[TenantFeedback]] = {}
+    for section in sections:
+        for tenant in section.tenants:
+            shards.setdefault(tenant.tenant, []).append(tenant)
+    tenants = []
+    for name in sorted(shards):
+        parts = shards[name]
+        drifts_at = [
+            part.last_drift_observation
+            for part in parts
+            if part.last_drift_observation is not None
+        ]
+        scales = [part.scale for part in parts if part.scale is not None]
+        tenants.append(
+            TenantFeedback(
+                tenant=name,
+                observations=sum(part.observations for part in parts),
+                window_fill=sum(part.window_fill for part in parts),
+                active=any(part.active for part in parts),
+                drifts_detected=sum(part.drifts_detected for part in parts),
+                last_drift_observation=max(drifts_at) if drifts_at else None,
+                scale=scales[0] if len(scales) == 1 else None,
+            )
+        )
+    return FeedbackStats(
+        observations=sum(tenant.observations for tenant in tenants),
+        drifts_detected=sum(tenant.drifts_detected for tenant in tenants),
+        tenants=tuple(tenants),
+    )
+
+
+def aggregate_snapshots(
+    snapshots: Sequence[StatsSnapshot],
+) -> StatsSnapshot:
+    """Recombine per-worker snapshots into one pool-wide snapshot.
+
+    Every counter and gauge is summed and every derived rate recomputed
+    from the summed numerators and denominators. Optional sections stay
+    absent when *no* input carried them (a pool of section-less v1
+    reports aggregates to a section-less snapshot), and appear when any
+    did.
+    """
+    if not snapshots:
+        raise ServingError("cannot aggregate zero stats snapshots")
+    report = ServiceReport(
+        stats=ServiceStats(
+            **{
+                field: sum(getattr(s.stats, field) for s in snapshots)
+                for field in _COUNTER_FIELDS
+            }
+        ),
+        prepared_cache=CacheStats(
+            **{
+                field: sum(getattr(s.prepared_cache, field) for s in snapshots)
+                for field in _CACHE_FIELDS
+            }
+        ),
+        prepared_entries=sum(s.prepared_entries for s in snapshots),
+        sampling_cache=CacheStats(
+            **{
+                field: sum(getattr(s.sampling_cache, field) for s in snapshots)
+                for field in _CACHE_FIELDS
+            }
+        ),
+        sampling_entries=sum(s.sampling_entries for s in snapshots),
+        sampling_bytes_used=sum(s.sampling_bytes_used for s in snapshots),
+        sampling_bytes_budget=sum(s.sampling_bytes_budget for s in snapshots),
+    )
+    admissions = [s.admission for s in snapshots if s.admission is not None]
+    admission = None
+    if admissions:
+        admission = AdmissionStats(
+            capacity=sum(a.capacity for a in admissions),
+            in_flight=sum(a.in_flight for a in admissions),
+            admitted_total=sum(a.admitted_total for a in admissions),
+            refused_total=sum(a.refused_total for a in admissions),
+        )
+    feedbacks = [s.feedback for s in snapshots if s.feedback is not None]
+    feedback = _merge_feedback(feedbacks) if feedbacks else None
+    return StatsSnapshot(report=report, admission=admission, feedback=feedback)
+
+
+def aggregate_report_records(records: Sequence[dict]) -> dict:
+    """Sum wire-form stats snapshots into one pool-wide record.
+
+    The result is emitted at the highest schema version any input
+    declared: v1 inputs yield exactly the flat single-server report
+    (so :func:`repro.api.wire.service_report_from_dict` parses it), v2
+    inputs keep their sections. Either way every counter and gauge is
+    summed and every hit rate recomputed from the summed counters.
     """
     if not records:
         raise ServingError("cannot aggregate zero service reports")
-    gauges = _summed(records, _GAUGE_FIELDS)
-    return {
-        "schema_version": SCHEMA_VERSION,
-        "stats": aggregate_stats_records(
-            [record.get("stats", {}) for record in records]
-        ),
-        "prepared_cache": aggregate_cache_records(
-            [record.get("prepared_cache", {}) for record in records]
-        ),
-        "prepared_entries": gauges["prepared_entries"],
-        "sampling_cache": aggregate_cache_records(
-            [record.get("sampling_cache", {}) for record in records]
-        ),
-        "sampling_entries": gauges["sampling_entries"],
-        "sampling_bytes_used": gauges["sampling_bytes_used"],
-        "sampling_bytes_budget": gauges["sampling_bytes_budget"],
-    }
+    version = 1
+    snapshots = []
+    for record in records:
+        version = max(version, check_schema_version(record))
+        snapshots.append(StatsSnapshot.from_dict(record))
+    return aggregate_snapshots(snapshots).to_dict(version)

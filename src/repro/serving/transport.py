@@ -92,7 +92,8 @@ def not_found_response(path: str) -> WireResponse:
             "code": "not-found",
             "type": "NotFound",
             "message": f"unknown endpoint {path!r}; known: "
-            "/v1/predict, /v1/predict-batch, /v1/healthz, /v1/stats",
+            "/v1/predict, /v1/predict-batch, /v1/observe, "
+            "/v1/healthz, /v1/stats",
         },
     }, close=True)
 

@@ -20,7 +20,13 @@ from repro.api import (
     build_server,
 )
 from repro.api.http import status_for_error
-from repro.api.wire import SCHEMA_VERSION, BatchRequest
+from repro.api.wire import (
+    SCHEMA_VERSION,
+    BatchRequest,
+    Observation,
+    PredictRequest,
+    dumps,
+)
 from repro.errors import (
     OptimizerError,
     ReproError,
@@ -180,6 +186,84 @@ class TestErrorTaxonomy:
         assert caught.value.status == 422
         assert caught.value.code == "catalog"
         assert "nosuchtable" in caught.value.remote_message
+
+
+class TestObserveLoop:
+    """The v2 observation loop over the wire vs in-process, bitwise."""
+
+    def test_observe_then_predict_matches_in_process(
+        self, client, tpch_db, calibrated_units
+    ):
+        # A fresh mirror session with the server's exact configuration:
+        # both arms receive the identical observation stream, so their
+        # corrected predictions must stay byte-identical throughout.
+        mirror = Session.from_components(
+            tpch_db,
+            calibrated_units,
+            SessionConfig(sampling_ratio=0.05, sampling_seed=3),
+        )
+        tenant = "wire-parity"
+        request = PredictRequest(sql=SQL, tenant=tenant, confidences=(0.5, 0.9))
+        # Warm the prepared cache on both arms so ``prepare_was_cached``
+        # agrees below regardless of what earlier tests served.
+        client.predict(request)
+        mirror.predict(request)
+        base_http = client.predict(request)
+        base_local = mirror.predict(request)
+        assert dumps(base_http.to_dict()) == dumps(base_local.to_dict())
+        assert base_http.feedback is None
+        (result,) = base_http.results
+
+        rng = ensure_rng(29)
+        ack_http = None
+        for _ in range(25):
+            observation = Observation(
+                sql=SQL,
+                actual_seconds=result.mean * float(rng.uniform(0.5, 2.0)),
+                tenant=tenant,
+                predicted_mean=result.mean,
+                predicted_std=result.std,
+                variant=result.variant,
+                mpl=result.mpl,
+            )
+            ack_http = client.observe(observation)
+            ack_local = mirror.observe(observation)
+            assert dumps(ack_http.to_dict()) == dumps(ack_local.to_dict())
+        assert ack_http.active
+        assert ack_http.observations == 25
+
+        corrected_http = client.predict(request)
+        corrected_local = mirror.predict(request)
+        assert dumps(corrected_http.to_dict()) == dumps(
+            corrected_local.to_dict()
+        )
+        assert corrected_http.feedback is not None
+        assert corrected_http.feedback.tenant == tenant
+        # The conformal correction actually moved the served intervals.
+        assert dumps(corrected_http.to_dict()) != dumps(base_http.to_dict())
+
+        # Tenant isolation over the wire: the default tenant still
+        # serves the untouched static profile on both arms.
+        untouched = PredictRequest(sql=SQL, confidences=(0.5, 0.9))
+        default_http = client.predict(untouched)
+        assert dumps(default_http.to_dict()) == dumps(
+            mirror.predict(untouched).to_dict()
+        )
+        assert default_http.feedback is None
+
+    def test_observe_surfaces_in_v2_stats(self, client):
+        record = client.request_json("GET", "/v1/stats?schema_version=2")
+        assert record["schema_version"] == SCHEMA_VERSION
+        feedback = record["feedback"]
+        assert feedback["observations"] >= 25
+        assert any(
+            t["tenant"] == "wire-parity" for t in feedback["tenants"]
+        )
+        # The unversioned form stays the flat v1 report for deployed
+        # monitors; no v2 sections leak in.
+        v1_record = client.request_json("GET", "/v1/stats")
+        assert v1_record["schema_version"] == 1
+        assert "feedback" not in v1_record
 
 
 class TestAdmission:

@@ -137,9 +137,16 @@ class TestSessionServing:
         assert session.plan(SQL_A).root is not None
 
     def test_stats_snapshot(self, session):
-        report = session.stats()
-        assert isinstance(report, ServiceReport)
-        assert report.stats.queries_served >= 1
+        from repro.api.wire import StatsSnapshot
+
+        snapshot = session.stats()
+        assert isinstance(snapshot, StatsSnapshot)
+        assert isinstance(snapshot.report, ServiceReport)
+        # the delegated ServiceReport surface keeps old callers working
+        assert snapshot.stats.queries_served >= 1
+        assert snapshot.sampling_bytes_budget > 0
+        assert snapshot.feedback is not None
+        assert snapshot.feedback.observations == 0
 
 
 class TestSessionLifecycle:

@@ -12,17 +12,26 @@ import pytest
 
 from repro.api.wire import (
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
+    AdmissionStats,
     BatchRequest,
     BatchResponse,
+    FeedbackApplied,
     IntervalPayload,
+    Observation,
+    ObserveResponse,
     PredictRequest,
     PredictResponse,
     ResultPayload,
+    StatsSnapshot,
     cache_stats_from_dict,
     cache_stats_to_dict,
+    check_emit_version,
     check_schema_version,
     dumps,
     error_body,
+    feedback_stats_from_dict,
+    feedback_stats_to_dict,
     loads,
     query_failure_from_dict,
     query_failure_to_dict,
@@ -31,6 +40,7 @@ from repro.api.wire import (
     service_stats_from_dict,
     service_stats_to_dict,
 )
+from repro.feedback import FeedbackStats, TenantFeedback
 from repro.caching import CacheStats
 from repro.errors import (
     PredictionError,
@@ -169,14 +179,22 @@ class TestResponses:
 
 
 class TestSchemaVersion:
-    def test_current_version_accepted(self):
-        check_schema_version({"schema_version": SCHEMA_VERSION})
-        check_schema_version({})  # absent -> assumed current
+    def test_supported_versions_accepted(self):
+        for version in SUPPORTED_SCHEMA_VERSIONS:
+            assert check_schema_version({"schema_version": version}) == version
+        # absent -> assumed current
+        assert check_schema_version({}) == SCHEMA_VERSION
 
-    @pytest.mark.parametrize("version", [0, 2, 99, "1.0", None])
+    @pytest.mark.parametrize("version", [0, 3, 99, "1.0", "2", True, None])
     def test_foreign_version_rejected(self, version):
         with pytest.raises(WireError) as caught:
             check_schema_version({"schema_version": version})
+        assert caught.value.code == "schema-version"
+
+    @pytest.mark.parametrize("version", [0, 3, "2", None])
+    def test_foreign_emit_version_rejected(self, version):
+        with pytest.raises(WireError) as caught:
+            check_emit_version(version)
         assert caught.value.code == "schema-version"
 
     def test_rejection_covers_every_top_level_reader(self):
@@ -186,6 +204,9 @@ class TestSchemaVersion:
             BatchRequest.from_dict,
             PredictResponse.from_dict,
             BatchResponse.from_dict,
+            Observation.from_dict,
+            ObserveResponse.from_dict,
+            StatsSnapshot.from_dict,
             service_report_from_dict,
         ):
             with pytest.raises(WireError):
@@ -271,3 +292,173 @@ class TestErrorBodies:
         assert caught.value.code == "bad-json"
         with pytest.raises(WireError):
             loads(b"[1, 2, 3]")
+
+
+def sample_feedback_stats() -> FeedbackStats:
+    return FeedbackStats(
+        observations=40,
+        drifts_detected=1,
+        tenants=(
+            TenantFeedback(
+                tenant="default", observations=25, window_fill=25,
+                active=True, drifts_detected=1, last_drift_observation=12,
+                scale=1.75,
+            ),
+            TenantFeedback(
+                tenant="reporting", observations=15, window_fill=15,
+                active=False, drifts_detected=0,
+                last_drift_observation=None, scale=None,
+            ),
+        ),
+    )
+
+
+class TestObservations:
+    def test_observation_round_trip(self):
+        observation = Observation(
+            sql="SELECT 1", actual_seconds=2.5, tenant="reporting",
+            predicted_mean=2.0, predicted_std=0.5, variant="nocov", mpl=4,
+        )
+        assert Observation.from_dict(rt(observation.to_dict())) == observation
+
+    def test_observation_without_prediction_round_trips(self):
+        observation = Observation(sql="SELECT 1", actual_seconds=0.25)
+        record = observation.to_dict()
+        assert "predicted_mean" not in record
+        assert Observation.from_dict(rt(record)) == observation
+
+    def test_observation_is_v2_only(self):
+        observation = Observation(sql="SELECT 1", actual_seconds=1.0)
+        with pytest.raises(WireError) as caught:
+            observation.to_dict(1)
+        assert caught.value.code == "schema-version"
+        record = observation.to_dict()
+        record["schema_version"] = 1
+        with pytest.raises(WireError) as caught:
+            Observation.from_dict(record)
+        assert caught.value.code == "schema-version"
+
+    def test_observation_validation(self):
+        with pytest.raises(WireError):
+            Observation(sql="  ", actual_seconds=1.0)
+        with pytest.raises(WireError):
+            Observation(sql="SELECT 1", actual_seconds=-1.0)
+        with pytest.raises(WireError):  # mean without std
+            Observation(sql="SELECT 1", actual_seconds=1.0, predicted_mean=2.0)
+        with pytest.raises(WireError):
+            Observation(
+                sql="SELECT 1", actual_seconds=1.0,
+                predicted_mean=1.0, predicted_std=-0.5,
+            )
+
+    def test_observe_response_round_trip(self):
+        for scale in (None, 1.25):
+            ack = ObserveResponse(
+                tenant="default", observations=21, window_fill=21,
+                active=True, drift_detected=False, drifts_total=0,
+                scale=scale,
+            )
+            assert ObserveResponse.from_dict(rt(ack.to_dict())) == ack
+
+
+class TestCrossVersion:
+    """v1 emission is the explicit down-conversion the server performs."""
+
+    def test_v1_request_form_has_no_v2_fields(self):
+        request = PredictRequest(sql="SELECT 1", confidences=(0.9,))
+        record = request.to_dict(1)
+        assert record["schema_version"] == 1
+        assert "tenant" not in record
+        assert PredictRequest.from_dict(rt(record)) == request
+
+    def test_tenant_cannot_be_emitted_at_v1(self):
+        request = PredictRequest(sql="SELECT 1", tenant="reporting")
+        with pytest.raises(WireError) as caught:
+            request.to_dict(1)
+        assert caught.value.code == "schema-version"
+        batch = BatchRequest(queries=("SELECT 1",), tenant="reporting")
+        with pytest.raises(WireError):
+            batch.to_dict(1)
+
+    def test_v1_reader_ignores_tenant(self):
+        """A v1 server's tolerance: the field is unknown, not an error."""
+        record = PredictRequest(sql="SELECT 1", tenant="reporting").to_dict()
+        record["schema_version"] = 1
+        decoded = PredictRequest.from_dict(record)
+        assert decoded.tenant is None
+
+    def test_response_down_conversion_drops_feedback(self):
+        rng = ensure_rng(21)
+        base = random_response(rng)
+        annotated = PredictResponse(
+            sql=base.sql, results=base.results,
+            prepare_was_cached=base.prepare_was_cached,
+            feedback=FeedbackApplied(
+                tenant="default", observations=30,
+                scales=((0.5, 0.9), (0.9, None)),
+            ),
+        )
+        v1 = annotated.to_dict(1)
+        assert v1["schema_version"] == 1 and "feedback" not in v1
+        # byte-identical to the same response never annotated
+        assert dumps(v1) == dumps(base.to_dict(1))
+        v2 = annotated.to_dict()
+        assert PredictResponse.from_dict(rt(v2)) == annotated
+        assert PredictResponse.from_dict(rt(v2)).feedback.scales[1][1] is None
+
+    def test_batch_response_version_threads_to_members(self):
+        rng = ensure_rng(5)
+        batch = BatchResponse(
+            responses=(random_response(rng),), failures=(),
+            elapsed_seconds=0.5, stats=ServiceStats(queries_served=1),
+        )
+        record = batch.to_dict(1)
+        assert record["schema_version"] == 1
+        assert record["responses"][0]["schema_version"] == 1
+
+    def test_stats_snapshot_cross_version(self):
+        report = ServiceReport(
+            stats=ServiceStats(queries_served=2, prepares_run=2),
+            prepared_cache=CacheStats(hits=1, misses=2),
+            prepared_entries=2,
+            sampling_cache=CacheStats(hits=4, misses=1),
+            sampling_entries=3,
+            sampling_bytes_used=1024,
+            sampling_bytes_budget=1 << 20,
+        )
+        snapshot = StatsSnapshot(
+            report=report,
+            admission=AdmissionStats(
+                capacity=8, in_flight=1, admitted_total=10, refused_total=2
+            ),
+            feedback=sample_feedback_stats(),
+        )
+        # v1: exactly the flat report a pre-feedback server wrote
+        v1 = snapshot.to_dict(1)
+        assert dumps(v1) == dumps(service_report_to_dict(report, version=1))
+        decoded_v1 = StatsSnapshot.from_dict(rt(v1))
+        assert decoded_v1.admission is None and decoded_v1.feedback is None
+        assert decoded_v1.report == report
+        # v2: sections survive the round trip exactly
+        decoded_v2 = StatsSnapshot.from_dict(rt(snapshot.to_dict()))
+        assert decoded_v2 == snapshot
+        assert "feedback" in snapshot.render()
+
+    def test_feedback_section_round_trip(self):
+        stats = sample_feedback_stats()
+        assert feedback_stats_from_dict(rt(feedback_stats_to_dict(stats))) == stats
+
+    def test_error_bodies_stamp_the_requested_version(self):
+        body = error_body(WireError("nope"), version=1)
+        assert body["schema_version"] == 1
+        assert body["error"]["code"] == "bad-request"
+
+    def test_cross_version_property_round_trip(self):
+        """Random responses survive emission at every supported version."""
+        rng = ensure_rng(4321)
+        for case in range(25):
+            response = random_response(rng, sql=f"SELECT {case}")
+            for version in SUPPORTED_SCHEMA_VERSIONS:
+                record = rt(response.to_dict(version))
+                assert record["schema_version"] == version
+                assert PredictResponse.from_dict(record) == response

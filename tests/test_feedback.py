@@ -1,0 +1,359 @@
+"""Unit tests for the online feedback loop (repro.feedback).
+
+Covers the pieces in isolation: the conformal window against a
+brute-force sorted-quantile reference (property-style over random
+streams), the Page–Hinkley detector on synthetic stationary and shifted
+streams, config validation, and the per-tenant recalibrator — isolation
+between tenants, the activation threshold that preserves observe-free
+bitwise identity, and the drift → truncate → fast re-formation path.
+The end-to-end loop (replay + wire) lives in ``test_replay.py`` and
+``test_api_http.py``.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import FeedbackError
+from repro.feedback import (
+    DEFAULT_TENANT,
+    REFERENCE_CONFIDENCE,
+    ConformalWindow,
+    DriftDetector,
+    FeedbackConfig,
+    FeedbackRecalibrator,
+    FeedbackStats,
+)
+from repro.feedback.recalibrator import SCORE_CLIP
+
+
+def brute_force_scale(scores, confidence):
+    """The split-conformal quantile, computed the obvious way."""
+    n = len(scores)
+    rank = math.ceil((n + 1) * confidence)
+    if rank > n:
+        return None
+    return sorted(scores)[rank - 1]
+
+
+# ---------------------------------------------------------------------------
+# conformal window
+
+
+class TestConformalWindow:
+    def test_matches_brute_force_reference(self):
+        rng = random.Random(7)
+        for trial in range(25):
+            maxlen = rng.randint(2, 60)
+            min_obs = rng.randint(1, maxlen)
+            window = ConformalWindow(maxlen, min_obs)
+            scores = [rng.expovariate(1.0) for _ in range(rng.randint(0, 120))]
+            for score in scores:
+                window.add(score)
+            held = scores[-maxlen:]
+            for confidence in (0.5, 0.8, 0.9, 0.95, 0.99):
+                expected = (
+                    brute_force_scale(held, confidence)
+                    if len(held) >= min_obs
+                    else None
+                )
+                assert window.scale(confidence) == expected, (
+                    trial,
+                    confidence,
+                    held,
+                )
+
+    def test_inactive_below_min_observations(self):
+        window = ConformalWindow(maxlen=32, min_observations=5)
+        for _ in range(4):
+            window.add(1.0)
+        assert window.scale(0.9) is None
+        window.add(1.0)
+        assert window.scale(0.5) == 1.0
+
+    def test_unresolvable_confidence_is_none(self):
+        # 0.99 needs ceil((n+1) * 0.99) <= n, i.e. n >= 99.
+        window = ConformalWindow(maxlen=200, min_observations=1)
+        for _ in range(50):
+            window.add(1.0)
+        assert window.scale(0.99) is None
+
+    def test_evicts_oldest_beyond_maxlen(self):
+        window = ConformalWindow(maxlen=3, min_observations=1)
+        for score in (10.0, 1.0, 2.0, 3.0):
+            window.add(score)
+        assert window.snapshot() == (1.0, 2.0, 3.0)
+        assert window.fill == 3
+        assert window.total == 4
+
+    def test_truncate_keeps_most_recent(self):
+        window = ConformalWindow(maxlen=10, min_observations=1)
+        for score in range(8):
+            window.add(float(score))
+        window.truncate(3)
+        assert window.snapshot() == (5.0, 6.0, 7.0)
+        # Truncating below the current fill is a no-op.
+        window.truncate(10)
+        assert window.fill == 3
+
+    @pytest.mark.parametrize(
+        "maxlen, min_obs",
+        [(0, 1), (-1, 1), (4, 0), (4, 5)],
+    )
+    def test_rejects_bad_bounds(self, maxlen, min_obs):
+        with pytest.raises(FeedbackError):
+            ConformalWindow(maxlen, min_obs)
+
+    @pytest.mark.parametrize("score", [-0.1, float("nan"), float("inf")])
+    def test_rejects_bad_scores(self, score):
+        window = ConformalWindow(maxlen=4, min_observations=1)
+        with pytest.raises(FeedbackError):
+            window.add(score)
+
+    @pytest.mark.parametrize("confidence", [0.0, 1.0, -0.5, 2.0])
+    def test_rejects_bad_confidence(self, confidence):
+        window = ConformalWindow(maxlen=4, min_observations=1)
+        with pytest.raises(FeedbackError):
+            window.scale(confidence)
+
+    def test_rejects_bad_truncate(self):
+        window = ConformalWindow(maxlen=4, min_observations=1)
+        with pytest.raises(FeedbackError):
+            window.truncate(0)
+
+
+# ---------------------------------------------------------------------------
+# drift detector
+
+
+class TestDriftDetector:
+    def test_silent_on_stationary_stream(self):
+        rng = random.Random(11)
+        detector = DriftDetector(delta=0.25, threshold=12.0)
+        fired = [detector.update(rng.gauss(0.0, 1.0)) for _ in range(300)]
+        assert not any(fired)
+
+    def test_fires_on_upward_mean_shift(self):
+        rng = random.Random(13)
+        detector = DriftDetector(delta=0.25, threshold=12.0)
+        for _ in range(100):
+            assert not detector.update(rng.gauss(0.0, 1.0))
+        fired_after = None
+        for count in range(1, 41):
+            if detector.update(rng.gauss(3.0, 1.0)):
+                fired_after = count
+                break
+        assert fired_after is not None and fired_after <= 20
+
+    def test_fires_on_downward_mean_shift(self):
+        rng = random.Random(17)
+        detector = DriftDetector(delta=0.25, threshold=12.0)
+        for _ in range(100):
+            assert not detector.update(rng.gauss(0.0, 1.0))
+        assert any(detector.update(rng.gauss(-3.0, 1.0)) for _ in range(40))
+
+    def test_resets_after_detection(self):
+        detector = DriftDetector(delta=0.0, threshold=1.0)
+        # The running mean starts at 0 after the first sample, so the
+        # jump to 5.0 accumulates immediately and must fire quickly.
+        detector.update(0.0)
+        fired = any(detector.update(5.0) for _ in range(10))
+        assert fired
+        state = detector.state()
+        assert state.observations == 0
+        assert state.positive_excursion == 0.0
+        assert state.negative_excursion == 0.0
+
+    @pytest.mark.parametrize(
+        "delta, threshold",
+        [(-0.1, 12.0), (float("nan"), 12.0), (0.25, 0.0), (0.25, float("inf"))],
+    )
+    def test_rejects_bad_knobs(self, delta, threshold):
+        with pytest.raises(FeedbackError):
+            DriftDetector(delta=delta, threshold=threshold)
+
+    @pytest.mark.parametrize("value", [float("nan"), float("inf"), "1.0"])
+    def test_rejects_bad_input(self, value):
+        detector = DriftDetector()
+        with pytest.raises(FeedbackError):
+            detector.update(value)
+
+
+# ---------------------------------------------------------------------------
+# config
+
+
+class TestFeedbackConfig:
+    def test_defaults_validate(self):
+        config = FeedbackConfig()
+        assert config.window >= config.min_observations
+        assert config.window >= config.fast_window
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": 0},
+            {"min_observations": 0},
+            {"window": 8, "min_observations": 9},
+            {"fast_window": 0},
+            {"window": 8, "fast_window": 9, "min_observations": 4},
+            {"drift_delta": -1.0},
+            {"drift_delta": float("nan")},
+            {"drift_threshold": 0.0},
+            {"drift_threshold": float("inf")},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(FeedbackError):
+            FeedbackConfig(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# recalibrator
+
+
+def feed(recalibrator, tenant, residuals, mean=1.0, std=0.5):
+    """Observe ``mean + z * std`` for each z, returning the last outcome."""
+    outcome = None
+    for z in residuals:
+        outcome = recalibrator.observe(
+            tenant=tenant,
+            predicted_mean=mean,
+            predicted_std=std,
+            actual_seconds=max(0.0, mean + z * std),
+        )
+    return outcome
+
+
+class TestFeedbackRecalibrator:
+    def test_activation_threshold(self):
+        recalibrator = FeedbackRecalibrator(
+            FeedbackConfig(window=16, min_observations=4, fast_window=2)
+        )
+        assert recalibrator.scales_for("t", (0.5,)) is None
+        for step in range(3):
+            outcome = feed(recalibrator, "t", [0.1])
+            assert not outcome.active
+            assert recalibrator.scales_for("t", (0.5,)) is None
+        outcome = feed(recalibrator, "t", [0.1])
+        assert outcome.active
+        observations, scales = recalibrator.scales_for("t", (0.5,))
+        assert observations == 4
+        assert scales == (pytest.approx(0.1),)
+
+    def test_scales_match_brute_force(self):
+        rng = random.Random(3)
+        recalibrator = FeedbackRecalibrator(
+            FeedbackConfig(window=32, min_observations=8, fast_window=4)
+        )
+        actuals = [abs(rng.gauss(1.0, 0.5)) for _ in range(40)]
+        for actual in actuals:
+            recalibrator.observe(
+                tenant="t",
+                predicted_mean=1.0,
+                predicted_std=0.5,
+                actual_seconds=actual,
+            )
+        # Recompute the scores with the recalibrator's own arithmetic so
+        # the comparison is exact, not approximate.
+        held = [abs((actual - 1.0) / 0.5) for actual in actuals[-32:]]
+        _, scales = recalibrator.scales_for("t", (0.5, 0.9, 0.99))
+        assert scales == (
+            brute_force_scale(held, 0.5),
+            brute_force_scale(held, 0.9),
+            brute_force_scale(held, 0.99),
+        )
+
+    def test_tenants_are_isolated(self):
+        recalibrator = FeedbackRecalibrator(
+            FeedbackConfig(window=16, min_observations=2, fast_window=2)
+        )
+        feed(recalibrator, "alpha", [0.5] * 8)
+        before = recalibrator.scales_for("alpha", (0.5,))
+        assert recalibrator.scales_for("beta", (0.5,)) is None
+        feed(recalibrator, "beta", [3.0] * 8)
+        assert recalibrator.scales_for("alpha", (0.5,)) == before
+        _, beta_scales = recalibrator.scales_for("beta", (0.5,))
+        assert beta_scales == (3.0,)
+        assert recalibrator.scales_for(DEFAULT_TENANT, (0.5,)) is None
+
+    def test_drift_truncates_to_fast_window(self):
+        recalibrator = FeedbackRecalibrator(
+            FeedbackConfig(
+                window=64,
+                min_observations=4,
+                fast_window=10,
+                drift_delta=0.1,
+                drift_threshold=3.0,
+            )
+        )
+        feed(recalibrator, "t", [0.0] * 30)
+        outcome = None
+        for _ in range(30):
+            outcome = feed(recalibrator, "t", [6.0])
+            if outcome.drift_detected:
+                break
+        assert outcome.drift_detected
+        assert outcome.drifts_total == 1
+        assert outcome.window_fill == recalibrator.config.fast_window
+        stats = recalibrator.stats()
+        (tenant,) = stats.tenants
+        assert tenant.drifts_detected == 1
+        assert tenant.last_drift_observation == tenant.observations
+        # The re-formed quantile reflects the post-shift regime: with the
+        # window cut to the freshest scores, the reference-confidence
+        # quantile lands on the shifted residual magnitude (the shifted
+        # score is the window's maximum, and rank ⌈11 · 0.9⌉ = 10 of 10).
+        assert tenant.scale == pytest.approx(6.0)
+
+    def test_point_mass_residual_is_clipped(self):
+        recalibrator = FeedbackRecalibrator(
+            FeedbackConfig(window=8, min_observations=1, fast_window=1)
+        )
+        recalibrator.observe(
+            tenant="t", predicted_mean=1.0, predicted_std=0.0, actual_seconds=2.0
+        )
+        _, (scale,) = recalibrator.scales_for("t", (0.5,))
+        assert scale == SCORE_CLIP
+        exact = recalibrator.observe(
+            tenant="t", predicted_mean=2.0, predicted_std=0.0, actual_seconds=2.0
+        )
+        assert exact.observations == 2
+
+    def test_stats_aggregate_across_tenants(self):
+        recalibrator = FeedbackRecalibrator(
+            FeedbackConfig(window=8, min_observations=2, fast_window=2)
+        )
+        assert recalibrator.stats() == FeedbackStats(
+            observations=0, drifts_detected=0, tenants=()
+        )
+        feed(recalibrator, "b", [0.5] * 3)
+        feed(recalibrator, "a", [0.5] * 2)
+        stats = recalibrator.stats()
+        assert stats.observations == 5
+        assert [t.tenant for t in stats.tenants] == ["a", "b"]
+        assert all(t.active for t in stats.tenants)
+
+    def test_reference_confidence_is_the_headline_interval(self):
+        assert REFERENCE_CONFIDENCE == 0.9
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tenant": ""},
+            {"tenant": 7},
+            {"predicted_mean": float("nan")},
+            {"predicted_std": -1.0},
+            {"predicted_std": float("inf")},
+            {"actual_seconds": -0.5},
+        ],
+    )
+    def test_observe_rejects_bad_input(self, kwargs):
+        recalibrator = FeedbackRecalibrator()
+        call = dict(
+            tenant="t", predicted_mean=1.0, predicted_std=0.5, actual_seconds=1.0
+        )
+        call.update(kwargs)
+        with pytest.raises(FeedbackError):
+            recalibrator.observe(**call)

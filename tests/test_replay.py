@@ -26,6 +26,8 @@ from repro.errors import ReproError
 from repro.replay import (
     BurstyArrivals,
     ClosedLoop,
+    DriftTrajectory,
+    FeedbackPoint,
     HttpTarget,
     InProcessTarget,
     MixComponent,
@@ -37,6 +39,7 @@ from repro.replay import (
     build_schedule,
     parse_arrival,
     parse_mix,
+    run_feedback_loop,
 )
 from repro.replay.report import calibration_under_load
 
@@ -440,3 +443,135 @@ def test_http_client_does_not_retry_other_errors(monkeypatch):
         client.request_json("POST", "/v1/predict", {})
     assert len(attempts) == 1
     assert client.retries_performed == 0
+
+
+# ---------------------------------------------------------------------------
+# the online feedback loop (ISSUE 8): trajectory math + closed loop
+
+
+def _point(index, online, static, shifted=False, drift=False):
+    return FeedbackPoint(
+        index=index,
+        sql="SELECT 1",
+        actual_seconds=1.0,
+        shifted=shifted,
+        online_covered=online,
+        static_covered=static,
+        drift_detected=drift,
+        scale=None,
+    )
+
+
+class TestDriftTrajectory:
+    def test_coverage_slices_and_skips_none(self):
+        trajectory = DriftTrajectory(
+            confidence=0.9,
+            shift_index=2,
+            shift_factor=3.0,
+            points=(
+                _point(0, True, True),
+                _point(1, None, False),
+                _point(2, False, False, shifted=True),
+                _point(3, True, False, shifted=True),
+            ),
+            drifts_detected=1,
+        )
+        assert trajectory.coverage() == pytest.approx(2 / 3)
+        assert trajectory.coverage(end=2) == pytest.approx(1.0)
+        assert trajectory.post_shift_coverage() == pytest.approx(0.5)
+        assert trajectory.post_shift_coverage(static=True) == 0.0
+        assert trajectory.coverage(start=4) is None
+        summary = trajectory.summary()
+        assert summary["points"] == 4
+        assert summary["drifts_detected"] == 1
+        assert "feedback loop" in trajectory.render()
+
+    def test_recovery_counts_rolling_window(self):
+        # 3 misses then 10 hits after the shift: with window=4 and
+        # target 0.75 the rolling mean first clears at the 6th
+        # post-shift observation ([miss, hit, hit, hit] = 0.75); full
+        # coverage needs one more hit to flush the last miss out.
+        points = [_point(i, True, True) for i in range(2)]
+        flags = [False, False, False] + [True] * 10
+        points += [
+            _point(2 + i, flag, False, shifted=True)
+            for i, flag in enumerate(flags)
+        ]
+        trajectory = DriftTrajectory(
+            confidence=0.9,
+            shift_index=2,
+            shift_factor=3.0,
+            points=tuple(points),
+            drifts_detected=1,
+        )
+        assert trajectory.recovery_observations(window=4, target=0.75) == 6
+        assert trajectory.recovery_observations(window=4, target=1.0) == 7
+        assert trajectory.recovery_observations(window=14, target=1.0) is None
+
+    def test_no_shift_means_no_recovery_number(self):
+        trajectory = DriftTrajectory(
+            confidence=0.9,
+            shift_index=None,
+            shift_factor=1.0,
+            points=(_point(0, True, True),),
+            drifts_detected=0,
+        )
+        assert trajectory.recovery_observations() is None
+        assert "no shift injected" in trajectory.render()
+
+    def test_loop_validation_rejects_bad_knobs(self):
+        with pytest.raises(ReproError):
+            run_feedback_loop(None, None, None, confidence=1.5)
+        with pytest.raises(ReproError):
+            run_feedback_loop(None, None, None, shift_at=1.0)
+        with pytest.raises(ReproError):
+            run_feedback_loop(None, None, None, shift_factor=0.0)
+
+
+def test_feedback_loop_recovers_from_injected_shift():
+    """End-to-end ISSUE 8 acceptance, sized for tier-1.
+
+    Same constants as the ``drift_recovery`` bench: the online arm must
+    detect the 3x shift, re-form coverage, and beat the static mirror.
+    """
+    config = SessionConfig(
+        scale_factor=0.01,
+        db_seed=11,
+        calibration_seed=0,
+        calibration_repetitions=6,
+        sampling_ratio=0.05,
+        sampling_seed=1,
+        feedback_window=64,
+        feedback_min_observations=12,
+        feedback_fast_window=12,
+    )
+    online = Session(config)
+    mirror = Session(config)
+    schedule = build_schedule(
+        parse_mix("mixed"),
+        online.database,
+        ClosedLoop(clients=1, requests_per_client=80),
+        seed=37,
+    )
+    trajectory = run_feedback_loop(
+        schedule,
+        InProcessTarget(online),
+        mirror,
+        confidence=0.9,
+        shift_at=0.4,
+        shift_factor=3.0,
+    )
+    assert len(trajectory.points) == 80
+    assert trajectory.shift_index == 32
+    assert trajectory.drifts_detected >= 1
+    post_online = trajectory.post_shift_coverage()
+    post_static = trajectory.post_shift_coverage(static=True)
+    assert post_online >= 0.5
+    assert post_static <= 0.3
+    recovery = trajectory.recovery_observations(window=15, target=0.85)
+    assert recovery is not None and recovery <= 40
+    # The observations all landed on the loop's tenant, and the ack
+    # trail is visible in the session's stats snapshot.
+    feedback = online.stats().feedback
+    assert feedback.observations == 80
+    assert feedback.drifts_detected == trajectory.drifts_detected

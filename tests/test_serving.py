@@ -8,22 +8,31 @@ client side of the ``Retry-After`` contract. The multi-process
 integration paths live in ``test_serving_pool.py``.
 """
 
+import json
 import random
+import warnings
 import zlib
 
 import pytest
 
 from repro.api.client import RETRY_AFTER_CAP_SECONDS, ApiError, HttpClient
+from repro.api.config import ClientConfig
 from repro.api.wire import (
     SCHEMA_VERSION,
+    AdmissionStats,
+    StatsSnapshot,
+    admission_stats_to_dict,
     dumps,
+    feedback_stats_to_dict,
     service_report_from_dict,
 )
-from repro.errors import ServingError, WireError, error_code
+from repro.errors import ServingError, SessionError, WireError, error_code
+from repro.feedback import FeedbackStats, TenantFeedback
 from repro.serving import (
     BoundedInFlight,
     ConsistentHashRouter,
     aggregate_report_records,
+    aggregate_snapshots,
     aggregate_stats_records,
     resolve_mode,
 )
@@ -230,6 +239,118 @@ class TestStatsAggregation:
         assert merged["prepare_hit_rate"] is None
 
 
+def _v2_record(served=0, admission=None, feedback=None, **kwargs):
+    record = _report_record(served=served, **kwargs)
+    record["schema_version"] = 2
+    if admission is not None:
+        record["admission"] = admission_stats_to_dict(admission)
+    if feedback is not None:
+        record["feedback"] = feedback_stats_to_dict(feedback)
+    return record
+
+
+def _tenant(
+    name, observations=10, fill=10, active=True, drifts=0, last=None, scale=None
+):
+    return TenantFeedback(
+        tenant=name,
+        observations=observations,
+        window_fill=fill,
+        active=active,
+        drifts_detected=drifts,
+        last_drift_observation=last,
+        scale=scale,
+    )
+
+
+def _feedback(*tenants):
+    return FeedbackStats(
+        observations=sum(t.observations for t in tenants),
+        drifts_detected=sum(t.drifts_detected for t in tenants),
+        tenants=tuple(tenants),
+    )
+
+
+class TestTypedAggregation:
+    def test_single_v2_record_is_byte_identical(self):
+        record = _v2_record(
+            served=3,
+            plans=3,
+            admission=AdmissionStats(
+                capacity=4, in_flight=1, admitted_total=9, refused_total=2
+            ),
+            feedback=_feedback(_tenant("default", drifts=1, last=8, scale=1.4)),
+        )
+        assert dumps(aggregate_report_records([record])) == dumps(record)
+
+    def test_sections_sum_across_workers(self):
+        a = _v2_record(
+            served=2,
+            admission=AdmissionStats(
+                capacity=4, in_flight=1, admitted_total=10, refused_total=3
+            ),
+            feedback=_feedback(_tenant("alpha", observations=6, fill=6)),
+        )
+        b = _v2_record(
+            served=5,
+            admission=AdmissionStats(
+                capacity=4, in_flight=0, admitted_total=7, refused_total=0
+            ),
+            feedback=_feedback(
+                _tenant("alpha", observations=4, fill=4, active=False, drifts=2, last=9),
+                _tenant("beta", observations=1, fill=1, scale=2.0),
+            ),
+        )
+        merged = StatsSnapshot.from_dict(aggregate_report_records([a, b]))
+        assert merged.admission == AdmissionStats(
+            capacity=8, in_flight=1, admitted_total=17, refused_total=3
+        )
+        alpha, beta = merged.feedback.tenants
+        assert alpha.observations == 10
+        assert alpha.window_fill == 10
+        assert alpha.active  # any shard active
+        assert alpha.drifts_detected == 2
+        assert alpha.last_drift_observation == 9
+        assert beta.scale == 2.0  # exactly one shard reported one
+        assert merged.feedback.observations == 11
+
+    def test_conformal_scale_dropped_when_shards_disagree(self):
+        # Quantiles of disjoint windows do not combine; a pool-wide
+        # scale is only honest when exactly one shard owns the window.
+        a = _v2_record(feedback=_feedback(_tenant("t", scale=1.5)))
+        b = _v2_record(feedback=_feedback(_tenant("t", scale=2.5)))
+        merged = StatsSnapshot.from_dict(aggregate_report_records([a, b]))
+        (tenant,) = merged.feedback.tenants
+        assert tenant.scale is None
+
+    def test_version_stamp_is_max_of_inputs(self):
+        v1 = _report_record(served=1)
+        v1["schema_version"] = 1
+        v2 = _v2_record(
+            served=2,
+            feedback=_feedback(_tenant("t")),
+        )
+        merged = aggregate_report_records([v1, v2])
+        assert merged["schema_version"] == 2
+        assert "feedback" in merged
+        only_v1 = aggregate_report_records([v1, dict(v1)])
+        assert only_v1["schema_version"] == 1
+        assert "feedback" not in only_v1
+        assert "admission" not in only_v1
+
+    def test_aggregate_snapshots_typed_round_trip(self):
+        snapshots = [
+            StatsSnapshot.from_dict(_v2_record(served=3)),
+            StatsSnapshot.from_dict(_v2_record(served=4)),
+        ]
+        pooled = aggregate_snapshots(snapshots)
+        assert pooled.stats.queries_served == 7
+        assert pooled.admission is None
+        assert pooled.feedback is None
+        with pytest.raises(ServingError):
+            aggregate_snapshots([])
+
+
 # ---------------------------------------------------------------------------
 # pool mode resolution (the SO_REUSEPORT-unavailable fallback)
 
@@ -259,6 +380,74 @@ class TestResolveMode:
 
     def test_serving_error_carries_wire_code(self):
         assert error_code(ServingError("boom")) == "serving"
+
+
+# ---------------------------------------------------------------------------
+# client configuration (ClientConfig + deprecation shims)
+
+
+class TestClientConfig:
+    URL = "http://127.0.0.1:1"
+
+    def test_default_config(self):
+        client = HttpClient(self.URL)
+        assert client.config == ClientConfig()
+        assert client.config.wire_version == SCHEMA_VERSION
+
+    def test_timeout_positional_folds_without_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            client = HttpClient(self.URL, 5.0)
+        assert client.config == ClientConfig(timeout=5.0)
+
+    def test_legacy_kwargs_warn_and_fold(self):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            client = HttpClient(
+                self.URL, retries_503=2, backoff_seconds=0.1, backoff_seed=7
+            )
+        assert client.config == ClientConfig(
+            retries_503=2, backoff_seconds=0.1, backoff_seed=7
+        )
+
+    def test_legacy_and_config_together_is_bad_request(self):
+        with pytest.raises(ApiError) as caught:
+            HttpClient(self.URL, config=ClientConfig(), retries_503=1)
+        assert caught.value.code == "bad-request"
+        assert "retries_503" in caught.value.remote_message
+
+    def test_bad_legacy_value_keeps_bad_request_contract(self):
+        # The pre-ClientConfig constructor reported bad knobs as
+        # ApiError(bad-request); the shims must preserve that.
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ApiError) as caught:
+                HttpClient(self.URL, retries_503=-1)
+        assert caught.value.code == "bad-request"
+
+    def test_json_round_trip(self):
+        config = ClientConfig(
+            timeout=12.0, retries_503=3, backoff_seconds=0.2, backoff_seed=9,
+            observe_tenant="replica-a",
+        )
+        record = json.loads(json.dumps(config.to_dict()))
+        assert ClientConfig.from_dict(record) == config
+        # Unknown fields from a newer writer are ignored.
+        record["future_knob"] = True
+        assert ClientConfig.from_dict(record) == config
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"timeout": 0.0},
+            {"retries_503": -1},
+            {"backoff_seconds": 0.0},
+            {"retry_after_cap_seconds": 0.0},
+            {"wire_version": 3},
+            {"observe_tenant": ""},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(SessionError):
+            ClientConfig(**kwargs)
 
 
 # ---------------------------------------------------------------------------

@@ -1,6 +1,6 @@
 """HTTP serving smoke for CI: boot ``repro serve``, drive it, shut down.
 
-Two stages, each booting ``python -m repro serve`` on an **ephemeral
+Three stages, each booting ``python -m repro serve`` on an **ephemeral
 port** as a child process and parsing the bound address from the
 startup "listening on" line.
 
@@ -12,7 +12,15 @@ Stage 1 — single worker (the pre-fork-identical path):
   mean, a declared ``schema_version``, and interval bounds;
 * a malformed statement must be a structured 400 (``sql-parse``).
 
-Stage 2 — ``--workers 2`` (the pre-fork pool, ``docs/serving.md``):
+Stage 2 — cross-version interop (the v2 compatibility contract):
+
+* a ``schema_version: 1`` predict must come back stamped v1 with no
+  v2-only keys; unversioned ``GET /v1/stats`` stays the flat v1 report
+  while ``?schema_version=2`` opts into the sectioned form;
+* ``POST /v1/observe`` must round-trip and surface in v2 stats;
+* a foreign version must be a structured 400 (``schema-version``).
+
+Stage 3 — ``--workers 2`` (the pre-fork pool, ``docs/serving.md``):
 
 * healthz must answer from **each** worker (``worker`` 0 and 1 both
   observed) with ``status: ok`` and the same ``schema_version``;
@@ -41,7 +49,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.api.client import ApiError, HttpClient  # noqa: E402
-from repro.api.wire import SCHEMA_VERSION  # noqa: E402
+from repro.api.wire import SCHEMA_VERSION, Observation  # noqa: E402
 
 SQL = "SELECT COUNT(*) FROM orders WHERE o_totalprice > 100000"
 _LISTENING = re.compile(r"listening on (http://[0-9.]+:\d+)")
@@ -138,6 +146,55 @@ def _single_worker_stage(scale: float, timeout: float) -> None:
         _stop(proc)
 
 
+def _cross_version_stage(scale: float, timeout: float) -> None:
+    """A deployed v1 client interoperates unmodified with the v2 server."""
+    proc = _spawn(scale)
+    try:
+        url = _wait_for_url(proc, time.monotonic() + timeout)
+        client = HttpClient(url, timeout=timeout)
+
+        # v1-declared predict: answered in v1 shape (no feedback key).
+        body = client.request_json(
+            "POST", "/v1/predict", {"sql": SQL, "schema_version": 1}
+        )
+        assert body["schema_version"] == 1, body
+        assert "feedback" not in body, body
+        (result,) = body["results"]
+        assert result["mean"] > 0, result
+
+        # Unversioned GET /v1/stats stays the flat v1 report a deployed
+        # monitor expects; ?schema_version=2 opts into the sectioned form.
+        v1_stats = client.request_json("GET", "/v1/stats")
+        assert v1_stats["schema_version"] == 1, v1_stats
+        assert "feedback" not in v1_stats, v1_stats
+        v2_stats = client.request_json("GET", "/v1/stats?schema_version=2")
+        assert v2_stats["schema_version"] == SCHEMA_VERSION, v2_stats
+        assert "feedback" in v2_stats, v2_stats
+
+        # The v2 observation loop round-trips over the wire.
+        ack = client.observe(
+            Observation(sql=SQL, actual_seconds=result["mean"])
+        )
+        assert ack.observations == 1, ack
+        after = client.request_json("GET", "/v1/stats?schema_version=2")
+        assert after["feedback"]["observations"] == 1, after
+
+        # Foreign versions are rejected with the structured code.
+        try:
+            client.request_json(
+                "POST", "/v1/predict", {"sql": SQL, "schema_version": 99}
+            )
+        except ApiError as error:
+            assert error.status == 400, error
+            assert error.code == "schema-version", error
+        else:
+            raise AssertionError("schema_version 99 did not produce a 400")
+
+        print(f"http smoke ok: {url} v1 interop + observe round-trip")
+    finally:
+        _stop(proc)
+
+
 def _worker_pool_stage(scale: float, timeout: float) -> None:
     proc = _spawn(scale, workers=2)
     try:
@@ -177,6 +234,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     _single_worker_stage(args.scale, args.timeout)
+    _cross_version_stage(args.scale, args.timeout)
     _worker_pool_stage(args.scale, args.timeout)
     return 0
 

@@ -62,6 +62,7 @@ _FALLBACK_CLASSES = frozenset(
         "PredictionError",
         "SessionError",
         "ServingError",
+        "FeedbackError",
         "WireError",
     }
 )
@@ -72,7 +73,7 @@ _ALLOWED_BUILTINS = frozenset(
 )
 
 #: Subsystems whose raises and serialization cross the wire.
-_WIRE_FACING = ("api", "replay", "serving")
+_WIRE_FACING = ("api", "feedback", "replay", "serving")
 
 
 def registered_error_classes(root: Path | None) -> frozenset[str]:
