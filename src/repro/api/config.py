@@ -29,6 +29,7 @@ from ..errors import FeedbackError, PredictionError, SessionError
 from ..feedback import DEFAULT_TENANT, FeedbackConfig
 from ..hardware import PROFILES
 from ..sampling.engine import DEFAULT_ENGINE_BUDGET_BYTES
+from ..scheduler import SCHEDULER_POLICIES
 
 __all__ = ["ESTIMATOR_BACKENDS", "ClientConfig", "SessionConfig"]
 
@@ -68,6 +69,13 @@ class SessionConfig:
     feedback_fast_window: int = 16
     feedback_drift_delta: float = 0.25
     feedback_drift_threshold: float = 12.0
+    # -- uncertainty-aware scheduling (docs/scheduling.md) ------------
+    scheduler_policy: str = "fifo"
+    scheduler_slack: float = 1.645
+    scheduler_default_deadline_ms: int = 1000
+    scheduler_max_queue: int = 64
+    scheduler_quantum_seconds: float = 0.05
+    scheduler_queue_timeout_seconds: float = 30.0
 
     def __post_init__(self):
         if self.scale_factor <= 0:
@@ -116,6 +124,43 @@ class SessionConfig:
             self.feedback()
         except FeedbackError as error:
             raise SessionError(str(error)) from None
+        if self.scheduler_policy not in SCHEDULER_POLICIES:
+            raise SessionError(
+                f"unknown scheduler policy {self.scheduler_policy!r}; "
+                f"expected one of {', '.join(SCHEDULER_POLICIES)}"
+            )
+        if not (
+            math.isfinite(self.scheduler_slack) and self.scheduler_slack >= 0
+        ):
+            raise SessionError(
+                f"scheduler_slack must be >= 0, got {self.scheduler_slack}"
+            )
+        if self.scheduler_default_deadline_ms < 1:
+            raise SessionError(
+                "scheduler_default_deadline_ms must be >= 1, "
+                f"got {self.scheduler_default_deadline_ms}"
+            )
+        if self.scheduler_max_queue < 1:
+            raise SessionError(
+                f"scheduler_max_queue must be >= 1, "
+                f"got {self.scheduler_max_queue}"
+            )
+        if not (
+            math.isfinite(self.scheduler_quantum_seconds)
+            and self.scheduler_quantum_seconds > 0
+        ):
+            raise SessionError(
+                "scheduler_quantum_seconds must be > 0, "
+                f"got {self.scheduler_quantum_seconds}"
+            )
+        if not (
+            math.isfinite(self.scheduler_queue_timeout_seconds)
+            and self.scheduler_queue_timeout_seconds > 0
+        ):
+            raise SessionError(
+                "scheduler_queue_timeout_seconds must be > 0, "
+                f"got {self.scheduler_queue_timeout_seconds}"
+            )
 
     def variants(self) -> tuple[Variant, ...]:
         """The default variants resolved to :class:`Variant` members."""

@@ -41,7 +41,7 @@ from __future__ import annotations
 from ..serving.admission import (
     DEFAULT_MAX_IN_FLIGHT,
     AdmissionGate,
-    BoundedInFlight,
+    build_admission,
 )
 from ..serving.app import SessionApp
 from ..serving.transport import HttpTransport, status_for_error
@@ -73,7 +73,7 @@ class ApiHTTPServer(HttpTransport):
     ):
         self.session = session
         self.max_in_flight = max_in_flight
-        self._policy = BoundedInFlight(max_in_flight)
+        self._policy = build_admission(session, max_in_flight)
         super().__init__(
             AdmissionGate(SessionApp(session), self._policy), address
         )

@@ -297,6 +297,26 @@ class Session:
             stats=served.stats,
         )
 
+    def estimate(self, sql: str) -> tuple[float, float]:
+        """Predicted ``(mean, std)`` seconds for ``sql`` — the scheduler's ticket.
+
+        Runs the engine's cached prepare path for the first default
+        variant at MPL 1: behind the prepared caches this is a hash
+        lookup plus convolution, cheap enough to run at *enqueue* time
+        for every deferred request. It does bump the serving counters
+        (the scheduler's estimates are real predictions); the FIFO
+        admission path never calls it, so counter parity with the
+        pre-scheduler stack is preserved there.
+        """
+        variant = Variant.from_name(self._config.default_variants[0])
+        with self._lock:
+            self._ensure_open()
+            prediction = self._service.predict_query(
+                sql, variants=(variant,), mpls=(1,)
+            )
+        result = prediction.results[(variant, 1)]
+        return result.mean, result.std
+
     # -- feedback ----------------------------------------------------------
     def observe(self, observation: Observation) -> ObserveResponse:
         """Feed one actual runtime back into the calibration loop.

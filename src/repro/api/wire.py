@@ -64,6 +64,7 @@ __all__ = [
     "ObserveResponse",
     "FeedbackApplied",
     "AdmissionStats",
+    "SchedulerStats",
     "StatsSnapshot",
     "dumps",
     "loads",
@@ -82,6 +83,8 @@ __all__ = [
     "feedback_stats_from_dict",
     "admission_stats_to_dict",
     "admission_stats_from_dict",
+    "scheduler_stats_to_dict",
+    "scheduler_stats_from_dict",
 ]
 
 #: The current wire schema version. Bump on any incompatible change.
@@ -203,7 +206,10 @@ class PredictRequest:
     ``variants``/``mpls``/``confidences`` left as ``None`` defer to the
     serving session's configured defaults. ``tenant`` (v2) selects the
     per-tenant calibration profile the feedback loop maintains; ``None``
-    means the default tenant.
+    means the default tenant. ``deadline_ms``/``priority`` (v2) are the
+    scheduling hints the uncertainty-aware admission tier dispatches on
+    (``docs/scheduling.md``); absent, the request schedules exactly as
+    pre-scheduler traffic did.
     """
 
     sql: str
@@ -211,12 +217,15 @@ class PredictRequest:
     mpls: tuple[int, ...] | None = None
     confidences: tuple[float, ...] | None = None
     tenant: str | None = None
+    deadline_ms: int | None = None
+    priority: int | None = None
 
     def __post_init__(self):
         if not isinstance(self.sql, str) or not self.sql.strip():
             raise WireError("request needs a non-empty 'sql' string")
         _validate_fanout(self.variants, self.mpls, self.confidences)
         _validate_tenant(self.tenant)
+        _validate_scheduling(self.deadline_ms, self.priority)
 
     def to_dict(self, version: int = SCHEMA_VERSION) -> dict:
         """Wire form; omitted fan-out fields stay absent (server defaults)."""
@@ -236,6 +245,7 @@ class PredictRequest:
                     code="schema-version",
                 )
             record["tenant"] = self.tenant
+        _emit_scheduling(record, self.deadline_ms, self.priority, version)
         return record
 
     @classmethod
@@ -252,12 +262,18 @@ class PredictRequest:
                 record.get("confidences"), float, "confidences"
             ),
             tenant=record.get("tenant") if version >= 2 else None,
+            deadline_ms=record.get("deadline_ms") if version >= 2 else None,
+            priority=record.get("priority") if version >= 2 else None,
         )
 
 
 @dataclass(frozen=True)
 class BatchRequest:
-    """A batch of SQL strings with one shared fan-out."""
+    """A batch of SQL strings with one shared fan-out.
+
+    ``deadline_ms``/``priority`` (v2) apply to the batch as a whole —
+    the scheduler admits a batch as one unit of work.
+    """
 
     queries: tuple[str, ...]
     variants: tuple[str, ...] | None = None
@@ -265,6 +281,8 @@ class BatchRequest:
     confidences: tuple[float, ...] | None = None
     skip_failures: bool = True
     tenant: str | None = None
+    deadline_ms: int | None = None
+    priority: int | None = None
 
     def __post_init__(self):
         if not self.queries:
@@ -274,6 +292,7 @@ class BatchRequest:
                 raise WireError("every batch query must be a non-empty string")
         _validate_fanout(self.variants, self.mpls, self.confidences)
         _validate_tenant(self.tenant)
+        _validate_scheduling(self.deadline_ms, self.priority)
 
     def to_dict(self, version: int = SCHEMA_VERSION) -> dict:
         """Wire form; omitted fan-out fields stay absent (server defaults)."""
@@ -297,6 +316,7 @@ class BatchRequest:
                     code="schema-version",
                 )
             record["tenant"] = self.tenant
+        _emit_scheduling(record, self.deadline_ms, self.priority, version)
         return record
 
     @classmethod
@@ -315,6 +335,8 @@ class BatchRequest:
             ),
             skip_failures=bool(record.get("skip_failures", True)),
             tenant=record.get("tenant") if version >= 2 else None,
+            deadline_ms=record.get("deadline_ms") if version >= 2 else None,
+            priority=record.get("priority") if version >= 2 else None,
         )
 
 
@@ -349,6 +371,40 @@ def _validate_tenant(tenant) -> None:
         return
     if not isinstance(tenant, str) or not tenant.strip():
         raise WireError(f"tenant must be a non-empty string, got {tenant!r}")
+
+
+def _validate_scheduling(deadline_ms, priority) -> None:
+    """Reject malformed scheduling hints as payload errors (HTTP 400)."""
+    if deadline_ms is not None:
+        if (
+            not isinstance(deadline_ms, int)
+            or isinstance(deadline_ms, bool)
+            or deadline_ms < 1
+        ):
+            raise WireError(
+                f"deadline_ms must be a positive integer, got {deadline_ms!r}"
+            )
+    if priority is not None:
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise WireError(
+                f"priority must be an integer, got {priority!r}"
+            )
+
+
+def _emit_scheduling(record, deadline_ms, priority, version) -> None:
+    """Stamp the v2-only scheduling hints; refuse them on a v1 wire."""
+    if deadline_ms is None and priority is None:
+        return
+    if version < 2:
+        raise WireError(
+            "deadline/priority scheduling hints need schema_version >= 2; "
+            "drop them or raise the wire version",
+            code="schema-version",
+        )
+    if deadline_ms is not None:
+        record["deadline_ms"] = int(deadline_ms)
+    if priority is not None:
+        record["priority"] = int(priority)
 
 
 def _optional_tuple(value, convert, what):
@@ -918,6 +974,49 @@ def admission_stats_from_dict(record: dict) -> AdmissionStats:
 
 
 @dataclass(frozen=True)
+class SchedulerStats:
+    """The scheduling tier's counters, as a stats section (v2).
+
+    ``dispatched_total`` counts requests that waited in the queue
+    before getting a slot (the fast path — a free slot with an empty
+    queue — admits without dispatching); ``timeouts_total`` counts
+    requests that aged out of the queue and were refused.
+    """
+
+    policy: str
+    queue_depth: int
+    queued_predicted_seconds: float
+    dispatched_total: int
+    timeouts_total: int
+
+
+def scheduler_stats_to_dict(stats: SchedulerStats) -> dict:
+    """Wire form of the scheduler section (nested, no version stamp)."""
+    return {
+        "policy": str(stats.policy),
+        "queue_depth": int(stats.queue_depth),
+        "queued_predicted_seconds": _finite(
+            stats.queued_predicted_seconds, "queued_predicted_seconds"
+        ),
+        "dispatched_total": int(stats.dispatched_total),
+        "timeouts_total": int(stats.timeouts_total),
+    }
+
+
+def scheduler_stats_from_dict(record: dict) -> SchedulerStats:
+    """Rebuild a :class:`SchedulerStats` section."""
+    return SchedulerStats(
+        policy=str(record.get("policy", "fifo")),
+        queue_depth=int(record.get("queue_depth", 0)),
+        queued_predicted_seconds=float(
+            record.get("queued_predicted_seconds", 0.0)
+        ),
+        dispatched_total=int(record.get("dispatched_total", 0)),
+        timeouts_total=int(record.get("timeouts_total", 0)),
+    )
+
+
+@dataclass(frozen=True)
 class StatsSnapshot:
     """The typed stats surface every layer renders from.
 
@@ -936,6 +1035,7 @@ class StatsSnapshot:
     report: ServiceReport
     admission: AdmissionStats | None = None
     feedback: FeedbackStats | None = None
+    scheduler: SchedulerStats | None = None
 
     @property
     def stats(self) -> ServiceStats:
@@ -979,6 +1079,14 @@ class StatsSnapshot:
                 f"admitted {self.admission.admitted_total}, "
                 f"refused {self.admission.refused_total}"
             )
+        if self.scheduler is not None:
+            lines.append(
+                f"scheduler: policy {self.scheduler.policy}, "
+                f"queue {self.scheduler.queue_depth} "
+                f"({self.scheduler.queued_predicted_seconds:.3f} predicted s), "
+                f"dispatched {self.scheduler.dispatched_total}, "
+                f"timeouts {self.scheduler.timeouts_total}"
+            )
         if self.feedback is not None:
             lines.append(
                 f"feedback: {self.feedback.observations} observations, "
@@ -1004,6 +1112,8 @@ class StatsSnapshot:
                 record["admission"] = admission_stats_to_dict(self.admission)
             if self.feedback is not None:
                 record["feedback"] = feedback_stats_to_dict(self.feedback)
+            if self.scheduler is not None:
+                record["scheduler"] = scheduler_stats_to_dict(self.scheduler)
         return record
 
     @classmethod
@@ -1012,13 +1122,17 @@ class StatsSnapshot:
         version = check_schema_version(record)
         admission = None
         feedback = None
+        scheduler = None
         if version >= 2:
             if record.get("admission") is not None:
                 admission = admission_stats_from_dict(record["admission"])
             if record.get("feedback") is not None:
                 feedback = feedback_stats_from_dict(record["feedback"])
+            if record.get("scheduler") is not None:
+                scheduler = scheduler_stats_from_dict(record["scheduler"])
         return cls(
             report=service_report_from_dict(record),
             admission=admission,
             feedback=feedback,
+            scheduler=scheduler,
         )

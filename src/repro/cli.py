@@ -39,6 +39,7 @@ from .errors import PredictionError, ReproError, SessionError
 from .executor import Executor
 from .hardware import PROFILES
 from .optimizer import Optimizer
+from .scheduler import SCHEDULER_POLICIES
 
 __all__ = ["main", "build_parser"]
 
@@ -137,6 +138,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="bounded admission: concurrent prediction requests (default: 8)",
     )
     serve.add_argument(
+        "--scheduler", choices=SCHEDULER_POLICIES, default="fifo",
+        help="admission policy past --max-in-flight: fifo refuses "
+        "immediately (the historical behavior); edf-slack and "
+        "budget-fair defer into an uncertainty-aware queue "
+        "(see docs/scheduling.md; default: fifo)",
+    )
+    serve.add_argument(
         "--variants", default="all",
         help="default predictor variants for requests that omit them "
         f"({', '.join(_VARIANT_NAMES)})",
@@ -201,6 +209,12 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument(
         "--time-scale", type=float, default=1.0,
         help="multiply open-loop arrival offsets (0.5 replays twice as fast)",
+    )
+    replay.add_argument(
+        "--deadline-ms", type=int, default=None,
+        help="stamp a per-request latency budget (ms) on every scheduled "
+        "request whose mix component does not set its own; the report "
+        "then quotes the deadline-miss rate (see docs/scheduling.md)",
     )
     replay.add_argument(
         "--target", default="inproc",
@@ -526,6 +540,7 @@ def _cmd_serve(args, out) -> int:
         estimator=args.estimator,
         default_variants=variants,
         default_mpls=mpls,
+        scheduler_policy=args.scheduler,
     )
     if args.workers != 1:
         return _serve_pool(args, out, config)
@@ -546,7 +561,8 @@ def _cmd_serve(args, out) -> int:
     # and operators parse the (possibly ephemeral) bound address from it.
     print(
         f"repro serve listening on {server.url} "
-        f"(wire schema v{SCHEMA_VERSION}, max in-flight {args.max_in_flight})",
+        f"(wire schema v{SCHEMA_VERSION}, max in-flight {args.max_in_flight}, "
+        f"scheduler {args.scheduler})",
         file=out, flush=True,
     )
 
@@ -596,7 +612,7 @@ def _serve_pool(args, out, config) -> int:
         f"repro serve listening on {pool.url} "
         f"(wire schema v{SCHEMA_VERSION}, max in-flight "
         f"{args.max_in_flight} per worker, workers {args.workers}, "
-        f"mode {pool.mode})",
+        f"mode {pool.mode}, scheduler {config.scheduler_policy})",
         file=out, flush=True,
     )
     stop = threading.Event()
@@ -681,6 +697,7 @@ def _cmd_replay(args, out) -> int:
     schedule = build_schedule(
         mix, database, load,
         seed=args.replay_seed, duration_seconds=args.duration,
+        deadline_ms=args.deadline_ms,
     )
     if not args.as_json:
         print(schedule.describe(), file=out, flush=True)

@@ -74,6 +74,10 @@ class FeedbackError(ReproError):
     """The online-feedback subsystem was misconfigured or fed bad data."""
 
 
+class SchedulerError(ReproError):
+    """The uncertainty-aware scheduling tier was misconfigured or misused."""
+
+
 class WireError(ReproError):
     """A wire-schema payload is malformed or has an unsupported version.
 
@@ -105,6 +109,7 @@ ERROR_CODES = {
     SessionError: "session",
     ServingError: "serving",
     FeedbackError: "feedback",
+    SchedulerError: "scheduler",
     WireError: "bad-request",
     ReproError: "error",
 }

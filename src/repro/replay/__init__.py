@@ -17,14 +17,17 @@ comes back:
 * :func:`build_schedule` — a **deterministic** request schedule: same
   seed + mix + arrival model ⇒ the identical sequence of (time, client,
   SQL, fan-out) requests, pinned by :meth:`ReplaySchedule.fingerprint`;
-* :mod:`repro.replay.targets` — the two drive targets: an in-process
-  :class:`~repro.api.Session` or a live HTTP endpoint via
-  :class:`~repro.api.HttpClient`;
+* :mod:`repro.replay.targets` — the drive targets: an in-process
+  :class:`~repro.api.Session`, a live HTTP endpoint via
+  :class:`~repro.api.HttpClient`, or a wire-app stack (admission gate
+  included) via :class:`WireAppTarget`;
 * :class:`ReplayRunner` — executes a schedule open- or closed-loop and
   collects per-request observations;
 * :class:`ReplayReport` — throughput, p50/p95/p99 latency, error/503
-  rates, the cache-hit trajectory, and prediction-uncertainty
-  calibration measured *under load* against an idle baseline.
+  rates, the cache-hit trajectory, per-tenant breakdowns and
+  deadline-miss rates (``docs/scheduling.md``), and
+  prediction-uncertainty calibration measured *under load* against an
+  idle baseline.
 
 * :func:`run_feedback_loop` — the replayed v2 feedback loop:
   sequential predict -> simulated-ground-truth observe, with an
@@ -49,10 +52,20 @@ from .feedback import (
     simulated_actuals,
 )
 from .mix import MIX_PRESETS, MixComponent, WorkloadMix, parse_mix
-from .report import CalibrationSummary, LatencySummary, ReplayReport
+from .report import (
+    CalibrationSummary,
+    LatencySummary,
+    ReplayReport,
+    TenantSummary,
+)
 from .runner import Observation, ReplayRunner, ReplayRun
 from .schedule import ReplaySchedule, ScheduledRequest, build_schedule
-from .targets import HttpTarget, InProcessTarget, ReplayTarget
+from .targets import (
+    HttpTarget,
+    InProcessTarget,
+    ReplayTarget,
+    WireAppTarget,
+)
 
 __all__ = [
     "ArrivalProcess",
@@ -74,7 +87,9 @@ __all__ = [
     "ReplaySchedule",
     "ReplayTarget",
     "ScheduledRequest",
+    "TenantSummary",
     "UniformArrivals",
+    "WireAppTarget",
     "WorkloadMix",
     "build_schedule",
     "parse_arrival",

@@ -45,6 +45,12 @@ class MixComponent:
     drawn from this component carry its own fan-out. ``pool_size``
     bounds the distinct parameterizations the component cycles through
     (``None`` = a fresh instantiation per draw).
+
+    ``tenant`` / ``deadline_ms`` stamp every request drawn from this
+    component with a v2 tenant attribution and latency budget — what
+    lets a mix model distinct tenants with distinct SLOs against the
+    uncertainty-aware scheduler (``docs/scheduling.md``). ``None``
+    leaves the wire fields absent, i.e. today's behavior.
     """
 
     kind: str
@@ -53,6 +59,8 @@ class MixComponent:
     mpls: tuple[int, ...] | None = None
     confidences: tuple[float, ...] | None = None
     pool_size: int | None = None
+    tenant: str | None = None
+    deadline_ms: int | None = None
 
     def __post_init__(self):
         base = self.kind.split(":", 1)[0]
@@ -84,12 +92,26 @@ class MixComponent:
                 f"component {self.kind!r}: pool_size must be >= 1 or None, "
                 f"got {self.pool_size}"
             )
+        if self.tenant is not None and not self.tenant:
+            raise ReproError(
+                f"component {self.kind!r}: tenant must be a non-empty "
+                "string or None"
+            )
+        if self.deadline_ms is not None and self.deadline_ms < 1:
+            raise ReproError(
+                f"component {self.kind!r}: deadline_ms must be >= 1 or None, "
+                f"got {self.deadline_ms}"
+            )
 
     def describe(self) -> str:
         """``"tpch:6 x0.30 (pool 4)"``-style one-liner."""
         text = f"{self.kind} x{self.weight:g}"
         if self.pool_size is not None:
             text += f" (pool {self.pool_size})"
+        if self.tenant is not None:
+            text += f" [{self.tenant}]"
+        if self.deadline_ms is not None:
+            text += f" <{self.deadline_ms}ms>"
         return text
 
 

@@ -32,6 +32,7 @@ __all__ = [
     "CalibrationSummary",
     "LatencySummary",
     "ReplayReport",
+    "TenantSummary",
     "calibration_under_load",
 ]
 
@@ -71,6 +72,50 @@ class LatencySummary:
             "p95": self.p95,
             "p99": self.p99,
             "max": self.max,
+        }
+
+
+@dataclass(frozen=True)
+class TenantSummary:
+    """One tenant's slice of a replay (see ``docs/scheduling.md``).
+
+    Built only when the schedule stamps tenants on its requests —
+    the per-tenant view of what a scheduling policy did to each
+    tenant's throughput, tail latency, and deadline behavior.
+    """
+
+    tenant: str
+    requests_total: int
+    requests_succeeded: int
+    requests_failed: int
+    throughput_qps: float
+    p99_seconds: float
+    deadline_requests: int
+    deadline_misses: int
+
+    @property
+    def error_rate(self) -> float:
+        """Failed requests per issued request for this tenant."""
+        return self.requests_failed / max(self.requests_total, 1)
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Missed deadlines per deadline-carrying request."""
+        return self.deadline_misses / max(self.deadline_requests, 1)
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping."""
+        return {
+            "tenant": self.tenant,
+            "requests_total": self.requests_total,
+            "requests_succeeded": self.requests_succeeded,
+            "requests_failed": self.requests_failed,
+            "throughput_qps": self.throughput_qps,
+            "p99_seconds": self.p99_seconds,
+            "error_rate": self.error_rate,
+            "deadline_requests": self.deadline_requests,
+            "deadline_misses": self.deadline_misses,
+            "deadline_miss_rate": self.deadline_miss_rate,
         }
 
 
@@ -116,6 +161,12 @@ class ReplayReport:
     #: ((completed requests, cumulative prepared-cache hit rate), ...)
     cache_trajectory: tuple
     calibration: CalibrationSummary | None = None
+    #: requests that carried a latency budget (deadline_ms on the schedule)
+    deadline_requests: int = 0
+    #: deadline-carrying requests that finished late or failed outright
+    deadline_misses: int = 0
+    #: per-tenant breakdowns, present when the schedule stamps tenants
+    tenants: tuple = ()
 
     @classmethod
     def from_run(
@@ -124,6 +175,7 @@ class ReplayReport:
         """Condense a finished :class:`ReplayRun`."""
         succeeded = run.succeeded
         wall = max(run.wall_seconds, 1e-12)
+        deadline_requests, deadline_misses = _deadline_outcomes(run)
         return cls(
             target=run.target_description,
             mode=run.schedule.mode,
@@ -140,12 +192,26 @@ class ReplayReport:
             max_in_flight=run.max_in_flight,
             cache_trajectory=_cache_trajectory(run),
             calibration=calibration,
+            deadline_requests=deadline_requests,
+            deadline_misses=deadline_misses,
+            tenants=_tenant_summaries(run, wall),
         )
 
     @property
     def error_rate(self) -> float:
         """Failed requests per issued request."""
         return self.requests_failed / max(self.requests_total, 1)
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Missed deadlines per deadline-carrying request.
+
+        A request misses when its observed latency exceeds its
+        ``deadline_ms`` budget *or* it failed outright (a refusal never
+        answers within any budget). Zero when the schedule carried no
+        deadlines.
+        """
+        return self.deadline_misses / max(self.deadline_requests, 1)
 
     @property
     def over_capacity_rate(self) -> float:
@@ -171,6 +237,10 @@ class ReplayReport:
             "calibration": (
                 self.calibration.to_dict() if self.calibration else None
             ),
+            "deadline_requests": self.deadline_requests,
+            "deadline_misses": self.deadline_misses,
+            "deadline_miss_rate": self.deadline_miss_rate,
+            "tenants": [tenant.to_dict() for tenant in self.tenants],
         }
 
     def render(self) -> str:
@@ -198,6 +268,25 @@ class ReplayReport:
                 for count, rate in self.cache_trajectory
             )
             lines.append(f"cache hit rate : {points}  (completed:cumulative)")
+        if self.deadline_requests:
+            lines.append(
+                f"deadlines      : {self.deadline_misses}/"
+                f"{self.deadline_requests} missed "
+                f"({self.deadline_miss_rate:.0%})"
+            )
+        for tenant in self.tenants:
+            lines.append(
+                f"tenant {tenant.tenant:<8}: "
+                f"{tenant.requests_succeeded}/{tenant.requests_total} ok, "
+                f"{tenant.throughput_qps:.1f} q/s, "
+                f"p99 {tenant.p99_seconds * 1e3:.1f} ms, "
+                f"errors {tenant.error_rate:.0%}"
+                + (
+                    f", deadline misses {tenant.deadline_miss_rate:.0%}"
+                    if tenant.deadline_requests
+                    else ""
+                )
+            )
         if self.calibration is not None:
             c = self.calibration
             lines.append(
@@ -213,6 +302,71 @@ class ReplayReport:
             f"{code} x{count}" for code, count in sorted(self.error_counts.items())
         )
         return f"({counts})" if counts else ""
+
+
+def _missed(observation, request) -> bool:
+    """Whether a deadline-carrying request blew its latency budget."""
+    if not observation.ok:
+        return True
+    return observation.latency_seconds * 1000.0 > request.deadline_ms
+
+
+def _deadline_outcomes(run: ReplayRun) -> tuple[int, int]:
+    """``(deadline_requests, deadline_misses)`` over the whole run."""
+    by_index = {request.index: request for request in run.schedule.requests}
+    requests = misses = 0
+    for observation in run.observations:
+        request = by_index.get(observation.index)
+        if request is None or request.deadline_ms is None:
+            continue
+        requests += 1
+        if _missed(observation, request):
+            misses += 1
+    return requests, misses
+
+
+def _tenant_summaries(run: ReplayRun, wall: float) -> tuple:
+    """Per-tenant breakdowns, first-seen schedule order; () without tenants."""
+    by_index = {request.index: request for request in run.schedule.requests}
+    order: list[str] = []
+    grouped: dict[str, list] = {}
+    for observation in run.observations:
+        request = by_index.get(observation.index)
+        if request is None or request.tenant is None:
+            continue
+        if request.tenant not in grouped:
+            order.append(request.tenant)
+            grouped[request.tenant] = []
+        grouped[request.tenant].append((observation, request))
+    summaries = []
+    for tenant in order:
+        pairs = grouped[tenant]
+        succeeded = [o for o, _ in pairs if o.ok]
+        with_deadline = [
+            (o, r) for o, r in pairs if r.deadline_ms is not None
+        ]
+        latencies = np.asarray(
+            [o.latency_seconds for o in succeeded], dtype=float
+        )
+        summaries.append(
+            TenantSummary(
+                tenant=tenant,
+                requests_total=len(pairs),
+                requests_succeeded=len(succeeded),
+                requests_failed=len(pairs) - len(succeeded),
+                throughput_qps=len(succeeded) / wall,
+                p99_seconds=(
+                    float(np.percentile(latencies, 99))
+                    if latencies.size
+                    else 0.0
+                ),
+                deadline_requests=len(with_deadline),
+                deadline_misses=sum(
+                    1 for o, r in with_deadline if _missed(o, r)
+                ),
+            )
+        )
+    return tuple(summaries)
 
 
 def _cache_trajectory(run: ReplayRun, points: int = 8) -> tuple:

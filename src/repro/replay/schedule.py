@@ -35,7 +35,9 @@ class ScheduledRequest:
     (0.0 for closed-loop requests, whose issue times depend on response
     latencies by design). ``variants``/``mpls``/``confidences`` are the
     drawing component's fan-out overrides (``None`` defers to the
-    target session's defaults).
+    target session's defaults). ``tenant``/``deadline_ms`` are the
+    drawing component's v2 scheduling attribution (``None`` leaves the
+    wire fields absent).
     """
 
     index: int
@@ -45,6 +47,8 @@ class ScheduledRequest:
     variants: tuple[str, ...] | None = None
     mpls: tuple[int, ...] | None = None
     confidences: tuple[float, ...] | None = None
+    tenant: str | None = None
+    deadline_ms: int | None = None
 
     def canonical(self) -> str:
         """The stable one-line form fingerprints are computed over."""
@@ -57,6 +61,8 @@ class ScheduledRequest:
                 ",".join(self.variants) if self.variants else "-",
                 ",".join(map(str, self.mpls)) if self.mpls else "-",
                 ",".join(map(repr, self.confidences)) if self.confidences else "-",
+                self.tenant if self.tenant is not None else "-",
+                str(self.deadline_ms) if self.deadline_ms is not None else "-",
             )
         )
 
@@ -120,6 +126,7 @@ def build_schedule(
     *,
     seed: int = 0,
     duration_seconds: float = 5.0,
+    deadline_ms: int | None = None,
 ) -> ReplaySchedule:
     """Materialize a deterministic schedule for ``mix`` under ``load``.
 
@@ -129,7 +136,17 @@ def build_schedule(
     regenerates it from the shared session config, which is cheap and
     exact. ``duration_seconds`` is the open-loop horizon; closed-loop
     schedules take their size from the load model instead.
+
+    ``deadline_ms`` stamps a latency budget on every request whose
+    drawing component does not set its own (a component's
+    ``deadline_ms`` always wins) — the knob behind ``repro replay
+    --deadline-ms``, which lets any stock mix exercise deadline-aware
+    scheduling without defining a custom mix.
     """
+    if deadline_ms is not None and deadline_ms < 1:
+        raise ReproError(
+            f"deadline_ms must be >= 1 or None, got {deadline_ms}"
+        )
     rng = ensure_rng(seed)
     drawer = mix.drawer(database, rng)
     requests: list[ScheduledRequest] = []
@@ -144,6 +161,12 @@ def build_schedule(
             variants=component.variants,
             mpls=component.mpls,
             confidences=component.confidences,
+            tenant=component.tenant,
+            deadline_ms=(
+                component.deadline_ms
+                if component.deadline_ms is not None
+                else deadline_ms
+            ),
         )
 
     if isinstance(load, ClosedLoop):

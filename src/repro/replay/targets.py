@@ -7,9 +7,14 @@ Two targets cover the serving stack end to end with one driver:
 * :class:`HttpTarget` wraps an :class:`~repro.api.HttpClient` against a
   running ``repro serve`` — measures the full wire path including
   admission control (503s surface as coded observations, optionally
-  absorbed by the client's seeded retry policy).
+  absorbed by the client's seeded retry policy);
+* :class:`WireAppTarget` drives a wire-app stack (typically an
+  :class:`~repro.serving.admission.AdmissionGate` over a
+  :class:`~repro.serving.app.SessionApp`) through its record-level
+  interface — the admission/scheduling path without sockets, which is
+  what the ``scheduling_overload`` bench measures.
 
-Both speak the same typed wire objects, so the runner is oblivious to
+All speak the same typed wire objects, so the runner is oblivious to
 the transport and per-request observations are comparable across
 targets — the basis of the retained-throughput metrics in the
 ``replay_load`` bench scenario.
@@ -17,13 +22,18 @@ targets — the basis of the retained-throughput metrics in the
 
 from __future__ import annotations
 
-from ..api.client import HttpClient
+from ..api.client import ApiError, HttpClient
 from ..api.session import Session
 from ..api.wire import Observation as WireObservation
-from ..api.wire import ObserveResponse, PredictRequest, StatsSnapshot
+from ..api.wire import (
+    ObserveResponse,
+    PredictRequest,
+    PredictResponse,
+    StatsSnapshot,
+)
 from .schedule import ScheduledRequest
 
-__all__ = ["HttpTarget", "InProcessTarget", "ReplayTarget"]
+__all__ = ["HttpTarget", "InProcessTarget", "ReplayTarget", "WireAppTarget"]
 
 
 def _wire_request(request: ScheduledRequest) -> PredictRequest:
@@ -32,6 +42,8 @@ def _wire_request(request: ScheduledRequest) -> PredictRequest:
         variants=request.variants,
         mpls=request.mpls,
         confidences=request.confidences,
+        tenant=request.tenant,
+        deadline_ms=request.deadline_ms,
     )
 
 
@@ -95,6 +107,68 @@ class InProcessTarget(ReplayTarget):
 
     def describe(self) -> str:
         return "in-process session"
+
+
+class WireAppTarget(ReplayTarget):
+    """Drive a wire-app stack through its record-level interface.
+
+    ``app`` is any :class:`~repro.serving.app.WireApp` — in practice an
+    admission gate over a session app, which makes this the one target
+    that measures admission *and* scheduling behavior with in-process
+    latencies. Non-200 answers raise :class:`~repro.api.client.ApiError`
+    with the structured code and ``Retry-After`` hint, exactly like the
+    HTTP client, so the runner's per-request observations are
+    transport-agnostic.
+    """
+
+    name = "wire-app"
+
+    def __init__(self, app):
+        self._app = app
+
+    @property
+    def app(self):
+        return self._app
+
+    def _post(self, path: str, record: dict) -> dict:
+        response = self._app.handle_post(path, lambda: record)
+        if response.status != 200:
+            error = response.record.get("error") or {}
+            # staticcheck: disable=error-taxonomy — ApiError *is* the
+            # coded client-side error surface (it re-wraps the server's
+            # structured code), mirroring HttpClient exactly so the
+            # runner classifies failures identically across targets.
+            raise ApiError(
+                response.status,
+                error.get("code", "internal"),
+                error.get("message", "request failed"),
+                retry_after=response.retry_after,
+            )
+        return response.record
+
+    def predict(self, request: ScheduledRequest):
+        """POST-equivalent /v1/predict through the app stack (v2 wire)."""
+        return self.predict_wire(_wire_request(request))
+
+    def predict_wire(self, request: PredictRequest):
+        """Serve one fully-specified wire request through the stack."""
+        record = self._post("/v1/predict", request.to_dict(version=2))
+        return PredictResponse.from_dict(record)
+
+    def observe(self, observation: WireObservation) -> ObserveResponse:
+        """POST-equivalent /v1/observe through the app stack."""
+        record = self._post("/v1/observe", observation.to_dict(version=2))
+        return ObserveResponse.from_dict(record)
+
+    def stats(self) -> StatsSnapshot | None:
+        """GET-equivalent /v1/stats at v2; None on a non-200 answer."""
+        response = self._app.handle_get("/v1/stats?schema_version=2")
+        if response.status != 200:
+            return None
+        return StatsSnapshot.from_dict(response.record)
+
+    def describe(self) -> str:
+        return f"wire-app {type(self._app).__name__}"
 
 
 class HttpTarget(ReplayTarget):

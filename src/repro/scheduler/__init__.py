@@ -1,0 +1,54 @@
+"""Uncertainty-aware scheduling: dispatch by predicted time + variance.
+
+The paper's machinery predicts a *distribution* of running times, not a
+point estimate. This package turns that distribution outward, onto the
+serving tier's own traffic: instead of the blind bounded-in-flight
+FIFO admission the HTTP front door shipped with, an admission layer can
+*defer* excess requests into a :class:`PredictedCostQueue` — each
+annotated, at enqueue time, with the engine's predicted mean/std for
+its SQL (one cached-prepare-path prediction) — and dispatch them under
+a pluggable :class:`SchedulingPolicy`:
+
+* ``fifo`` — arrival order (the compatibility twin of the default
+  non-queueing admission);
+* ``edf-slack`` — earliest effective deadline first, each deadline
+  shrunk by an uncertainty slack ``k·std`` so less-certain predictions
+  start sooner (:class:`EdfSlackPolicy`);
+* ``budget-fair`` — deficit round-robin across tenants in
+  **predicted-seconds** (:class:`TenantBudgets`), so a tenant's share
+  is measured in engine time the predictor expects to spend, not in
+  request counts.
+
+The serving integration — the queueing
+:class:`~repro.serving.admission.SchedulingAdmission` policy, the
+``scheduler`` stats section, and the ``deadline_ms``/``priority`` v2
+wire fields — lives in :mod:`repro.serving.admission` and
+:mod:`repro.api.wire`; this package is transport-agnostic and depends
+only on the error taxonomy. See ``docs/scheduling.md``.
+"""
+
+from .budgets import TenantBudgets
+from .policy import (
+    DEFAULT_SLACK,
+    SCHEDULER_POLICIES,
+    BudgetFairPolicy,
+    EdfSlackPolicy,
+    FifoPolicy,
+    SchedulingPolicy,
+    make_policy,
+)
+from .queue import CostEstimate, PredictedCostQueue, QueueEntry
+
+__all__ = [
+    "DEFAULT_SLACK",
+    "SCHEDULER_POLICIES",
+    "BudgetFairPolicy",
+    "CostEstimate",
+    "EdfSlackPolicy",
+    "FifoPolicy",
+    "PredictedCostQueue",
+    "QueueEntry",
+    "SchedulingPolicy",
+    "TenantBudgets",
+    "make_policy",
+]

@@ -1,0 +1,153 @@
+"""The scheduling-policy catalogue: who leaves the queue next.
+
+A :class:`SchedulingPolicy` is a pure dispatch-order strategy over the
+entries a :class:`~repro.scheduler.queue.PredictedCostQueue` holds.
+Three implementations (see ``docs/scheduling.md``):
+
+* :class:`FifoPolicy` — arrival order, the behavioral twin of the
+  pre-scheduler :class:`~repro.serving.admission.BoundedInFlight` path
+  (which remains the actual default wiring and never queues at all);
+* :class:`EdfSlackPolicy` — earliest *effective* deadline first, where
+  each request's deadline is pulled **earlier** by an uncertainty
+  slack ``k·std``: of two requests due at the same instant, the one
+  whose predicted time is less certain must start sooner to hold the
+  same confidence of finishing in budget. ``k`` is the config's
+  ``scheduler_slack`` (default 1.645, the one-sided 95% normal
+  quantile — the paper's distributions are what make this number mean
+  something);
+* :class:`BudgetFairPolicy` — deficit round-robin across tenants in
+  predicted-seconds (:class:`~repro.scheduler.budgets.TenantBudgets`),
+  arrival order within a tenant.
+
+Every policy breaks exact ties by arrival sequence number, so dispatch
+order is a deterministic function of the queue's contents — invariant
+to how many threads fed it.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from ..errors import SchedulerError
+from .budgets import TenantBudgets
+from .queue import QueueEntry
+
+__all__ = [
+    "DEFAULT_SLACK",
+    "SCHEDULER_POLICIES",
+    "BudgetFairPolicy",
+    "EdfSlackPolicy",
+    "FifoPolicy",
+    "SchedulingPolicy",
+    "make_policy",
+]
+
+#: Policy names selectable via ``SessionConfig.scheduler_policy`` /
+#: ``repro serve --scheduler``.
+SCHEDULER_POLICIES = ("fifo", "edf-slack", "budget-fair")
+
+#: One-sided 95% normal quantile: the default uncertainty slack factor.
+DEFAULT_SLACK = 1.645
+
+
+class SchedulingPolicy:
+    """Selects the next entry to dispatch from a non-empty queue."""
+
+    #: The policy's stable wire name (reported in the stats section).
+    name: str = "?"
+
+    def select(self, entries: Sequence[QueueEntry]) -> QueueEntry:
+        """The entry to dispatch next; ``entries`` is never empty."""
+        raise NotImplementedError
+
+    def on_dispatch(self, entry: QueueEntry) -> None:
+        """Hook: ``entry`` was removed from the queue and granted a slot."""
+
+    def on_drained(self) -> None:
+        """Hook: the queue just became empty (reset any carried state)."""
+
+
+class FifoPolicy(SchedulingPolicy):
+    """Arrival order — the queueing twin of bounded-in-flight admission."""
+
+    name = "fifo"
+
+    def select(self, entries: Sequence[QueueEntry]) -> QueueEntry:
+        """The oldest entry by arrival sequence."""
+        return min(entries, key=lambda entry: entry.seq)
+
+
+class EdfSlackPolicy(SchedulingPolicy):
+    """Earliest effective deadline first, shrunk by ``slack * std``.
+
+    The effective deadline of an entry is::
+
+        arrival + deadline - slack * predicted_std
+
+    Higher ``priority`` always dispatches first; within a priority
+    class the earliest effective deadline wins; exact ties break by
+    arrival sequence.
+    """
+
+    name = "edf-slack"
+
+    def __init__(self, slack: float = DEFAULT_SLACK):
+        if not (math.isfinite(slack) and slack >= 0):
+            raise SchedulerError(f"slack must be >= 0, got {slack}")
+        self.slack = slack
+
+    def effective_deadline(self, entry: QueueEntry) -> float:
+        """The entry's deadline pulled earlier by the uncertainty slack."""
+        return entry.absolute_deadline() - self.slack * entry.estimate.std
+
+    def select(self, entries: Sequence[QueueEntry]) -> QueueEntry:
+        """Highest priority, then earliest effective deadline, then seq."""
+        return min(
+            entries,
+            key=lambda entry: (
+                -entry.priority,
+                self.effective_deadline(entry),
+                entry.seq,
+            ),
+        )
+
+
+class BudgetFairPolicy(SchedulingPolicy):
+    """Per-tenant deficit round-robin in predicted-seconds."""
+
+    name = "budget-fair"
+
+    def __init__(self, quantum_seconds: float = 0.05):
+        self.budgets = TenantBudgets(quantum_seconds)
+
+    def select(self, entries: Sequence[QueueEntry]) -> QueueEntry:
+        """The head of the tenant whose deficit covers its head's cost."""
+        return self.budgets.choose(entries)
+
+    def on_dispatch(self, entry: QueueEntry) -> None:
+        """Debit the dispatched entry's predicted mean from its tenant."""
+        self.budgets.charge(entry)
+
+    def on_drained(self) -> None:
+        """An empty queue owes nobody anything: zero the DRR state."""
+        self.budgets.clear()
+
+
+def make_policy(
+    name: str,
+    *,
+    slack: float = DEFAULT_SLACK,
+    quantum_seconds: float = 0.05,
+) -> SchedulingPolicy:
+    """Build the named policy with the config's tuning knobs."""
+    if name == "fifo":
+        return FifoPolicy()
+    if name == "edf-slack":
+        return EdfSlackPolicy(slack)
+    if name == "budget-fair":
+        return BudgetFairPolicy(quantum_seconds)
+    raise SchedulerError(
+        f"unknown scheduling policy {name!r}; "
+        f"expected one of {', '.join(SCHEDULER_POLICIES)}"
+    )

@@ -1,0 +1,169 @@
+"""The predicted-cost queue: deferred requests with their cost estimates.
+
+A :class:`PredictedCostQueue` holds the requests an admission layer has
+deferred rather than refused, each annotated with the prediction
+engine's own estimate of its running time — the
+:class:`CostEstimate` ``(mean, std)`` obtained by running the cached
+prepare path at enqueue time. Dispatch order is delegated to a
+:class:`~repro.scheduler.policy.SchedulingPolicy`; the queue itself
+only stores entries, tracks its predicted-seconds backlog, and memoizes
+cost estimates per SQL string so a recurring query is estimated once.
+
+Thread model: the estimate cache has its own short-held lock (the
+estimator itself — a prediction through the engine — always runs
+*outside* it), while every structural mutation (:meth:`push`,
+:meth:`pop_next`, :meth:`remove`) must happen under the owning
+admission policy's lock. That split keeps the expensive prepare path
+out of every lock this module knows about.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from ..errors import SchedulerError
+
+__all__ = ["CostEstimate", "PredictedCostQueue", "QueueEntry"]
+
+#: Bound on the memoized per-SQL estimate cache. Estimates are two
+#: floats, so the bound exists to keep pathological never-repeating
+#: traffic from growing the dict without limit, not to save memory on
+#: realistic working sets.
+DEFAULT_ESTIMATE_CACHE_SIZE = 1024
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """The prediction engine's cost guess for one queued request.
+
+    ``mean``/``std`` are the predicted running-time distribution's
+    moments in seconds (zero when the request could not be estimated —
+    a malformed statement still flows through the queue so the inner
+    app can produce its structured error).
+    """
+
+    mean: float = 0.0
+    std: float = 0.0
+
+
+@dataclass
+class QueueEntry:
+    """One deferred request awaiting dispatch.
+
+    ``seq`` is the arrival sequence number (assigned by :meth:`push`,
+    strictly increasing) — the stable tie-breaker every policy falls
+    back to, which is what makes dispatch order invariant to thread
+    scheduling. ``deadline_seconds`` is the client's latency budget
+    relative to ``arrival_seconds``; ``granted`` flips under the
+    admission lock when a dispatcher hands this entry a slot, and
+    ``event`` wakes the thread parked in admit.
+    """
+
+    arrival_seconds: float
+    tenant: str
+    deadline_seconds: float
+    priority: int
+    estimate: CostEstimate
+    seq: int = -1
+    event: threading.Event = field(default_factory=threading.Event)
+    granted: bool = False
+
+    def absolute_deadline(self) -> float:
+        """Arrival-relative absolute deadline in queue-clock seconds."""
+        return self.arrival_seconds + self.deadline_seconds
+
+
+class PredictedCostQueue:
+    """Deferred requests plus a memoized per-SQL cost estimator.
+
+    ``estimator`` maps a SQL string to ``(mean, std)`` — typically
+    :meth:`repro.api.session.Session.estimate`, which runs the cached
+    prepare path. Estimation failures are absorbed into a zero
+    estimate: admission must never reject what the serving app would
+    answer with a structured error body.
+    """
+
+    def __init__(
+        self,
+        estimator: Callable[[str], tuple[float, float]] | None = None,
+        cache_size: int = DEFAULT_ESTIMATE_CACHE_SIZE,
+    ):
+        if cache_size < 1:
+            raise SchedulerError(
+                f"estimate cache_size must be >= 1, got {cache_size}"
+            )
+        self._estimator = estimator
+        self._cache_size = cache_size
+        self._cache: dict[str, CostEstimate] = {}
+        self._cache_lock = threading.Lock()
+        self._entries: list[QueueEntry] = []
+        self._next_seq = 0
+
+    # -- cost estimation (thread-safe, runs outside the admission lock) ----
+    def estimate(self, sql: str | None) -> CostEstimate:
+        """The memoized cost estimate for ``sql`` (zero when unknown)."""
+        if sql is None or self._estimator is None:
+            return CostEstimate()
+        with self._cache_lock:
+            cached = self._cache.get(sql)
+        if cached is not None:
+            return cached
+        try:
+            mean, std = self._estimator(sql)
+            estimate = CostEstimate(mean=float(mean), std=float(std))
+        except Exception:  # noqa: BLE001 — the serving app owns the error
+            estimate = CostEstimate()
+        with self._cache_lock:
+            if len(self._cache) >= self._cache_size:
+                # Drop the oldest insertion; dict order makes this FIFO.
+                self._cache.pop(next(iter(self._cache)))
+            self._cache[sql] = estimate
+        return estimate
+
+    def estimate_cache_entries(self) -> int:
+        """How many SQL strings currently have a memoized estimate."""
+        with self._cache_lock:
+            return len(self._cache)
+
+    # -- structure (caller must hold the owning admission lock) ------------
+    def push(self, entry: QueueEntry) -> QueueEntry:
+        """Append ``entry``, assigning its arrival sequence number."""
+        entry.seq = self._next_seq
+        self._next_seq += 1
+        self._entries.append(entry)
+        return entry
+
+    def pop_next(self, policy) -> QueueEntry | None:
+        """Remove and return the entry ``policy`` selects, or None."""
+        if not self._entries:
+            return None
+        entry = policy.select(self._entries)
+        self._entries.remove(entry)
+        policy.on_dispatch(entry)
+        if not self._entries:
+            policy.on_drained()
+        return entry
+
+    def remove(self, entry: QueueEntry, policy=None) -> None:
+        """Withdraw a timed-out entry (no-op if already dispatched).
+
+        When the withdrawal empties the queue, ``policy`` (if given) is
+        told it drained so round-robin/deficit state resets exactly as
+        it does on a dispatch that empties the queue.
+        """
+        try:
+            self._entries.remove(entry)
+        except ValueError:
+            return
+        if policy is not None and not self._entries:
+            policy.on_drained()
+
+    def depth(self) -> int:
+        """How many requests are currently deferred."""
+        return len(self._entries)
+
+    def predicted_seconds(self) -> float:
+        """The queue's backlog in predicted seconds (sum of means)."""
+        return sum(entry.estimate.mean for entry in self._entries)

@@ -10,8 +10,12 @@ separately pluggable layers (bottom up; see ``docs/serving.md``):
   implement, and :class:`SessionApp`, the innermost layer binding one
   :class:`~repro.api.session.Session` to the ``/v1`` endpoints.
 * :mod:`~repro.serving.admission` — :class:`AdmissionPolicy` and the
-  :class:`AdmissionGate` app applying it (bounded in-flight with
-  queue-depth-derived ``Retry-After`` on 503).
+  :class:`AdmissionGate` app applying it: :class:`BoundedInFlight`
+  (non-queueing, queue-depth-derived ``Retry-After`` on 503) or the
+  uncertainty-aware :class:`SchedulingAdmission`, which defers excess
+  requests into a predicted-cost queue under a
+  :mod:`repro.scheduler` policy (``docs/scheduling.md``);
+  :func:`build_admission` picks from the session config.
 * :mod:`~repro.serving.routing` — :class:`ConsistentHashRouter` over
   plan signatures plus :class:`RoutedApp`, keeping each recurring
   plan's cache artifacts on one worker as the pool fans out.
@@ -31,6 +35,8 @@ from .admission import (
     AdmissionGate,
     AdmissionPolicy,
     BoundedInFlight,
+    SchedulingAdmission,
+    build_admission,
 )
 from .app import (
     METERED_PATHS,
@@ -67,6 +73,7 @@ __all__ = [
     "HttpTransport",
     "RoutedApp",
     "Router",
+    "SchedulingAdmission",
     "ServingHandler",
     "SessionApp",
     "WireApp",
@@ -76,6 +83,7 @@ __all__ = [
     "aggregate_report_records",
     "aggregate_snapshots",
     "aggregate_stats_records",
+    "build_admission",
     "negotiated_version",
     "resolve_mode",
     "reuseport_available",

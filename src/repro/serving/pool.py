@@ -33,7 +33,7 @@ import traceback
 from ..api.config import SessionConfig
 from ..api.session import Session
 from ..errors import ServingError
-from .admission import DEFAULT_MAX_IN_FLIGHT, AdmissionGate, BoundedInFlight
+from .admission import DEFAULT_MAX_IN_FLIGHT, AdmissionGate, build_admission
 from .app import SessionApp
 from .routing import ConsistentHashRouter, RoutedApp
 from .transport import HttpTransport, reuseport_available
@@ -122,7 +122,9 @@ def _worker_main(
 
         router = ConsistentHashRouter(workers)
         routed = RoutedApp(session_app, session, router, peers, index)
-        public.app = AdmissionGate(routed, BoundedInFlight(max_in_flight))
+        public.app = AdmissionGate(
+            routed, build_admission(session, max_in_flight)
+        )
         if mode == "reuseport":
             public.server_bind()
             public.server_activate()

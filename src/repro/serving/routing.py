@@ -223,4 +223,5 @@ class RoutedApp(WireApp):
         if version < 2:
             pool.pop("admission", None)
             pool.pop("feedback", None)
+            pool.pop("scheduler", None)
         return pool

@@ -13,8 +13,9 @@ Counters add; derived rates do not. ``prepare_hit_rate`` and the cache
 denominators — averaging per-worker rates would weight an idle worker
 the same as a busy one — and stay ``None`` when the summed traffic is
 zero, exactly like a single quiet server. The v2 sections follow the
-same discipline: admission counters sum, feedback tenants merge by
-name with observation/drift counters summed. A conformal *scale* is a
+same discipline: admission and scheduler counters sum (the scheduler
+policy name survives when every shard agrees, else ``"mixed"``),
+feedback tenants merge by name with observation/drift counters summed. A conformal *scale* is a
 window quantile and cannot be recombined from per-worker quantiles, so
 a merged tenant keeps its scale only when exactly one worker reports
 one; otherwise the pool answers ``null`` and clients fall back to the
@@ -33,6 +34,7 @@ from collections.abc import Sequence
 
 from ..api.wire import (
     AdmissionStats,
+    SchedulerStats,
     StatsSnapshot,
     check_schema_version,
 )
@@ -187,7 +189,28 @@ def aggregate_snapshots(
         )
     feedbacks = [s.feedback for s in snapshots if s.feedback is not None]
     feedback = _merge_feedback(feedbacks) if feedbacks else None
-    return StatsSnapshot(report=report, admission=admission, feedback=feedback)
+    schedulers = [s.scheduler for s in snapshots if s.scheduler is not None]
+    scheduler = None
+    if schedulers:
+        # Counters and gauges sum across shards; the policy name is the
+        # common one when every shard agrees (always true for a pool
+        # built from one config), "mixed" otherwise.
+        names = {s.policy for s in schedulers}
+        scheduler = SchedulerStats(
+            policy=names.pop() if len(names) == 1 else "mixed",
+            queue_depth=sum(s.queue_depth for s in schedulers),
+            queued_predicted_seconds=sum(
+                s.queued_predicted_seconds for s in schedulers
+            ),
+            dispatched_total=sum(s.dispatched_total for s in schedulers),
+            timeouts_total=sum(s.timeouts_total for s in schedulers),
+        )
+    return StatsSnapshot(
+        report=report,
+        admission=admission,
+        feedback=feedback,
+        scheduler=scheduler,
+    )
 
 
 def aggregate_report_records(records: Sequence[dict]) -> dict:

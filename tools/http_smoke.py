@@ -26,6 +26,14 @@ Stage 3 — ``--workers 2`` (the pre-fork pool, ``docs/serving.md``):
   observed) with ``status: ok`` and the same ``schema_version``;
 * a prediction must round-trip through the sharded pool.
 
+Stage 4 — ``--workers 2 --scheduler edf-slack`` (the uncertainty-aware
+admission tier, ``docs/scheduling.md``):
+
+* the listening line must advertise the scheduler;
+* a deadline-stamped v2 predict (``deadline_ms``/``priority``) must
+  round-trip through the deferring gate unchanged;
+* v2 stats must carry the ``scheduler`` section naming the policy.
+
 Exit status 0 on success; any failure kills the children and exits 1.
 Wired into ``.github/workflows/ci.yml`` and ``make ci`` (pinned by
 ``tests/test_ci_workflow.py``).
@@ -55,7 +63,9 @@ SQL = "SELECT COUNT(*) FROM orders WHERE o_totalprice > 100000"
 _LISTENING = re.compile(r"listening on (http://[0-9.]+:\d+)")
 
 
-def _spawn(scale: float, workers: int = 1) -> subprocess.Popen:
+def _spawn(
+    scale: float, workers: int = 1, scheduler: str | None = None
+) -> subprocess.Popen:
     env = dict(os.environ)
     src = str(REPO_ROOT / "src")
     existing = env.get("PYTHONPATH")
@@ -66,6 +76,8 @@ def _spawn(scale: float, workers: int = 1) -> subprocess.Popen:
     ]
     if workers != 1:
         command += ["--workers", str(workers)]
+    if scheduler is not None:
+        command += ["--scheduler", scheduler]
     return subprocess.Popen(
         command,
         stdout=subprocess.PIPE,
@@ -76,7 +88,9 @@ def _spawn(scale: float, workers: int = 1) -> subprocess.Popen:
     )
 
 
-def _wait_for_url(proc: subprocess.Popen, deadline: float) -> str:
+def _wait_for_url(
+    proc: subprocess.Popen, deadline: float, expect: str | None = None
+) -> str:
     # readline() on the child's pipe blocks with no timeout, so a hung
     # server would stall this stage until the CI job-level timeout. A
     # daemon thread feeds a queue; the main thread polls it against the
@@ -100,6 +114,10 @@ def _wait_for_url(proc: subprocess.Popen, deadline: float) -> str:
         lines.append(line)
         match = _LISTENING.search(line)
         if match:
+            if expect is not None and expect not in line:
+                raise AssertionError(
+                    f"listening line missing {expect!r}: {line!r}"
+                )
             return match.group(1)
     raise RuntimeError(
         "timed out waiting for the listening line:\n" + "".join(lines)
@@ -227,6 +245,42 @@ def _worker_pool_stage(scale: float, timeout: float) -> None:
         _stop(proc)
 
 
+def _scheduler_stage(scale: float, timeout: float) -> None:
+    """A deadline-stamped v2 request through the deferring admission tier."""
+    proc = _spawn(scale, workers=2, scheduler="edf-slack")
+    try:
+        url = _wait_for_url(
+            proc, time.monotonic() + timeout, expect="scheduler edf-slack"
+        )
+        client = HttpClient(url, timeout=timeout)
+
+        body = client.request_json(
+            "POST",
+            "/v1/predict",
+            {
+                "sql": SQL,
+                "schema_version": SCHEMA_VERSION,
+                "deadline_ms": 500,
+                "priority": 1,
+            },
+        )
+        assert body["schema_version"] == SCHEMA_VERSION, body
+        (result,) = body["results"]
+        assert result["mean"] > 0, result
+
+        stats = client.request_json("GET", "/v1/stats?schema_version=2")
+        scheduler = stats.get("scheduler")
+        assert scheduler is not None, stats
+        assert scheduler["policy"] == "edf-slack", scheduler
+
+        print(
+            f"http smoke ok: {url} scheduler {scheduler['policy']}, "
+            f"deadline-stamped mean {result['mean']:.4f}s"
+        )
+    finally:
+        _stop(proc)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", type=float, default=0.01)
@@ -236,6 +290,7 @@ def main(argv: list[str] | None = None) -> int:
     _single_worker_stage(args.scale, args.timeout)
     _cross_version_stage(args.scale, args.timeout)
     _worker_pool_stage(args.scale, args.timeout)
+    _scheduler_stage(args.scale, args.timeout)
     return 0
 
 

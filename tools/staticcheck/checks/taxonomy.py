@@ -63,6 +63,7 @@ _FALLBACK_CLASSES = frozenset(
         "SessionError",
         "ServingError",
         "FeedbackError",
+        "SchedulerError",
         "WireError",
     }
 )
@@ -73,7 +74,7 @@ _ALLOWED_BUILTINS = frozenset(
 )
 
 #: Subsystems whose raises and serialization cross the wire.
-_WIRE_FACING = ("api", "feedback", "replay", "serving")
+_WIRE_FACING = ("api", "feedback", "replay", "scheduler", "serving")
 
 
 def registered_error_classes(root: Path | None) -> frozenset[str]:
