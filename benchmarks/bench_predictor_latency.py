@@ -4,15 +4,33 @@ The paper argues distributions come "almost at the cost" of the point
 predictor [48]. Here pytest-benchmark times the real wall-clock of the
 three prediction stages (sampling pass, cost-function fitting,
 distribution assembly) on a SELJOIN query.
+
+The scenario also meters the SoA batch-assembly kernels
+(docs/service.md "Batch kernels") against the scalar per-result
+assembly + interval loop over the same prepared SELJOIN plans:
+``soa_assembly_retained`` carries a hard floor on the speedup and
+``soa_assembly_bitwise`` hard-floors bit-identical outputs.
 """
+
+import struct
 
 import pytest
 
 from repro.benchreport import Metric, register
-from repro.core import UncertaintyPredictor
+from repro.core import UncertaintyPredictor, Variant
+from repro.core.concurrency import ConcurrentPredictor
 from repro.costfuncs import CostFunctionFitter
 from repro.core.variance import assemble_distribution_parameters
 from repro.sampling import SelectivityEstimator
+from repro.service.kernels import (
+    assemble_batch,
+    batch_intervals,
+    build_batch_plan,
+)
+
+ASSEMBLY_VARIANTS = tuple(Variant)
+ASSEMBLY_MPLS = (1, 2, 4)
+ASSEMBLY_CONFIDENCES = (0.5, 0.9, 0.99)
 
 
 @register("predictor_latency", tags=("latency", "overhead"))
@@ -39,10 +57,118 @@ def scenario(ctx):
         "end_to_end_seconds":
             lambda: predictor.predict(executed.planned, samples),
     }
-    return [
+    metrics = [
         Metric(name, ctx.best_of(func, repetitions)[0], kind="timing", unit="s")
         for name, func in stages.items()
     ]
+
+    # SoA batch assembly vs the scalar per-result loop, over every
+    # SELJOIN plan at the full variant x mpl x confidence fan-out.
+    # Both sides start from the same prepared artifacts (warm assembler
+    # caches), so the ratio isolates the assembly + interval math.
+    entries = []
+    for query in lab.executed_queries("uniform-small", "SELJOIN"):
+        prepared = predictor.prepare(query.planned, samples)
+        prepared.assembler(query.planned)  # warm, like a serving cache
+        entries.append((query.planned, prepared))
+    concurrent = ConcurrentPredictor(units)
+    scalar_seconds, scalar_payload = ctx.best_of(
+        lambda: _assemble_scalar(entries, concurrent), repetitions
+    )
+    soa_seconds, soa_payload = ctx.best_of(
+        lambda: _assemble_soa(entries, concurrent), repetitions
+    )
+    metrics += [
+        Metric(
+            "scalar_assembly_batch_seconds", scalar_seconds,
+            kind="timing", unit="s",
+        ),
+        Metric(
+            "soa_assembly_batch_seconds", soa_seconds,
+            kind="timing", unit="s",
+        ),
+        Metric(
+            "soa_assembly_retained", scalar_seconds / soa_seconds,
+            kind="ratio", floor=2.0,
+        ),
+        Metric(
+            "soa_assembly_bitwise",
+            1.0 if soa_payload == scalar_payload else 0.0,
+            kind="ratio",
+            floor=1.0,
+        ),
+    ]
+    return metrics
+
+
+def _assemble_scalar(entries, concurrent):
+    """The reference loop: one assemble + interval pass per combination."""
+    payload = []
+    for planned, prepared in entries:
+        for mpl in ASSEMBLY_MPLS:
+            predictor = concurrent.predictor_at(mpl)
+            for variant in ASSEMBLY_VARIANTS:
+                result = predictor.predict_prepared(planned, prepared, variant)
+                _pack_result(
+                    payload,
+                    result.breakdown,
+                    result.std,
+                    [
+                        result.confidence_interval(confidence)
+                        for confidence in ASSEMBLY_CONFIDENCES
+                    ],
+                )
+    return payload
+
+
+def _assemble_soa(entries, concurrent):
+    """The SoA kernels over the same artifacts, packed in scalar order."""
+    batch_plan = build_batch_plan(entries)
+    assembly = assemble_batch(
+        batch_plan, concurrent, ASSEMBLY_VARIANTS, ASSEMBLY_MPLS
+    )
+    intervals = batch_intervals(assembly, ASSEMBLY_CONFIDENCES)
+    payload = []
+    # Walk per submitted entry (query_slots), not per distinct slot, so
+    # the payload lines up 1:1 with the scalar loop's even if two
+    # SELJOIN plans ever dedup to one slot.
+    for slot in (int(index) for index in batch_plan.query_slots):
+        for li in range(len(ASSEMBLY_MPLS)):
+            for vi in range(len(ASSEMBLY_VARIANTS)):
+                payload += [
+                    struct.pack("<d", assembly.mean[slot, vi, li]),
+                    struct.pack("<d", assembly.variance[slot, vi, li]),
+                    struct.pack("<d", assembly.std[slot, vi, li]),
+                    struct.pack("<d", assembly.exact_part[slot, vi, li]),
+                    struct.pack("<d", assembly.bounded_part[slot, vi, li]),
+                    struct.pack("<d", assembly.unit_part[slot, vi, li]),
+                ]
+                payload += [
+                    struct.pack("<d", value)
+                    for value in assembly.per_unit_mean[slot, vi, li]
+                ]
+                for ci in range(len(ASSEMBLY_CONFIDENCES)):
+                    payload += [
+                        struct.pack("<d", intervals[slot, vi, li, ci, 0]),
+                        struct.pack("<d", intervals[slot, vi, li, ci, 1]),
+                    ]
+    return payload
+
+
+def _pack_result(payload, breakdown, std, interval_pairs):
+    payload += [
+        struct.pack("<d", breakdown.mean),
+        struct.pack("<d", breakdown.variance),
+        struct.pack("<d", std),
+        struct.pack("<d", breakdown.exact_selectivity_term),
+        struct.pack("<d", breakdown.bounded_covariance_term),
+        struct.pack("<d", breakdown.cost_unit_term),
+    ]
+    payload += [
+        struct.pack("<d", value) for value in breakdown.per_unit_mean.values()
+    ]
+    for low, high in interval_pairs:
+        payload += [struct.pack("<d", low), struct.pack("<d", high)]
 
 
 @pytest.fixture(scope="module")

@@ -11,11 +11,20 @@ reuse across repeated queries. The batch path plans and prepares each
 distinct query once, shares the prepared artifacts across the fan-out
 and across repeats, and assembles with the vectorized matrix path.
 
+The second regime is the warm recurring-batch path: one warmed service
+serving the same batch through the scalar per-query loop vs the SoA
+cross-query kernels (``batch_kernel="soa"``, docs/service.md "Batch
+kernels"), including the per-result confidence-interval payload the
+serving tier computes per response. ``soa_retained`` (hard floor: the
+SoA kernels must stay >= 3x over the scalar loop) and ``soa_bitwise``
+(hard floor 1.0: every payload float bit-identical) guard that path.
+
 Also cross-checks the vectorized assembly against the scalar reference
 on every plan the experiment lab produces (all benchmarks, all
 variants) at 1e-9 relative tolerance.
 """
 
+import struct
 import time
 
 import pytest
@@ -86,6 +95,22 @@ def scenario(ctx):
         abs(prediction.mean - naive_mean) / abs(naive_mean)
         for prediction, naive_mean in zip(batch, naive_means)
     )
+
+    # Warm recurring-batch regime: one warmed service, per-call kernel
+    # override. The meter includes the per-result interval payload the
+    # serving tier computes per response (the SoA kernel precomputes
+    # those bounds in the same array pass); the payload doubles as the
+    # bitwise-agreement probe.
+    warm = PredictionService(db, units, sampling_ratio=SAMPLING_RATIO, seed=1)
+    warm.predict_batch(queries, variants=VARIANTS, mpls=MPLS)
+    reps = ctx.pick(quick=3, full=5)
+    scalar_seconds, scalar_payload = ctx.best_of(
+        lambda: _serve_warm(warm, queries, "scalar"), reps
+    )
+    soa_seconds, soa_payload = ctx.best_of(
+        lambda: _serve_warm(warm, queries, "soa"), reps
+    )
+
     return [
         Metric("batch_seconds", service_seconds, kind="timing", unit="s"),
         Metric("naive_seconds", naive_seconds, kind="timing", unit="s"),
@@ -95,7 +120,49 @@ def scenario(ctx):
         ),
         Metric("prepare_hit_rate", float(batch.stats.prepare_hit_rate)),
         Metric("naive_agreement_max_rel_diff", float(rel_diff)),
+        Metric("warm_scalar_seconds", scalar_seconds, kind="timing", unit="s"),
+        Metric("warm_soa_seconds", soa_seconds, kind="timing", unit="s"),
+        Metric(
+            "soa_retained", scalar_seconds / soa_seconds, kind="ratio",
+            floor=3.0,
+        ),
+        Metric(
+            "soa_bitwise",
+            1.0 if soa_payload == scalar_payload else 0.0,
+            kind="ratio",
+            floor=1.0,
+        ),
     ]
+
+
+CONFIDENCES = (0.5, 0.9, 0.99)
+
+
+def _serve_warm(service, queries, kernel):
+    """One warm serving pass: predict the batch, emit the full payload.
+
+    Returns every served float — means, variances, stds, and both
+    bounds of every confidence interval — as exact little-endian bytes,
+    so timing and the bitwise probe share one pass.
+    """
+    batch = service.predict_batch(
+        queries,
+        variants=VARIANTS,
+        mpls=MPLS,
+        kernel=kernel,
+        confidences=CONFIDENCES if kernel == "soa" else None,
+    )
+    payload = []
+    for prediction in batch:
+        for result in prediction.results.values():
+            payload.append(struct.pack("<d", result.mean))
+            payload.append(struct.pack("<d", result.breakdown.variance))
+            payload.append(struct.pack("<d", result.std))
+            for confidence in CONFIDENCES:
+                low, high = result.confidence_interval(confidence)
+                payload.append(struct.pack("<d", low))
+                payload.append(struct.pack("<d", high))
+    return payload
 
 
 def run_naive(db, units, queries) -> list[float]:

@@ -120,6 +120,7 @@ class Session:
             method=config.estimator,
             cache_size=config.prepared_cache_size,
             sampling_engine_bytes=config.sampling_engine_bytes,
+            batch_kernel=config.batch_kernel,
         )
         self._feedback = FeedbackRecalibrator(config.feedback())
         self._lock = threading.RLock()
@@ -266,6 +267,12 @@ class Session:
         planned or predicted becomes a coded
         :class:`~repro.service.QueryFailure` in the response instead of
         failing the batch.
+
+        The engine runs the batch with its configured ``batch_kernel``
+        (:attr:`SessionConfig.batch_kernel`); the resolved confidence
+        fan-out is passed down so the SoA kernel can precompute every
+        interval bound in the same array pass. Both kernels serve
+        bitwise-identical responses.
         """
         if not isinstance(batch, BatchRequest):
             batch = BatchRequest(queries=tuple(batch))
@@ -279,6 +286,7 @@ class Session:
                 variants=variants,
                 mpls=mpls,
                 skip_failures=batch.skip_failures,
+                confidences=confidences,
             )
         tenant = batch.tenant if batch.tenant is not None else DEFAULT_TENANT
         responses = []

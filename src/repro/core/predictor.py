@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+import numpy as np
+
 from ..calibration.calibrator import CalibratedUnits
 from ..costfuncs.fitting import DEFAULT_GRID_W, CostFunctionFitter, OperatorCostFunctions
 from ..errors import PredictionError
@@ -76,6 +78,31 @@ class PreparedPrediction:
         default=None, repr=False, compare=False
     )
     _assembler_root: object = field(default=None, repr=False, compare=False)
+    _node_parameters: tuple | None = field(default=None, repr=False, compare=False)
+
+    def node_parameters(self) -> tuple:
+        """``(means, variances)`` arrays over non-alias operators, by op id.
+
+        The sampling estimate's per-node selectivity distributions
+        (Algorithm 1's outputs) in stable operator-id order, cached —
+        the batch kernel stacks these for every plan of a batch, and
+        the estimate never changes after preparation.
+        """
+        if self._node_parameters is None:
+            per_node = self.estimate.per_node
+            means: list[float] = []
+            variances: list[float] = []
+            for op_id in sorted(per_node):
+                node_sel = per_node[op_id]
+                if node_sel.source == "alias":
+                    continue
+                means.append(node_sel.mean)
+                variances.append(node_sel.variance)
+            self._node_parameters = (
+                np.array(means, dtype=np.float64),
+                np.array(variances, dtype=np.float64),
+            )
+        return self._node_parameters
 
     def assembler(self, planned) -> VectorizedAssembler:
         """The (lazily built, cached) vectorized Algorithm-3 assembler.
@@ -101,6 +128,13 @@ class PredictionResult:
     breakdown: VarianceBreakdown
     prepared: PreparedPrediction
     variant: Variant
+    #: Optional intervals precomputed by the SoA batch kernel, keyed by
+    #: confidence level and already clamped. The kernel's vectorized
+    #: interval math is bitwise-locked to the scalar path, so a lookup
+    #: here is indistinguishable from computing the interval on demand.
+    _intervals: dict[float, tuple[float, float]] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def mean(self) -> float:
@@ -117,6 +151,10 @@ class PredictionResult:
         interval lies entirely below zero degenerates to (0.0, 0.0)
         rather than an inverted (0.0, negative) pair.
         """
+        if self._intervals is not None:
+            cached = self._intervals.get(confidence)
+            if cached is not None:
+                return cached
         low, high = self.distribution.interval(confidence)
         low, high = max(low, 0.0), max(high, 0.0)
         assert low <= high, (low, high)

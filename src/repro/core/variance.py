@@ -139,6 +139,9 @@ class VectorizedAssembler:
         self._kernels: dict[
             VarianceOptions, tuple[np.ndarray, np.ndarray, np.ndarray]
         ] = {}
+        self._unit_moments: dict[
+            VarianceOptions, tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = {}
 
     # ------------------------------------------------------------------
     def _kernel(
@@ -199,6 +202,34 @@ class VectorizedAssembler:
 
         self._kernels[options] = (means, exact_kernel, bound_kernel)
         return means, exact_kernel, bound_kernel
+
+    # ------------------------------------------------------------------
+    def unit_moments(
+        self, options: VarianceOptions = VarianceOptions()
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(E[g_c], exact Cov(g, g'), bounded Cov(g, g'))`` in unit space.
+
+        The monomial-space kernels contracted down to the fixed
+        ``len(COST_UNIT_NAMES)``-dimensional unit space: the shapes are
+        ``(U,)``, ``(U, U)``, ``(U, U)``. These are the only
+        plan-dependent inputs :meth:`assemble` needs, and they do not
+        depend on the unit distributions, so the batch kernel caches
+        them here once per (plan, options) and folds any number of
+        mpl-loaded unit sets over them. The expressions are verbatim
+        those of :meth:`assemble` — callers rely on the contraction
+        being bitwise-identical to the scalar path.
+        """
+        cached = self._unit_moments.get(options)
+        if cached is not None:
+            return cached
+        means, exact_kernel, bound_kernel = self._kernel(options)
+        coefficients = self._coefficients
+        g_mean = coefficients @ means
+        exact_cov = coefficients @ exact_kernel @ coefficients.T
+        bound_cov = coefficients @ bound_kernel @ coefficients.T
+        cached = (g_mean, exact_cov, bound_cov)
+        self._unit_moments[options] = cached
+        return cached
 
     # ------------------------------------------------------------------
     def assemble(

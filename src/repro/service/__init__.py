@@ -1,6 +1,21 @@
 """Batch prediction serving on top of the uncertainty predictor."""
 
-from .cache import CacheStats, PreparedCache, plan_signature, subplan_signature
+from .cache import (
+    CacheStats,
+    PreparedCache,
+    plan_signature,
+    plan_signature_hash,
+    subplan_signature,
+)
+from .kernels import (
+    BATCH_KERNELS,
+    BatchAssembly,
+    BatchPlan,
+    assemble_batch,
+    batch_intervals,
+    build_batch_plan,
+    segment_sum,
+)
 from .service import (
     BatchPrediction,
     PredictionService,
@@ -11,6 +26,9 @@ from .service import (
 )
 
 __all__ = [
+    "BATCH_KERNELS",
+    "BatchAssembly",
+    "BatchPlan",
     "BatchPrediction",
     "CacheStats",
     "PredictionService",
@@ -19,6 +37,11 @@ __all__ = [
     "QueryPrediction",
     "ServiceReport",
     "ServiceStats",
+    "assemble_batch",
+    "batch_intervals",
+    "build_batch_plan",
     "plan_signature",
+    "plan_signature_hash",
+    "segment_sum",
     "subplan_signature",
 ]

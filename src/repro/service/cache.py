@@ -29,6 +29,7 @@ intermediates, which *are* interchangeable across those differences.
 from __future__ import annotations
 
 import threading
+import zlib
 from collections import OrderedDict
 from dataclasses import replace
 
@@ -38,7 +39,13 @@ from ..optimizer.optimizer import PlannedQuery
 from ..plan.physical import OpKind, PlanNode
 from ..sampling.signature import subplan_signature
 
-__all__ = ["CacheStats", "PreparedCache", "plan_signature", "subplan_signature"]
+__all__ = [
+    "CacheStats",
+    "PreparedCache",
+    "plan_signature",
+    "plan_signature_hash",
+    "subplan_signature",
+]
 
 
 def _node_signature(node: PlanNode) -> str:
@@ -71,13 +78,28 @@ def _node_signature(node: PlanNode) -> str:
     return "|".join(parts)
 
 
+#: Attribute used to intern ``(root, signature, crc32)`` on the planned
+#: query itself, keyed by root identity like
+#: :meth:`~repro.core.predictor.PreparedPrediction.assembler`'s cache.
+_SIGNATURE_ATTR = "cached_plan_signature"
+
+
 def plan_signature(planned: PlannedQuery) -> str:
     """A stable identity for a planned query's prepare-relevant content.
 
     Two planned queries with equal signatures run the same operators with
     the same predicates over the same aliases, so their prepared
     artifacts are interchangeable.
+
+    The rendered string (and its CRC-32, see :func:`plan_signature_hash`)
+    is interned on ``planned`` so every consumer — the
+    :class:`PreparedCache` key, the routing ring, the batch interner —
+    reads the *same* string and hash and can never diverge. The cache is
+    invalidated if ``planned.root`` is replaced.
     """
+    cached = getattr(planned, _SIGNATURE_ATTR, None)
+    if cached is not None and cached[0] is planned.root:
+        return cached[1]
     lines = [
         f"{depth}:{_node_signature(node)}"
         for node, depth in _walk_with_depth(planned.root, 0)
@@ -85,7 +107,35 @@ def plan_signature(planned: PlannedQuery) -> str:
     aliases = ",".join(
         f"{alias}={table}" for alias, table in sorted(planned.alias_tables.items())
     )
-    return "\n".join(lines) + "\n@" + aliases
+    text = "\n".join(lines) + "\n@" + aliases
+    try:
+        setattr(
+            planned,
+            _SIGNATURE_ATTR,
+            (planned.root, text, zlib.crc32(text.encode("utf-8"))),
+        )
+    except (AttributeError, TypeError):
+        pass  # frozen/slotted stand-ins still get a (non-interned) answer
+    return text
+
+
+def plan_signature_hash(planned: PlannedQuery) -> int:
+    """The CRC-32 of :func:`plan_signature`, interned alongside it.
+
+    CRC-32 rather than ``hash()`` because all worker processes must
+    agree (Python randomizes string hashes per process). This is the
+    single definition of "the hash of a plan's signature": the routing
+    ring and the batch kernel's interner both call it, so a change to
+    the signature format can never leave them disagreeing.
+    """
+    cached = getattr(planned, _SIGNATURE_ATTR, None)
+    if cached is not None and cached[0] is planned.root:
+        return cached[2]
+    text = plan_signature(planned)
+    cached = getattr(planned, _SIGNATURE_ATTR, None)
+    if cached is not None and cached[0] is planned.root:
+        return cached[2]
+    return zlib.crc32(text.encode("utf-8"))
 
 
 def _walk_with_depth(node: PlanNode, depth: int):

@@ -42,15 +42,20 @@ from ..core.predictor import (
     UncertaintyPredictor,
     Variant,
 )
+from ..core.variance import VarianceBreakdown
 from ..costfuncs.fitting import DEFAULT_GRID_W
 from ..errors import PredictionError, error_code
+from ..mathstats.normal import NormalDistribution
+from ..optimizer.cost_model import COST_UNIT_NAMES
 from ..optimizer.optimizer import Optimizer, OptimizerConfig, PlannedQuery
 from ..sampling.engine import DEFAULT_ENGINE_BUDGET_BYTES, SamplingEngine
 from ..sampling.sample_db import SampleDatabase
 from ..storage import Database
 from .cache import PreparedCache, plan_signature
+from .kernels import BATCH_KERNELS, assemble_batch, batch_intervals, build_batch_plan
 
 __all__ = [
+    "BATCH_KERNELS",
     "BatchPrediction",
     "PredictionService",
     "QueryFailure",
@@ -242,9 +247,21 @@ class PredictionService:
         method: str = "sampling",
         cache_size: int = 256,
         sampling_engine_bytes: int = DEFAULT_ENGINE_BUDGET_BYTES,
+        batch_kernel: str = "scalar",
     ):
         """``sampling_engine_bytes`` budgets the sub-plan sampling cache;
-        0 disables that layer entirely (every prepare samples cold)."""
+        0 disables that layer entirely (every prepare samples cold).
+        ``batch_kernel`` selects the default :meth:`predict_batch`
+        execution strategy: "scalar" (the per-query reference loop) or
+        "soa" (the cross-query array kernels of
+        :mod:`repro.service.kernels`, bitwise-identical and faster on
+        warm batches)."""
+        if batch_kernel not in BATCH_KERNELS:
+            raise PredictionError(
+                f"unknown batch kernel {batch_kernel!r}; "
+                f"expected one of {', '.join(BATCH_KERNELS)}"
+            )
+        self._batch_kernel = batch_kernel
         self._database = database
         self._optimizer = Optimizer(database, optimizer_config)
         self._sample_db = SampleDatabase(
@@ -277,6 +294,11 @@ class PredictionService:
         self.stats = ServiceStats()
 
     # -- introspection -----------------------------------------------------
+    @property
+    def batch_kernel(self) -> str:
+        """The default :meth:`predict_batch` execution strategy."""
+        return self._batch_kernel
+
     @property
     def sample_db(self) -> SampleDatabase:
         return self._sample_db
@@ -402,6 +424,8 @@ class PredictionService:
         variants: Sequence[Variant] = (Variant.ALL,),
         mpls: Sequence[int] = (1,),
         skip_failures: bool = False,
+        kernel: str | None = None,
+        confidences: Sequence[float] | None = None,
     ) -> BatchPrediction:
         """A whole batch; see :meth:`predict_query` for the per-query fan-out.
 
@@ -414,7 +438,30 @@ class PredictionService:
         escaping the library's own hierarchy (e.g. numpy type errors
         raised while evaluating a predicate over sample columns) abort
         the batch just as hard as a parse error would.
+
+        ``kernel`` overrides the service's configured ``batch_kernel``
+        for this call: "scalar" runs the per-query reference loop below;
+        "soa" runs the cross-query array kernels
+        (:mod:`repro.service.kernels`), bitwise-identical on every
+        served number. ``confidences`` is honored only by the SoA
+        kernel, which precomputes the requested interval bounds in the
+        same array pass; the scalar path leaves intervals to be computed
+        on demand, exactly as before.
         """
+        resolved = self._batch_kernel if kernel is None else kernel
+        if resolved not in BATCH_KERNELS:
+            raise PredictionError(
+                f"unknown batch kernel {resolved!r}; "
+                f"expected one of {', '.join(BATCH_KERNELS)}"
+            )
+        if resolved == "soa":
+            return self._predict_batch_soa(
+                queries,
+                tuple(variants),
+                tuple(mpls),
+                skip_failures,
+                tuple(confidences) if confidences else (),
+            )
         before = self._snapshot_stats()
         started = time.perf_counter()
         predictions: list[QueryPrediction] = []
@@ -439,6 +486,179 @@ class PredictionService:
                         code=error_code(error),
                     )
                 )
+        return BatchPrediction(
+            predictions=predictions,
+            elapsed_seconds=time.perf_counter() - started,
+            stats=self._snapshot_stats().since(before),
+            failures=failures,
+        )
+
+    def _predict_batch_soa(
+        self,
+        queries: Iterable[str | PlannedQuery],
+        variants: tuple[Variant, ...],
+        mpls: tuple[int, ...],
+        skip_failures: bool,
+        confidences: tuple[float, ...],
+    ) -> BatchPrediction:
+        """The structure-of-arrays batch path (``batch_kernel="soa"``).
+
+        Stage 1 mirrors the scalar loop exactly — per-query plan +
+        cached prepare, with the same failure isolation and counter
+        increments. Stages 2-4 replace the per-(query, variant, mpl)
+        assembly loop: distinct plans are interned and stacked
+        (:func:`~repro.service.kernels.build_batch_plan`), assembled in
+        shared arrays (:func:`~repro.service.kernels.assemble_batch`),
+        intervals vectorized
+        (:func:`~repro.service.kernels.batch_intervals`), and the
+        results gathered back per query. Every served number is
+        bit-identical to the scalar path; completed batches also leave
+        identical counter deltas. The one observable divergence: with
+        ``skip_failures=False`` an aborting batch raises before *any*
+        query is counted as served, where the scalar loop had already
+        counted the queries preceding the failure.
+        """
+        before = self._snapshot_stats()
+        started = time.perf_counter()
+        entries: list[tuple[int, str | None, PlannedQuery, PreparedPrediction, bool]] = []
+        failures: list[QueryFailure] = []
+        for index, query in enumerate(queries):
+            try:
+                if not variants or not mpls:
+                    raise PredictionError("need at least one variant and one mpl")
+                planned = self.plan(query)
+                prepared, was_cached = self.prepare(planned)
+            except Exception as error:  # noqa: BLE001 — per-query isolation
+                if not skip_failures:
+                    raise
+                self._count(queries_failed=1)
+                failures.append(
+                    QueryFailure(
+                        index=index,
+                        sql=query if isinstance(query, str) else None,
+                        error=f"{type(error).__name__}: {error}",
+                        code=error_code(error),
+                    )
+                )
+                continue
+            entries.append(
+                (
+                    index,
+                    query if isinstance(query, str) else None,
+                    planned,
+                    prepared,
+                    was_cached,
+                )
+            )
+
+        batch_plan = build_batch_plan(
+            [(planned, prepared) for _, _, planned, prepared, _ in entries]
+        )
+        assembly = assemble_batch(
+            batch_plan,
+            self._concurrent,
+            variants,
+            mpls,
+            isolate=skip_failures,
+        )
+        intervals = (
+            batch_intervals(assembly, confidences) if confidences else None
+        )
+
+        # Materialize one result set per distinct plan; duplicate
+        # queries share the (immutable) PredictionResult objects.
+        # tolist() converts whole arrays to python floats in one pass;
+        # transposing to [slot][mpl][variant] first lets the loops
+        # below walk the nested lists in iteration order.
+        mean_list = assembly.mean.transpose(0, 2, 1).tolist()
+        variance_list = assembly.variance.transpose(0, 2, 1).tolist()
+        exact_list = assembly.exact_part.transpose(0, 2, 1).tolist()
+        bounded_list = assembly.bounded_part.transpose(0, 2, 1).tolist()
+        unit_list = assembly.unit_part.transpose(0, 2, 1).tolist()
+        per_unit_list = assembly.per_unit_mean.transpose(0, 2, 1, 3).tolist()
+        intervals_list = (
+            intervals.transpose(0, 2, 1, 3, 4).tolist()
+            if intervals is not None
+            else None
+        )
+        slot_results: list[dict[tuple[Variant, int], PredictionResult] | None] = []
+        for slot in range(len(batch_plan)):
+            if slot in assembly.plan_errors:
+                slot_results.append(None)
+                continue
+            prepared = batch_plan.prepared[slot]
+            results: dict[tuple[Variant, int], PredictionResult] = {}
+            # Same (mpl outer, variant inner) order as predict_query:
+            # response payload order follows dict insertion order.
+            for li, mpl in enumerate(mpls):
+                mean_row = mean_list[slot][li]
+                variance_row = variance_list[slot][li]
+                exact_row = exact_list[slot][li]
+                bounded_row = bounded_list[slot][li]
+                unit_row = unit_list[slot][li]
+                per_unit_row = per_unit_list[slot][li]
+                interval_row = (
+                    intervals_list[slot][li] if intervals_list is not None else None
+                )
+                for vi, variant in enumerate(variants):
+                    mean = mean_row[vi]
+                    variance = variance_row[vi]
+                    breakdown = VarianceBreakdown(
+                        mean=mean,
+                        variance=variance,
+                        exact_selectivity_term=exact_row[vi],
+                        bounded_covariance_term=bounded_row[vi],
+                        cost_unit_term=unit_row[vi],
+                        per_unit_mean=dict(
+                            zip(COST_UNIT_NAMES, per_unit_row[vi])
+                        ),
+                    )
+                    cached_intervals = None
+                    if interval_row is not None:
+                        cached_intervals = dict(
+                            zip(confidences, map(tuple, interval_row[vi]))
+                        )
+                    results[(variant, mpl)] = PredictionResult(
+                        distribution=NormalDistribution(mean, variance),
+                        breakdown=breakdown,
+                        prepared=prepared,
+                        variant=variant,
+                        _intervals=cached_intervals,
+                    )
+            slot_results.append(results)
+
+        predictions: list[QueryPrediction] = []
+        for position, (index, sql, planned, prepared, was_cached) in enumerate(
+            entries
+        ):
+            slot = int(batch_plan.query_slots[position])
+            results = slot_results[slot]
+            if results is None:
+                error = assembly.plan_errors[slot]
+                self._count(queries_failed=1)
+                failures.append(
+                    QueryFailure(
+                        index=index,
+                        sql=sql,
+                        error=f"{type(error).__name__}: {error}",
+                        code=error_code(error),
+                    )
+                )
+                continue
+            predictions.append(
+                QueryPrediction(
+                    sql=sql,
+                    planned=planned,
+                    results=dict(results),
+                    prepare_was_cached=was_cached,
+                )
+            )
+        if predictions:
+            self._count(
+                assemblies=len(variants) * len(mpls) * len(predictions),
+                queries_served=len(predictions),
+            )
+        failures.sort(key=lambda failure: failure.index)
         return BatchPrediction(
             predictions=predictions,
             elapsed_seconds=time.perf_counter() - started,

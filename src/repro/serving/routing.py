@@ -5,8 +5,8 @@ and therefore a private prepared/sampling cache shard. Left alone,
 kernel-level connection balancing would spray a recurring query across
 all shards — every shard pays the prepare cost, and effective cache
 capacity stays at one worker's. The router fixes that: each worker
-plans the incoming SQL, hashes the resulting
-:func:`~repro.service.cache.plan_signature`, and either serves locally
+plans the incoming SQL, takes the plan's interned
+:func:`~repro.service.cache.plan_signature_hash`, and either serves locally
 (it owns the key) or forwards the request — over the owner's *private*
 transport — to the worker whose shard holds that plan's artifacts.
 
@@ -32,7 +32,7 @@ from collections.abc import Callable
 from ..api.session import Session
 from ..api.wire import dumps, loads
 from ..errors import ServingError
-from ..service.cache import plan_signature
+from ..service.cache import plan_signature_hash
 from .app import METERED_PATHS, WireApp, negotiated_version, split_path
 from .stats import aggregate_report_records
 from .transport import WireResponse
@@ -49,6 +49,17 @@ class Router:
 
     def owner(self, key: str) -> int:
         """The worker index responsible for ``key``."""
+        raise NotImplementedError
+
+    def owner_point(self, point: int) -> int:
+        """The worker index responsible for an already-hashed key.
+
+        :class:`RoutedApp` routes on
+        :func:`~repro.service.cache.plan_signature_hash` — the CRC-32
+        interned on the planned query itself, shared with the prepared
+        cache and the batch kernel's interner — so the ring never
+        re-hashes the signature and can never disagree with them.
+        """
         raise NotImplementedError
 
 
@@ -73,7 +84,10 @@ class ConsistentHashRouter(Router):
 
     def owner(self, key: str) -> int:
         """The worker owning ``key``: first ring point at/after its hash."""
-        point = zlib.crc32(key.encode("utf-8"))
+        return self.owner_point(zlib.crc32(key.encode("utf-8")))
+
+    def owner_point(self, point: int) -> int:
+        """The worker owning an already-computed CRC-32 ring point."""
         index = bisect.bisect_right(self._points, point)
         if index == len(self._points):
             index = 0
@@ -131,15 +145,15 @@ class RoutedApp(WireApp):
         record = read_body()
         key = self._routing_key(split_path(path)[0], record)
         if key is not None:
-            owner = self.router.owner(key)
+            owner = self.router.owner_point(key)
             if owner != self.self_index:
                 relayed = self._forward(owner, path, record)
                 if relayed is not None:
                     return relayed
         return self.inner.handle_post(path, lambda: record)
 
-    def _routing_key(self, path: str, record: dict) -> str | None:
-        """The plan signature to hash on, or None to serve locally.
+    def _routing_key(self, path: str, record: dict) -> int | None:
+        """The plan's interned signature hash, or None to serve locally.
 
         A batch routes on its first query — recurring dashboards replay
         whole batches, so first-query affinity captures the common case
@@ -149,6 +163,14 @@ class RoutedApp(WireApp):
         predictions. Anything that fails to plan is served locally so
         error bodies come from the worker the client actually reached,
         byte-identical to a single worker.
+
+        The key is :func:`~repro.service.cache.plan_signature_hash` —
+        the CRC-32 interned on the planned query, shared with the
+        prepared cache's keying and the batch kernel's interner — so a
+        recurring plan is hashed once per worker process, not once per
+        request, and all three consumers agree by construction. Ring
+        placement is unchanged: the hash is the same CRC-32 of the same
+        signature string the ring hashed itself before.
         """
         try:
             if path not in METERED_PATHS:
@@ -157,7 +179,7 @@ class RoutedApp(WireApp):
                 sql = record["queries"][0]
             else:
                 sql = record["sql"]
-            return plan_signature(self.session.plan(sql))
+            return plan_signature_hash(self.session.plan(sql))
         except Exception:  # noqa: BLE001 — availability over affinity
             return None
 

@@ -1,0 +1,581 @@
+"""The SoA batch kernels, differentially locked to the scalar path.
+
+The contract under test (docs/service.md "Batch kernels"): every number
+the ``batch_kernel="soa"`` path serves — means, variances, stds, all
+three variance-breakdown terms, per-unit means, and both bounds of
+every confidence interval — is *bitwise* identical to the scalar
+per-query reference loop. Closeness is not enough: the SoA path exists
+so deployments can switch kernels without re-validating numerics, and
+that argument only holds at the bit level. The harness therefore packs
+every float with ``struct.pack("<d", ...)`` and compares bytes across
+hundreds of seeded random batches (ragged sizes, duplicate SQL,
+variant/mpl/confidence fan-outs, point-mass variances, single-node and
+empty-sample plans), plus the algebraic properties that make a batch
+kernel trustworthy: permutation invariance, batch-of-N == N batches-of-1,
+and cache-hit == cold-miss.
+"""
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import Variant
+from repro.errors import PredictionError
+from repro.service import PredictionService, plan_signature, plan_signature_hash
+from repro.service.kernels import (
+    BATCH_KERNELS,
+    assemble_batch,
+    batch_intervals,
+    build_batch_plan,
+    segment_sum,
+)
+from repro.serving.routing import ConsistentHashRouter
+from repro.workloads.tpch_templates import TPCH_TEMPLATES
+
+ALL_VARIANTS = tuple(Variant)
+MPL_CHOICES = (1, 2, 3, 5)
+CONFIDENCE_CHOICES = (0.2, 0.5, 0.9, 0.95, 0.99)
+
+#: Handwritten edge plans: single-node scans, selective predicates that
+#: leave (nearly) empty samples, joins small and large.
+EDGE_SQLS = [
+    "SELECT * FROM region",
+    "SELECT * FROM nation",
+    "SELECT * FROM supplier WHERE s_acctbal > 500",
+    "SELECT * FROM orders WHERE o_totalprice > 999999999",
+    "SELECT * FROM customer WHERE c_acctbal > 0",
+    "SELECT * FROM nation, region WHERE n_regionkey = r_regionkey",
+    (
+        "SELECT * FROM orders, lineitem "
+        "WHERE o_orderkey = l_orderkey AND o_totalprice > 100000"
+    ),
+    (
+        "SELECT * FROM orders, lineitem "
+        "WHERE o_orderkey = l_orderkey AND o_totalprice > 200000"
+    ),
+]
+
+
+def _query_pool():
+    rng = np.random.default_rng(20140901)
+    pool = list(EDGE_SQLS)
+    for template in TPCH_TEMPLATES[:4]:
+        pool.append(template.instantiate(rng))
+    return pool
+
+
+@pytest.fixture(scope="module")
+def service(tpch_db, calibrated_units):
+    svc = PredictionService(
+        tpch_db, calibrated_units, sampling_ratio=0.05, seed=3
+    )
+    # Warm every pool plan once so differential runs compare warm state
+    # against warm state; per-query cache flags are only comparable on
+    # equal cache states.
+    svc.predict_batch(_query_pool())
+    return svc
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return _query_pool()
+
+
+def _pack(value):
+    return struct.pack("<d", value)
+
+
+def _result_payload(result, confidences):
+    """Every served number of one PredictionResult, as exact bytes."""
+    breakdown = result.breakdown
+    blob = [
+        _pack(result.mean),
+        _pack(breakdown.variance),
+        _pack(result.std),
+        _pack(breakdown.exact_selectivity_term),
+        _pack(breakdown.bounded_covariance_term),
+        _pack(breakdown.cost_unit_term),
+    ]
+    for name, value in breakdown.per_unit_mean.items():
+        blob.append(name.encode())
+        blob.append(_pack(value))
+    for confidence in confidences:
+        low, high = result.confidence_interval(confidence)
+        blob.append(_pack(low))
+        blob.append(_pack(high))
+    return blob
+
+
+def _query_payload(prediction, confidences):
+    blob = [repr(prediction.sql).encode(), prediction.prepare_was_cached]
+    for (variant, mpl), result in prediction.results.items():
+        blob.append((variant.value, mpl))
+        blob.extend(_result_payload(result, confidences))
+    return blob
+
+
+def _batch_payloads(service, queries, variants, mpls, confidences, kernel,
+                    skip_failures=False):
+    batch = service.predict_batch(
+        queries,
+        variants=variants,
+        mpls=mpls,
+        skip_failures=skip_failures,
+        kernel=kernel,
+        confidences=confidences if kernel == "soa" else None,
+    )
+    payloads = [
+        _query_payload(prediction, confidences) for prediction in batch
+    ]
+    failures = [
+        (failure.index, failure.sql, failure.code) for failure in batch.failures
+    ]
+    return payloads, failures
+
+
+# ---------------------------------------------------------------------------
+# segment_sum: the integer segmented reduction under the ragged arrays.
+# ---------------------------------------------------------------------------
+
+
+class TestSegmentSum:
+    def test_plain_segments(self):
+        values = np.array([1, 2, 3, 4, 5, 6], dtype=np.intp)
+        offsets = np.array([0, 2, 3, 6], dtype=np.intp)
+        assert segment_sum(values, offsets).tolist() == [3, 3, 15]
+
+    def test_empty_segment_in_the_middle(self):
+        values = np.array([1, 2, 3], dtype=np.intp)
+        offsets = np.array([0, 1, 1, 3], dtype=np.intp)
+        assert segment_sum(values, offsets).tolist() == [1, 0, 5]
+
+    def test_trailing_empty_segment(self):
+        # reduceat would raise on a segment starting at len(values).
+        values = np.array([4, 5], dtype=np.intp)
+        offsets = np.array([0, 2, 2], dtype=np.intp)
+        assert segment_sum(values, offsets).tolist() == [9, 0]
+
+    def test_leading_empty_segment(self):
+        # reduceat would return values[0] for the empty first segment.
+        values = np.array([7, 8], dtype=np.intp)
+        offsets = np.array([0, 0, 2], dtype=np.intp)
+        assert segment_sum(values, offsets).tolist() == [0, 15]
+
+    def test_all_segments_empty(self):
+        values = np.zeros(0, dtype=np.intp)
+        offsets = np.array([0, 0, 0], dtype=np.intp)
+        assert segment_sum(values, offsets).tolist() == [0, 0]
+
+    def test_no_segments(self):
+        values = np.zeros(0, dtype=np.intp)
+        offsets = np.array([0], dtype=np.intp)
+        assert segment_sum(values, offsets).tolist() == []
+
+    def test_decreasing_offsets_rejected(self):
+        values = np.array([1, 2, 3], dtype=np.intp)
+        with pytest.raises(ValueError):
+            segment_sum(values, np.array([0, 2, 1, 3], dtype=np.intp))
+
+    def test_nonzero_start_rejected(self):
+        values = np.array([1, 2, 3], dtype=np.intp)
+        with pytest.raises(ValueError):
+            segment_sum(values, np.array([1, 3], dtype=np.intp))
+
+
+# ---------------------------------------------------------------------------
+# BatchPlan: interning, dedup, padding, segment offsets, validation.
+# ---------------------------------------------------------------------------
+
+
+def _entries(service, queries):
+    entries = []
+    for sql in queries:
+        planned = service.plan(sql)
+        prepared, _ = service.prepare(planned)
+        entries.append((planned, prepared))
+    return entries
+
+
+class TestBatchPlan:
+    def test_empty_batch(self, service):
+        batch_plan = build_batch_plan([])
+        assert len(batch_plan) == 0
+        assert batch_plan.num_queries == 0
+        assert batch_plan.node_offsets.tolist() == [0]
+        assert batch_plan.node_means.size == 0
+        padded, mask = batch_plan.padded_node_means()
+        assert padded.shape == (0, 0)
+        assert mask.shape == (0, 0)
+        batch_plan.validate()
+
+    def test_batch_of_one(self, service, pool):
+        batch_plan = build_batch_plan(_entries(service, [pool[0]]))
+        assert len(batch_plan) == 1
+        assert batch_plan.query_slots.tolist() == [0]
+        counts = batch_plan.node_counts
+        assert counts.tolist() == [batch_plan.node_means.size]
+        assert counts[0] > 0
+
+    def test_all_identical_plans_share_one_slot(self, service, pool):
+        batch_plan = build_batch_plan(_entries(service, [pool[0]] * 5))
+        assert len(batch_plan) == 1
+        assert batch_plan.query_slots.tolist() == [0] * 5
+        assert batch_plan.num_queries == 5
+
+    def test_dedup_keys_on_signature_not_hash(self, service, pool):
+        batch_plan = build_batch_plan(
+            _entries(service, [pool[0], pool[1], pool[0]])
+        )
+        assert len(batch_plan) == 2
+        assert batch_plan.query_slots.tolist() == [0, 1, 0]
+        assert batch_plan.signatures[0] != batch_plan.signatures[1]
+
+    def test_signature_hashes_are_interned_crc32(self, service, pool):
+        batch_plan = build_batch_plan(_entries(service, pool[:4]))
+        for signature, crc in zip(
+            batch_plan.signatures, batch_plan.signature_hashes
+        ):
+            assert int(crc) == zlib.crc32(signature.encode("utf-8"))
+
+    def test_padded_node_means_roundtrip(self, service, pool):
+        batch_plan = build_batch_plan(_entries(service, pool[:6]))
+        padded, mask = batch_plan.padded_node_means(fill=-1.0)
+        assert mask.sum(axis=1).tolist() == batch_plan.node_counts.tolist()
+        assert padded[mask].tolist() == batch_plan.node_means.tolist()
+        assert (padded[~mask] == -1.0).all()
+
+    def test_validate_localizes_bad_plan(self, service, pool):
+        batch_plan = build_batch_plan(_entries(service, pool[:3]))
+        start = int(batch_plan.node_offsets[1])
+        batch_plan.node_variances = batch_plan.node_variances.copy()
+        batch_plan.node_variances[start] = -1.0
+        with pytest.raises(PredictionError, match=r"\[1\]"):
+            batch_plan.validate()
+
+
+# ---------------------------------------------------------------------------
+# The differential harness: SoA bitwise == scalar over random batches.
+# ---------------------------------------------------------------------------
+
+
+def _random_batch(rng, pool):
+    size = int(rng.integers(0, 9))
+    queries = [pool[int(i)] for i in rng.integers(0, len(pool), size=size)]
+    variants = [
+        ALL_VARIANTS[int(i)]
+        for i in rng.permutation(len(ALL_VARIANTS))[: int(rng.integers(1, 5))]
+    ]
+    mpls = [
+        MPL_CHOICES[int(i)]
+        for i in rng.permutation(len(MPL_CHOICES))[: int(rng.integers(1, 4))]
+    ]
+    confidences = tuple(
+        CONFIDENCE_CHOICES[int(i)]
+        for i in sorted(
+            rng.permutation(len(CONFIDENCE_CHOICES))[: int(rng.integers(0, 4))]
+        )
+    )
+    return queries, variants, mpls, confidences
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_soa_bitwise_equals_scalar_on_random_batches(
+        self, service, pool, seed
+    ):
+        """20 random batches per seed, 200 total: every byte must agree."""
+        rng = np.random.default_rng(1000 + seed)
+        for _ in range(20):
+            queries, variants, mpls, confidences = _random_batch(rng, pool)
+            scalar, scalar_failures = _batch_payloads(
+                service, queries, variants, mpls, confidences, "scalar"
+            )
+            soa, soa_failures = _batch_payloads(
+                service, queries, variants, mpls, confidences, "soa"
+            )
+            assert soa == scalar
+            assert soa_failures == scalar_failures
+
+    def test_empty_batch(self, service):
+        for kernel in BATCH_KERNELS:
+            batch = service.predict_batch(
+                [], kernel=kernel, confidences=(0.5,)
+            )
+            assert batch.predictions == []
+            assert batch.failures == []
+
+    def test_skip_failures_differential(self, service, pool):
+        queries = [pool[0], "SELEC nope", pool[1], pool[0]]
+        scalar, scalar_failures = _batch_payloads(
+            service, queries, [Variant.ALL, Variant.NO_COV], [1, 3],
+            (0.5, 0.99), "scalar", skip_failures=True,
+        )
+        soa, soa_failures = _batch_payloads(
+            service, queries, [Variant.ALL, Variant.NO_COV], [1, 3],
+            (0.5, 0.99), "soa", skip_failures=True,
+        )
+        assert soa == scalar
+        assert len(soa_failures) == 1
+        assert soa_failures == scalar_failures
+        assert soa_failures[0][0] == 1
+
+    def test_abort_on_failure_raises_like_scalar(self, service, pool):
+        from repro.errors import SqlError
+
+        with pytest.raises(SqlError):
+            service.predict_batch([pool[0], "SELEC nope"], kernel="soa")
+
+    def test_point_mass_variance_intervals(self, tpch_db, calibrated_units):
+        """Zero-variance units + NoVar[X]: variance 0, interval (m, m)."""
+        flat = PredictionService(
+            tpch_db,
+            calibrated_units.without_variance(),
+            sampling_ratio=0.05,
+            seed=3,
+        )
+        queries = EDGE_SQLS[:3] * 2
+        variants = [Variant.NO_VAR_X, Variant.ALL]
+        flat.predict_batch(queries, variants=variants)  # warm
+        confidences = (0.5, 0.9)
+        scalar, _ = _batch_payloads(
+            flat, queries, variants, [1, 2], confidences, "scalar"
+        )
+        soa, _ = _batch_payloads(
+            flat, queries, variants, [1, 2], confidences, "soa"
+        )
+        assert soa == scalar
+        batch = flat.predict_batch(
+            queries, variants=variants, kernel="soa", confidences=confidences
+        )
+        point_masses = 0
+        for prediction in batch:
+            result = prediction.result(Variant.NO_VAR_X, 1)
+            if result.breakdown.variance == 0.0:
+                point_masses += 1
+                clamped = max(result.mean, 0.0)
+                assert result.confidence_interval(0.9) == (clamped, clamped)
+        assert point_masses == len(queries)
+
+    def test_unknown_kernel_rejected(self, service, pool):
+        with pytest.raises(PredictionError, match="unknown batch kernel"):
+            service.predict_batch([pool[0]], kernel="simd")
+        with pytest.raises(PredictionError, match="unknown batch kernel"):
+            PredictionService(
+                service._database,
+                service._preparer.units,
+                batch_kernel="simd",
+            )
+
+    def test_bad_confidence_rejected(self, service, pool):
+        for bad in (0.0, 1.0, -0.5):
+            with pytest.raises(ValueError, match="confidence"):
+                service.predict_batch(
+                    [pool[0]], kernel="soa", confidences=(bad,)
+                )
+
+
+# ---------------------------------------------------------------------------
+# Algebraic properties of a trustworthy batch kernel.
+# ---------------------------------------------------------------------------
+
+
+class TestBatchProperties:
+    VARIANTS = (Variant.ALL, Variant.NO_VAR_X)
+    MPLS = (1, 3)
+    CONFIDENCES = (0.5, 0.95)
+
+    def _payloads(self, service, queries):
+        return _batch_payloads(
+            service, queries, self.VARIANTS, self.MPLS, self.CONFIDENCES, "soa"
+        )[0]
+
+    def test_permutation_invariance(self, service, pool):
+        rng = np.random.default_rng(7)
+        queries = [pool[int(i)] for i in rng.integers(0, len(pool), size=7)]
+        order = [int(i) for i in rng.permutation(len(queries))]
+        straight = self._payloads(service, queries)
+        shuffled = self._payloads(service, [queries[i] for i in order])
+        assert [straight[i] for i in order] == shuffled
+
+    def test_batch_of_n_equals_n_batches_of_one(self, service, pool):
+        queries = [pool[0], pool[3], pool[0], pool[5]]
+        whole = self._payloads(service, queries)
+        singles = [self._payloads(service, [sql])[0] for sql in queries]
+        assert whole == singles
+
+    def test_cache_hit_equals_cold_miss(self, tpch_db, calibrated_units):
+        """Two identically-built services: cold scalar == warm SoA."""
+        queries = [EDGE_SQLS[0], EDGE_SQLS[5], EDGE_SQLS[0]]
+
+        def fresh():
+            return PredictionService(
+                tpch_db, calibrated_units, sampling_ratio=0.05, seed=3
+            )
+
+        cold, _ = _batch_payloads(
+            fresh(), queries, self.VARIANTS, self.MPLS, self.CONFIDENCES,
+            "scalar",
+        )
+        warm_service = fresh()
+        warm_service.predict_batch(queries)  # populate the prepared cache
+        warm, _ = _batch_payloads(
+            warm_service, queries, self.VARIANTS, self.MPLS, self.CONFIDENCES,
+            "soa",
+        )
+        # Cache flags legitimately differ between a cold and a warm run;
+        # every served number must not.
+        def strip(payloads):
+            return [payload[2:] for payload in payloads]
+
+        assert strip(warm) == strip(cold)
+        assert [payload[:1] for payload in warm] == [
+            payload[:1] for payload in cold
+        ]
+
+    def test_counters_match_scalar_on_completed_batches(
+        self, tpch_db, calibrated_units
+    ):
+        queries = [EDGE_SQLS[0], EDGE_SQLS[1], EDGE_SQLS[0]]
+
+        def deltas(kernel):
+            svc = PredictionService(
+                tpch_db, calibrated_units, sampling_ratio=0.05, seed=3
+            )
+            svc.predict_batch(queries)  # identical warm state for both
+            batch = svc.predict_batch(
+                queries, variants=self.VARIANTS, mpls=self.MPLS, kernel=kernel
+            )
+            return batch.stats
+
+        assert deltas("soa") == deltas("scalar")
+
+
+# ---------------------------------------------------------------------------
+# Interned plan-signature hashing: one definition for every consumer.
+# ---------------------------------------------------------------------------
+
+
+class _PlannedStub:
+    """A mutable stand-in exposing just what plan_signature reads."""
+
+    def __init__(self, planned):
+        self.root = planned.root
+        self.alias_tables = planned.alias_tables
+
+
+class TestSignatureInterning:
+    def test_signature_and_hash_are_interned(self, optimizer):
+        planned = optimizer.plan_sql(EDGE_SQLS[0])
+        signature = plan_signature(planned)
+        cached = planned.cached_plan_signature
+        assert cached[0] is planned.root
+        assert cached[1] == signature
+        assert cached[2] == zlib.crc32(signature.encode("utf-8"))
+        # Repeat reads resolve from the interned tuple.
+        assert plan_signature(planned) is cached[1]
+        assert plan_signature_hash(planned) == cached[2]
+
+    def test_hash_matches_crc32_of_signature(self, optimizer):
+        for sql in EDGE_SQLS[:4]:
+            planned = optimizer.plan_sql(sql)
+            assert plan_signature_hash(planned) == zlib.crc32(
+                plan_signature(planned).encode("utf-8")
+            )
+
+    def test_router_agrees_with_interned_hash(self, optimizer):
+        """The ring must place the interned hash exactly where it places
+        the signature string — the regression the shared definition
+        exists to prevent."""
+        router = ConsistentHashRouter(workers=5, replicas=16)
+        for sql in EDGE_SQLS:
+            planned = optimizer.plan_sql(sql)
+            assert router.owner(plan_signature(planned)) == router.owner_point(
+                plan_signature_hash(planned)
+            )
+
+    def test_root_replacement_invalidates_cache(self, optimizer):
+        first = optimizer.plan_sql(EDGE_SQLS[0])
+        second = optimizer.plan_sql(EDGE_SQLS[5])
+        stub = _PlannedStub(first)
+        original = plan_signature(stub)
+        assert original == plan_signature(first)
+        stub.root = second.root
+        stub.alias_tables = second.alias_tables
+        assert plan_signature(stub) == plan_signature(second)
+        assert plan_signature_hash(stub) == plan_signature_hash(second)
+
+    def test_frozen_stand_ins_still_answer(self, optimizer):
+        planned = optimizer.plan_sql(EDGE_SQLS[0])
+
+        class _Frozen:
+            __slots__ = ("root", "alias_tables")
+
+            def __init__(self):
+                object.__setattr__(self, "root", planned.root)
+                object.__setattr__(
+                    self, "alias_tables", planned.alias_tables
+                )
+
+            def __setattr__(self, name, value):
+                raise AttributeError(name)
+
+        frozen = _Frozen()
+        assert plan_signature(frozen) == plan_signature(planned)
+        assert plan_signature_hash(frozen) == plan_signature_hash(planned)
+
+
+# ---------------------------------------------------------------------------
+# assemble_batch isolation and interval validation.
+# ---------------------------------------------------------------------------
+
+
+class _PoisonedAssembler:
+    def unit_moments(self, options):
+        raise PredictionError("poisoned assembler")
+
+
+class TestAssembleBatchIsolation:
+    def _batch_plan(self, service, queries, poison_slot=None):
+        batch_plan = build_batch_plan(_entries(service, queries))
+        if poison_slot is not None:
+            prepared = batch_plan.prepared[poison_slot]
+            prepared._assembler = _PoisonedAssembler()
+            prepared._assembler_root = batch_plan.planned[poison_slot].root
+        return batch_plan
+
+    def test_isolate_records_plan_errors(self, tpch_db, calibrated_units):
+        svc = PredictionService(
+            tpch_db, calibrated_units, sampling_ratio=0.05, seed=3
+        )
+        batch_plan = self._batch_plan(
+            svc, [EDGE_SQLS[0], EDGE_SQLS[1]], poison_slot=1
+        )
+        assembly = assemble_batch(
+            batch_plan, svc._concurrent, (Variant.ALL,), (1,), isolate=True
+        )
+        assert set(assembly.plan_errors) == {1}
+        assert (assembly.mean[1] == 0.0).all()
+        assert assembly.mean[0, 0, 0] > 0.0
+
+    def test_no_isolation_raises(self, tpch_db, calibrated_units):
+        svc = PredictionService(
+            tpch_db, calibrated_units, sampling_ratio=0.05, seed=3
+        )
+        batch_plan = self._batch_plan(svc, [EDGE_SQLS[0]], poison_slot=0)
+        with pytest.raises(PredictionError, match="poisoned"):
+            assemble_batch(
+                batch_plan, svc._concurrent, (Variant.ALL,), (1,)
+            )
+
+    def test_interval_confidence_validation(self, service, pool):
+        batch_plan = build_batch_plan(_entries(service, [pool[0]]))
+        assembly = assemble_batch(
+            batch_plan, service._concurrent, (Variant.ALL,), (1,)
+        )
+        intervals = batch_intervals(assembly, (0.5, 0.9))
+        assert intervals.shape == (1, 1, 1, 2, 2)
+        assert (intervals[..., 0] <= intervals[..., 1]).all()
+        with pytest.raises(ValueError, match="confidence"):
+            batch_intervals(assembly, (1.0,))

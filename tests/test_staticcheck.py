@@ -449,8 +449,16 @@ class TestDeterminism:
         assert "a benchmark" in finding.message
 
     def test_outside_scoped_trees_not_applicable(self):
-        assert run_rule("determinism", JITTER, path="src/repro/service/service.py") == []
+        assert run_rule("determinism", JITTER, path="src/repro/optimizer/opt.py") == []
         assert run_rule("determinism", JITTER, path="tests/test_retry.py") == []
+
+    def test_service_tree_in_scope(self):
+        # The batch kernels' bitwise contract and the routing ring's
+        # interned CRC-32 both depend on deterministic service code.
+        (finding,) = run_rule(
+            "determinism", JITTER, path="src/repro/service/service.py"
+        )
+        assert "process-global" in finding.message
 
     def test_seeded_rng_clean(self):
         source = "import random\nrng = random.Random(7)\n"
@@ -467,6 +475,90 @@ class TestDeterminism:
         source = "key = hash('q')\n"
         (finding,) = run_rule("determinism", source, path="src/repro/replay/key.py")
         assert "crc32" in finding.message
+
+
+# ---------------------------------------------------------------------------
+# vectorization
+
+
+KERNEL_PATH = "src/repro/service/kernels.py"
+
+
+class TestVectorization:
+    def test_float_in_loop_flagged(self):
+        source = (
+            "def f(xs):\n"
+            "    out = []\n"
+            "    for x in xs:\n"
+            "        out.append(float(x))\n"
+            "    return out\n"
+        )
+        (finding,) = run_rule("vectorization", source, path=KERNEL_PATH)
+        assert "float()" in finding.message
+        assert "tolist" in finding.message
+
+    def test_scalar_augassign_accumulation_flagged(self):
+        source = (
+            "def f(xs):\n"
+            "    total = 0.0\n"
+            "    for x in xs:\n"
+            "        total += x\n"
+            "    return total\n"
+        )
+        (finding,) = run_rule("vectorization", source, path=KERNEL_PATH)
+        assert "'total'" in finding.message
+
+    def test_scalar_rebind_accumulation_flagged(self):
+        source = (
+            "def f(xs):\n"
+            "    total = 0.0\n"
+            "    for x in xs:\n"
+            "        total = total + x\n"
+            "    return total\n"
+        )
+        (finding,) = run_rule("vectorization", source, path=KERNEL_PATH)
+        assert "'total'" in finding.message
+
+    def test_subscript_writes_stay_legal(self):
+        # The bitwise-mandated per-plan ddot loop writes array slots.
+        source = (
+            "def f(out, gv, mu, plans):\n"
+            "    for slot in range(plans):\n"
+            "        row = gv[slot]\n"
+            "        out[slot] = mu @ row\n"
+        )
+        assert run_rule("vectorization", source, path=KERNEL_PATH) == []
+
+    def test_float_in_comprehension_is_the_hoist_pattern(self):
+        source = (
+            "def f(ps):\n"
+            "    return [float(erfinv(2 * p - 1)) for p in ps]\n"
+        )
+        assert run_rule("vectorization", source, path=KERNEL_PATH) == []
+
+    def test_nested_loops_report_once(self):
+        source = (
+            "def f(xss):\n"
+            "    out = []\n"
+            "    for xs in xss:\n"
+            "        for x in xs:\n"
+            "            out.append(float(x))\n"
+            "    return out\n"
+        )
+        findings = run_rule("vectorization", source, path=KERNEL_PATH)
+        assert len(findings) == 1
+
+    def test_only_hot_modules_in_scope(self):
+        source = "for x in [1]:\n    y = float(x)\n"
+        assert run_rule("vectorization", source, path="src/repro/service/service.py") == []
+        assert run_rule("vectorization", source, path="benchmarks/bench_x.py") == []
+
+    def test_current_kernels_module_is_clean(self):
+        path = REPO_ROOT / "src" / "repro" / "service" / "kernels.py"
+        ctx = FileContext(path, root=REPO_ROOT, source=path.read_text())
+        check = ALL_CHECKS["vectorization"]
+        assert check.applies(ctx)
+        assert check.run(ctx) == []
 
 
 # ---------------------------------------------------------------------------

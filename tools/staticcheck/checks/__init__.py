@@ -5,6 +5,6 @@ at import time, so the registry is complete once this package is
 imported (the runner does so before selecting rules).
 """
 
-from . import determinism, imports, locks, taxonomy
+from . import determinism, imports, locks, taxonomy, vectorization
 
-__all__ = ["determinism", "imports", "locks", "taxonomy"]
+__all__ = ["determinism", "imports", "locks", "taxonomy", "vectorization"]

@@ -5,8 +5,12 @@ subsystem whose outputs must be bitwise-reproducible across runs and
 machines: ``benchmarks/`` (the regression-guarded scenarios),
 ``src/repro/replay/`` (byte-identical schedules per seed is the
 subsystem's core contract), ``src/repro/datagen/`` (deterministic
-database generation is what makes sessions reproducible), and
-``src/repro/experiments/`` (the paper's tables and figures).
+database generation is what makes sessions reproducible),
+``src/repro/experiments/`` (the paper's tables and figures), and
+``src/repro/service/`` (the batch kernels are bitwise-locked to the
+scalar path and the routing ring keys on the interned CRC-32 plan
+signature — a stray ``hash()`` or global RNG would silently break
+both contracts).
 
 Flagged:
 
@@ -53,14 +57,14 @@ SEEDED_RNG_CONSTRUCTORS = {
 _RNG_MODULES = ("random", "numpy.random")
 
 #: ``src/repro/<dir>`` trees held to the same bar as ``benchmarks/``.
-DETERMINISTIC_SUBSYSTEMS = ("replay", "datagen", "experiments")
+DETERMINISTIC_SUBSYSTEMS = ("replay", "datagen", "experiments", "service")
 
 
 def _noun(ctx: FileContext) -> str:
     """Where the determinism requirement comes from, for messages."""
     if "benchmarks" in ctx.path.parts:
         return "a benchmark"
-    return "replay/datagen/experiments code"
+    return "replay/datagen/experiments/service code"
 
 
 def rng_findings(ctx: FileContext, noun: str | None = None) -> list[Finding]:
